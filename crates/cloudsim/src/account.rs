@@ -1,0 +1,108 @@
+//! Platform accounts and their resource quotas.
+//!
+//! The paper's "potential attack optimizations" discussion (Section 5.2)
+//! notes that providers cap *new* accounts to limited resources — e.g. only
+//! 10 instances per service — and that earning higher quotas requires
+//! sustained usage over months. The account model captures this: accounts
+//! have a standing that bounds per-service instance counts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::AccountId;
+
+/// Account standing, which determines quotas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Standing {
+    /// A freshly created account with minimal quotas.
+    New,
+    /// An account with months of sustained usage and full quotas.
+    Established,
+}
+
+/// Per-account resource quota.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quota {
+    /// Maximum concurrent instances allowed per service, regardless of the
+    /// service's own configuration.
+    pub max_instances_per_service: usize,
+    /// Maximum services the account may deploy per region.
+    pub max_services: usize,
+}
+
+impl Quota {
+    /// The quota granted to accounts of the given standing.
+    pub fn for_standing(standing: Standing) -> Self {
+        match standing {
+            Standing::New => Quota {
+                max_instances_per_service: 10,
+                max_services: 10,
+            },
+            Standing::Established => Quota {
+                max_instances_per_service: 1_000,
+                max_services: 1_000,
+            },
+        }
+    }
+}
+
+/// A platform account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Account {
+    id: AccountId,
+    standing: Standing,
+}
+
+impl Account {
+    /// Creates an account with the given standing.
+    pub fn new(id: AccountId, standing: Standing) -> Self {
+        Account { id, standing }
+    }
+
+    /// The account id.
+    pub fn id(&self) -> AccountId {
+        self.id
+    }
+
+    /// The account standing.
+    pub fn standing(&self) -> Standing {
+        self.standing
+    }
+
+    /// The quota in effect.
+    pub fn quota(&self) -> Quota {
+        Quota::for_standing(self.standing)
+    }
+
+    /// Promotes the account after sustained usage.
+    pub fn promote(&mut self) {
+        self.standing = Standing::Established;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accounts_are_capped() {
+        let account = Account::new(AccountId::from_raw(1), Standing::New);
+        assert_eq!(account.quota().max_instances_per_service, 10);
+        assert_eq!(account.quota().max_services, 10);
+    }
+
+    #[test]
+    fn established_accounts_reach_platform_caps() {
+        let account = Account::new(AccountId::from_raw(1), Standing::Established);
+        assert_eq!(account.quota().max_instances_per_service, 1_000);
+    }
+
+    #[test]
+    fn promotion_raises_quota() {
+        let mut account = Account::new(AccountId::from_raw(2), Standing::New);
+        assert_eq!(account.standing(), Standing::New);
+        account.promote();
+        assert_eq!(account.standing(), Standing::Established);
+        assert_eq!(account.quota().max_instances_per_service, 1_000);
+        assert_eq!(account.id(), AccountId::from_raw(2));
+    }
+}

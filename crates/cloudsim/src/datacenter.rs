@@ -1,0 +1,242 @@
+//! Data centers: populations of physical hosts.
+//!
+//! A data center owns its CPU catalog and host pool. Hosts differ in CPU
+//! model, boot time, crystal error, clock noise, and *popularity* — the
+//! weight the orchestrator's scoring function gives them. Popularity follows
+//! a Zipf-like law: a minority of hosts serves the bulk of the fleet's
+//! container instances, which is why an attacker covering ~59% of a data
+//! center's hosts can still cover ~98% of victim *instances* (Section 5.2).
+
+use eaao_simcore::dist::Zipf;
+use eaao_simcore::rng::SimRng;
+use eaao_simcore::time::SimTime;
+
+use crate::cpu::{default_catalog, CpuModel, CpuModelId};
+use crate::host::{Host, HostGenConfig};
+use crate::ids::{HostId, InstanceId};
+
+/// A population of physical hosts sharing a region.
+#[derive(Debug, Clone)]
+pub struct DataCenter {
+    name: String,
+    catalog: Vec<CpuModel>,
+    hosts: Vec<Host>,
+}
+
+impl DataCenter {
+    /// Generates a data center with `host_count` hosts.
+    ///
+    /// `popularity_exponent` is the Zipf exponent of the host-popularity
+    /// law (0 = uniform; ~1 = strongly concentrated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host_count` is zero.
+    pub fn generate(
+        name: impl Into<String>,
+        host_count: usize,
+        host_config: &HostGenConfig,
+        popularity_exponent: f64,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(host_count > 0, "a data center needs hosts");
+        let catalog_weighted = default_catalog();
+        let catalog: Vec<CpuModel> = catalog_weighted.iter().map(|(m, _)| m.clone()).collect();
+
+        // Popularity ranks: shuffle so rank is independent of host id.
+        let zipf = Zipf::new(host_count, popularity_exponent);
+        let mut ranks: Vec<usize> = (0..host_count).collect();
+        rng.shuffle(&mut ranks);
+
+        let hosts = (0..host_count)
+            .map(|i| {
+                let model_idx = Self::sample_model(&catalog_weighted, rng);
+                let nominal = catalog[model_idx].nominal_frequency();
+                Host::generate(
+                    HostId::from_raw(i as u32),
+                    CpuModelId::from_index(model_idx),
+                    nominal,
+                    zipf.weight(ranks[i]),
+                    SimTime::ZERO,
+                    host_config,
+                    rng,
+                )
+            })
+            .collect();
+
+        DataCenter {
+            name: name.into(),
+            catalog,
+            hosts,
+        }
+    }
+
+    fn sample_model(catalog: &[(CpuModel, f64)], rng: &mut SimRng) -> usize {
+        let target = rng.unit_f64();
+        let mut cumulative = 0.0;
+        for (i, (_, w)) in catalog.iter().enumerate() {
+            cumulative += w;
+            if target < cumulative {
+                return i;
+            }
+        }
+        catalog.len() - 1
+    }
+
+    /// The region name (e.g. `"us-east1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Whether the data center has no hosts (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Borrows a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id.as_usize()]
+    }
+
+    /// Mutably borrows a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn host_mut(&mut self, id: HostId) -> &mut Host {
+        &mut self.hosts[id.as_usize()]
+    }
+
+    /// Iterates all hosts.
+    pub fn hosts(&self) -> impl Iterator<Item = &Host> {
+        self.hosts.iter()
+    }
+
+    /// All host ids.
+    pub fn host_ids(&self) -> impl Iterator<Item = HostId> + '_ {
+        (0..self.hosts.len()).map(|i| HostId::from_raw(i as u32))
+    }
+
+    /// The CPU model record for a catalog id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn cpu_model(&self, id: CpuModelId) -> &CpuModel {
+        &self.catalog[id.index()]
+    }
+
+    /// The CPU model record of a host.
+    pub fn model_of(&self, host: HostId) -> &CpuModel {
+        self.cpu_model(self.host(host).cpu_model())
+    }
+
+    /// Reboots a host for maintenance; returns the displaced instances
+    /// (the caller must terminate them).
+    pub fn reboot_host(&mut self, host: HostId, now: SimTime) -> Vec<InstanceId> {
+        self.host_mut(host).reboot(now)
+    }
+
+    /// Total instances currently resident across all hosts.
+    pub fn resident_instances(&self) -> usize {
+        self.hosts.iter().map(Host::resident_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dc(seed: u64, hosts: usize) -> DataCenter {
+        let mut rng = SimRng::seed_from(seed);
+        DataCenter::generate("us-test1", hosts, &HostGenConfig::default(), 1.0, &mut rng)
+    }
+
+    #[test]
+    fn generation_produces_population() {
+        let dc = dc(1, 100);
+        assert_eq!(dc.name(), "us-test1");
+        assert_eq!(dc.len(), 100);
+        assert!(!dc.is_empty());
+        assert_eq!(dc.host_ids().count(), 100);
+        assert_eq!(dc.resident_instances(), 0);
+    }
+
+    #[test]
+    fn hosts_span_multiple_models() {
+        let dc = dc(2, 200);
+        let mut models: Vec<usize> = dc.hosts().map(|h| h.cpu_model().index()).collect();
+        models.sort_unstable();
+        models.dedup();
+        assert!(
+            models.len() >= 4,
+            "only {} models in 200 hosts",
+            models.len()
+        );
+        // Model metadata resolves.
+        let h0 = HostId::from_raw(0);
+        let model = dc.model_of(h0);
+        assert!(model.name().contains("GHz"));
+        // Host frequency is anchored near its model's nominal.
+        let diff =
+            (dc.host(h0).actual_frequency().as_hz() - model.nominal_frequency().as_hz()).abs();
+        assert!(diff < 10e6, "ε too large: {diff}");
+    }
+
+    #[test]
+    fn popularity_is_heterogeneous() {
+        let dc = dc(3, 100);
+        let pops: Vec<f64> = dc.hosts().map(Host::popularity).collect();
+        let max = pops.iter().cloned().fold(f64::MIN, f64::max);
+        let min = pops.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min > 10.0, "Zipf(1.0) should spread by >10x");
+    }
+
+    #[test]
+    fn boot_times_are_diverse() {
+        let dc = dc(4, 100);
+        let mut boots: Vec<i64> = dc.hosts().map(|h| h.boot_time().as_nanos()).collect();
+        boots.sort_unstable();
+        boots.dedup();
+        assert!(boots.len() > 90, "boot times should mostly differ");
+    }
+
+    #[test]
+    fn reboot_host_routes_to_host() {
+        let mut dc = dc(5, 10);
+        let id = HostId::from_raw(3);
+        dc.host_mut(id).admit(InstanceId::from_raw(77));
+        assert_eq!(dc.resident_instances(), 1);
+        let displaced = dc.reboot_host(id, SimTime::from_secs(60));
+        assert_eq!(displaced, vec![InstanceId::from_raw(77)]);
+        assert_eq!(dc.host(id).boot_time(), SimTime::from_secs(60));
+        assert_eq!(dc.resident_instances(), 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = dc(6, 50);
+        let b = dc(6, 50);
+        for (ha, hb) in a.hosts().zip(b.hosts()) {
+            assert_eq!(ha.boot_time(), hb.boot_time());
+            assert_eq!(ha.actual_frequency(), hb.actual_frequency());
+            assert_eq!(ha.refined_frequency(), hb.refined_frequency());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "a data center needs hosts")]
+    fn rejects_empty() {
+        let mut rng = SimRng::seed_from(7);
+        DataCenter::generate("x", 0, &HostGenConfig::default(), 1.0, &mut rng);
+    }
+}

@@ -1,0 +1,92 @@
+//! Identifier newtypes shared across the simulation.
+//!
+//! Static distinctions between hosts, accounts, services, and instances
+//! prevent an entire class of index-confusion bugs in placement code.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from its raw index.
+            pub const fn from_raw(raw: u32) -> Self {
+                $name(raw)
+            }
+
+            /// The raw index.
+            pub const fn as_raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw index as a `usize`, for container indexing.
+            pub const fn as_usize(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a physical host within one data center.
+    HostId,
+    "host-"
+);
+
+id_type!(
+    /// Identifies a platform account (the paper's Account 1/2/3).
+    AccountId,
+    "account-"
+);
+
+id_type!(
+    /// Identifies a deployed service (function).
+    ServiceId,
+    "service-"
+);
+
+id_type!(
+    /// Identifies a container instance of a service.
+    InstanceId,
+    "instance-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn round_trips_and_display() {
+        let h = HostId::from_raw(7);
+        assert_eq!(h.as_raw(), 7);
+        assert_eq!(h.as_usize(), 7);
+        assert_eq!(h.to_string(), "host-7");
+        assert_eq!(AccountId::from_raw(1).to_string(), "account-1");
+        assert_eq!(ServiceId::from_raw(2).to_string(), "service-2");
+        assert_eq!(InstanceId::from_raw(3).to_string(), "instance-3");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(InstanceId::from_raw(1));
+        set.insert(InstanceId::from_raw(1));
+        set.insert(InstanceId::from_raw(2));
+        assert_eq!(set.len(), 2);
+        assert!(HostId::from_raw(1) < HostId::from_raw(2));
+    }
+}

@@ -1,0 +1,122 @@
+//! The memory-bus contention medium (pairwise-testing baseline).
+//!
+//! Prior placement studies (Varadarajan et al., building on Wu et al.'s
+//! memory-bus covert channel) verify co-location pairwise: two instances
+//! hammer the memory bus with atomic operations spanning cache lines and
+//! watch each other's latency. The paper uses this as the *baseline* whose
+//! quadratic cost motivates the scalable RNG-based method, noting a single
+//! pairwise test takes on the order of seconds.
+//!
+//! The model mirrors [`RngUnit`] but with a noisier background (the memory
+//! bus is a busy shared resource) and an explicit per-test latency used by
+//! the cost accounting.
+//!
+//! [`RngUnit`]: crate::rng_unit::RngUnit
+
+use eaao_simcore::rng::SimRng;
+use eaao_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Per-host memory-bus contention model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBus {
+    /// Probability that a round sees a unit of unrelated traffic; the bus is
+    /// far busier than the RNG unit.
+    background_probability: f64,
+    /// Wall time one pairwise bus test occupies (Varadarajan et al. report
+    /// several seconds).
+    test_latency: SimDuration,
+}
+
+impl Default for MemoryBus {
+    fn default() -> Self {
+        MemoryBus {
+            background_probability: 0.08,
+            test_latency: SimDuration::from_secs(3),
+        }
+    }
+}
+
+impl MemoryBus {
+    /// Creates a bus with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is outside `[0, 1]` or the latency is not
+    /// positive.
+    pub fn new(background_probability: f64, test_latency: SimDuration) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&background_probability),
+            "background probability out of range"
+        );
+        assert!(test_latency.as_nanos() > 0, "latency must be positive");
+        MemoryBus {
+            background_probability,
+            test_latency,
+        }
+    }
+
+    /// Wall time one pairwise test occupies.
+    pub fn test_latency(&self) -> SimDuration {
+        self.test_latency
+    }
+
+    /// Runs one pairwise bus test between two instances.
+    ///
+    /// `co_located` is the ground truth; the result is the *observed*
+    /// verdict, which can false-positive on background traffic (observed
+    /// contention despite separate hosts) with a small probability.
+    pub fn pairwise_test(&self, co_located: bool, rng: &mut SimRng) -> bool {
+        if co_located {
+            // Dedicated hammering across one bus is unmistakable.
+            true
+        } else {
+            // A burst of third-party traffic on both hosts can masquerade as
+            // contention; require it to persist, hence the squared term.
+            rng.chance(self.background_probability * self.background_probability)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn co_located_always_detected() {
+        let bus = MemoryBus::default();
+        let mut rng = SimRng::seed_from(1);
+        assert!((0..100).all(|_| bus.pairwise_test(true, &mut rng)));
+    }
+
+    #[test]
+    fn separate_hosts_rarely_false_positive() {
+        let bus = MemoryBus::default();
+        let mut rng = SimRng::seed_from(2);
+        let fp = (0..10_000)
+            .filter(|_| bus.pairwise_test(false, &mut rng))
+            .count();
+        // 0.08^2 = 0.64% expected.
+        assert!(fp < 120, "{fp} false positives in 10000");
+    }
+
+    #[test]
+    fn latency_accessor() {
+        assert_eq!(
+            MemoryBus::default().test_latency(),
+            SimDuration::from_secs(3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be positive")]
+    fn rejects_zero_latency() {
+        MemoryBus::new(0.1, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "background probability out of range")]
+    fn rejects_bad_probability() {
+        MemoryBus::new(-0.1, SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,246 @@
+//! Cloud Run pricing (Section 4.3).
+//!
+//! The paper estimates costs with the formula
+//!
+//! ```text
+//! cost = N · t · (R_cpu · vCPUs + R_mem · GB)
+//! ```
+//!
+//! where `N` is the number of active instances, `t` their active time in
+//! seconds, and — at the time of the paper's writing, identical in
+//! us-east1, us-central1, and us-west1 —
+//! `R_cpu = ¢0.0024 / vCPU-second` and `R_mem = ¢0.00025 / GB-second`.
+//! Idle instances are not billed, which keeps the attack cheap.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+use eaao_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::service::ContainerSize;
+
+/// An amount of money in USD.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Cost(f64);
+
+impl Cost {
+    /// Zero dollars.
+    pub const ZERO: Cost = Cost(0.0);
+
+    /// Creates a cost from US dollars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `usd` is negative or non-finite.
+    pub fn from_usd(usd: f64) -> Self {
+        assert!(usd.is_finite() && usd >= 0.0, "cost must be non-negative");
+        Cost(usd)
+    }
+
+    /// Creates a cost from US cents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cents` is negative or non-finite.
+    pub fn from_cents(cents: f64) -> Self {
+        Cost::from_usd(cents / 100.0)
+    }
+
+    /// The amount in US dollars.
+    pub fn as_usd(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.2}", self.0)
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+
+    fn add(self, rhs: Cost) -> Cost {
+        Cost(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cost {
+    type Output = Cost;
+
+    fn sub(self, rhs: Cost) -> Cost {
+        Cost::from_usd(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Cost {
+    type Output = Cost;
+
+    fn mul(self, rhs: f64) -> Cost {
+        Cost::from_usd(self.0 * rhs)
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, Add::add)
+    }
+}
+
+/// Billing rates for a region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rates {
+    /// Cost per vCPU-second of active time.
+    pub cpu_per_vcpu_second: Cost,
+    /// Cost per GB-second of active time.
+    pub mem_per_gb_second: Cost,
+}
+
+impl Rates {
+    /// The published rates for the three US data centers the paper studies.
+    pub fn us_tier1() -> Self {
+        Rates {
+            cpu_per_vcpu_second: Cost::from_cents(0.0024),
+            mem_per_gb_second: Cost::from_cents(0.00025),
+        }
+    }
+
+    /// Cost of one instance of `size` active for `active`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active` is negative.
+    pub fn instance_cost(&self, size: ContainerSize, active: SimDuration) -> Cost {
+        assert!(!active.is_negative(), "active time cannot be negative");
+        let t = active.as_secs_f64();
+        self.cpu_per_vcpu_second * (size.vcpus() * t)
+            + self.mem_per_gb_second * (size.memory_gb() * t)
+    }
+
+    /// The paper's aggregate formula: `N` instances of `size`, each active
+    /// for `active`.
+    pub fn fleet_cost(&self, instances: usize, size: ContainerSize, active: SimDuration) -> Cost {
+        self.instance_cost(size, active) * instances as f64
+    }
+}
+
+/// Accumulates billed usage across a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BillingMeter {
+    rates: Option<Rates>,
+    total: Cost,
+    billed_instance_seconds: f64,
+}
+
+impl BillingMeter {
+    /// Creates a meter with the given rates.
+    pub fn new(rates: Rates) -> Self {
+        BillingMeter {
+            rates: Some(rates),
+            total: Cost::ZERO,
+            billed_instance_seconds: 0.0,
+        }
+    }
+
+    /// Records one instance's active period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the meter was default-constructed without rates.
+    pub fn record(&mut self, size: ContainerSize, active: SimDuration) {
+        let rates = self.rates.expect("billing meter has no rates configured");
+        self.total += rates.instance_cost(size, active);
+        self.billed_instance_seconds += active.as_secs_f64();
+    }
+
+    /// Total billed so far.
+    pub fn total(&self) -> Cost {
+        self.total
+    }
+
+    /// Total billed instance-seconds.
+    pub fn billed_instance_seconds(&self) -> f64 {
+        self.billed_instance_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_arithmetic() {
+        let a = Cost::from_usd(1.5);
+        let b = Cost::from_cents(50.0);
+        assert_eq!((a + b).as_usd(), 2.0);
+        assert_eq!((a - b).as_usd(), 1.0);
+        assert_eq!((a * 2.0).as_usd(), 3.0);
+        assert_eq!(vec![a, b].into_iter().sum::<Cost>().as_usd(), 2.0);
+        assert_eq!(a.to_string(), "$1.50");
+        let mut c = Cost::ZERO;
+        c += a;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost must be non-negative")]
+    fn negative_cost_rejected() {
+        Cost::from_usd(-1.0);
+    }
+
+    #[test]
+    fn small_instance_rate_matches_paper() {
+        // A Small instance (1 vCPU, 0.5 GB): $0.000024 + 0.5·$0.0000025
+        // = $0.00002525 per second.
+        let rates = Rates::us_tier1();
+        let per_second = rates.instance_cost(ContainerSize::Small, SimDuration::from_secs(1));
+        assert!((per_second.as_usd() - 2.525e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_testing_cost_has_the_papers_magnitude() {
+        // Section 4.3: 319,600 serialized pairwise tests of 800 instances
+        // at ~100 ms per test keep all 800 instances active for the whole
+        // campaign (~8.9 h) — about $645.
+        let rates = Rates::us_tier1();
+        let campaign = SimDuration::from_secs_f64(319_600.0 * 0.1);
+        assert!((campaign.as_secs_f64() / 3600.0 - 8.88).abs() < 0.01);
+        let cost = rates.fleet_cost(800, ContainerSize::Small, campaign);
+        assert!(
+            (cost.as_usd() - 645.0).abs() < 15.0,
+            "pairwise campaign cost {cost}"
+        );
+    }
+
+    #[test]
+    fn fleet_cost_scales_linearly() {
+        let rates = Rates::us_tier1();
+        let one = rates.fleet_cost(1, ContainerSize::Large, SimDuration::from_secs(10));
+        let many = rates.fleet_cost(100, ContainerSize::Large, SimDuration::from_secs(10));
+        assert!((many.as_usd() / one.as_usd() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_accumulates() {
+        let mut meter = BillingMeter::new(Rates::us_tier1());
+        meter.record(ContainerSize::Small, SimDuration::from_secs(30));
+        meter.record(ContainerSize::Small, SimDuration::from_secs(30));
+        assert!((meter.total().as_usd() - 2.0 * 30.0 * 2.525e-5).abs() < 1e-9);
+        assert_eq!(meter.billed_instance_seconds(), 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no rates configured")]
+    fn default_meter_cannot_record() {
+        BillingMeter::default().record(ContainerSize::Small, SimDuration::from_secs(1));
+    }
+}

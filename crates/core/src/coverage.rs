@@ -1,0 +1,216 @@
+//! Victim-coverage measurement (Section 5.2).
+//!
+//! The paper's primary attack metric is *victim instance coverage*: the
+//! fraction of victim instances co-located with at least one attacker
+//! instance. The simulation offers two routes to it:
+//!
+//! * [`measure_coverage`] — ground truth, instant and free; used to score
+//!   strategies at scale.
+//! * [`measure_coverage_verified`] — the attacker's real workflow:
+//!   fingerprint both fleets, nominate candidates with matching
+//!   fingerprints, and confirm each with a covert-channel pair test.
+
+use std::collections::{HashMap, HashSet};
+
+use eaao_cloudsim::ids::{HostId, InstanceId};
+use eaao_orchestrator::error::GuestError;
+use eaao_orchestrator::world::World;
+use serde::{Deserialize, Serialize};
+
+use crate::fingerprint::Gen1Fingerprinter;
+use crate::probe::probe_fleet;
+use crate::verify::ctest::{ctest, CTestConfig};
+use eaao_simcore::time::SimDuration;
+
+/// Coverage of a victim fleet by an attacker fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Victim instances considered.
+    pub victim_instances: usize,
+    /// Victim instances co-located with ≥ 1 attacker instance.
+    pub covered_instances: usize,
+    /// Distinct hosts carrying attacker instances.
+    pub attacker_hosts: usize,
+    /// Distinct hosts carrying victim instances.
+    pub victim_hosts: usize,
+    /// Hosts carrying both.
+    pub shared_hosts: usize,
+    /// Hosts in the data center.
+    pub dc_hosts: usize,
+}
+
+impl CoverageReport {
+    /// The paper's primary metric: fraction of victim instances covered.
+    pub fn victim_instance_coverage(&self) -> f64 {
+        if self.victim_instances == 0 {
+            0.0
+        } else {
+            self.covered_instances as f64 / self.victim_instances as f64
+        }
+    }
+
+    /// Whether the attacker co-locates with at least one victim instance.
+    pub fn at_least_one(&self) -> bool {
+        self.covered_instances > 0
+    }
+
+    /// Fraction of the data center's hosts the attacker occupies.
+    pub fn attacker_host_coverage(&self) -> f64 {
+        if self.dc_hosts == 0 {
+            0.0
+        } else {
+            self.attacker_hosts as f64 / self.dc_hosts as f64
+        }
+    }
+}
+
+fn hosts_of(world: &World, instances: &[InstanceId]) -> HashSet<HostId> {
+    instances.iter().map(|&i| world.host_of(i)).collect()
+}
+
+/// Ground-truth coverage of `victims` by `attackers`.
+pub fn measure_coverage(
+    world: &World,
+    attackers: &[InstanceId],
+    victims: &[InstanceId],
+) -> CoverageReport {
+    let attacker_hosts = hosts_of(world, attackers);
+    let victim_hosts = hosts_of(world, victims);
+    let covered_instances = victims
+        .iter()
+        .filter(|&&v| attacker_hosts.contains(&world.host_of(v)))
+        .count();
+    CoverageReport {
+        victim_instances: victims.len(),
+        covered_instances,
+        attacker_hosts: attacker_hosts.len(),
+        victim_hosts: victim_hosts.len(),
+        shared_hosts: attacker_hosts.intersection(&victim_hosts).count(),
+        dc_hosts: world.data_center().len(),
+    }
+}
+
+/// The attacker's end-to-end workflow: fingerprint both fleets, then
+/// confirm each fingerprint-matched (victim, attacker) candidate pair over
+/// the covert channel.
+///
+/// Returns the coverage report plus the number of confirmation tests spent.
+///
+/// # Errors
+///
+/// Returns a [`GuestError`] if instances die mid-campaign.
+pub fn measure_coverage_verified(
+    world: &mut World,
+    attackers: &[InstanceId],
+    victims: &[InstanceId],
+    fingerprinter: &Gen1Fingerprinter,
+) -> Result<(CoverageReport, usize), GuestError> {
+    let gap = SimDuration::from_millis(25);
+    let attacker_readings = probe_fleet(world, attackers, gap);
+    let victim_readings = probe_fleet(world, victims, gap);
+
+    // Index attacker instances by fingerprint.
+    let mut by_fp: HashMap<_, Vec<InstanceId>> = HashMap::new();
+    for reading in &attacker_readings {
+        if let Some(fp) = fingerprinter.fingerprint(reading) {
+            by_fp.entry(fp).or_default().push(reading.instance);
+        }
+    }
+
+    let config = CTestConfig::default();
+    let mut covered = HashSet::new();
+    let mut confirmations = 0;
+    for reading in &victim_readings {
+        let Some(fp) = fingerprinter.fingerprint(reading) else {
+            continue;
+        };
+        let Some(candidates) = by_fp.get(&fp) else {
+            continue;
+        };
+        for &candidate in candidates {
+            confirmations += 1;
+            let verdicts = ctest(world, &[reading.instance, candidate], &config)?;
+            if verdicts[0] && verdicts[1] {
+                covered.insert(reading.instance);
+                break;
+            }
+        }
+    }
+
+    let mut report = measure_coverage(world, attackers, victims);
+    report.covered_instances = covered.len();
+    Ok((report, confirmations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eaao_cloudsim::service::ServiceSpec;
+    use eaao_orchestrator::config::RegionConfig;
+
+    fn world_with_two_fleets(seed: u64) -> (World, Vec<InstanceId>, Vec<InstanceId>) {
+        let mut world = World::new(RegionConfig::us_west1().with_hosts(30), seed);
+        let attacker = world.create_account();
+        let victim = world.create_account();
+        let atk_svc =
+            world.deploy_service(attacker, ServiceSpec::default().with_max_instances(1_000));
+        let vic_svc = world.deploy_service(victim, ServiceSpec::default());
+        let atk = world
+            .launch(atk_svc, 120)
+            .expect("fits")
+            .instances()
+            .to_vec();
+        let vic = world
+            .launch(vic_svc, 40)
+            .expect("fits")
+            .instances()
+            .to_vec();
+        (world, atk, vic)
+    }
+
+    #[test]
+    fn ground_truth_coverage_is_consistent() {
+        let (world, atk, vic) = world_with_two_fleets(1);
+        let report = measure_coverage(&world, &atk, &vic);
+        assert_eq!(report.victim_instances, 40);
+        assert!(report.covered_instances <= 40);
+        assert!(report.attacker_hosts <= report.dc_hosts);
+        assert!(report.shared_hosts <= report.attacker_hosts.min(report.victim_hosts));
+        let c = report.victim_instance_coverage();
+        assert!((0.0..=1.0).contains(&c));
+        assert_eq!(report.at_least_one(), report.covered_instances > 0);
+        assert!(report.attacker_host_coverage() <= 1.0);
+    }
+
+    #[test]
+    fn full_overlap_gives_full_coverage() {
+        let (world, atk, _) = world_with_two_fleets(2);
+        // Coverage of the attacker by itself is total.
+        let report = measure_coverage(&world, &atk, &atk);
+        assert_eq!(report.victim_instance_coverage(), 1.0);
+        assert_eq!(report.shared_hosts, report.attacker_hosts);
+    }
+
+    #[test]
+    fn empty_victim_fleet_is_zero_coverage() {
+        let (world, atk, _) = world_with_two_fleets(3);
+        let report = measure_coverage(&world, &atk, &[]);
+        assert_eq!(report.victim_instance_coverage(), 0.0);
+        assert!(!report.at_least_one());
+    }
+
+    #[test]
+    fn verified_coverage_matches_ground_truth() {
+        let (mut world, atk, vic) = world_with_two_fleets(4);
+        let truth = measure_coverage(&world, &atk, &vic);
+        let (verified, confirmations) =
+            measure_coverage_verified(&mut world, &atk, &vic, &Gen1Fingerprinter::default())
+                .expect("alive");
+        // The covert-verified workflow agrees with ground truth (allowing
+        // a sliver of fingerprint noise).
+        let diff =
+            (verified.covered_instances as i64 - truth.covered_instances as i64).unsigned_abs();
+        assert!(diff <= 1, "verified {verified:?} vs truth {truth:?}");
+        assert!(confirmations >= verified.covered_instances);
+    }
+}

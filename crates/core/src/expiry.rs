@@ -1,0 +1,210 @@
+//! Fingerprint drift tracking and expiration estimation (Section 4.4.2).
+//!
+//! Because the Gen 1 fingerprint converts the TSC with the slightly wrong
+//! *reported* frequency, the derived boot time drifts linearly in real time
+//! (Eq. 4.2). The paper tracks 50 long-running instances per data center
+//! for a week, fits each host's derived `T_boot` against measurement time,
+//! confirms linearity (min |r| = 0.9997), and extrapolates when each
+//! fingerprint crosses its next rounding boundary — its *expiration time*.
+
+use eaao_simcore::stats::{linear_fit, LinearFit};
+use eaao_simcore::time::{SimDuration, SimTime};
+use eaao_tsc::boot::time_to_expiration;
+use serde::{Deserialize, Serialize};
+
+/// A time series of derived (unrounded) boot times for one tracked host.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FingerprintHistory {
+    /// `(measurement time, derived boot time)` pairs.
+    points: Vec<(SimTime, SimTime)>,
+}
+
+impl FingerprintHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if measurements are appended out of order.
+    pub fn record(&mut self, measured_at: SimTime, derived_boot: SimTime) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(measured_at >= last, "history must be appended in order");
+        }
+        self.points.push((measured_at, derived_boot));
+    }
+
+    /// Number of measurements.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The observation span from first to last measurement.
+    pub fn span(&self) -> SimDuration {
+        match (self.points.first(), self.points.last()) {
+            (Some(&(first, _)), Some(&(last, _))) => last - first,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Fits the drift line `T_boot ≈ slope · t + intercept` (both in
+    /// seconds). Returns `None` with fewer than two measurements.
+    pub fn fit(&self) -> Option<LinearFit> {
+        let xs: Vec<f64> = self.points.iter().map(|(t, _)| t.as_secs_f64()).collect();
+        let ys: Vec<f64> = self.points.iter().map(|(_, b)| b.as_secs_f64()).collect();
+        linear_fit(&xs, &ys)
+    }
+
+    /// Estimates when the fingerprint expires: the time from the *first*
+    /// measurement until the drifting derived boot time crosses a rounding
+    /// boundary at `precision`.
+    ///
+    /// Returns `None` if the history is too short to fit or the fitted
+    /// drift is zero (never expires).
+    pub fn estimate_expiration(&self, precision: SimDuration) -> Option<SimDuration> {
+        let fit = self.fit()?;
+        let &(first_t, _) = self.points.first()?;
+        let derived_at_first = SimTime::from_secs_f64(fit.predict(first_t.as_secs_f64()));
+        time_to_expiration(derived_at_first, fit.slope(), precision)
+    }
+}
+
+/// Outcome of a drift-tracking campaign over many hosts.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DriftStudy {
+    /// Per-host histories that passed the minimum-span filter.
+    pub histories: Vec<FingerprintHistory>,
+    /// Histories discarded for being shorter than the filter.
+    pub filtered_out: usize,
+}
+
+impl DriftStudy {
+    /// Builds a study from raw histories, keeping only those spanning at
+    /// least `min_span` (the paper filters histories shorter than 24 h).
+    pub fn from_histories(
+        histories: impl IntoIterator<Item = FingerprintHistory>,
+        min_span: SimDuration,
+    ) -> Self {
+        let mut kept = Vec::new();
+        let mut filtered_out = 0;
+        for h in histories {
+            if h.span() >= min_span && h.len() >= 2 {
+                kept.push(h);
+            } else {
+                filtered_out += 1;
+            }
+        }
+        DriftStudy {
+            histories: kept,
+            filtered_out,
+        }
+    }
+
+    /// The minimum |r| across all linear fits — the paper's linearity
+    /// evidence (min 0.9997).
+    pub fn min_abs_r(&self) -> Option<f64> {
+        self.histories
+            .iter()
+            .filter_map(FingerprintHistory::fit)
+            .map(|f| f.r_value().abs())
+            .min_by(|a, b| a.partial_cmp(b).expect("finite r"))
+    }
+
+    /// Estimated expiration times (days) for all histories that admit one.
+    pub fn expiration_days(&self, precision: SimDuration) -> Vec<f64> {
+        self.histories
+            .iter()
+            .filter_map(|h| h.estimate_expiration(precision))
+            .map(|d| d.as_days_f64())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a history with a constant drift rate (s/s) sampled hourly.
+    fn drifting_history(rate: f64, hours: usize, noise: f64) -> FingerprintHistory {
+        let mut h = FingerprintHistory::new();
+        for k in 0..hours {
+            let t = SimTime::from_hours(k as i64);
+            let jitter = if k % 2 == 0 { noise } else { -noise };
+            let boot = SimTime::from_secs_f64(1_000.0 + rate * t.as_secs_f64() + jitter);
+            h.record(t, boot);
+        }
+        h
+    }
+
+    #[test]
+    fn fit_recovers_drift_rate() {
+        let h = drifting_history(2.5e-6, 7 * 24, 1e-4);
+        let fit = h.fit().expect("well-posed");
+        assert!((fit.slope() - 2.5e-6).abs() < 1e-8, "slope {}", fit.slope());
+        assert!(fit.r_value().abs() > 0.9997, "r {}", fit.r_value());
+        assert_eq!(h.len(), 7 * 24);
+        assert_eq!(h.span(), SimDuration::from_hours(7 * 24 - 1));
+    }
+
+    #[test]
+    fn expiration_matches_rate_and_phase() {
+        // Boot lands exactly on a bucket center (1000 s), drifting at
+        // +2.5e-6: the 0.5 s half-bucket takes 200,000 s ≈ 2.31 days.
+        let h = drifting_history(2.5e-6, 48, 0.0);
+        let exp = h
+            .estimate_expiration(SimDuration::from_secs(1))
+            .expect("drifting");
+        assert!((exp.as_days_f64() - 2.3148).abs() < 0.01, "exp {exp}");
+    }
+
+    #[test]
+    fn constant_history_never_expires() {
+        let h = drifting_history(0.0, 48, 0.0);
+        assert!(h.estimate_expiration(SimDuration::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn short_history_cannot_estimate() {
+        let mut h = FingerprintHistory::new();
+        assert!(h.is_empty());
+        h.record(SimTime::ZERO, SimTime::from_secs(1_000));
+        assert!(h.fit().is_none());
+        assert!(h.estimate_expiration(SimDuration::from_secs(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "appended in order")]
+    fn out_of_order_recording_panics() {
+        let mut h = FingerprintHistory::new();
+        h.record(SimTime::from_secs(10), SimTime::ZERO);
+        h.record(SimTime::from_secs(5), SimTime::ZERO);
+    }
+
+    #[test]
+    fn study_filters_short_histories() {
+        let long = drifting_history(1e-6, 48, 0.0); // 47 h
+        let short = drifting_history(1e-6, 12, 0.0); // 11 h
+        let study = DriftStudy::from_histories([long, short], SimDuration::from_hours(24));
+        assert_eq!(study.histories.len(), 1);
+        assert_eq!(study.filtered_out, 1);
+        assert!(study.min_abs_r().expect("one fit") > 0.999);
+        let days = study.expiration_days(SimDuration::from_secs(1));
+        assert_eq!(days.len(), 1);
+        assert!(days[0] > 0.0);
+    }
+
+    #[test]
+    fn empty_study_has_no_r() {
+        let study = DriftStudy::from_histories([], SimDuration::from_hours(24));
+        assert!(study.min_abs_r().is_none());
+        assert!(study.expiration_days(SimDuration::from_secs(1)).is_empty());
+    }
+}

@@ -1,0 +1,261 @@
+//! Host fingerprints (Sections 4.1, 4.2 and 4.5).
+//!
+//! * [`Gen1Fingerprint`] — CPU model + derived boot time rounded to
+//!   `p_boot`. Nearly perfect (FMI ≈ 0.9999 at `p_boot` between 100 ms and
+//!   1 s) but drifts over days because the reported frequency is inexact.
+//! * [`Gen2Fingerprint`] — the host's kernel-refined TSC frequency read as
+//!   `tsc_khz` in the guest. Coarse (several hosts share a value; the paper
+//!   measures ~2.0 hosts per fingerprint and precision 0.48) but free of
+//!   false negatives, because refinement happens once per host boot.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+use eaao_simcore::time::{SimDuration, SimTime};
+use eaao_tsc::freq::parse_base_frequency;
+use eaao_tsc::refine::RefinedTscFrequency;
+use serde::{Deserialize, Serialize};
+
+use crate::probe::ProbeReading;
+
+/// A Gen 1 host fingerprint: `(model, rounded T_boot)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Gen1Fingerprint {
+    model: String,
+    boot_bucket: SimTime,
+}
+
+impl Gen1Fingerprint {
+    /// The CPU model component.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// The rounded boot-time component.
+    pub fn boot_bucket(&self) -> SimTime {
+        self.boot_bucket
+    }
+}
+
+impl fmt::Display for Gen1Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} | boot {}]", self.model, self.boot_bucket)
+    }
+}
+
+/// Derives [`Gen1Fingerprint`]s from probe readings at a configurable
+/// rounding precision `p_boot`.
+///
+/// # Examples
+///
+/// ```
+/// use eaao_core::fingerprint::Gen1Fingerprinter;
+/// use eaao_simcore::time::SimDuration;
+///
+/// let fp = Gen1Fingerprinter::new(SimDuration::from_secs(1));
+/// assert_eq!(fp.precision(), SimDuration::from_secs(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gen1Fingerprinter {
+    p_boot: SimDuration,
+}
+
+impl Gen1Fingerprinter {
+    /// The paper's default precision: 1 s (Section 4.4.1).
+    pub const DEFAULT_PRECISION: SimDuration = SimDuration::from_secs(1);
+
+    /// Creates a fingerprinter with rounding precision `p_boot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_boot` is not positive.
+    pub fn new(p_boot: SimDuration) -> Self {
+        assert!(p_boot.as_nanos() > 0, "p_boot must be positive");
+        Gen1Fingerprinter { p_boot }
+    }
+
+    /// The rounding precision in effect.
+    pub fn precision(&self) -> SimDuration {
+        self.p_boot
+    }
+
+    /// Derives the fingerprint from a probe reading.
+    ///
+    /// Returns `None` when the model name carries no parseable base
+    /// frequency — the reported-frequency method cannot run there.
+    pub fn fingerprint(&self, reading: &ProbeReading) -> Option<Gen1Fingerprint> {
+        let reported = parse_base_frequency(&reading.model)?;
+        let boot = reading
+            .tsc_sample()
+            .derive_rounded_boot_time(reported, self.p_boot);
+        Some(Gen1Fingerprint {
+            model: reading.model.clone(),
+            boot_bucket: boot,
+        })
+    }
+
+    /// The *unrounded* derived boot time, used for drift tracking
+    /// (Section 4.4.2).
+    pub fn raw_boot_time(&self, reading: &ProbeReading) -> Option<SimTime> {
+        let reported = parse_base_frequency(&reading.model)?;
+        Some(reading.tsc_sample().derive_boot_time(reported))
+    }
+}
+
+impl Default for Gen1Fingerprinter {
+    fn default() -> Self {
+        Gen1Fingerprinter::new(Self::DEFAULT_PRECISION)
+    }
+}
+
+/// A Gen 2 host fingerprint: the refined host TSC frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Gen2Fingerprint(RefinedTscFrequency);
+
+impl Gen2Fingerprint {
+    /// Derives the fingerprint from a probe reading.
+    ///
+    /// Returns `None` in environments that do not export `tsc_khz`
+    /// (i.e. Gen 1).
+    pub fn from_reading(reading: &ProbeReading) -> Option<Gen2Fingerprint> {
+        reading.tsc_khz.map(Gen2Fingerprint)
+    }
+
+    /// The underlying refined frequency.
+    pub fn refined(&self) -> RefinedTscFrequency {
+        self.0
+    }
+}
+
+impl fmt::Display for Gen2Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[tsc_khz {}]", self.0)
+    }
+}
+
+/// Groups readings by an extracted fingerprint, preserving insertion order
+/// of the groups.
+///
+/// Readings for which `extract` returns `None` are dropped (and counted in
+/// the second return value).
+pub fn group_by_fingerprint<F, K>(
+    readings: &[ProbeReading],
+    mut extract: F,
+) -> (Vec<(K, Vec<usize>)>, usize)
+where
+    F: FnMut(&ProbeReading) -> Option<K>,
+    K: Eq + Hash + Clone,
+{
+    let mut order: Vec<K> = Vec::new();
+    let mut groups: HashMap<K, Vec<usize>> = HashMap::new();
+    let mut dropped = 0;
+    for (idx, reading) in readings.iter().enumerate() {
+        match extract(reading) {
+            Some(key) => {
+                let entry = groups.entry(key.clone()).or_default();
+                if entry.is_empty() {
+                    order.push(key);
+                }
+                entry.push(idx);
+            }
+            None => dropped += 1,
+        }
+    }
+    let grouped = order
+        .into_iter()
+        .map(|k| {
+            let members = groups.remove(&k).expect("key recorded");
+            (k, members)
+        })
+        .collect();
+    (grouped, dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eaao_cloudsim::ids::InstanceId;
+
+    fn reading(model: &str, tsc: u64, wall_s: f64) -> ProbeReading {
+        ProbeReading {
+            instance: InstanceId::from_raw(0),
+            model: model.to_owned(),
+            tsc,
+            wall: SimTime::from_secs_f64(wall_s),
+            tsc_khz: None,
+        }
+    }
+
+    #[test]
+    fn gen1_fingerprint_derives_boot_bucket() {
+        let fp = Gen1Fingerprinter::default();
+        // 2 GHz, 20 G ticks = 10 s uptime, measured at t = 110 s.
+        let r = reading("Intel(R) Xeon(R) CPU @ 2.00GHz", 20_000_000_000, 110.0);
+        let f = fp.fingerprint(&r).expect("parseable");
+        assert_eq!(f.boot_bucket(), SimTime::from_secs(100));
+        assert_eq!(f.model(), "Intel(R) Xeon(R) CPU @ 2.00GHz");
+        assert!(f.to_string().contains("boot"));
+        assert_eq!(
+            fp.raw_boot_time(&r).expect("parseable"),
+            SimTime::from_secs(100)
+        );
+    }
+
+    #[test]
+    fn same_host_same_fingerprint_despite_noise() {
+        let fp = Gen1Fingerprinter::default();
+        let a = reading("Intel Xeon CPU @ 2.00GHz", 20_000_000_000, 110.2);
+        let b = reading("Intel Xeon CPU @ 2.00GHz", 20_000_000_000, 109.9);
+        assert_eq!(fp.fingerprint(&a), fp.fingerprint(&b));
+    }
+
+    #[test]
+    fn different_models_never_match() {
+        let fp = Gen1Fingerprinter::default();
+        let a = reading("Intel Xeon CPU @ 2.00GHz", 20_000_000_000, 110.0);
+        let b = reading("Intel Xeon CPU @ 2.20GHz", 22_000_000_000, 110.0);
+        // Same derived boot time, different model.
+        assert_ne!(fp.fingerprint(&a), fp.fingerprint(&b));
+    }
+
+    #[test]
+    fn unparseable_model_yields_none() {
+        let fp = Gen1Fingerprinter::default();
+        let r = reading("AMD EPYC 7B12", 1_000, 1.0);
+        assert!(fp.fingerprint(&r).is_none());
+        assert!(fp.raw_boot_time(&r).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "p_boot must be positive")]
+    fn rejects_zero_precision() {
+        Gen1Fingerprinter::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn gen2_fingerprint_from_khz() {
+        let mut r = reading("virtualized", 5, 1.0);
+        assert!(Gen2Fingerprint::from_reading(&r).is_none());
+        r.tsc_khz = Some(RefinedTscFrequency::from_khz(2_000_007));
+        let f = Gen2Fingerprint::from_reading(&r).expect("khz present");
+        assert_eq!(f.refined().as_khz(), 2_000_007);
+        assert!(f.to_string().contains("2000007"));
+    }
+
+    #[test]
+    fn grouping_preserves_order_and_counts_drops() {
+        let fp = Gen1Fingerprinter::default();
+        let readings = vec![
+            reading("Intel Xeon CPU @ 2.00GHz", 20_000_000_000, 110.0),
+            reading("AMD EPYC 7B12", 1, 1.0), // dropped
+            reading("Intel Xeon CPU @ 2.00GHz", 20_000_000_000, 110.1),
+            reading("Intel Xeon CPU @ 2.20GHz", 22_000_000_000, 110.0),
+        ];
+        let (groups, dropped) = group_by_fingerprint(&readings, |r| fp.fingerprint(r));
+        assert_eq!(dropped, 1);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].1, vec![0, 2]);
+        assert_eq!(groups[1].1, vec![3]);
+    }
+}

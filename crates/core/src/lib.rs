@@ -1,0 +1,65 @@
+//! The EAAO attack toolkit — the paper's primary contribution.
+//!
+//! Everything the attacker runs, end to end:
+//!
+//! * [`probe`] — the in-container payload gathering `cpuid`, `rdtsc`,
+//!   wall-clock pairs, and `tsc_khz`.
+//! * [`fingerprint`] — Gen 1 (model + rounded boot time) and Gen 2
+//!   (refined TSC frequency) host fingerprints.
+//! * [`expiry`] — drift tracking and fingerprint expiration estimation.
+//! * [`verify`] — the scalable co-location verification methodology, plus
+//!   the pairwise and SIE baselines.
+//! * [`cluster`] — co-location cluster bookkeeping.
+//! * [`metrics`] — precision / recall / Fowlkes–Mallows accuracy over
+//!   instance pairs.
+//! * [`coverage`] — victim instance coverage measurement.
+//! * [`extraction`] — step 2 of the threat model: detecting when the
+//!   co-located victim is running.
+//! * [`scenario`] — a builder for attacker-vs-victim setups.
+//! * [`strategy`] — naive and optimized launch strategies and the
+//!   cluster-size exploration campaign.
+//! * [`experiment`] — one driver per paper figure/table, shared by tests,
+//!   examples, and benches.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod coverage;
+pub mod experiment;
+pub mod expiry;
+pub mod extraction;
+pub mod fingerprint;
+pub mod metrics;
+pub mod probe;
+pub mod scenario;
+pub mod strategy;
+pub mod verify;
+
+pub use coverage::CoverageReport;
+pub use fingerprint::{Gen1Fingerprint, Gen1Fingerprinter, Gen2Fingerprint};
+pub use metrics::PairConfusion;
+pub use probe::ProbeReading;
+pub use verify::HierarchicalVerifier;
+
+/// Convenient glob import of the attack toolkit.
+pub mod prelude {
+    pub use crate::cluster::CoLocationForest;
+    pub use crate::coverage::{measure_coverage, measure_coverage_verified, CoverageReport};
+    pub use crate::expiry::{DriftStudy, FingerprintHistory};
+    pub use crate::extraction::{monitor_victim_activity, ActivityTrace, MonitorConfig};
+    pub use crate::fingerprint::{
+        group_by_fingerprint, Gen1Fingerprint, Gen1Fingerprinter, Gen2Fingerprint,
+    };
+    pub use crate::metrics::PairConfusion;
+    pub use crate::probe::{probe_fleet, probe_instance, ProbeReading};
+    pub use crate::scenario::{Arena, Scenario};
+    pub use crate::strategy::{
+        ClusterExplorer, ExplorationReport, MultiAccountLaunch, NaiveLaunch, OptimizedLaunch,
+        RepeatAttackOutcome, RepeatedAttack, StrategyReport, VictimHostRecord,
+    };
+    pub use crate::verify::{
+        ctest, pair_count, pairwise_verify, single_instance_elimination, CTestConfig,
+        HierarchicalVerifier, PairwiseChannel, VerificationOutcome, VerifierStats,
+    };
+}

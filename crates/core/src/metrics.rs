@@ -1,0 +1,202 @@
+//! Clustering accuracy metrics (Section 4.4.1).
+//!
+//! Fingerprint accuracy is evaluated over all unique *pairs* of instances:
+//! a pair with matching fingerprints that is truly co-located is a true
+//! positive, and so on. The headline metric is the Fowlkes–Mallows index,
+//! `FMI = sqrt(precision · recall)`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use serde::{Deserialize, Serialize};
+
+/// Pairwise confusion counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PairConfusion {
+    /// Matching fingerprints, truly co-located.
+    pub true_positives: u64,
+    /// Matching fingerprints, different hosts.
+    pub false_positives: u64,
+    /// Different fingerprints, different hosts.
+    pub true_negatives: u64,
+    /// Different fingerprints, truly co-located.
+    pub false_negatives: u64,
+}
+
+impl PairConfusion {
+    /// Computes the confusion over all unique pairs of `n` items, where
+    /// `predicted[i]` is item `i`'s fingerprint label and `truth[i]` its
+    /// true host label.
+    ///
+    /// Runs in O(n + groups) using pair-counting identities rather than
+    /// enumerating the O(n²) pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_assignments<P, T>(predicted: &[P], truth: &[T]) -> Self
+    where
+        P: Eq + Hash + Clone,
+        T: Eq + Hash + Clone,
+    {
+        assert_eq!(predicted.len(), truth.len(), "mismatched label lengths");
+        let n = predicted.len() as u64;
+        let total_pairs = n * n.saturating_sub(1) / 2;
+
+        fn pairs_within<K: Eq + Hash + Clone>(labels: &[K]) -> u64 {
+            let mut counts: HashMap<K, u64> = HashMap::new();
+            for l in labels {
+                *counts.entry(l.clone()).or_default() += 1;
+            }
+            counts.values().map(|&c| c * (c - 1) / 2).sum()
+        }
+
+        // Pairs sharing both labels: count joint groups.
+        let mut joint: HashMap<(u64, u64), u64> = HashMap::new();
+        {
+            let mut pred_ids: HashMap<P, u64> = HashMap::new();
+            let mut truth_ids: HashMap<T, u64> = HashMap::new();
+            for (p, t) in predicted.iter().zip(truth) {
+                let np = pred_ids.len() as u64;
+                let pid = *pred_ids.entry(p.clone()).or_insert(np);
+                let nt = truth_ids.len() as u64;
+                let tid = *truth_ids.entry(t.clone()).or_insert(nt);
+                *joint.entry((pid, tid)).or_default() += 1;
+            }
+        }
+        let true_positives: u64 = joint.values().map(|&c| c * (c - 1) / 2).sum();
+        let predicted_pairs = pairs_within(predicted);
+        let truth_pairs = pairs_within(truth);
+        let false_positives = predicted_pairs - true_positives;
+        let false_negatives = truth_pairs - true_positives;
+        let true_negatives = total_pairs - true_positives - false_positives - false_negatives;
+        PairConfusion {
+            true_positives,
+            false_positives,
+            true_negatives,
+            false_negatives,
+        }
+    }
+
+    /// Precision: `TP / (TP + FP)`. Defined as 1 when no positive pairs
+    /// were predicted (nothing claimed, nothing wrong).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall: `TP / (TP + FN)`. Defined as 1 when no true pairs exist.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// The Fowlkes–Mallows index: `sqrt(precision · recall)`.
+    pub fn fmi(&self) -> f64 {
+        (self.precision() * self.recall()).sqrt()
+    }
+
+    /// Whether the clustering is perfect (no false pairs at all).
+    pub fn is_perfect(&self) -> bool {
+        self.false_positives == 0 && self.false_negatives == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering() {
+        let predicted = ["a", "a", "b", "b", "c"];
+        let truth = [1, 1, 2, 2, 3];
+        let c = PairConfusion::from_assignments(&predicted, &truth);
+        assert_eq!(c.true_positives, 2);
+        assert_eq!(c.false_positives, 0);
+        assert_eq!(c.false_negatives, 0);
+        assert_eq!(c.true_negatives, 8);
+        assert_eq!(c.fmi(), 1.0);
+        assert!(c.is_perfect());
+    }
+
+    #[test]
+    fn false_positive_from_merged_groups() {
+        // Two different hosts share a fingerprint.
+        let predicted = ["x", "x"];
+        let truth = [1, 2];
+        let c = PairConfusion::from_assignments(&predicted, &truth);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 1.0); // no true pairs missed (there are none)
+        assert_eq!(c.fmi(), 0.0);
+        assert!(!c.is_perfect());
+    }
+
+    #[test]
+    fn false_negative_from_split_groups() {
+        // One host produced two fingerprints.
+        let predicted = ["x", "y"];
+        let truth = [1, 1];
+        let c = PairConfusion::from_assignments(&predicted, &truth);
+        assert_eq!(c.false_negatives, 1);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.precision(), 1.0);
+    }
+
+    #[test]
+    fn mixed_case_counts_are_consistent() {
+        let predicted = ["a", "a", "a", "b", "b", "c"];
+        let truth = [1, 1, 2, 2, 3, 3];
+        let c = PairConfusion::from_assignments(&predicted, &truth);
+        let n = 6u64;
+        assert_eq!(
+            c.true_positives + c.false_positives + c.true_negatives + c.false_negatives,
+            n * (n - 1) / 2
+        );
+        // Cross-check against brute force.
+        let mut brute = PairConfusion::default();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                match (predicted[i] == predicted[j], truth[i] == truth[j]) {
+                    (true, true) => brute.true_positives += 1,
+                    (true, false) => brute.false_positives += 1,
+                    (false, false) => brute.true_negatives += 1,
+                    (false, true) => brute.false_negatives += 1,
+                }
+            }
+        }
+        assert_eq!(c, brute);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let c = PairConfusion::from_assignments::<u8, u8>(&[], &[]);
+        assert_eq!(c.fmi(), 1.0);
+        let c = PairConfusion::from_assignments(&["a"], &[1]);
+        assert_eq!(c.fmi(), 1.0);
+        assert!(c.is_perfect());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched label lengths")]
+    fn rejects_length_mismatch() {
+        PairConfusion::from_assignments(&["a"], &[1, 2]);
+    }
+
+    #[test]
+    fn fmi_is_geometric_mean() {
+        let predicted = ["a", "a", "a", "b"];
+        let truth = [1, 1, 2, 2];
+        let c = PairConfusion::from_assignments(&predicted, &truth);
+        assert!((c.fmi() - (c.precision() * c.recall()).sqrt()).abs() < 1e-15);
+        assert!(c.fmi() > 0.0 && c.fmi() < 1.0);
+    }
+}

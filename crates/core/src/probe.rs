@@ -1,0 +1,141 @@
+//! The attacker probe: the payload run inside each container instance.
+//!
+//! One probe execution gathers everything both fingerprints need in a single
+//! pass (Section 4.1): the CPU model via `cpuid`, a paired
+//! (`rdtsc`, `clock_gettime`) sample, and — in Gen 2 — the guest kernel's
+//! `tsc_khz`.
+
+use eaao_cloudsim::ids::InstanceId;
+use eaao_cloudsim::sandbox::GuestEnv;
+use eaao_orchestrator::error::GuestError;
+use eaao_orchestrator::world::World;
+use eaao_simcore::time::{SimDuration, SimTime};
+use eaao_tsc::boot::TscSample;
+use eaao_tsc::refine::RefinedTscFrequency;
+use serde::{Deserialize, Serialize};
+
+/// Everything one probe execution observes inside an instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeReading {
+    /// Which instance produced the reading.
+    pub instance: InstanceId,
+    /// CPU model string from `cpuid`.
+    pub model: String,
+    /// Raw `rdtsc` value.
+    pub tsc: u64,
+    /// Paired wall-clock reading (noisy syscall clock).
+    pub wall: SimTime,
+    /// The guest kernel's refined TSC frequency, if the environment exposes
+    /// one (Gen 2 only).
+    pub tsc_khz: Option<RefinedTscFrequency>,
+}
+
+impl ProbeReading {
+    /// The paired (tsc, wall) sample for Eq. 4.1.
+    pub fn tsc_sample(&self) -> TscSample {
+        TscSample::new(self.tsc, self.wall)
+    }
+}
+
+/// Probes one live instance.
+///
+/// # Errors
+///
+/// Returns a [`GuestError`] if the instance is unknown or terminated.
+pub fn probe_instance(world: &mut World, id: InstanceId) -> Result<ProbeReading, GuestError> {
+    world.with_guest(id, |sandbox, now| ProbeReading {
+        instance: id,
+        model: sandbox.cpuid_model().to_owned(),
+        tsc: sandbox.rdtsc(now),
+        wall: sandbox.clock_gettime(now),
+        tsc_khz: sandbox.tsc_khz(),
+    })
+}
+
+/// Probes a fleet of instances, advancing the clock by `gap` between probes
+/// (the paper's measurements over 800 WebSocket connections are serialized
+/// over a span of seconds).
+///
+/// Dead instances are skipped — exactly what a real measurement campaign
+/// experiences when the platform churns instances mid-sweep.
+pub fn probe_fleet(world: &mut World, ids: &[InstanceId], gap: SimDuration) -> Vec<ProbeReading> {
+    let mut readings = Vec::with_capacity(ids.len());
+    for &id in ids {
+        if let Ok(reading) = probe_instance(world, id) {
+            readings.push(reading);
+        }
+        world.advance(gap);
+    }
+    readings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eaao_cloudsim::service::{Generation, ServiceSpec};
+    use eaao_orchestrator::config::RegionConfig;
+
+    fn world() -> World {
+        World::new(RegionConfig::us_west1().with_hosts(50), 42)
+    }
+
+    #[test]
+    fn gen1_reading_has_model_and_no_khz() {
+        let mut world = world();
+        let account = world.create_account();
+        let service = world.deploy_service(account, ServiceSpec::default());
+        let launch = world.launch(service, 5).expect("fits");
+        let id = launch.instances()[0];
+        let reading = probe_instance(&mut world, id).expect("alive");
+        assert_eq!(reading.instance, id);
+        assert!(reading.model.contains("GHz"));
+        assert!(reading.tsc > 0);
+        assert!(reading.tsc_khz.is_none());
+        let sample = reading.tsc_sample();
+        assert_eq!(sample.tsc, reading.tsc);
+        assert_eq!(sample.wall, reading.wall);
+    }
+
+    #[test]
+    fn gen2_reading_exposes_khz_and_hides_model() {
+        let mut world = world();
+        let account = world.create_account();
+        let service = world.deploy_service(
+            account,
+            ServiceSpec::default().with_generation(Generation::Gen2),
+        );
+        let launch = world.launch(service, 1).expect("fits");
+        let reading = probe_instance(&mut world, launch.instances()[0]).expect("alive");
+        assert!(reading.tsc_khz.is_some());
+        assert!(reading.model.contains("virtualized"));
+    }
+
+    #[test]
+    fn probe_fleet_spans_time_and_skips_dead() {
+        let mut world = world();
+        let account = world.create_account();
+        let service = world.deploy_service(account, ServiceSpec::default());
+        let launch = world.launch(service, 10).expect("fits");
+        let before = world.now();
+        let mut ids = launch.instances().to_vec();
+        ids.push(InstanceId::from_raw(9_999)); // never existed
+        let readings = probe_fleet(&mut world, &ids, SimDuration::from_millis(25));
+        assert_eq!(readings.len(), 10);
+        let elapsed = world.now() - before;
+        assert_eq!(elapsed, SimDuration::from_millis(25) * 11);
+    }
+
+    #[test]
+    fn probing_dead_instance_errors() {
+        let mut world = world();
+        let account = world.create_account();
+        let service = world.deploy_service(account, ServiceSpec::default());
+        let launch = world.launch(service, 1).expect("fits");
+        let id = launch.instances()[0];
+        world.kill_all(service);
+        assert_eq!(
+            probe_instance(&mut world, id).unwrap_err(),
+            GuestError::Terminated(id)
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Scenario builder: the attacker-vs-victim setup every experiment starts
+//! from, as a one-liner.
+//!
+//! Most drivers, tests, and examples begin the same way: build a region,
+//! create an attacker account and a victim account, deploy the victim's
+//! service, and keep `N` victim instances connected. [`Scenario`] packages
+//! that (non-consuming builder per the Rust API guidelines) and returns an
+//! [`Arena`] holding the world and the cast.
+//!
+//! # Examples
+//!
+//! ```
+//! use eaao_core::scenario::Scenario;
+//! use eaao_core::strategy::OptimizedLaunch;
+//! use eaao_core::coverage::measure_coverage;
+//!
+//! let mut arena = Scenario::in_region("us-west1")
+//!     .seed(7)
+//!     .victims(40)
+//!     .build();
+//! let report = OptimizedLaunch {
+//!     services: 2,
+//!     launches_per_service: 3,
+//!     instances_per_launch: 300,
+//!     ..OptimizedLaunch::default()
+//! }
+//! .run(&mut arena.world, arena.attacker)
+//! .expect("fits");
+//! let coverage = measure_coverage(&arena.world, &report.live_instances, &arena.victims);
+//! assert!(coverage.at_least_one());
+//! ```
+
+use eaao_cloudsim::ids::{AccountId, InstanceId, ServiceId};
+use eaao_cloudsim::mitigation::TscMitigation;
+use eaao_cloudsim::service::{ContainerSize, Generation, ServiceSpec};
+use eaao_orchestrator::config::RegionConfig;
+use eaao_orchestrator::world::World;
+
+use crate::experiment::fig04::region_config;
+
+/// Builder for an attacker-vs-victim world.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    region: RegionConfig,
+    seed: u64,
+    victim_count: usize,
+    victim_size: ContainerSize,
+    generation: Generation,
+}
+
+impl Scenario {
+    /// Starts from one of the paper's region presets (`"us-east1"`,
+    /// `"us-central1"`, `"us-west1"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown region name.
+    pub fn in_region(name: &str) -> Self {
+        Scenario::with_config(region_config(name))
+    }
+
+    /// Starts from an explicit region configuration.
+    pub fn with_config(region: RegionConfig) -> Self {
+        Scenario {
+            region,
+            seed: 0,
+            victim_count: 100,
+            victim_size: ContainerSize::Small,
+            generation: Generation::Gen1,
+        }
+    }
+
+    /// Sets the determinism seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of connected victim instances (default 100, the
+    /// paper's default configuration).
+    pub fn victims(&mut self, count: usize) -> &mut Self {
+        self.victim_count = count;
+        self
+    }
+
+    /// Sets the victim container size (default Small).
+    pub fn victim_size(&mut self, size: ContainerSize) -> &mut Self {
+        self.victim_size = size;
+        self
+    }
+
+    /// Uses the Gen 2 execution environment for both parties.
+    pub fn generation(&mut self, generation: Generation) -> &mut Self {
+        self.generation = generation;
+        self
+    }
+
+    /// Scales the region's host pool (for quick tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` is zero.
+    pub fn hosts(&mut self, hosts: usize) -> &mut Self {
+        self.region = self.region.clone().with_hosts(hosts);
+        self
+    }
+
+    /// Deploys a platform-side TSC mitigation (Section 6).
+    pub fn tsc_mitigation(&mut self, mitigation: TscMitigation) -> &mut Self {
+        self.region = self.region.clone().with_tsc_mitigation(mitigation);
+        self
+    }
+
+    /// Builds the world and launches the victim fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the victim fleet does not fit the region (scale the pool
+    /// or the victim count).
+    pub fn build(&self) -> Arena {
+        let mut world = World::new(self.region.clone(), self.seed);
+        let attacker = world.create_account();
+        let victim_account = world.create_account();
+        let victim_service = world.deploy_service(
+            victim_account,
+            ServiceSpec::default()
+                .with_size(self.victim_size)
+                .with_generation(self.generation)
+                .with_max_instances(self.victim_count.clamp(1, 1_000).max(100)),
+        );
+        let victims = world
+            .launch(victim_service, self.victim_count)
+            .expect("victim fleet fits the region")
+            .instances()
+            .to_vec();
+        Arena {
+            world,
+            attacker,
+            victim_account,
+            victim_service,
+            victims,
+        }
+    }
+}
+
+/// A built scenario: the world plus its cast.
+#[derive(Debug)]
+pub struct Arena {
+    /// The simulated region.
+    pub world: World,
+    /// The attacker's (established) account.
+    pub attacker: AccountId,
+    /// The victim's account.
+    pub victim_account: AccountId,
+    /// The victim's deployed service.
+    pub victim_service: ServiceId,
+    /// The victim's connected instances.
+    pub victims: Vec<InstanceId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::measure_coverage;
+    use crate::strategy::NaiveLaunch;
+
+    #[test]
+    fn builder_defaults_match_the_paper() {
+        let arena = Scenario::in_region("us-west1").build();
+        assert_eq!(arena.victims.len(), 100);
+        assert_ne!(arena.attacker, arena.victim_account);
+        assert_eq!(arena.world.region().name, "us-west1");
+    }
+
+    #[test]
+    fn builder_options_chain() {
+        let mut arena = Scenario::in_region("us-east1")
+            .seed(5)
+            .victims(30)
+            .victim_size(ContainerSize::Large)
+            .generation(Generation::Gen2)
+            .hosts(150)
+            .build();
+        assert_eq!(arena.victims.len(), 30);
+        assert_eq!(arena.world.data_center().len(), 150);
+        let instance = arena.world.instance(arena.victims[0]);
+        assert_eq!(instance.size(), ContainerSize::Large);
+        assert_eq!(instance.generation(), Generation::Gen2);
+        // The arena is immediately usable for an attack.
+        let report = NaiveLaunch {
+            services: 1,
+            instances_per_service: 100,
+            ..NaiveLaunch::default()
+        }
+        .run(&mut arena.world, arena.attacker)
+        .expect("fits");
+        let coverage = measure_coverage(&arena.world, &report.live_instances, &arena.victims);
+        assert!(coverage.victim_instances == 30);
+    }
+
+    #[test]
+    fn mitigated_scenarios_build() {
+        let arena = Scenario::in_region("us-west1")
+            .tsc_mitigation(TscMitigation::TrapAndEmulate)
+            .victims(10)
+            .build();
+        assert_eq!(
+            arena.world.region().tsc_mitigation,
+            TscMitigation::TrapAndEmulate
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown region")]
+    fn unknown_region_panics() {
+        Scenario::in_region("mars-north1");
+    }
+}

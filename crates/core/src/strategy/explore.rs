@@ -1,0 +1,178 @@
+//! Cluster-size estimation (Section 5.2, "Scale of Cloud Run clusters",
+//! Figure 12).
+//!
+//! The attacker deploys several services from each of several accounts and
+//! primes all of them, recording the *apparent host* footprint (distinct
+//! fingerprints) of every launch. The cumulative number of unique apparent
+//! hosts flattens out, and its limit estimates the size of the serving
+//! pool. Starting from different accounts explores different base hosts,
+//! reaching new regions of the pool faster.
+
+use std::collections::HashSet;
+
+use eaao_cloudsim::ids::AccountId;
+use eaao_cloudsim::service::ServiceSpec;
+use eaao_orchestrator::error::LaunchError;
+use eaao_orchestrator::world::World;
+use eaao_simcore::series::Series;
+use eaao_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::fingerprint::{Gen1Fingerprint, Gen1Fingerprinter};
+use crate::probe::probe_fleet;
+
+/// Configuration of the exploration campaign (paper defaults: 3 accounts ×
+/// 8 services × 4 launches = 96 launches).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterExplorer {
+    /// Accounts to explore from.
+    pub accounts: usize,
+    /// Services deployed per account.
+    pub services_per_account: usize,
+    /// Launches per service.
+    pub launches_per_service: usize,
+    /// Instances per launch.
+    pub instances_per_launch: usize,
+    /// Interval between launches of one service (keeps services hot).
+    pub interval: SimDuration,
+}
+
+impl Default for ClusterExplorer {
+    fn default() -> Self {
+        ClusterExplorer {
+            accounts: 3,
+            services_per_account: 8,
+            launches_per_service: 4,
+            instances_per_launch: 800,
+            interval: SimDuration::from_mins(10),
+        }
+    }
+}
+
+/// Result of an exploration campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplorationReport {
+    /// Cumulative unique apparent hosts after each launch (x = launch id).
+    pub cumulative: Series,
+    /// The final estimate: total unique apparent hosts found.
+    pub estimated_hosts: usize,
+    /// Ground truth: hosts in the data center (simulation-side; the paper
+    /// can only lower-bound this).
+    pub true_hosts: usize,
+}
+
+impl ClusterExplorer {
+    /// Runs the campaign. Accounts are created inside the world.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`LaunchError`].
+    pub fn run(&self, world: &mut World) -> Result<ExplorationReport, LaunchError> {
+        let fingerprinter = Gen1Fingerprinter::default();
+        let mut seen: HashSet<Gen1Fingerprint> = HashSet::new();
+        let mut cumulative = Series::new("cumulative unique apparent hosts");
+        let mut launch_id = 0;
+        let accounts: Vec<AccountId> = (0..self.accounts).map(|_| world.create_account()).collect();
+        let spec = ServiceSpec::default().with_max_instances(1_000);
+        for &account in &accounts {
+            for _ in 0..self.services_per_account {
+                let service = world.deploy_service(account, spec);
+                for _ in 0..self.launches_per_service {
+                    let launch = world.launch(service, self.instances_per_launch)?;
+                    let readings =
+                        probe_fleet(world, launch.instances(), SimDuration::from_millis(10));
+                    for reading in &readings {
+                        if let Some(fp) = fingerprinter.fingerprint(reading) {
+                            seen.insert(fp);
+                        }
+                    }
+                    launch_id += 1;
+                    cumulative.push(launch_id as f64, seen.len() as f64);
+                    world.kill_all(service);
+                    world.advance(self.interval);
+                }
+            }
+        }
+        Ok(ExplorationReport {
+            estimated_hosts: seen.len(),
+            true_hosts: world.data_center().len(),
+            cumulative,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eaao_orchestrator::config::RegionConfig;
+
+    #[test]
+    fn exploration_discovers_most_of_a_small_pool() {
+        let mut world = World::new(RegionConfig::us_west1(), 1);
+        let explorer = ClusterExplorer {
+            accounts: 2,
+            services_per_account: 3,
+            launches_per_service: 3,
+            ..ClusterExplorer::default()
+        };
+        let report = explorer.run(&mut world).expect("fits");
+        assert_eq!(report.cumulative.len(), 18);
+        // A small pool (205 hosts) is mostly enumerated.
+        assert!(
+            report.estimated_hosts as f64 > 0.8 * report.true_hosts as f64,
+            "found {} of {}",
+            report.estimated_hosts,
+            report.true_hosts
+        );
+        // Estimates exceed reality only by fingerprint drift noise: over a
+        // multi-hour campaign a few percent of hosts cross a rounding
+        // boundary and appear twice.
+        assert!(
+            report.estimated_hosts <= report.true_hosts + report.true_hosts / 20,
+            "estimate {} too far above truth {}",
+            report.estimated_hosts,
+            report.true_hosts
+        );
+    }
+
+    #[test]
+    fn cumulative_growth_flattens() {
+        let mut world = World::new(RegionConfig::us_west1(), 2);
+        let explorer = ClusterExplorer {
+            accounts: 2,
+            services_per_account: 3,
+            launches_per_service: 4,
+            ..ClusterExplorer::default()
+        };
+        let report = explorer.run(&mut world).expect("fits");
+        let ys = report.cumulative.ys();
+        let n = ys.len();
+        let early_growth = ys[n / 2] - ys[0];
+        let late_growth = ys[n - 1] - ys[n / 2];
+        assert!(
+            late_growth < early_growth,
+            "growth should flatten: early {early_growth}, late {late_growth}"
+        );
+        // Monotone non-decreasing.
+        assert!(ys.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn more_accounts_explore_faster() {
+        let run = |accounts: usize, seed: u64| {
+            let mut world = World::new(RegionConfig::us_east1(), seed);
+            ClusterExplorer {
+                accounts,
+                services_per_account: 2,
+                launches_per_service: 2,
+                ..ClusterExplorer::default()
+            }
+            .run(&mut world)
+            .expect("fits")
+            .estimated_hosts
+        };
+        let one = run(1, 3);
+        let three = run(3, 3);
+        assert!(three > one, "3 accounts {three} <= 1 account {one}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Multi-account attack optimization (Section 5.2, "Potential attack
+//! optimizations").
+//!
+//! To occupy an even larger fraction of a data center, the attacker
+//! creates more accounts and deploys more services per account — every
+//! account starts exploration from a different base-host cell. The paper
+//! notes the catch: providers cap *new* accounts at tiny quotas (e.g. 10
+//! instances per service), and earning full quotas takes months of
+//! sustained usage — additional time and financial cost the model captures
+//! through account standing.
+
+use std::collections::HashSet;
+
+use eaao_cloudsim::ids::InstanceId;
+use eaao_cloudsim::service::ServiceSpec;
+use eaao_orchestrator::error::LaunchError;
+use eaao_orchestrator::world::World;
+use eaao_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::strategy::{OptimizedLaunch, StrategyReport};
+
+/// Configuration of the multi-account strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiAccountLaunch {
+    /// Attacker-controlled accounts.
+    pub accounts: usize,
+    /// Whether the accounts are established (full quotas) or freshly
+    /// created (capped at 10 instances per service — the strategy then
+    /// fails to prime anything).
+    pub established: bool,
+    /// The per-account priming campaign.
+    pub per_account: OptimizedLaunch,
+}
+
+impl Default for MultiAccountLaunch {
+    fn default() -> Self {
+        MultiAccountLaunch {
+            accounts: 3,
+            established: true,
+            per_account: OptimizedLaunch::default(),
+        }
+    }
+}
+
+impl MultiAccountLaunch {
+    /// Runs the campaign from every account in parallel ticks (accounts
+    /// are independent customers; their services prime concurrently).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`LaunchError`] — notably the quota rejection when
+    /// `established` is false and the per-launch instance count exceeds a
+    /// new account's cap.
+    pub fn run(&self, world: &mut World) -> Result<StrategyReport, LaunchError> {
+        let wall_start = world.now();
+        let accounts: Vec<_> = (0..self.accounts)
+            .map(|_| {
+                if self.established {
+                    world.create_account()
+                } else {
+                    world.create_new_account()
+                }
+            })
+            .collect();
+        let cost_start: f64 = accounts.iter().map(|&a| world.billed_for(a).as_usd()).sum();
+
+        let spec = ServiceSpec::default().with_max_instances(1_000);
+        let mut services = Vec::new();
+        for &account in &accounts {
+            for _ in 0..self.per_account.services {
+                services.push(world.deploy_service(account, spec));
+            }
+        }
+
+        let mut live: Vec<InstanceId> = Vec::new();
+        let mut launches = 0;
+        let config = &self.per_account;
+        for k in 0..config.launches_per_service {
+            let last = k + 1 == config.launches_per_service;
+            for &service in &services {
+                let launch = world.launch(service, config.instances_per_launch)?;
+                launches += 1;
+                if last {
+                    live.extend_from_slice(launch.instances());
+                }
+            }
+            world.advance(config.hold);
+            if !last {
+                for &service in &services {
+                    world.kill_all(service);
+                }
+                let rest = config.interval - config.hold;
+                if !rest.is_negative() {
+                    world.advance(rest);
+                }
+            }
+        }
+        live.retain(|&id| world.instance(id).is_alive());
+        let hosts: HashSet<_> = live.iter().map(|&i| world.host_of(i)).collect();
+        let cost_end: f64 = accounts.iter().map(|&a| world.billed_for(a).as_usd()).sum();
+        Ok(StrategyReport {
+            services,
+            hosts_occupied: hosts.len(),
+            live_instances: live,
+            launches,
+            cost: eaao_cloudsim::pricing::Cost::from_usd(cost_end - cost_start),
+            wall: world.now() - wall_start,
+        })
+    }
+}
+
+/// Convenience: hold duration shared with the single-account strategy.
+pub const DEFAULT_HOLD: SimDuration = SimDuration::from_secs(30);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eaao_orchestrator::config::RegionConfig;
+    use eaao_orchestrator::error::LaunchError;
+
+    fn small_campaign() -> OptimizedLaunch {
+        OptimizedLaunch {
+            services: 2,
+            launches_per_service: 3,
+            instances_per_launch: 300,
+            ..OptimizedLaunch::default()
+        }
+    }
+
+    #[test]
+    fn more_accounts_cover_more_hosts() {
+        let footprint = |accounts: usize| {
+            let mut world = World::new(RegionConfig::us_central1(), 71);
+            MultiAccountLaunch {
+                accounts,
+                established: true,
+                per_account: small_campaign(),
+            }
+            .run(&mut world)
+            .expect("fits")
+            .hosts_occupied
+        };
+        let one = footprint(1);
+        let three = footprint(3);
+        assert!(
+            three > one + 50,
+            "3 accounts ({three} hosts) should beat 1 ({one})"
+        );
+    }
+
+    #[test]
+    fn new_accounts_hit_the_quota_wall() {
+        // The paper's caveat: fresh accounts are capped at 10 instances per
+        // service — the priming strategy cannot even start.
+        let mut world = World::new(RegionConfig::us_west1(), 72);
+        let err = MultiAccountLaunch {
+            accounts: 2,
+            established: false,
+            per_account: small_campaign(),
+        }
+        .run(&mut world)
+        .expect_err("capped accounts cannot launch 300 instances");
+        assert!(matches!(
+            err,
+            LaunchError::ExceedsAccountQuota { quota: 10, .. }
+        ));
+    }
+
+    #[test]
+    fn new_accounts_can_run_tiny_campaigns() {
+        // Within the cap the strategy works, just uselessly small.
+        let mut world = World::new(RegionConfig::us_west1(), 73);
+        let report = MultiAccountLaunch {
+            accounts: 2,
+            established: false,
+            per_account: OptimizedLaunch {
+                services: 1,
+                launches_per_service: 2,
+                instances_per_launch: 10,
+                ..OptimizedLaunch::default()
+            },
+        }
+        .run(&mut world)
+        .expect("within the new-account cap");
+        assert_eq!(report.live_instances.len(), 20);
+        assert!(report.hosts_occupied <= 10);
+    }
+
+    #[test]
+    fn cost_scales_with_accounts() {
+        let cost = |accounts: usize| {
+            let mut world = World::new(RegionConfig::us_east1(), 74);
+            MultiAccountLaunch {
+                accounts,
+                established: true,
+                per_account: small_campaign(),
+            }
+            .run(&mut world)
+            .expect("fits")
+            .cost
+            .as_usd()
+        };
+        let one = cost(1);
+        let two = cost(2);
+        assert!(
+            (two / one - 2.0).abs() < 0.3,
+            "one ${one:.2}, two ${two:.2}"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Strategy 1: naive instance launching (Section 5.2).
+//!
+//! The attacker simply launches numerous instances from services in a cold
+//! state — no insight into placement. All instances land on the attacker
+//! account's base hosts, so co-location succeeds only when the victim
+//! happens to share those base hosts (the bimodal overlap of
+//! Observations 3–4).
+
+use std::collections::HashSet;
+
+use eaao_cloudsim::ids::{AccountId, InstanceId};
+use eaao_cloudsim::service::ServiceSpec;
+use eaao_orchestrator::error::LaunchError;
+use eaao_orchestrator::world::World;
+use eaao_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::strategy::StrategyReport;
+
+/// Configuration of the naive strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NaiveLaunch {
+    /// Services to deploy (the paper uses 6).
+    pub services: usize,
+    /// Instances per service (the paper uses 800, totalling 4800).
+    pub instances_per_service: usize,
+    /// How long the fleet stays connected after launching (drives cost).
+    pub hold: SimDuration,
+}
+
+impl Default for NaiveLaunch {
+    fn default() -> Self {
+        NaiveLaunch {
+            services: 6,
+            instances_per_service: 800,
+            hold: SimDuration::from_secs(30),
+        }
+    }
+}
+
+impl NaiveLaunch {
+    /// Runs the strategy under `account`, leaving all instances connected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`LaunchError`].
+    pub fn run(
+        &self,
+        world: &mut World,
+        account: AccountId,
+    ) -> Result<StrategyReport, LaunchError> {
+        let wall_start = world.now();
+        let cost_start = world.billed_for(account);
+        let spec = ServiceSpec::default().with_max_instances(1_000);
+        let mut live: Vec<InstanceId> = Vec::new();
+        let mut services = Vec::new();
+        let mut launches = 0;
+        for _ in 0..self.services {
+            let service = world.deploy_service(account, spec);
+            services.push(service);
+            let launch = world.launch(service, self.instances_per_service)?;
+            launches += 1;
+            live.extend_from_slice(launch.instances());
+        }
+        world.advance(self.hold);
+        let hosts: HashSet<_> = live.iter().map(|&i| world.host_of(i)).collect();
+        Ok(StrategyReport {
+            services,
+            hosts_occupied: hosts.len(),
+            live_instances: live,
+            launches,
+            cost: world.billed_for(account) - cost_start,
+            wall: world.now() - wall_start,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eaao_orchestrator::config::RegionConfig;
+
+    #[test]
+    fn naive_attacker_stays_on_base_hosts() {
+        let mut world = World::new(RegionConfig::us_east1(), 1);
+        let attacker = world.create_account();
+        let strategy = NaiveLaunch {
+            services: 3,
+            instances_per_service: 400,
+            ..NaiveLaunch::default()
+        };
+        let report = strategy.run(&mut world, attacker).expect("fits");
+        assert_eq!(report.live_instances.len(), 1_200);
+        assert_eq!(report.launches, 3);
+        // Footprint confined to (roughly) the base host set.
+        let base = world.base_hosts_of(attacker).len();
+        assert!(
+            report.hosts_occupied <= base + 10,
+            "naive footprint {} exceeds base {base}",
+            report.hosts_occupied
+        );
+        assert!(report.mean_density() > 1.0);
+        assert!(report.cost.as_usd() >= 0.0);
+    }
+
+    #[test]
+    fn services_of_one_account_share_base_hosts() {
+        let mut world = World::new(RegionConfig::us_east1(), 2);
+        let attacker = world.create_account();
+        let a = NaiveLaunch {
+            services: 1,
+            instances_per_service: 800,
+            ..NaiveLaunch::default()
+        }
+        .run(&mut world, attacker)
+        .expect("fits");
+        let b = NaiveLaunch {
+            services: 1,
+            instances_per_service: 800,
+            ..NaiveLaunch::default()
+        }
+        .run(&mut world, attacker)
+        .expect("fits");
+        let hosts_a: HashSet<_> = a.live_instances.iter().map(|&i| world.host_of(i)).collect();
+        let hosts_b: HashSet<_> = b.live_instances.iter().map(|&i| world.host_of(i)).collect();
+        let overlap = hosts_a.intersection(&hosts_b).count();
+        assert!(
+            overlap * 2 > hosts_a.len(),
+            "different services should share base hosts ({overlap} shared)"
+        );
+    }
+}

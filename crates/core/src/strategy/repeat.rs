@@ -1,0 +1,313 @@
+//! Repeated attacks against the same victim (Section 5.2, "Potential
+//! attack optimizations").
+//!
+//! "If the attacker intends to repeatedly attack services from the same
+//! victim account, an optimization is to record the fingerprints of hosts
+//! used by the victim during the first attack. These hosts can be the base
+//! hosts preferred by the victim. Therefore, in the subsequent attacks
+//! targeting the same victim, the attacker can focus side-channel attack
+//! efforts on hosts with fingerprints that match the fingerprints recorded
+//! in the first attack."
+//!
+//! Concretely: after the first attack, the attacker fingerprints its own
+//! co-located instances and keeps the fingerprints of every host where a
+//! victim instance was confirmed. In a later attack, the attacker runs the
+//! same priming campaign but then *retains only* the instances whose host
+//! fingerprints match the recorded set, terminating the rest — the
+//! extraction phase (the expensive part, where instances must stay busy
+//! monitoring the side channel) runs on a fraction of the fleet.
+
+use std::collections::HashSet;
+
+use eaao_cloudsim::ids::{AccountId, InstanceId};
+use eaao_orchestrator::error::LaunchError;
+use eaao_orchestrator::world::World;
+use eaao_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::coverage::measure_coverage;
+use crate::experiment::PROBE_GAP;
+use crate::fingerprint::{Gen1Fingerprint, Gen1Fingerprinter};
+use crate::probe::probe_fleet;
+use crate::strategy::OptimizedLaunch;
+use crate::verify::ctest::{ctest, CTestConfig};
+
+/// Fingerprints of hosts where the victim was confirmed during an attack.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VictimHostRecord {
+    fingerprints: HashSet<Gen1Fingerprint>,
+}
+
+impl VictimHostRecord {
+    /// Number of recorded victim hosts.
+    pub fn len(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.fingerprints.is_empty()
+    }
+
+    /// Whether a fingerprint matches a recorded victim host.
+    pub fn matches(&self, fingerprint: &Gen1Fingerprint) -> bool {
+        self.fingerprints.contains(fingerprint)
+    }
+}
+
+/// Outcome of one attack in a repeated campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepeatAttackOutcome {
+    /// Instances retained for the extraction phase.
+    pub retained_instances: Vec<InstanceId>,
+    /// Instances the attacker launched in total.
+    pub launched_instances: usize,
+    /// Victim instance coverage of the retained fleet (ground truth).
+    pub coverage: f64,
+    /// Cost of the attack including an extraction phase of the configured
+    /// length, in USD.
+    pub cost_usd: f64,
+}
+
+/// A repeated-attack campaign against one victim account.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepeatedAttack {
+    /// The priming campaign used in each attack.
+    pub campaign: OptimizedLaunch,
+    /// How long the extraction phase keeps instances connected and busy
+    /// (this is what focusing makes cheap).
+    pub extraction_hold: SimDuration,
+}
+
+impl Default for RepeatedAttack {
+    fn default() -> Self {
+        RepeatedAttack {
+            campaign: OptimizedLaunch::default(),
+            extraction_hold: SimDuration::from_hours(1),
+        }
+    }
+}
+
+impl RepeatedAttack {
+    /// The first attack: prime, confirm co-location with the victim over
+    /// the covert channel, record the fingerprints of confirmed victim
+    /// hosts, and run the extraction phase on the *full* fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`LaunchError`].
+    pub fn first_attack(
+        &self,
+        world: &mut World,
+        attacker: AccountId,
+        victim_instances: &[InstanceId],
+    ) -> Result<(RepeatAttackOutcome, VictimHostRecord), LaunchError> {
+        let cost_start = world.billed_for(attacker).as_usd();
+        let report = self.campaign.run(world, attacker)?;
+        let launched = report.live_instances.len();
+
+        // Confirm victim co-location pairwise over the covert channel and
+        // record the fingerprints of confirmed hosts.
+        let fingerprinter = Gen1Fingerprinter::default();
+        let own = probe_fleet(world, &report.live_instances, PROBE_GAP);
+        let mut record = VictimHostRecord::default();
+        let mut covered = 0usize;
+        let config = CTestConfig::default();
+        for &victim in victim_instances {
+            // Candidate = any own instance on the victim's host; testing
+            // one instance per distinct own fingerprint would be the
+            // fingerprint-guided path — here (first attack) the attacker
+            // has no record yet, so test victim against a sample of its
+            // own fleet grouped by host fingerprint.
+            let mut confirmed = None;
+            let mut seen = HashSet::new();
+            for reading in &own {
+                let Some(fp) = fingerprinter.fingerprint(reading) else {
+                    continue;
+                };
+                if !seen.insert(fp.clone()) {
+                    continue;
+                }
+                if !world.instance(victim).is_alive() {
+                    break;
+                }
+                let verdicts = ctest(world, &[victim, reading.instance], &config)
+                    .map_err(|_| LaunchError::UnknownService(world.instance(victim).service()))
+                    .unwrap_or_else(|_| vec![false, false]);
+                if verdicts[0] && verdicts[1] {
+                    confirmed = Some(fp);
+                    break;
+                }
+            }
+            if let Some(fp) = confirmed {
+                covered += 1;
+                record.fingerprints.insert(fp);
+            }
+        }
+
+        // Extraction phase on the full fleet, then disconnect: the attack
+        // is over and idle instances are free (and soon reaped).
+        world.advance(self.extraction_hold);
+        for service in &report.services {
+            world.disconnect_all(*service);
+        }
+        let cost = world.billed_for(attacker).as_usd() - cost_start;
+        Ok((
+            RepeatAttackOutcome {
+                coverage: covered as f64 / victim_instances.len().max(1) as f64,
+                retained_instances: report.live_instances,
+                launched_instances: launched,
+                cost_usd: cost,
+            },
+            record,
+        ))
+    }
+
+    /// A subsequent attack against the same victim: prime as before, but
+    /// retain only the instances whose host fingerprints match the
+    /// recorded victim hosts; everything else is killed before the
+    /// extraction phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`LaunchError`].
+    pub fn focused_attack(
+        &self,
+        world: &mut World,
+        attacker: AccountId,
+        record: &VictimHostRecord,
+        victim_instances: &[InstanceId],
+    ) -> Result<RepeatAttackOutcome, LaunchError> {
+        let cost_start = world.billed_for(attacker).as_usd();
+        let report = self.campaign.run(world, attacker)?;
+        let launched = report.live_instances.len();
+
+        // Keep only instances on recorded victim hosts.
+        let fingerprinter = Gen1Fingerprinter::default();
+        let own = probe_fleet(world, &report.live_instances, PROBE_GAP);
+        let retained: Vec<InstanceId> = own
+            .iter()
+            .filter(|r| {
+                fingerprinter
+                    .fingerprint(r)
+                    .is_some_and(|fp| record.matches(&fp))
+            })
+            .map(|r| r.instance)
+            .collect();
+        let retained_set: HashSet<InstanceId> = retained.iter().copied().collect();
+        for service in &report.services {
+            // Kill everything not retained: disconnecting would leave them
+            // idle (free) but the attacker wants the capacity released.
+            let doomed: Vec<InstanceId> = world
+                .alive_instances_of(*service)
+                .into_iter()
+                .filter(|id| !retained_set.contains(id))
+                .collect();
+            for id in doomed {
+                world.kill_instance(id);
+            }
+        }
+
+        // Extraction phase on the focused fleet only, then disconnect.
+        world.advance(self.extraction_hold);
+        for service in &report.services {
+            world.disconnect_all(*service);
+        }
+        let cost = world.billed_for(attacker).as_usd() - cost_start;
+        let coverage =
+            measure_coverage(world, &retained, victim_instances).victim_instance_coverage();
+        Ok(RepeatAttackOutcome {
+            retained_instances: retained,
+            launched_instances: launched,
+            coverage,
+            cost_usd: cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eaao_cloudsim::service::ServiceSpec;
+    use eaao_orchestrator::config::RegionConfig;
+
+    fn setup(seed: u64) -> (World, AccountId, Vec<InstanceId>) {
+        let mut world = World::new(RegionConfig::us_west1(), seed);
+        let attacker = world.create_account();
+        let victim = world.create_account();
+        let victim_service = world.deploy_service(victim, ServiceSpec::default());
+        let victims = world
+            .launch(victim_service, 40)
+            .expect("victim fits")
+            .instances()
+            .to_vec();
+        (world, attacker, victims)
+    }
+
+    fn small_attack() -> RepeatedAttack {
+        RepeatedAttack {
+            campaign: OptimizedLaunch {
+                services: 2,
+                launches_per_service: 3,
+                instances_per_launch: 300,
+                ..OptimizedLaunch::default()
+            },
+            extraction_hold: SimDuration::from_mins(30),
+        }
+    }
+
+    #[test]
+    fn first_attack_records_victim_hosts() {
+        let (mut world, attacker, victims) = setup(81);
+        let (outcome, record) = small_attack()
+            .first_attack(&mut world, attacker, &victims)
+            .expect("fits");
+        assert!(outcome.coverage > 0.8, "coverage {}", outcome.coverage);
+        assert!(!record.is_empty());
+        // At most one fingerprint per victim host.
+        assert!(record.len() <= 10, "recorded {} hosts", record.len());
+    }
+
+    #[test]
+    fn focused_attack_is_cheaper_with_comparable_coverage() {
+        let (mut world, attacker, victims) = setup(82);
+        let attack = small_attack();
+        let (first, record) = attack
+            .first_attack(&mut world, attacker, &victims)
+            .expect("fits");
+        // Victim stays up; attacker strikes again later.
+        world.advance(SimDuration::from_mins(45));
+        let focused = attack
+            .focused_attack(&mut world, attacker, &record, &victims)
+            .expect("fits");
+        assert!(
+            focused.retained_instances.len() * 3 < focused.launched_instances,
+            "retained {} of {}",
+            focused.retained_instances.len(),
+            focused.launched_instances
+        );
+        assert!(
+            focused.cost_usd < first.cost_usd * 0.6,
+            "focused ${:.2} vs first ${:.2}",
+            focused.cost_usd,
+            first.cost_usd
+        );
+        assert!(
+            focused.coverage > first.coverage * 0.7,
+            "focused coverage {} vs first {}",
+            focused.coverage,
+            first.coverage
+        );
+    }
+
+    #[test]
+    fn empty_record_retains_nothing() {
+        let (mut world, attacker, victims) = setup(83);
+        let record = VictimHostRecord::default();
+        let outcome = small_attack()
+            .focused_attack(&mut world, attacker, &record, &victims)
+            .expect("fits");
+        assert!(outcome.retained_instances.is_empty());
+        assert_eq!(outcome.coverage, 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! The `CTest` covert-channel primitive (Section 4.3).
+//!
+//! `CTest(i₁, …, iₙ) → {b₁, …, bₙ}` instructs all `n` instances to pressure
+//! the shared RNG unit simultaneously and reports, per instance, whether it
+//! observed contention at or above a threshold of `m` units in enough
+//! measurement rounds.
+//!
+//! Each participant contributes one unit of contention (its own pressure
+//! counts towards the total on its host), so with threshold `m` it takes at
+//! least `m` co-located participants for any of them to test positive; if
+//! between `m` and `2m−1` participants test positive, they are verified to
+//! share a single host in one test.
+
+use eaao_cloudsim::ids::InstanceId;
+use eaao_cloudsim::rng_unit::is_positive;
+use eaao_orchestrator::error::GuestError;
+use eaao_orchestrator::world::World;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one `CTest` invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CTestConfig {
+    /// Contention threshold `m`, in units (participants per host, including
+    /// the observer).
+    pub threshold_m: u32,
+    /// Measurement rounds per test (the paper uses 60).
+    pub rounds: usize,
+    /// Rounds that must meet the threshold for a positive verdict (the
+    /// paper requires 30 of 60).
+    pub min_positive_rounds: usize,
+}
+
+impl Default for CTestConfig {
+    fn default() -> Self {
+        CTestConfig {
+            threshold_m: 2,
+            rounds: 60,
+            min_positive_rounds: 30,
+        }
+    }
+}
+
+impl CTestConfig {
+    /// The largest group testable without host-count ambiguity: `2m − 1`
+    /// (Section 4.3).
+    pub fn max_unambiguous_group(&self) -> usize {
+        (2 * self.threshold_m - 1) as usize
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 2`, `rounds` is zero, or the positive-round bar
+    /// exceeds the round count.
+    pub fn validate(&self) {
+        assert!(self.threshold_m >= 2, "threshold m must be at least 2");
+        assert!(self.rounds > 0, "rounds must be positive");
+        assert!(
+            self.min_positive_rounds <= self.rounds,
+            "cannot require more positives than rounds"
+        );
+    }
+}
+
+/// Runs one `CTest` over `participants`, returning each participant's
+/// verdict.
+///
+/// Advances the simulation clock by the test duration.
+///
+/// # Errors
+///
+/// Returns a [`GuestError`] if any participant is unknown or dead.
+///
+/// # Panics
+///
+/// Panics on an invalid `config` (see [`CTestConfig::validate`]).
+pub fn ctest(
+    world: &mut World,
+    participants: &[InstanceId],
+    config: &CTestConfig,
+) -> Result<Vec<bool>, GuestError> {
+    config.validate();
+    let observations = world.rng_covert_observations(participants, config.rounds)?;
+    Ok(observations
+        .iter()
+        .map(|obs| {
+            // The observer's own unit counts towards the total, so it needs
+            // to *see* only m − 1 units from others.
+            is_positive(obs, config.threshold_m - 1, config.min_positive_rounds)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eaao_cloudsim::ids::HostId;
+    use eaao_cloudsim::service::ServiceSpec;
+    use eaao_orchestrator::config::RegionConfig;
+    use std::collections::HashMap;
+
+    fn world_with_instances(seed: u64, count: usize) -> (World, Vec<InstanceId>) {
+        let mut world = World::new(RegionConfig::us_west1().with_hosts(40), seed);
+        let account = world.create_account();
+        let service =
+            world.deploy_service(account, ServiceSpec::default().with_max_instances(1_000));
+        let launch = world.launch(service, count).expect("fits");
+        let ids = launch.instances().to_vec();
+        (world, ids)
+    }
+
+    fn by_host(world: &World, ids: &[InstanceId]) -> HashMap<HostId, Vec<InstanceId>> {
+        let mut map: HashMap<HostId, Vec<InstanceId>> = HashMap::new();
+        for &id in ids {
+            map.entry(world.host_of(id)).or_default().push(id);
+        }
+        map
+    }
+
+    #[test]
+    fn co_located_pair_tests_positive_with_m2() {
+        let (mut world, ids) = world_with_instances(1, 60);
+        let hosts = by_host(&world, &ids);
+        let pair = hosts.values().find(|v| v.len() >= 2).expect("pair");
+        let verdicts = ctest(&mut world, &pair[..2], &CTestConfig::default()).expect("alive");
+        assert_eq!(verdicts, vec![true, true]);
+    }
+
+    #[test]
+    fn separated_pair_tests_negative() {
+        let (mut world, ids) = world_with_instances(2, 60);
+        let a = ids[0];
+        let b = ids
+            .iter()
+            .copied()
+            .find(|&i| world.host_of(i) != world.host_of(a))
+            .expect("other host");
+        let verdicts = ctest(&mut world, &[a, b], &CTestConfig::default()).expect("alive");
+        assert_eq!(verdicts, vec![false, false]);
+    }
+
+    #[test]
+    fn higher_threshold_needs_more_co_location() {
+        let (mut world, ids) = world_with_instances(3, 120);
+        let hosts = by_host(&world, &ids);
+        let trio = hosts.values().find(|v| v.len() >= 3).expect("trio");
+        let m3 = CTestConfig {
+            threshold_m: 3,
+            ..CTestConfig::default()
+        };
+        // Two co-located instances are below an m=3 threshold...
+        let verdicts = ctest(&mut world, &trio[..2], &m3).expect("alive");
+        assert_eq!(verdicts, vec![false, false]);
+        // ...but three clear it.
+        let verdicts = ctest(&mut world, &trio[..3], &m3).expect("alive");
+        assert_eq!(verdicts, vec![true, true, true]);
+    }
+
+    #[test]
+    fn mixed_group_flags_only_the_co_located() {
+        let (mut world, ids) = world_with_instances(4, 60);
+        let hosts = by_host(&world, &ids);
+        let pair = hosts.values().find(|v| v.len() >= 2).expect("pair");
+        let solo = ids
+            .iter()
+            .copied()
+            .find(|&i| world.host_of(i) != world.host_of(pair[0]))
+            .expect("solo");
+        let group = [pair[0], pair[1], solo];
+        let verdicts = ctest(&mut world, &group, &CTestConfig::default()).expect("alive");
+        assert_eq!(verdicts, vec![true, true, false]);
+    }
+
+    #[test]
+    fn max_unambiguous_group_follows_m() {
+        assert_eq!(CTestConfig::default().max_unambiguous_group(), 3);
+        let m4 = CTestConfig {
+            threshold_m: 4,
+            ..CTestConfig::default()
+        };
+        assert_eq!(m4.max_unambiguous_group(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold m must be at least 2")]
+    fn rejects_m1() {
+        let bad = CTestConfig {
+            threshold_m: 1,
+            ..CTestConfig::default()
+        };
+        let (mut world, ids) = world_with_instances(5, 2);
+        let _ = ctest(&mut world, &ids, &bad);
+    }
+
+    #[test]
+    fn dead_participant_errors() {
+        let (mut world, ids) = world_with_instances(6, 2);
+        let service = world.instance(ids[0]).service();
+        world.kill_all(service);
+        assert!(ctest(&mut world, &ids, &CTestConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,18 @@
+//! Instance co-location verification (Section 4.3).
+//!
+//! * [`ctest`](mod@self::ctest) — the multi-party covert-channel test
+//!   primitive.
+//! * [`hierarchical`] — the paper's scalable O(hosts) methodology.
+//! * [`pairwise`] — the conventional O(N²) baseline.
+//! * [`sie`] — Single Instance Elimination, the prior speed-up that fails
+//!   on FaaS.
+
+pub mod ctest;
+pub mod hierarchical;
+pub mod pairwise;
+pub mod sie;
+
+pub use ctest::{ctest, CTestConfig};
+pub use hierarchical::{HierarchicalVerifier, VerificationOutcome, VerifierStats};
+pub use pairwise::{pair_count, pairwise_verify, PairwiseChannel, PairwiseOutcome, PairwiseStats};
+pub use sie::{single_instance_elimination, SieOutcome};

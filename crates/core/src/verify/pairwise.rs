@@ -1,0 +1,157 @@
+//! Conventional pairwise co-location testing — the baseline the paper's
+//! method replaces (Section 4.3, "Comparison with conventional pairwise
+//! covert-channel testing").
+//!
+//! Every unique pair of instances is tested with a serialized two-party
+//! covert-channel test. For 800 instances that is 319,600 tests; at an
+//! optimistic 100 ms per test the campaign takes ~8.9 hours and ~$645 of
+//! active-instance time, against minutes and single-digit dollars for the
+//! hierarchical method.
+
+use eaao_cloudsim::ids::InstanceId;
+use eaao_cloudsim::pricing::Cost;
+use eaao_orchestrator::error::GuestError;
+use eaao_orchestrator::world::World;
+use eaao_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::CoLocationForest;
+use crate::verify::ctest::{ctest, CTestConfig};
+
+/// Which two-party covert channel the pairwise baseline uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PairwiseChannel {
+    /// The RNG-unit channel (~100 ms per test) — the paper's optimistic
+    /// assumption.
+    #[default]
+    RngUnit,
+    /// The memory-bus channel of Varadarajan et al. (~seconds per test).
+    MemoryBus,
+}
+
+/// Accounting for a pairwise campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PairwiseStats {
+    /// Pairwise tests executed.
+    pub tests: usize,
+    /// Wall time consumed (tests are serialized to avoid interference).
+    pub wall: SimDuration,
+    /// Billed cost of the campaign.
+    pub cost: Cost,
+}
+
+/// Result of pairwise verification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairwiseOutcome {
+    /// Co-location clusters implied by the pairwise verdicts.
+    pub clusters: Vec<Vec<InstanceId>>,
+    /// Accounting.
+    pub stats: PairwiseStats,
+}
+
+/// Runs the full O(N²) pairwise campaign over `instances`.
+///
+/// # Errors
+///
+/// Returns a [`GuestError`] if any instance dies mid-campaign.
+pub fn pairwise_verify(
+    world: &mut World,
+    instances: &[InstanceId],
+    channel: PairwiseChannel,
+) -> Result<PairwiseOutcome, GuestError> {
+    let mut forest = CoLocationForest::new(instances.iter().copied());
+    let mut stats = PairwiseStats::default();
+    let wall_start = world.now();
+    let cost_start = world.billed();
+    let config = CTestConfig::default();
+    for i in 0..instances.len() {
+        for j in (i + 1)..instances.len() {
+            let (a, b) = (instances[i], instances[j]);
+            stats.tests += 1;
+            let positive = match channel {
+                PairwiseChannel::RngUnit => {
+                    let verdicts = ctest(world, &[a, b], &config)?;
+                    verdicts[0] && verdicts[1]
+                }
+                PairwiseChannel::MemoryBus => world.membus_pairwise_test(a, b)?,
+            };
+            if positive {
+                forest.merge(a, b);
+            }
+        }
+    }
+    stats.wall = world.now() - wall_start;
+    stats.cost = world.billed() - cost_start;
+    Ok(PairwiseOutcome {
+        clusters: forest.clusters(),
+        stats,
+    })
+}
+
+/// Number of unique pairs among `n` instances — the campaign length.
+pub fn pair_count(n: usize) -> usize {
+    n * n.saturating_sub(1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eaao_cloudsim::service::ServiceSpec;
+    use eaao_orchestrator::config::RegionConfig;
+    use std::collections::HashMap;
+
+    fn launch_world(seed: u64, count: usize) -> (World, Vec<InstanceId>) {
+        let mut world = World::new(RegionConfig::us_west1().with_hosts(30), seed);
+        let account = world.create_account();
+        let service =
+            world.deploy_service(account, ServiceSpec::default().with_max_instances(1_000));
+        let launch = world.launch(service, count).expect("fits");
+        (world, launch.instances().to_vec())
+    }
+
+    #[test]
+    fn paper_pair_count() {
+        assert_eq!(pair_count(800), 319_600);
+        assert_eq!(pair_count(0), 0);
+        assert_eq!(pair_count(1), 0);
+        assert_eq!(pair_count(2), 1);
+    }
+
+    #[test]
+    fn recovers_ground_truth_clusters() {
+        let (mut world, ids) = launch_world(1, 24);
+        let outcome = pairwise_verify(&mut world, &ids, PairwiseChannel::RngUnit).expect("alive");
+        let mut truth: HashMap<_, Vec<InstanceId>> = HashMap::new();
+        for &id in &ids {
+            truth.entry(world.host_of(id)).or_default().push(id);
+        }
+        let mut truth: Vec<Vec<InstanceId>> = truth.into_values().collect();
+        truth.sort();
+        let mut got = outcome.clusters.clone();
+        got.sort();
+        assert_eq!(truth, got);
+        assert_eq!(outcome.stats.tests, pair_count(24));
+    }
+
+    #[test]
+    fn wall_time_scales_quadratically() {
+        let (mut world, ids) = launch_world(2, 20);
+        let outcome = pairwise_verify(&mut world, &ids, PairwiseChannel::RngUnit).expect("alive");
+        // 190 serialized ~100 ms tests ≈ 19 s.
+        let expected = 0.1 * pair_count(20) as f64;
+        assert!(
+            (outcome.stats.wall.as_secs_f64() - expected).abs() / expected < 0.05,
+            "wall {}",
+            outcome.stats.wall
+        );
+        assert!(outcome.stats.cost.as_usd() > 0.0);
+    }
+
+    #[test]
+    fn membus_channel_is_slower() {
+        let (mut world, ids) = launch_world(3, 6);
+        let outcome = pairwise_verify(&mut world, &ids, PairwiseChannel::MemoryBus).expect("alive");
+        // 15 tests × 3 s.
+        assert!(outcome.stats.wall >= SimDuration::from_secs(45));
+    }
+}

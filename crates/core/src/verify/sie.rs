@@ -1,0 +1,127 @@
+//! Single Instance Elimination (İnci et al.) — the pairwise-testing
+//! speed-up the paper shows is ineffective on FaaS (Section 4.3).
+//!
+//! SIE tests *all* instances simultaneously and removes those that observe
+//! no contention: they cannot be co-located with anyone. On EC2-style VM
+//! fleets this prunes most instances. On a FaaS platform the orchestrator
+//! deliberately packs many instances of the same service onto shared hosts
+//! (Observation 1), so essentially every instance is co-located with some
+//! other instance and SIE removes nothing.
+
+use eaao_cloudsim::ids::InstanceId;
+use eaao_orchestrator::error::GuestError;
+use eaao_orchestrator::world::World;
+use serde::{Deserialize, Serialize};
+
+use crate::verify::ctest::{ctest, CTestConfig};
+use crate::verify::pairwise::pair_count;
+
+/// Result of one SIE filtering pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SieOutcome {
+    /// Instances that survived (tested positive — co-located with someone).
+    pub survivors: Vec<InstanceId>,
+    /// Instances eliminated (tested negative — alone on their hosts).
+    pub eliminated: Vec<InstanceId>,
+}
+
+impl SieOutcome {
+    /// Fraction of instances eliminated — SIE's effectiveness.
+    pub fn elimination_rate(&self) -> f64 {
+        let total = self.survivors.len() + self.eliminated.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.eliminated.len() as f64 / total as f64
+        }
+    }
+
+    /// Pairwise tests still required after filtering.
+    pub fn remaining_pairwise_tests(&self) -> usize {
+        pair_count(self.survivors.len())
+    }
+}
+
+/// Runs one SIE pass: every instance pressures at once; negatives are
+/// eliminated.
+///
+/// # Errors
+///
+/// Returns a [`GuestError`] if any instance is unknown or dead.
+pub fn single_instance_elimination(
+    world: &mut World,
+    instances: &[InstanceId],
+) -> Result<SieOutcome, GuestError> {
+    let config = CTestConfig::default();
+    let verdicts = ctest(world, instances, &config)?;
+    let mut survivors = Vec::new();
+    let mut eliminated = Vec::new();
+    for (&id, &positive) in instances.iter().zip(&verdicts) {
+        if positive {
+            survivors.push(id);
+        } else {
+            eliminated.push(id);
+        }
+    }
+    Ok(SieOutcome {
+        survivors,
+        eliminated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eaao_cloudsim::service::ServiceSpec;
+    use eaao_orchestrator::config::RegionConfig;
+
+    #[test]
+    fn sie_is_ineffective_on_faas() {
+        // A FaaS launch packs instances together: SIE removes (almost)
+        // nothing and the pairwise campaign stays quadratic.
+        let mut world = World::new(RegionConfig::us_west1().with_hosts(30), 1);
+        let account = world.create_account();
+        let service =
+            world.deploy_service(account, ServiceSpec::default().with_max_instances(1_000));
+        let launch = world.launch(service, 200).expect("fits");
+        let outcome = single_instance_elimination(&mut world, launch.instances()).expect("alive");
+        assert!(
+            outcome.elimination_rate() < 0.05,
+            "SIE eliminated {:.0}%",
+            outcome.elimination_rate() * 100.0
+        );
+        assert!(outcome.remaining_pairwise_tests() > pair_count(190));
+    }
+
+    #[test]
+    fn sie_prunes_genuinely_solo_instances() {
+        // Scatter a handful of instances across a large pool: most land
+        // alone and are eliminated.
+        let mut world = World::new(RegionConfig::us_east1().with_hosts(400), 2);
+        let account = world.create_account();
+        let service =
+            world.deploy_service(account, ServiceSpec::default().with_max_instances(1_000));
+        let launch = world.launch(service, 8).expect("fits");
+        // With a ~90-host base set and 8 instances the spread leaves most
+        // instances alone (density target keeps 1 host each).
+        let outcome = single_instance_elimination(&mut world, launch.instances()).expect("alive");
+        // Verify against ground truth: eliminated instances really are solo
+        // among the participants.
+        for &id in &outcome.eliminated {
+            let co = launch
+                .instances()
+                .iter()
+                .filter(|&&other| other != id && world.co_located(id, other))
+                .count();
+            assert_eq!(co, 0, "eliminated instance {id} was co-located");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_trivial() {
+        let mut world = World::new(RegionConfig::us_west1().with_hosts(10), 3);
+        let outcome = single_instance_elimination(&mut world, &[]).expect("trivial");
+        assert_eq!(outcome.elimination_rate(), 0.0);
+        assert_eq!(outcome.remaining_pairwise_tests(), 0);
+    }
+}

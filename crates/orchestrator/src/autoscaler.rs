@@ -1,0 +1,76 @@
+//! Autoscaling (Section 2.2).
+//!
+//! "When there is a surge in requests for a function that exceeds its
+//! current capacity, the orchestrator scales out, deploying additional
+//! instances ... when the demand declines, the orchestrator scales in by
+//! terminating excess instances." With the paper's one-connection-per-
+//! instance configuration, the target instance count equals the concurrent
+//! request count.
+//!
+//! The decision logic is pure and separately testable; [`World::set_load`]
+//! applies it (reusing warm instances on scale-out, idling the
+//! most-recently-created instances on scale-in, leaving the actual
+//! termination to the idle reaper — Cloud Run does not kill scaled-in
+//! instances immediately either, which is exactly what the attacker's
+//! 10-minute priming rhythm exploits).
+//!
+//! [`World::set_load`]: crate::world::World::set_load
+
+use serde::{Deserialize, Serialize};
+
+/// What the autoscaler decided to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleAction {
+    /// Add this many instances.
+    Out(usize),
+    /// Idle this many instances.
+    In(usize),
+    /// Capacity already matches demand.
+    Hold,
+}
+
+/// Computes the scaling action for a service at `active` instances facing
+/// `demand` concurrent requests, bounded by the service's `max_instances`.
+///
+/// Demand beyond the cap is truncated: the surplus requests queue or fail
+/// at the platform edge, but the fleet never exceeds the configured
+/// maximum.
+pub fn decide(active: usize, demand: usize, max_instances: usize) -> ScaleAction {
+    let target = demand.min(max_instances);
+    match target.cmp(&active) {
+        std::cmp::Ordering::Greater => ScaleAction::Out(target - active),
+        std::cmp::Ordering::Less => ScaleAction::In(active - target),
+        std::cmp::Ordering::Equal => ScaleAction::Hold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_out_on_surge() {
+        assert_eq!(decide(10, 25, 100), ScaleAction::Out(15));
+        assert_eq!(decide(0, 1, 100), ScaleAction::Out(1));
+    }
+
+    #[test]
+    fn scales_in_on_decline() {
+        assert_eq!(decide(25, 10, 100), ScaleAction::In(15));
+        assert_eq!(decide(5, 0, 100), ScaleAction::In(5));
+    }
+
+    #[test]
+    fn holds_at_equilibrium() {
+        assert_eq!(decide(10, 10, 100), ScaleAction::Hold);
+        assert_eq!(decide(0, 0, 100), ScaleAction::Hold);
+    }
+
+    #[test]
+    fn respects_the_instance_cap() {
+        assert_eq!(decide(90, 500, 100), ScaleAction::Out(10));
+        assert_eq!(decide(100, 500, 100), ScaleAction::Hold);
+        // Already above a (lowered) cap: scale in to it.
+        assert_eq!(decide(120, 500, 100), ScaleAction::In(20));
+    }
+}

@@ -1,0 +1,138 @@
+//! Per-service demand tracking for the load balancer.
+//!
+//! Experiment 4 (Observation 5) shows the orchestrator reacts to a
+//! service's usage within approximately the past 30 minutes: a service that
+//! repeatedly runs many concurrent instances inside that window is treated
+//! as "hot", and new instances spill onto helper hosts. The demand window
+//! records launch events and answers two questions: *is the service hot
+//! right now?* and *how much pressure has it built up?*
+
+use std::collections::VecDeque;
+
+use eaao_simcore::time::{SimDuration, SimTime};
+
+/// Sliding-window launch history of one service.
+#[derive(Debug, Clone, Default)]
+pub struct DemandWindow {
+    window: SimDuration,
+    hot_threshold: usize,
+    /// `(time, instances_requested)` launch events inside the window.
+    events: VecDeque<(SimTime, usize)>,
+}
+
+impl DemandWindow {
+    /// Creates a window of length `window`; launches of at least
+    /// `hot_threshold` instances count towards hotness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is not positive.
+    pub fn new(window: SimDuration, hot_threshold: usize) -> Self {
+        assert!(window.as_nanos() > 0, "window must be positive");
+        DemandWindow {
+            window,
+            hot_threshold,
+            events: VecDeque::new(),
+        }
+    }
+
+    /// Records a launch of `instances` at `now`.
+    pub fn record_launch(&mut self, now: SimTime, instances: usize) {
+        self.prune(now);
+        self.events.push_back((now, instances));
+    }
+
+    /// Whether the service is hot at `now`: at least one *prior* launch of
+    /// `hot_threshold`+ instances inside the window. The launch being
+    /// processed right now must be recorded *after* the hotness check — a
+    /// cold service's first launch goes to base hosts only.
+    pub fn is_hot(&mut self, now: SimTime) -> bool {
+        self.prune(now);
+        self.events
+            .iter()
+            .any(|&(_, count)| count >= self.hot_threshold)
+    }
+
+    /// Demand pressure at `now`: the number of qualifying launches inside
+    /// the window. Drives the load balancer's saturating helper target.
+    pub fn pressure(&mut self, now: SimTime) -> usize {
+        self.prune(now);
+        self.events
+            .iter()
+            .filter(|&&(_, count)| count >= self.hot_threshold)
+            .count()
+    }
+
+    fn prune(&mut self, now: SimTime) {
+        let horizon = now - self.window;
+        while let Some(&(t, _)) = self.events.front() {
+            if t < horizon {
+                self.events.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> DemandWindow {
+        DemandWindow::new(SimDuration::from_mins(30), 100)
+    }
+
+    #[test]
+    fn cold_service_is_not_hot() {
+        let mut w = window();
+        assert!(!w.is_hot(SimTime::ZERO));
+        assert_eq!(w.pressure(SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn first_launch_checked_before_recording_is_cold() {
+        let mut w = window();
+        let t = SimTime::from_mins(5);
+        // The orchestrator checks hotness first...
+        assert!(!w.is_hot(t));
+        // ...then records the launch.
+        w.record_launch(t, 800);
+        // The *next* launch inside the window sees a hot service.
+        assert!(w.is_hot(t + SimDuration::from_mins(10)));
+    }
+
+    #[test]
+    fn hotness_expires_after_window() {
+        let mut w = window();
+        w.record_launch(SimTime::ZERO, 800);
+        assert!(w.is_hot(SimTime::from_mins(29)));
+        assert!(!w.is_hot(SimTime::from_mins(31)));
+    }
+
+    #[test]
+    fn small_launches_do_not_heat() {
+        let mut w = window();
+        w.record_launch(SimTime::ZERO, 50);
+        assert!(!w.is_hot(SimTime::from_mins(1)));
+        // They are still recorded (pruning exercises them).
+        w.record_launch(SimTime::from_mins(2), 99);
+        assert_eq!(w.pressure(SimTime::from_mins(3)), 0);
+    }
+
+    #[test]
+    fn pressure_counts_qualifying_launches_in_window() {
+        let mut w = window();
+        for k in 0..4 {
+            w.record_launch(SimTime::from_mins(10 * k), 800);
+        }
+        // At t=35, the t=0 launch fell out of the window; 3 remain.
+        assert_eq!(w.pressure(SimTime::from_mins(35)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn rejects_zero_window() {
+        DemandWindow::new(SimDuration::ZERO, 1);
+    }
+}

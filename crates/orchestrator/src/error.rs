@@ -1,0 +1,123 @@
+//! Orchestrator error types.
+
+use std::error::Error;
+use std::fmt;
+
+use eaao_cloudsim::ids::{InstanceId, ServiceId};
+
+/// Why a launch request was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The request exceeds the service's configured instance cap.
+    ExceedsServiceCap {
+        /// Instances requested.
+        requested: usize,
+        /// The service's configured maximum.
+        cap: usize,
+    },
+    /// The request exceeds the owning account's quota (e.g. a new account
+    /// capped at 10 instances per service).
+    ExceedsAccountQuota {
+        /// Instances requested.
+        requested: usize,
+        /// The account's per-service quota.
+        quota: usize,
+    },
+    /// The service id is not deployed in this region.
+    UnknownService(ServiceId),
+    /// The data center could not place all requested instances.
+    DataCenterFull {
+        /// Instances that could be placed.
+        placed: usize,
+        /// Instances requested.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::ExceedsServiceCap { requested, cap } => {
+                write!(
+                    f,
+                    "requested {requested} instances exceeds service cap {cap}"
+                )
+            }
+            LaunchError::ExceedsAccountQuota { requested, quota } => {
+                write!(
+                    f,
+                    "requested {requested} instances exceeds account quota {quota}"
+                )
+            }
+            LaunchError::UnknownService(id) => write!(f, "unknown service {id}"),
+            LaunchError::DataCenterFull { placed, requested } => {
+                write!(
+                    f,
+                    "data center full: placed {placed} of {requested} instances"
+                )
+            }
+        }
+    }
+}
+
+impl Error for LaunchError {}
+
+/// Why a guest operation was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuestError {
+    /// The instance id is unknown.
+    UnknownInstance(InstanceId),
+    /// The instance has been terminated.
+    Terminated(InstanceId),
+}
+
+impl fmt::Display for GuestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuestError::UnknownInstance(id) => write!(f, "unknown instance {id}"),
+            GuestError::Terminated(id) => write!(f, "instance {id} is terminated"),
+        }
+    }
+}
+
+impl Error for GuestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = LaunchError::ExceedsServiceCap {
+            requested: 900,
+            cap: 100,
+        };
+        assert_eq!(
+            e.to_string(),
+            "requested 900 instances exceeds service cap 100"
+        );
+        let e = LaunchError::ExceedsAccountQuota {
+            requested: 20,
+            quota: 10,
+        };
+        assert!(e.to_string().contains("quota 10"));
+        let e = LaunchError::UnknownService(ServiceId::from_raw(5));
+        assert!(e.to_string().contains("service-5"));
+        let e = LaunchError::DataCenterFull {
+            placed: 10,
+            requested: 20,
+        };
+        assert!(e.to_string().contains("placed 10 of 20"));
+        let e = GuestError::Terminated(InstanceId::from_raw(1));
+        assert!(e.to_string().contains("instance-1"));
+        let e = GuestError::UnknownInstance(InstanceId::from_raw(2));
+        assert!(e.to_string().contains("instance-2"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<LaunchError>();
+        assert_error::<GuestError>();
+    }
+}

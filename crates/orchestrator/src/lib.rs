@@ -1,0 +1,39 @@
+//! Cloud-Run-like FaaS orchestrator for the EAAO reproduction.
+//!
+//! This crate implements the platform behaviours the paper reverse-engineers
+//! in Section 5.1 and the simulation [`World`] that experiments drive:
+//!
+//! * [`config`] — region presets (us-east1 / us-central1 / us-west1) and
+//!   the placement tunables behind Observations 1–6.
+//! * [`autoscaler`] — request-driven scale-out/scale-in decisions
+//!   (Section 2.2).
+//! * [`demand`] — the ~30-minute per-service demand window (Observation 5).
+//! * [`placement`] — base hosts per account (scheduling cells), helper-host
+//!   exploration under load, near-uniform spreading, dynamic placement.
+//! * [`world`] — accounts, services, launches, the idle reaper (Figure 6),
+//!   covert-channel plumbing, billing, and churn.
+//! * [`error`] — launch and guest error types.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod autoscaler;
+pub mod config;
+pub mod demand;
+pub mod error;
+pub mod placement;
+pub mod world;
+
+pub use config::{PlacementConfig, RegionConfig};
+pub use error::{GuestError, LaunchError};
+pub use world::{Launch, World};
+
+/// Convenient glob import of the orchestrator types.
+pub mod prelude {
+    pub use crate::autoscaler::{decide as autoscale_decide, ScaleAction};
+    pub use crate::config::{PlacementConfig, RegionConfig};
+    pub use crate::demand::DemandWindow;
+    pub use crate::error::{GuestError, LaunchError};
+    pub use crate::placement::CloudRunPolicy;
+    pub use crate::world::{Launch, World, CTEST_ROUND_DURATION};
+}

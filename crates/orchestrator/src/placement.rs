@@ -1,0 +1,595 @@
+//! The Cloud-Run-like placement policy.
+//!
+//! This module is the generative model behind the behaviours the paper
+//! reverse-engineers in Section 5.1:
+//!
+//! * **Observation 1** — instances of one service spread near-uniformly
+//!   over the hosts used (~10–11 instances per host for an 800-instance
+//!   launch).
+//! * **Observations 3–4** — each account has a preferred set of *base
+//!   hosts*; different accounts usually use different base hosts, but
+//!   overlaps are bimodal (usually none, occasionally near-total). Modeled
+//!   by hashing accounts to *scheduling cells*: hosts are dealt into cells
+//!   round-robin by popularity rank, and an account's base hosts are the
+//!   most popular hosts of its cell.
+//! * **Observations 5–6** — a service that is hot inside the ~30-minute
+//!   demand window spills onto *helper hosts*: a per-service, saturating,
+//!   popularity-weighted exploration of hosts outside the account's base
+//!   set. Different services get different but overlapping helper sets.
+//! * **us-central1 dynamic placement** — the account's base pool is much
+//!   larger and every launch draws a fresh popularity-weighted subset from
+//!   it, so instances land on different hosts across launches even from a
+//!   cold state (the paper's "more dynamic" observation).
+
+use std::collections::HashMap;
+
+use eaao_cloudsim::datacenter::DataCenter;
+use eaao_cloudsim::ids::{AccountId, HostId, ServiceId};
+use eaao_simcore::dist::weighted_sample_indices;
+use eaao_simcore::rng::SimRng;
+
+use crate::config::PlacementConfig;
+
+/// A placement decision: one target host per new instance.
+pub type PlacementPlan = Vec<HostId>;
+
+/// The placement policy state.
+#[derive(Debug)]
+pub struct CloudRunPolicy {
+    config: PlacementConfig,
+    dynamic: bool,
+    /// Per-cell host lists, each ordered by descending popularity.
+    cells: Vec<Vec<HostId>>,
+    /// Cached base-host assignments.
+    base_cache: HashMap<AccountId, Vec<HostId>>,
+    /// Accumulated helper hosts per service, in acquisition order.
+    helpers: HashMap<ServiceId, Vec<HostId>>,
+    /// Salt mixed into the account→cell hash.
+    cell_salt: u64,
+    rng: SimRng,
+}
+
+impl CloudRunPolicy {
+    /// Builds the policy for a data center.
+    pub fn new(dc: &DataCenter, config: PlacementConfig, dynamic: bool, mut rng: SimRng) -> Self {
+        // Rank hosts by popularity (descending) and deal them into cells
+        // round-robin, so every cell spans the popularity spectrum and the
+        // cells partition the pool.
+        let mut ranked: Vec<HostId> = dc.host_ids().collect();
+        ranked.sort_by(|&a, &b| {
+            dc.host(b)
+                .popularity()
+                .partial_cmp(&dc.host(a).popularity())
+                .expect("popularity is finite")
+                .then(a.cmp(&b))
+        });
+        let cell_count = dc.len().div_ceil(config.cell_size).max(1);
+        let mut cells = vec![Vec::new(); cell_count];
+        for (rank, host) in ranked.into_iter().enumerate() {
+            cells[rank % cell_count].push(host);
+        }
+        let cell_salt = rng.next_u64_salt();
+        CloudRunPolicy {
+            config,
+            dynamic,
+            cells,
+            base_cache: HashMap::new(),
+            helpers: HashMap::new(),
+            cell_salt,
+            rng,
+        }
+    }
+
+    /// Number of scheduling cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The scheduling cell an account hashes to.
+    pub fn cell_of(&self, account: AccountId) -> usize {
+        let mut x = u64::from(account.as_raw()) ^ self.cell_salt;
+        // SplitMix64 finalizer.
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x % self.cells.len() as u64) as usize
+    }
+
+    /// The base hosts of an account (most popular hosts of its cell),
+    /// ordered by descending popularity.
+    pub fn base_hosts(&mut self, account: AccountId) -> &[HostId] {
+        if !self.base_cache.contains_key(&account) {
+            let cell = &self.cells[self.cell_of(account)];
+            let count = self.config.base_hosts_per_account.min(cell.len());
+            self.base_cache.insert(account, cell[..count].to_vec());
+        }
+        &self.base_cache[&account]
+    }
+
+    /// The helper hosts a service has accumulated so far.
+    pub fn helper_hosts(&self, service: ServiceId) -> &[HostId] {
+        self.helpers.get(&service).map_or(&[], Vec::as_slice)
+    }
+
+    /// Plans the placement of `need_new` new instances for `service` owned
+    /// by `account`.
+    ///
+    /// `pressure` is the service's demand pressure (qualifying launches in
+    /// the window, *excluding* the current one); `pressure > 0` marks the
+    /// service hot and engages the load balancer.
+    pub fn plan(
+        &mut self,
+        dc: &DataCenter,
+        service: ServiceId,
+        account: AccountId,
+        need_new: usize,
+        pressure: usize,
+    ) -> PlacementPlan {
+        if need_new == 0 {
+            return Vec::new();
+        }
+        if self.config.co_location_resistant {
+            // Section 6 scheduler mitigation: a fresh uniformly random
+            // host subset per launch — no per-account affinity for an
+            // attacker to learn, no demand-driven spreading to exploit.
+            let want =
+                ((need_new as f64 / self.config.target_density).ceil() as usize).clamp(1, dc.len());
+            let uniform = vec![1.0; dc.len()];
+            let targets: Vec<HostId> = weighted_sample_indices(&uniform, want, &mut self.rng)
+                .into_iter()
+                .map(|i| HostId::from_raw(i as u32))
+                .collect();
+            let mut remaining: Vec<usize> = dc.hosts().map(|h| h.free_slots()).collect();
+            return self.spread(dc, &targets, need_new, &mut remaining);
+        }
+        let base: Vec<HostId> = self.base_hosts(account).to_vec();
+
+        // Load balancer: grow the service's helper set towards the
+        // saturating target, bounded by how many new instances actually
+        // need a home (an idle-warm launch barely explores — the paper's
+        // 2-minute-interval experiment found only ~12 new hosts).
+        if pressure > 0 {
+            let target = (self.config.helper_host_max as f64
+                * (1.0 - self.config.helper_decay.powi(pressure as i32)))
+            .round() as usize;
+            let have = self.helpers.get(&service).map_or(0, Vec::len);
+            let growth = target.saturating_sub(have).min(need_new);
+            if growth > 0 {
+                let exclude: Vec<HostId> = base
+                    .iter()
+                    .copied()
+                    .chain(self.helper_hosts(service).iter().copied())
+                    .collect();
+                let fresh = self.sample_hosts(dc, growth, &exclude);
+                self.helpers.entry(service).or_default().extend(fresh);
+            }
+        }
+
+        // Target hosts for this launch.
+        let helpers = self.helper_hosts(service).to_vec();
+        let targets = if helpers.is_empty() {
+            let want = ((need_new as f64 / self.config.target_density).ceil() as usize)
+                .clamp(1, base.len().max(1));
+            if self.dynamic {
+                // Dynamic regions (us-central1): every launch draws a fresh
+                // popularity-weighted subset of the (large) base pool, so
+                // footprints vary launch to launch even from cold.
+                self.weighted_subset(dc, &base, want)
+            } else {
+                // Cold spread: enough of the most popular base hosts to hit
+                // the target density, with mild per-launch jitter (Figure 7
+                // shows footprints that overlap heavily but not perfectly).
+                self.jittered_prefix(&base, want)
+            }
+        } else {
+            // Hot spread: the load balancer thins the per-host load by
+            // using the full base + helper footprint (Figure 9: both curves
+            // rise together).
+            let mut t = base.clone();
+            t.extend(helpers);
+            if self.dynamic {
+                // Keep the per-launch variance: sample a large subset
+                // rather than always using every known host.
+                let want = (t.len() * 4).div_ceil(5).max(1);
+                t = self.weighted_subset(dc, &t, want);
+            }
+            t
+        };
+
+        // Shared capacity ledger for the whole plan: admitting more
+        // instances than a host has slots is an orchestrator bug.
+        let mut remaining: Vec<usize> = dc.hosts().map(|h| h.free_slots()).collect();
+        self.spread(dc, &targets, need_new, &mut remaining)
+    }
+
+    /// A popularity-weighted subset of `candidates` of size `want`.
+    fn weighted_subset(
+        &mut self,
+        dc: &DataCenter,
+        candidates: &[HostId],
+        want: usize,
+    ) -> Vec<HostId> {
+        let weights: Vec<f64> = candidates
+            .iter()
+            .map(|&h| dc.host(h).popularity())
+            .collect();
+        weighted_sample_indices(&weights, want, &mut self.rng)
+            .into_iter()
+            .map(|i| candidates[i])
+            .collect()
+    }
+
+    /// Near-uniform spread of `count` instances over `targets`, respecting
+    /// the `remaining` capacity ledger and spilling popularity-weighted
+    /// when the targets fill up.
+    fn spread(
+        &mut self,
+        dc: &DataCenter,
+        targets: &[HostId],
+        count: usize,
+        remaining: &mut [usize],
+    ) -> PlacementPlan {
+        let mut order: Vec<HostId> = targets.to_vec();
+        self.rng.shuffle(&mut order);
+        let mut plan = Vec::with_capacity(count);
+        let mut cursor = 0;
+        let mut exhausted = 0;
+        while plan.len() < count && exhausted < order.len() {
+            let host = order[cursor % order.len()];
+            cursor += 1;
+            if remaining[host.as_usize()] > 0 {
+                remaining[host.as_usize()] -= 1;
+                exhausted = 0;
+                plan.push(host);
+            } else {
+                exhausted += 1;
+            }
+        }
+        // Spill: targets are full; fall back to the rest of the pool.
+        if plan.len() < count {
+            let missing = count - plan.len();
+            let spill = self.sample_hosts_with_capacity(dc, missing, remaining);
+            plan.extend(spill);
+        }
+        plan
+    }
+
+    /// Popularity-weighted sample of `count` hosts, excluding `exclude`.
+    fn sample_hosts(&mut self, dc: &DataCenter, count: usize, exclude: &[HostId]) -> Vec<HostId> {
+        let mut weights: Vec<f64> = dc.hosts().map(|h| h.popularity()).collect();
+        for &h in exclude {
+            weights[h.as_usize()] = 0.0;
+        }
+        weighted_sample_indices(&weights, count, &mut self.rng)
+            .into_iter()
+            .map(|i| HostId::from_raw(i as u32))
+            .collect()
+    }
+
+    /// Spill allocation: weighted by popularity, but only hosts with slots
+    /// left in the shared capacity ledger.
+    fn sample_hosts_with_capacity(
+        &mut self,
+        dc: &DataCenter,
+        count: usize,
+        remaining: &mut [usize],
+    ) -> Vec<HostId> {
+        let mut plan = Vec::with_capacity(count);
+        let weights: Vec<f64> = dc.hosts().map(|h| h.popularity()).collect();
+        while plan.len() < count {
+            let available: Vec<f64> = weights
+                .iter()
+                .zip(remaining.iter())
+                .map(|(&w, &f)| if f > 0 { w } else { 0.0 })
+                .collect();
+            let picks = weighted_sample_indices(&available, count - plan.len(), &mut self.rng);
+            if picks.is_empty() {
+                break; // the entire data center is full
+            }
+            for i in picks {
+                if plan.len() < count && remaining[i] > 0 {
+                    remaining[i] -= 1;
+                    plan.push(HostId::from_raw(i as u32));
+                }
+            }
+        }
+        plan
+    }
+
+    /// The first `want` of `ordered`, with mild stochastic swaps from the
+    /// tail so repeated launches differ slightly.
+    fn jittered_prefix(&mut self, ordered: &[HostId], want: usize) -> Vec<HostId> {
+        let want = want.min(ordered.len());
+        let mut picked: Vec<HostId> = ordered[..want].to_vec();
+        let tail = &ordered[want..];
+        if tail.is_empty() {
+            return picked;
+        }
+        // Swap ~4% of the prefix with random tail members.
+        let swaps = (want as f64 * 0.04).round() as usize;
+        for _ in 0..swaps {
+            let from = self.rng.below(want as u64) as usize;
+            let to = self.rng.below(tail.len() as u64) as usize;
+            picked[from] = tail[to];
+        }
+        picked.sort_unstable();
+        picked.dedup();
+        picked
+    }
+}
+
+/// Extension used internally for salting.
+trait SaltExt {
+    fn next_u64_salt(&mut self) -> u64;
+}
+
+impl SaltExt for SimRng {
+    fn next_u64_salt(&mut self) -> u64 {
+        use rand::RngCore;
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eaao_cloudsim::host::HostGenConfig;
+
+    fn dc(seed: u64, hosts: usize) -> DataCenter {
+        let mut rng = SimRng::seed_from(seed);
+        DataCenter::generate("test", hosts, &HostGenConfig::default(), 0.9, &mut rng)
+    }
+
+    fn policy(dc: &DataCenter, seed: u64) -> CloudRunPolicy {
+        CloudRunPolicy::new(
+            dc,
+            PlacementConfig::default(),
+            false,
+            SimRng::seed_from(seed),
+        )
+    }
+
+    #[test]
+    fn cells_partition_the_pool() {
+        let dc = dc(1, 520);
+        let p = policy(&dc, 2);
+        assert_eq!(p.cell_count(), 520usize.div_ceil(110));
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0;
+        for c in 0..p.cell_count() {
+            for &h in &p.cells[c] {
+                assert!(seen.insert(h), "host {h} in two cells");
+                total += 1;
+            }
+        }
+        assert_eq!(total, 520);
+    }
+
+    #[test]
+    fn base_hosts_are_stable_and_cell_scoped() {
+        let dc = dc(3, 520);
+        let mut p = policy(&dc, 4);
+        let a = AccountId::from_raw(1);
+        let first: Vec<HostId> = p.base_hosts(a).to_vec();
+        let second: Vec<HostId> = p.base_hosts(a).to_vec();
+        assert_eq!(first, second, "base hosts must be sticky");
+        assert_eq!(first.len(), 90);
+        let cell = p.cell_of(a);
+        assert!(first.iter().all(|h| p.cells[cell].contains(h)));
+    }
+
+    #[test]
+    fn accounts_in_different_cells_have_disjoint_bases() {
+        let dc = dc(5, 520);
+        let mut p = policy(&dc, 6);
+        // Find two accounts in different cells.
+        let a = AccountId::from_raw(0);
+        let b = (1..100)
+            .map(AccountId::from_raw)
+            .find(|&b| p.cell_of(b) != p.cell_of(a))
+            .expect("some account lands in another cell");
+        let base_a: std::collections::HashSet<HostId> = p.base_hosts(a).iter().copied().collect();
+        let overlap = p
+            .base_hosts(b)
+            .iter()
+            .filter(|h| base_a.contains(h))
+            .count();
+        assert_eq!(overlap, 0, "cells partition hosts");
+    }
+
+    #[test]
+    fn accounts_in_same_cell_share_bases() {
+        let dc = dc(7, 520);
+        let mut p = policy(&dc, 8);
+        let a = AccountId::from_raw(0);
+        let b = (1..200)
+            .map(AccountId::from_raw)
+            .find(|&b| p.cell_of(b) == p.cell_of(a))
+            .expect("some account shares the cell");
+        let base_a: Vec<HostId> = p.base_hosts(a).to_vec();
+        assert_eq!(base_a, p.base_hosts(b));
+    }
+
+    #[test]
+    fn cold_launch_spreads_at_target_density() {
+        let dc = dc(9, 520);
+        let mut p = policy(&dc, 10);
+        let plan = p.plan(&dc, ServiceId::from_raw(1), AccountId::from_raw(1), 800, 0);
+        assert_eq!(plan.len(), 800);
+        let mut hosts: Vec<HostId> = plan.clone();
+        hosts.sort_unstable();
+        hosts.dedup();
+        // ~75 hosts (Observation 1), within jitter.
+        assert!(
+            (70..=85).contains(&hosts.len()),
+            "used {} hosts",
+            hosts.len()
+        );
+        // Near-uniform: max per-host count close to the mean.
+        let mut counts: HashMap<HostId, usize> = HashMap::new();
+        for h in plan {
+            *counts.entry(h).or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let min = counts.values().copied().min().unwrap();
+        assert!(max <= min + 2, "spread {min}..{max} not uniform");
+    }
+
+    #[test]
+    fn cold_launches_reuse_base_hosts() {
+        let dc = dc(11, 520);
+        let mut p = policy(&dc, 12);
+        let svc = ServiceId::from_raw(1);
+        let acct = AccountId::from_raw(1);
+        let mut cumulative = std::collections::HashSet::new();
+        let mut per_launch = Vec::new();
+        for _ in 0..6 {
+            let plan = p.plan(&dc, svc, acct, 800, 0);
+            let hosts: std::collections::HashSet<HostId> = plan.into_iter().collect();
+            per_launch.push(hosts.len());
+            cumulative.extend(hosts);
+        }
+        // Cumulative stays close to a single launch's footprint (Figure 7).
+        assert!(
+            cumulative.len() < per_launch[0] + 25,
+            "cumulative {} vs first {}",
+            cumulative.len(),
+            per_launch[0]
+        );
+    }
+
+    #[test]
+    fn hot_launches_acquire_helpers_saturating() {
+        let dc = dc(13, 520);
+        let mut p = policy(&dc, 14);
+        let svc = ServiceId::from_raw(1);
+        let acct = AccountId::from_raw(1);
+        let mut increments = Vec::new();
+        let mut prev = 0;
+        for pressure in 1..=5 {
+            let _ = p.plan(&dc, svc, acct, 800, pressure);
+            let now = p.helper_hosts(svc).len();
+            increments.push(now - prev);
+            prev = now;
+        }
+        assert!(prev > 100, "helpers after 5 hot launches: {prev}");
+        assert!(prev <= PlacementConfig::default().helper_host_max);
+        // Saturating growth: later increments shrink.
+        assert!(
+            increments[0] > increments[3],
+            "increments not decaying: {increments:?}"
+        );
+    }
+
+    #[test]
+    fn warm_hot_launch_explores_little() {
+        // If only a few instances need creation, exploration is bounded by
+        // that need (the paper's 2-minute-interval result).
+        let dc = dc(15, 520);
+        let mut p = policy(&dc, 16);
+        let svc = ServiceId::from_raw(1);
+        let _ = p.plan(&dc, svc, AccountId::from_raw(1), 12, 2);
+        assert!(p.helper_hosts(svc).len() <= 12);
+    }
+
+    #[test]
+    fn helpers_exclude_own_base() {
+        let dc = dc(17, 520);
+        let mut p = policy(&dc, 18);
+        let svc = ServiceId::from_raw(1);
+        let acct = AccountId::from_raw(1);
+        let _ = p.plan(&dc, svc, acct, 800, 3);
+        let base: std::collections::HashSet<HostId> = p.base_hosts(acct).iter().copied().collect();
+        assert!(p.helper_hosts(svc).iter().all(|h| !base.contains(h)));
+    }
+
+    #[test]
+    fn different_services_get_overlapping_but_distinct_helpers() {
+        let dc = dc(19, 520);
+        let mut p = policy(&dc, 20);
+        let acct = AccountId::from_raw(1);
+        for s in [1u32, 2] {
+            for pressure in 1..=5 {
+                let _ = p.plan(&dc, ServiceId::from_raw(s), acct, 800, pressure);
+            }
+        }
+        let h1: std::collections::HashSet<HostId> = p
+            .helper_hosts(ServiceId::from_raw(1))
+            .iter()
+            .copied()
+            .collect();
+        let h2: std::collections::HashSet<HostId> = p
+            .helper_hosts(ServiceId::from_raw(2))
+            .iter()
+            .copied()
+            .collect();
+        let overlap = h1.intersection(&h2).count();
+        assert!(overlap > 0, "popular hosts should repeat across services");
+        assert!(overlap < h1.len(), "helper sets must not be identical");
+    }
+
+    #[test]
+    fn dynamic_region_varies_across_launches() {
+        // us-central1-style: large cells, fresh subset per launch.
+        let dc = dc(21, 520);
+        let config = PlacementConfig {
+            cell_size: 260,
+            base_hosts_per_account: 240,
+            ..PlacementConfig::default()
+        };
+        let mut p = CloudRunPolicy::new(&dc, config, true, SimRng::seed_from(22));
+        let acct = AccountId::from_raw(1);
+        let svc = ServiceId::from_raw(1);
+        let first: std::collections::HashSet<HostId> =
+            p.plan(&dc, svc, acct, 800, 0).into_iter().collect();
+        let second: std::collections::HashSet<HostId> =
+            p.plan(&dc, svc, acct, 800, 0).into_iter().collect();
+        let moved = second.difference(&first).count();
+        assert!(
+            moved > second.len() / 5,
+            "dynamic launches should move around: only {moved} new hosts"
+        );
+        // But both stay inside the account's (large) base pool.
+        let base: std::collections::HashSet<HostId> = p.base_hosts(acct).iter().copied().collect();
+        assert!(first.iter().all(|h| base.contains(h)));
+        assert!(second.iter().all(|h| base.contains(h)));
+    }
+
+    #[test]
+    fn zero_need_returns_empty_plan() {
+        let dc = dc(23, 100);
+        let mut p = policy(&dc, 24);
+        assert!(p
+            .plan(&dc, ServiceId::from_raw(1), AccountId::from_raw(1), 0, 5)
+            .is_empty());
+    }
+
+    #[test]
+    fn capacity_overflow_spills_to_pool() {
+        // A tiny DC with tiny capacity forces spill.
+        let mut rng = SimRng::seed_from(25);
+        let config = HostGenConfig {
+            capacity: 4,
+            ..HostGenConfig::default()
+        };
+        let dc = DataCenter::generate("tiny", 30, &config, 0.9, &mut rng);
+        let mut p = CloudRunPolicy::new(
+            &dc,
+            PlacementConfig {
+                cell_size: 10,
+                base_hosts_per_account: 8,
+                ..PlacementConfig::default()
+            },
+            false,
+            SimRng::seed_from(26),
+        );
+        // 8 base hosts × 4 slots = 32 < 60 requested.
+        let plan = p.plan(&dc, ServiceId::from_raw(1), AccountId::from_raw(1), 60, 0);
+        assert_eq!(plan.len(), 60);
+        let mut counts: HashMap<HostId, usize> = HashMap::new();
+        for h in plan {
+            *counts.entry(h).or_default() += 1;
+        }
+        assert!(counts.values().all(|&c| c <= 4), "capacity respected");
+    }
+}

@@ -1,0 +1,1155 @@
+//! The simulation world: one region, its orchestrator, and every account,
+//! service, and instance in it.
+//!
+//! [`World`] is the façade experiment drivers talk to. It mirrors the
+//! surface an attacker has on a real FaaS platform — deploy services, open
+//! and close connections (which launches and idles instances through
+//! autoscaling), run code inside instances — plus the *ground-truth* and
+//! *measurement* hooks a simulation affords: true host residency, covert
+//! channel observations, and billing.
+
+use std::collections::HashMap;
+
+use eaao_cloudsim::account::{Account, Standing};
+use eaao_cloudsim::datacenter::DataCenter;
+use eaao_cloudsim::ids::{AccountId, HostId, InstanceId, ServiceId};
+use eaao_cloudsim::instance::{ContainerInstance, InstanceState};
+use eaao_cloudsim::pricing::{BillingMeter, Cost};
+use eaao_cloudsim::sandbox::{Gen1Sandbox, Gen2Sandbox, Sandbox};
+use eaao_cloudsim::service::{Generation, Service, ServiceSpec};
+use eaao_simcore::clock::SimClock;
+use eaao_simcore::dist::{Exponential, Sample};
+use eaao_simcore::events::EventQueue;
+use eaao_simcore::rng::SimRng;
+use eaao_simcore::time::{SimDuration, SimTime};
+
+use crate::autoscaler::{decide, ScaleAction};
+use crate::config::RegionConfig;
+use crate::demand::DemandWindow;
+use crate::error::{GuestError, LaunchError};
+use crate::placement::CloudRunPolicy;
+
+/// Wall time one round of the RNG covert-channel test occupies. 60 rounds
+/// ≈ 100 ms, matching the paper's "optimistic 100 ms per test".
+pub const CTEST_ROUND_DURATION: SimDuration = SimDuration::from_micros(1_670);
+
+/// Result of a launch: the connected instances, split by provenance.
+#[derive(Debug, Clone)]
+pub struct Launch {
+    instances: Vec<InstanceId>,
+    reused: usize,
+}
+
+impl Launch {
+    /// All connected instances (reused warm instances first).
+    pub fn instances(&self) -> &[InstanceId] {
+        &self.instances
+    }
+
+    /// How many instances were warm idle instances reused.
+    pub fn reused(&self) -> usize {
+        self.reused
+    }
+
+    /// How many instances were newly created.
+    pub fn created(&self) -> usize {
+        self.instances.len() - self.reused
+    }
+}
+
+/// Internal scheduled events.
+#[derive(Debug, Clone, Copy)]
+enum WorldEvent {
+    /// Reap an idle instance, provided it is still idle since `idle_since`.
+    Reap {
+        instance: InstanceId,
+        idle_since: SimTime,
+    },
+    /// Platform churn: restart a long-running instance.
+    Restart(InstanceId),
+    /// Maintenance: reboot a host.
+    RebootHost(HostId),
+}
+
+/// One simulated region with its orchestrator.
+#[derive(Debug)]
+pub struct World {
+    region: RegionConfig,
+    clock: SimClock,
+    dc: DataCenter,
+    policy: CloudRunPolicy,
+    accounts: HashMap<AccountId, Account>,
+    services: HashMap<ServiceId, Service>,
+    demand: HashMap<ServiceId, DemandWindow>,
+    instances: HashMap<InstanceId, ContainerInstance>,
+    events: EventQueue<WorldEvent>,
+    billing: BillingMeter,
+    rng: SimRng,
+    next_account: u32,
+    next_service: u32,
+    next_instance: u32,
+    instance_churn: bool,
+    host_churn_mean: Option<SimDuration>,
+}
+
+impl World {
+    /// Builds a world for `region`, deterministic under `seed`.
+    pub fn new(region: RegionConfig, seed: u64) -> Self {
+        let mut rng = SimRng::seed_from(seed);
+        let mut dc_rng = rng.fork_labeled("datacenter");
+        let dc = DataCenter::generate(
+            region.name.clone(),
+            region.host_count,
+            &region.host_config,
+            region.popularity_exponent,
+            &mut dc_rng,
+        );
+        let policy = CloudRunPolicy::new(
+            &dc,
+            region.placement,
+            region.dynamic_placement,
+            rng.fork_labeled("policy"),
+        );
+        let billing = BillingMeter::new(region.rates);
+        World {
+            clock: SimClock::new(),
+            dc,
+            policy,
+            accounts: HashMap::new(),
+            services: HashMap::new(),
+            demand: HashMap::new(),
+            instances: HashMap::new(),
+            events: EventQueue::new(),
+            billing,
+            rng,
+            next_account: 0,
+            next_service: 0,
+            next_instance: 0,
+            instance_churn: false,
+            host_churn_mean: None,
+            region,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Platform surface (what a real user/attacker can do)
+    // ------------------------------------------------------------------
+
+    /// Creates an established account (full quotas).
+    pub fn create_account(&mut self) -> AccountId {
+        self.create_account_with_standing(Standing::Established)
+    }
+
+    /// Creates a brand-new account (capped quotas, Section 5.2's
+    /// "potential attack optimizations" constraint).
+    pub fn create_new_account(&mut self) -> AccountId {
+        self.create_account_with_standing(Standing::New)
+    }
+
+    fn create_account_with_standing(&mut self, standing: Standing) -> AccountId {
+        let id = AccountId::from_raw(self.next_account);
+        self.next_account += 1;
+        self.accounts.insert(id, Account::new(id, standing));
+        id
+    }
+
+    /// Deploys a service owned by `account`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the account does not exist.
+    pub fn deploy_service(&mut self, account: AccountId, spec: ServiceSpec) -> ServiceId {
+        assert!(
+            self.accounts.contains_key(&account),
+            "unknown account {account}"
+        );
+        let id = ServiceId::from_raw(self.next_service);
+        self.next_service += 1;
+        self.services
+            .insert(id, Service::new(id, account, spec, self.clock.now()));
+        self.demand.insert(
+            id,
+            DemandWindow::new(
+                self.region.placement.demand_window,
+                self.region.placement.hot_launch_threshold,
+            ),
+        );
+        id
+    }
+
+    /// Rebuilds a service's container image (invalidates image caches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service does not exist.
+    pub fn rebuild_image(&mut self, service: ServiceId) {
+        let now = self.clock.now();
+        self.services
+            .get_mut(&service)
+            .expect("unknown service")
+            .rebuild_image(now);
+    }
+
+    /// Opens `count` concurrent connections to `service`; the autoscaler
+    /// reuses warm idle instances and creates the rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LaunchError`] if the request exceeds the service cap or
+    /// the account quota, or if the data center cannot place all instances.
+    pub fn launch(&mut self, service: ServiceId, count: usize) -> Result<Launch, LaunchError> {
+        let now = self.clock.now();
+        let svc = self
+            .services
+            .get(&service)
+            .ok_or(LaunchError::UnknownService(service))?;
+        let spec = svc.spec();
+        let owner = svc.owner();
+        if count > spec.max_instances {
+            return Err(LaunchError::ExceedsServiceCap {
+                requested: count,
+                cap: spec.max_instances,
+            });
+        }
+        let quota = self.accounts[&owner].quota().max_instances_per_service;
+        if count > quota {
+            return Err(LaunchError::ExceedsAccountQuota {
+                requested: count,
+                quota,
+            });
+        }
+
+        // Reuse warm idle instances first (most recently idled first, they
+        // are the least likely to be reaped).
+        let mut warm: Vec<InstanceId> = self
+            .instances
+            .values()
+            .filter(|i| i.service() == service && i.state() == InstanceState::Idle)
+            .map(ContainerInstance::id)
+            .collect();
+        warm.sort_by_key(|id| {
+            std::cmp::Reverse(self.instances[id].idle_since().expect("idle instances"))
+        });
+        warm.truncate(count);
+        for &id in &warm {
+            self.instances
+                .get_mut(&id)
+                .expect("warm instance exists")
+                .reactivate(now);
+        }
+        let reused = warm.len();
+        let need_new = count - reused;
+
+        // Plan placement for the remainder. Hotness is evaluated *before*
+        // recording this launch, so a cold service's first launch stays on
+        // base hosts.
+        let pressure = self
+            .demand
+            .get_mut(&service)
+            .expect("demand window exists")
+            .pressure(now);
+        let plan = self
+            .policy
+            .plan(&self.dc, service, owner, need_new, pressure);
+        if plan.len() < need_new {
+            // Roll the reused instances back to idle to keep the request
+            // atomic; `disconnect_instance` re-arms their reaper timers.
+            for &id in &warm {
+                self.disconnect_instance(id, now);
+            }
+            return Err(LaunchError::DataCenterFull {
+                placed: plan.len(),
+                requested: need_new,
+            });
+        }
+        self.demand
+            .get_mut(&service)
+            .expect("demand window exists")
+            .record_launch(now, count);
+
+        let mut instances = warm;
+        for host_id in plan {
+            let id = self.create_instance(service, owner, host_id, spec, now);
+            instances.push(id);
+        }
+        Ok(Launch { instances, reused })
+    }
+
+    fn create_instance(
+        &mut self,
+        service: ServiceId,
+        owner: AccountId,
+        host_id: HostId,
+        spec: ServiceSpec,
+        now: SimTime,
+    ) -> InstanceId {
+        let id = InstanceId::from_raw(self.next_instance);
+        self.next_instance += 1;
+        let host = self.dc.host_mut(host_id);
+        host.admit(id);
+        let host = self.dc.host(host_id);
+        let mitigation = self.region.tsc_mitigation;
+        let sandbox = match spec.generation {
+            Generation::Gen1 => {
+                let model = self.dc.model_of(host_id).clone();
+                Sandbox::Gen1(Gen1Sandbox::with_mitigation(
+                    host,
+                    &model,
+                    mitigation,
+                    now,
+                    &mut self.rng,
+                ))
+            }
+            Generation::Gen2 => Sandbox::Gen2(Gen2Sandbox::with_mitigation(
+                host,
+                mitigation,
+                now,
+                &mut self.rng,
+            )),
+        };
+        self.instances.insert(
+            id,
+            ContainerInstance::new(
+                id,
+                service,
+                owner,
+                host_id,
+                spec.size,
+                spec.generation,
+                sandbox,
+                now,
+            ),
+        );
+        if self.instance_churn {
+            let mean = self.region.placement.instance_restart_mean.as_secs_f64();
+            let delay = Exponential::from_mean(mean).sample(&mut self.rng);
+            self.events.schedule(
+                now + SimDuration::from_secs_f64(delay),
+                WorldEvent::Restart(id),
+            );
+        }
+        id
+    }
+
+    /// Autoscales `service` to `demand` concurrent requests: scales out by
+    /// launching the shortfall (reusing warm instances first) or scales in
+    /// by idling the most recently created surplus instances, whose actual
+    /// termination is left to the idle reaper (Section 2.2).
+    ///
+    /// Returns the live instances serving the load after the adjustment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LaunchError`] if scaling out exceeds quotas or capacity.
+    pub fn set_load(
+        &mut self,
+        service: ServiceId,
+        demand: usize,
+    ) -> Result<Vec<InstanceId>, LaunchError> {
+        let spec = self
+            .services
+            .get(&service)
+            .ok_or(LaunchError::UnknownService(service))?
+            .spec();
+        let mut active: Vec<InstanceId> = self
+            .instances
+            .values()
+            .filter(|i| i.service() == service && i.state() == InstanceState::Active)
+            .map(ContainerInstance::id)
+            .collect();
+        active.sort_unstable();
+        match decide(active.len(), demand, spec.max_instances) {
+            ScaleAction::Hold => Ok(active),
+            ScaleAction::Out(shortfall) => {
+                // `launch` implements the scale-out path for the shortfall:
+                // it reuses warm idle instances and places the remainder.
+                let launch = self.launch(service, shortfall)?;
+                active.extend_from_slice(launch.instances());
+                active.sort_unstable();
+                Ok(active)
+            }
+            ScaleAction::In(surplus) => {
+                let now = self.clock.now();
+                // Newest instances drain first (they have the least warm
+                // state worth keeping).
+                let doomed: Vec<InstanceId> = active.iter().rev().take(surplus).copied().collect();
+                for id in &doomed {
+                    self.disconnect_instance(*id, now);
+                }
+                active.retain(|id| !doomed.contains(id));
+                Ok(active)
+            }
+        }
+    }
+
+    /// Closes every connection of `service`: its active instances go idle
+    /// and the reaper schedules their gradual termination (Figure 6).
+    pub fn disconnect_all(&mut self, service: ServiceId) {
+        let now = self.clock.now();
+        let active: Vec<InstanceId> = self
+            .instances
+            .values()
+            .filter(|i| i.service() == service && i.state() == InstanceState::Active)
+            .map(ContainerInstance::id)
+            .collect();
+        for id in active {
+            self.disconnect_instance(id, now);
+        }
+    }
+
+    fn disconnect_instance(&mut self, id: InstanceId, now: SimTime) {
+        let instance = self.instances.get_mut(&id).expect("instance exists");
+        let period = instance.go_idle(now);
+        let size = instance.size();
+        self.billing.record(size, period);
+        // Gradual termination: preserved through the grace period, then
+        // reaped at a uniformly random point across the spread, capped by
+        // the 15-minute contract.
+        let p = &self.region.placement;
+        let extra = SimDuration::from_secs_f64(
+            self.rng
+                .range_f64(0.0, p.idle_termination_spread.as_secs_f64()),
+        );
+        let mut due = now + p.idle_grace + extra;
+        if due > now + p.idle_hard_cap {
+            due = now + p.idle_hard_cap;
+        }
+        self.events.schedule(
+            due,
+            WorldEvent::Reap {
+                instance: id,
+                idle_since: now,
+            },
+        );
+    }
+
+    /// Advances simulated time by `d`, processing due events in order.
+    pub fn advance(&mut self, d: SimDuration) {
+        let target = self.clock.now() + d;
+        self.run_until(target);
+    }
+
+    /// Advances simulated time to `target`, processing due events in order.
+    pub fn run_until(&mut self, target: SimTime) {
+        while let Some(due) = self.events.next_due() {
+            if due > target {
+                break;
+            }
+            let event = self.events.pop_due(due).expect("event is due");
+            self.clock.advance_to(event.due());
+            self.handle_event(*event.payload());
+        }
+        self.clock.advance_to(target);
+    }
+
+    fn handle_event(&mut self, event: WorldEvent) {
+        let now = self.clock.now();
+        match event {
+            WorldEvent::Reap {
+                instance,
+                idle_since,
+            } => {
+                let Some(i) = self.instances.get(&instance) else {
+                    return;
+                };
+                if i.state() == InstanceState::Idle && i.idle_since() == Some(idle_since) {
+                    self.terminate_instance(instance);
+                }
+            }
+            WorldEvent::Restart(instance) => {
+                // Platform churn kills the instance; the client's dropped
+                // connection is its signal to reconnect (a fresh `launch`),
+                // which may land on a different host — exactly how the
+                // paper's week-long tracking loses fingerprint histories.
+                let Some(i) = self.instances.get(&instance) else {
+                    return;
+                };
+                if i.is_alive() {
+                    self.terminate_instance(instance);
+                }
+            }
+            WorldEvent::RebootHost(host) => {
+                let displaced = self.dc.reboot_host(host, now);
+                for id in displaced {
+                    let instance = self.instances.get_mut(&id).expect("resident exists");
+                    let closed = instance.terminate(now);
+                    if let Some(period) = closed {
+                        self.billing.record(instance.size(), period);
+                    }
+                }
+                if let Some(mean) = self.host_churn_mean {
+                    let delay = Exponential::from_mean(mean.as_secs_f64()).sample(&mut self.rng);
+                    self.events.schedule(
+                        now + SimDuration::from_secs_f64(delay),
+                        WorldEvent::RebootHost(host),
+                    );
+                }
+            }
+        }
+    }
+
+    fn terminate_instance(&mut self, id: InstanceId) {
+        let now = self.clock.now();
+        let instance = self.instances.get_mut(&id).expect("instance exists");
+        let host = instance.host();
+        let closed = instance.terminate(now);
+        let size = instance.size();
+        if let Some(period) = closed {
+            self.billing.record(size, period);
+        }
+        self.dc.host_mut(host).evict(id);
+    }
+
+    /// Terminates one live instance immediately (the owner closing and
+    /// discarding a single container). No-op if the instance is already
+    /// gone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was never created.
+    pub fn kill_instance(&mut self, id: InstanceId) {
+        if self.instances[&id].is_alive() {
+            self.terminate_instance(id);
+        }
+    }
+
+    /// Terminates every live instance of `service` immediately (the
+    /// attacker deleting a revision, used between strategy launches).
+    pub fn kill_all(&mut self, service: ServiceId) {
+        let ids: Vec<InstanceId> = self
+            .instances
+            .values()
+            .filter(|i| i.service() == service && i.is_alive())
+            .map(ContainerInstance::id)
+            .collect();
+        for id in ids {
+            self.terminate_instance(id);
+        }
+    }
+
+    /// Enables platform churn that restarts long-running instances
+    /// (exponential with the configured mean). Affects instances created
+    /// afterwards.
+    pub fn enable_instance_churn(&mut self, enabled: bool) {
+        self.instance_churn = enabled;
+    }
+
+    /// Enables host maintenance reboots with the given mean interval per
+    /// host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive.
+    pub fn enable_host_churn(&mut self, mean: SimDuration) {
+        assert!(mean.as_nanos() > 0, "mean must be positive");
+        self.host_churn_mean = Some(mean);
+        let now = self.clock.now();
+        let hosts: Vec<HostId> = self.dc.host_ids().collect();
+        for host in hosts {
+            let delay = Exponential::from_mean(mean.as_secs_f64()).sample(&mut self.rng);
+            self.events.schedule(
+                now + SimDuration::from_secs_f64(delay),
+                WorldEvent::RebootHost(host),
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Guest execution (attacker code inside instances)
+    // ------------------------------------------------------------------
+
+    /// Runs `body` against the sandbox of a live instance, passing the
+    /// current simulation time.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GuestError`] if the instance is unknown or terminated.
+    pub fn with_guest<R>(
+        &mut self,
+        id: InstanceId,
+        body: impl FnOnce(&mut Sandbox, SimTime) -> R,
+    ) -> Result<R, GuestError> {
+        let now = self.clock.now();
+        let instance = self
+            .instances
+            .get_mut(&id)
+            .ok_or(GuestError::UnknownInstance(id))?;
+        if !instance.is_alive() {
+            return Err(GuestError::Terminated(id));
+        }
+        Ok(body(instance.sandbox_mut(), now))
+    }
+
+    /// Runs the RNG covert-channel test: all `participants` pressure their
+    /// hosts' RNG units simultaneously for `rounds` rounds; returns each
+    /// participant's per-round contention observations.
+    ///
+    /// Advances the clock by the test duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GuestError`] if any participant is unknown or dead.
+    pub fn rng_covert_observations(
+        &mut self,
+        participants: &[InstanceId],
+        rounds: usize,
+    ) -> Result<Vec<Vec<u32>>, GuestError> {
+        let mut per_host: HashMap<HostId, usize> = HashMap::new();
+        for &id in participants {
+            let instance = self
+                .instances
+                .get(&id)
+                .ok_or(GuestError::UnknownInstance(id))?;
+            if !instance.is_alive() {
+                return Err(GuestError::Terminated(id));
+            }
+            *per_host.entry(instance.host()).or_default() += 1;
+        }
+        let observations = participants
+            .iter()
+            .map(|&id| {
+                let host = self.instances[&id].host();
+                let others = per_host[&host] - 1;
+                self.dc
+                    .host(host)
+                    .rng_unit()
+                    .observe_rounds(others, rounds, &mut self.rng)
+            })
+            .collect();
+        self.advance(CTEST_ROUND_DURATION * rounds as i64);
+        Ok(observations)
+    }
+
+    /// A passive observation: `observer` watches its host's RNG unit for
+    /// `rounds` rounds while the instances in `active` are busy using it
+    /// (the victim's secret-dependent work of the threat model). Unlike
+    /// [`rng_covert_observations`](World::rng_covert_observations), the
+    /// observer contributes no pressure of its own.
+    ///
+    /// Advances the clock by the observation duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GuestError`] if the observer is unknown or dead. Dead
+    /// entries in `active` are skipped — a terminated victim simply makes
+    /// no noise.
+    pub fn rng_activity_observation(
+        &mut self,
+        observer: InstanceId,
+        active: &[InstanceId],
+        rounds: usize,
+    ) -> Result<Vec<u32>, GuestError> {
+        let obs_instance = self
+            .instances
+            .get(&observer)
+            .ok_or(GuestError::UnknownInstance(observer))?;
+        if !obs_instance.is_alive() {
+            return Err(GuestError::Terminated(observer));
+        }
+        let host = obs_instance.host();
+        let co_active = active
+            .iter()
+            .filter(|&&id| {
+                id != observer
+                    && self
+                        .instances
+                        .get(&id)
+                        .is_some_and(|i| i.is_alive() && i.host() == host)
+            })
+            .count();
+        let observations =
+            self.dc
+                .host(host)
+                .rng_unit()
+                .observe_rounds(co_active, rounds, &mut self.rng);
+        self.advance(CTEST_ROUND_DURATION * rounds as i64);
+        Ok(observations)
+    }
+
+    /// Runs one memory-bus pairwise test between two live instances
+    /// (the Varadarajan-style baseline). Advances the clock by the bus
+    /// test latency and returns the observed verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GuestError`] if either instance is unknown or dead.
+    pub fn membus_pairwise_test(
+        &mut self,
+        a: InstanceId,
+        b: InstanceId,
+    ) -> Result<bool, GuestError> {
+        for id in [a, b] {
+            let instance = self
+                .instances
+                .get(&id)
+                .ok_or(GuestError::UnknownInstance(id))?;
+            if !instance.is_alive() {
+                return Err(GuestError::Terminated(id));
+            }
+        }
+        let host_a = self.instances[&a].host();
+        let truth = host_a == self.instances[&b].host();
+        let bus = self.dc.host(host_a).memory_bus();
+        let verdict = bus.pairwise_test(truth, &mut self.rng);
+        self.advance(bus.test_latency());
+        Ok(verdict)
+    }
+
+    // ------------------------------------------------------------------
+    // Observability (simulation-only ground truth & accounting)
+    // ------------------------------------------------------------------
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// The region configuration.
+    pub fn region(&self) -> &RegionConfig {
+        &self.region
+    }
+
+    /// The data center (read-only).
+    pub fn data_center(&self) -> &DataCenter {
+        &self.dc
+    }
+
+    /// A live instance record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn instance(&self, id: InstanceId) -> &ContainerInstance {
+        &self.instances[&id]
+    }
+
+    /// **Ground truth**: the host an instance runs (or ran) on. Real
+    /// attackers cannot call this; it exists to validate fingerprints.
+    pub fn host_of(&self, id: InstanceId) -> HostId {
+        self.instances[&id].host()
+    }
+
+    /// **Ground truth**: whether two instances share a host.
+    pub fn co_located(&self, a: InstanceId, b: InstanceId) -> bool {
+        self.host_of(a) == self.host_of(b)
+    }
+
+    /// Live instances of a service.
+    pub fn alive_instances_of(&self, service: ServiceId) -> Vec<InstanceId> {
+        let mut ids: Vec<InstanceId> = self
+            .instances
+            .values()
+            .filter(|i| i.service() == service && i.is_alive())
+            .map(ContainerInstance::id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of live (active or idle) instances of a service.
+    pub fn alive_count(&self, service: ServiceId) -> usize {
+        self.instances
+            .values()
+            .filter(|i| i.service() == service && i.is_alive())
+            .count()
+    }
+
+    /// Total billed cost so far, including active periods that are still
+    /// open (accrued but not yet settled by a disconnect or termination).
+    pub fn billed(&self) -> Cost {
+        let now = self.clock.now();
+        let rates = self.region.rates;
+        let open: Cost = self
+            .instances
+            .values()
+            .filter_map(|i| {
+                i.open_active_period(now)
+                    .map(|period| rates.instance_cost(i.size(), period))
+            })
+            .sum();
+        self.billing.total() + open
+    }
+
+    /// The bill of one account so far (accrued active time of all its
+    /// instances, open periods included) — what that customer would pay.
+    pub fn billed_for(&self, account: AccountId) -> Cost {
+        let now = self.clock.now();
+        let rates = self.region.rates;
+        self.instances
+            .values()
+            .filter(|i| i.owner() == account)
+            .map(|i| rates.instance_cost(i.size(), i.billed_active_time(now)))
+            .sum()
+    }
+
+    /// The base hosts the policy assigned to an account (simulation-side
+    /// introspection for placement analyses).
+    pub fn base_hosts_of(&mut self, account: AccountId) -> Vec<HostId> {
+        self.policy.base_hosts(account).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RegionConfig;
+    use eaao_cloudsim::rng_unit::is_positive;
+    use eaao_cloudsim::service::ContainerSize;
+
+    fn small_world(seed: u64) -> (World, AccountId, ServiceId) {
+        let mut world = World::new(RegionConfig::us_west1().with_hosts(60), seed);
+        let account = world.create_account();
+        let service =
+            world.deploy_service(account, ServiceSpec::default().with_max_instances(1_000));
+        (world, account, service)
+    }
+
+    #[test]
+    fn launch_creates_connected_instances() {
+        let (mut world, _, service) = small_world(1);
+        let launch = world.launch(service, 100).expect("within caps");
+        assert_eq!(launch.instances().len(), 100);
+        assert_eq!(launch.created(), 100);
+        assert_eq!(launch.reused(), 0);
+        assert_eq!(world.alive_count(service), 100);
+        for &id in launch.instances() {
+            assert_eq!(world.instance(id).state(), InstanceState::Active);
+        }
+        // Residency is mirrored on hosts.
+        assert_eq!(world.data_center().resident_instances(), 100);
+    }
+
+    #[test]
+    fn instances_share_hosts_near_uniformly() {
+        let (mut world, _, service) = small_world(2);
+        let launch = world.launch(service, 100).expect("within caps");
+        let mut per_host: HashMap<HostId, usize> = HashMap::new();
+        for &id in launch.instances() {
+            *per_host.entry(world.host_of(id)).or_default() += 1;
+        }
+        assert!(per_host.len() > 1, "multiple hosts used");
+        let max = per_host.values().max().unwrap();
+        let min = per_host.values().min().unwrap();
+        assert!(max - min <= 2, "uniform spread violated: {min}..{max}");
+    }
+
+    #[test]
+    fn quota_and_cap_enforced() {
+        let mut world = World::new(RegionConfig::us_west1().with_hosts(60), 3);
+        let account = world.create_account();
+        let capped = world.deploy_service(account, ServiceSpec::default()); // cap 100
+        assert_eq!(
+            world.launch(capped, 101).unwrap_err(),
+            LaunchError::ExceedsServiceCap {
+                requested: 101,
+                cap: 100
+            }
+        );
+        let newbie = world.create_new_account();
+        let svc = world.deploy_service(newbie, ServiceSpec::default().with_max_instances(500));
+        assert_eq!(
+            world.launch(svc, 11).unwrap_err(),
+            LaunchError::ExceedsAccountQuota {
+                requested: 11,
+                quota: 10
+            }
+        );
+        assert!(world.launch(svc, 10).is_ok());
+    }
+
+    #[test]
+    fn unknown_service_rejected() {
+        let (mut world, _, _) = small_world(4);
+        assert_eq!(
+            world.launch(ServiceId::from_raw(99), 1).unwrap_err(),
+            LaunchError::UnknownService(ServiceId::from_raw(99))
+        );
+    }
+
+    #[test]
+    fn idle_instances_terminate_gradually() {
+        let (mut world, _, service) = small_world(5);
+        world.launch(service, 100).expect("within caps");
+        world.advance(SimDuration::from_secs(30));
+        world.disconnect_all(service);
+        // Grace period: all preserved for the first ~100 seconds.
+        world.advance(SimDuration::from_secs(100));
+        assert_eq!(world.alive_count(service), 100);
+        // Midway: some terminated.
+        world.advance(SimDuration::from_mins(5));
+        let mid = world.alive_count(service);
+        assert!(mid < 100 && mid > 0, "partial termination: {mid}");
+        // After the hard cap: all gone.
+        world.advance(SimDuration::from_mins(10));
+        assert_eq!(world.alive_count(service), 0);
+        assert_eq!(world.data_center().resident_instances(), 0);
+    }
+
+    #[test]
+    fn warm_instances_are_reused() {
+        let (mut world, _, service) = small_world(6);
+        let first = world.launch(service, 50).expect("within caps");
+        world.advance(SimDuration::from_secs(10));
+        world.disconnect_all(service);
+        // Within the grace period every instance is warm.
+        world.advance(SimDuration::from_secs(60));
+        let second = world.launch(service, 50).expect("within caps");
+        assert_eq!(second.reused(), 50);
+        assert_eq!(second.created(), 0);
+        let mut a: Vec<InstanceId> = first.instances().to_vec();
+        let mut b: Vec<InstanceId> = second.instances().to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "same instances reused");
+    }
+
+    #[test]
+    fn billing_accrues_active_time_only() {
+        let (mut world, _, service) = small_world(7);
+        world.launch(service, 10).expect("within caps");
+        world.advance(SimDuration::from_secs(30));
+        world.disconnect_all(service);
+        // 10 Small instances × 30 s × $2.525e-5/s.
+        let expected = 10.0 * 30.0 * 2.525e-5;
+        assert!((world.billed().as_usd() - expected).abs() < 1e-9);
+        // Idle time costs nothing.
+        world.advance(SimDuration::from_mins(20));
+        assert!((world.billed().as_usd() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn covert_channel_detects_co_location() {
+        let (mut world, _, service) = small_world(8);
+        let launch = world.launch(service, 40).expect("within caps");
+        // Find two co-located and one solo instance via ground truth.
+        let ids = launch.instances();
+        let mut by_host: HashMap<HostId, Vec<InstanceId>> = HashMap::new();
+        for &id in ids {
+            by_host.entry(world.host_of(id)).or_default().push(id);
+        }
+        let pair = by_host
+            .values()
+            .find(|v| v.len() >= 2)
+            .expect("co-located pair");
+        let (a, b) = (pair[0], pair[1]);
+        let obs = world.rng_covert_observations(&[a, b], 60).expect("live");
+        assert!(is_positive(&obs[0], 1, 30));
+        assert!(is_positive(&obs[1], 1, 30));
+        // A pair on different hosts sees nothing.
+        let other = ids
+            .iter()
+            .copied()
+            .find(|&i| world.host_of(i) != world.host_of(a))
+            .expect("other host");
+        let obs = world
+            .rng_covert_observations(&[a, other], 60)
+            .expect("live");
+        assert!(!is_positive(&obs[0], 1, 30));
+        assert!(!is_positive(&obs[1], 1, 30));
+    }
+
+    #[test]
+    fn covert_test_advances_clock_about_100ms() {
+        let (mut world, _, service) = small_world(9);
+        let launch = world.launch(service, 2).expect("within caps");
+        let before = world.now();
+        world
+            .rng_covert_observations(launch.instances(), 60)
+            .expect("live");
+        let elapsed = world.now() - before;
+        assert!(
+            (elapsed.as_secs_f64() - 0.1).abs() < 0.01,
+            "elapsed {elapsed}"
+        );
+    }
+
+    #[test]
+    fn membus_pairwise_matches_ground_truth_mostly() {
+        let (mut world, _, service) = small_world(10);
+        let launch = world.launch(service, 30).expect("within caps");
+        let ids = launch.instances();
+        let before = world.now();
+        let truth = world.co_located(ids[0], ids[1]);
+        let verdict = world.membus_pairwise_test(ids[0], ids[1]).expect("live");
+        if truth {
+            assert!(verdict);
+        }
+        assert_eq!((world.now() - before), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn guest_probe_runs_inside_sandbox() {
+        let (mut world, _, service) = small_world(11);
+        let launch = world.launch(service, 1).expect("within caps");
+        let id = launch.instances()[0];
+        let model = world
+            .with_guest(id, |sandbox, _| {
+                use eaao_cloudsim::sandbox::GuestEnv;
+                sandbox.cpuid_model().to_owned()
+            })
+            .expect("alive");
+        assert!(model.contains("GHz"), "gen1 cpuid leaks the model: {model}");
+        // Terminated instances refuse guest code.
+        world.kill_all(service);
+        assert_eq!(
+            world.with_guest(id, |_, _| ()),
+            Err(GuestError::Terminated(id))
+        );
+        assert_eq!(
+            world.with_guest(InstanceId::from_raw(9_999), |_, _| ()),
+            Err(GuestError::UnknownInstance(InstanceId::from_raw(9_999)))
+        );
+    }
+
+    #[test]
+    fn kill_all_clears_service() {
+        let (mut world, _, service) = small_world(12);
+        world.launch(service, 20).expect("within caps");
+        world.kill_all(service);
+        assert_eq!(world.alive_count(service), 0);
+        assert_eq!(world.data_center().resident_instances(), 0);
+    }
+
+    #[test]
+    fn instance_churn_kills_connected_instances() {
+        let (mut world, _, service) = small_world(13);
+        world.enable_instance_churn(true);
+        world.launch(service, 20).expect("within caps");
+        // Run well past the 5-day mean restart interval: churn terminates
+        // most of the fleet (clients would reconnect via a fresh launch).
+        world.advance(SimDuration::from_days(20));
+        assert!(
+            world.alive_count(service) < 10,
+            "{} still alive",
+            world.alive_count(service)
+        );
+        // Reconnecting gets fresh instances.
+        let relaunch = world.launch(service, 5).expect("within caps");
+        assert_eq!(relaunch.instances().len(), 5);
+    }
+
+    #[test]
+    fn host_churn_reboots_hosts() {
+        let (mut world, _, service) = small_world(14);
+        world.launch(service, 30).expect("within caps");
+        world.enable_host_churn(SimDuration::from_days(10));
+        world.advance(SimDuration::from_days(30));
+        // Most hosts rebooted at least once; their boot times moved past 0.
+        let rebooted = world
+            .data_center()
+            .hosts()
+            .filter(|h| h.boot_time() > SimTime::ZERO)
+            .count();
+        assert!(rebooted > 30, "only {rebooted} hosts rebooted");
+        // Displaced instances were terminated, not leaked.
+        for id in world.alive_instances_of(service) {
+            let host = world.host_of(id);
+            assert!(world.data_center().host(host).hosts_instance(id));
+        }
+    }
+
+    #[test]
+    fn dynamic_region_moves_instances_across_launches() {
+        let footprint_shift = |mut world: World| {
+            let account = world.create_account();
+            let svc =
+                world.deploy_service(account, ServiceSpec::default().with_max_instances(1_000));
+            let mut runs = Vec::new();
+            for _ in 0..2 {
+                let launch = world.launch(svc, 400).expect("fits");
+                let hosts: std::collections::HashSet<HostId> = launch
+                    .instances()
+                    .iter()
+                    .map(|&i| world.host_of(i))
+                    .collect();
+                runs.push(hosts);
+                world.kill_all(svc);
+                // Wait out the demand window so the next launch is cold.
+                world.advance(SimDuration::from_mins(45));
+            }
+            runs[1].difference(&runs[0]).count()
+        };
+        let static_shift = footprint_shift(World::new(RegionConfig::us_east1(), 15));
+        let dynamic_shift = footprint_shift(World::new(RegionConfig::us_central1(), 15));
+        assert!(
+            dynamic_shift > static_shift + 5,
+            "dynamic shift {dynamic_shift} vs static {static_shift}"
+        );
+    }
+
+    #[test]
+    fn rollback_on_datacenter_full() {
+        let mut region = RegionConfig::us_west1().with_hosts(4);
+        region.host_config.capacity = 10;
+        let mut world = World::new(region, 16);
+        let account = world.create_account();
+        let service =
+            world.deploy_service(account, ServiceSpec::default().with_max_instances(1_000));
+        // Capacity is 40; ask for more.
+        let err = world.launch(service, 60).expect_err("cannot fit");
+        assert!(matches!(err, LaunchError::DataCenterFull { .. }));
+        assert_eq!(world.alive_count(service), 0);
+    }
+
+    #[test]
+    fn set_load_autoscales_out_and_in() {
+        let (mut world, _, service) = small_world(18);
+        // Surge to 60 concurrent requests.
+        let serving = world.set_load(service, 60).expect("fits");
+        assert_eq!(serving.len(), 60);
+        assert_eq!(world.alive_count(service), 60);
+        // Surge further: only the shortfall is created.
+        let serving = world.set_load(service, 90).expect("fits");
+        assert_eq!(serving.len(), 90);
+        // Demand declines: surplus instances go idle, not dead.
+        let serving = world.set_load(service, 30).expect("fits");
+        assert_eq!(serving.len(), 30);
+        assert_eq!(
+            world.alive_count(service),
+            90,
+            "scaled-in instances idle first"
+        );
+        for &id in &serving {
+            assert_eq!(world.instance(id).state(), InstanceState::Active);
+        }
+        // Idle surplus is reaped over time (Figure 6)...
+        world.advance(SimDuration::from_mins(20));
+        assert_eq!(world.alive_count(service), 30);
+        // ...and equilibrium holds.
+        let serving = world.set_load(service, 30).expect("fits");
+        assert_eq!(serving.len(), 30);
+    }
+
+    #[test]
+    fn set_load_respects_the_service_cap() {
+        let mut world = World::new(RegionConfig::us_west1().with_hosts(60), 19);
+        let account = world.create_account();
+        let service = world.deploy_service(account, ServiceSpec::default()); // cap 100
+        let serving = world.set_load(service, 250).expect("truncated at cap");
+        assert_eq!(serving.len(), 100);
+        assert!(world.set_load(ServiceId::from_raw(99), 1).is_err());
+    }
+
+    #[test]
+    fn scale_in_drains_newest_instances_first() {
+        let (mut world, _, service) = small_world(20);
+        let first = world.set_load(service, 10).expect("fits");
+        world.advance(SimDuration::from_secs(10));
+        world.set_load(service, 20).expect("fits");
+        world.advance(SimDuration::from_secs(10));
+        let after = world.set_load(service, 10).expect("fits");
+        // The survivors are the original ten.
+        assert_eq!(after, first);
+    }
+
+    #[test]
+    fn launch_result_accessors() {
+        let (mut world, _, service) = small_world(17);
+        let launch = world.launch(service, 5).expect("within caps");
+        assert_eq!(launch.instances().len(), 5);
+        assert_eq!(launch.created() + launch.reused(), 5);
+        // Sizes flow through.
+        let id = launch.instances()[0];
+        assert_eq!(world.instance(id).size(), ContainerSize::Small);
+    }
+}

@@ -1,0 +1,127 @@
+//! The shared simulation clock.
+//!
+//! A [`SimClock`] is the single source of virtual "real-world time" in a
+//! simulation. Every host, guest, orchestrator component, and attacker probe
+//! reads the same clock, mirroring NTP-synchronized wall-clock time in a real
+//! data center.
+//!
+//! The clock is cheaply cloneable (it is an `Arc` internally) and thread-safe
+//! so experiment drivers can hand it to many components.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A shared, monotone virtual clock.
+///
+/// Time only moves when an owner explicitly advances it; readers never block.
+///
+/// # Examples
+///
+/// ```
+/// use eaao_simcore::clock::SimClock;
+/// use eaao_simcore::time::SimDuration;
+///
+/// let clock = SimClock::new();
+/// let reader = clock.clone();
+/// clock.advance(SimDuration::from_mins(10));
+/// assert_eq!(reader.now().as_secs_f64(), 600.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: Arc<Mutex<SimTime>>,
+}
+
+impl SimClock {
+    /// Creates a clock at the simulation epoch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock starting at `start`.
+    pub fn starting_at(start: SimTime) -> Self {
+        SimClock {
+            now: Arc::new(Mutex::new(start)),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        *self.now.lock()
+    }
+
+    /// Moves the clock forward by `d` and returns the new time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is negative: simulated time is monotone.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        assert!(!d.is_negative(), "cannot advance the clock backwards");
+        let mut now = self.now.lock();
+        *now += d;
+        *now
+    }
+
+    /// Moves the clock forward to `target` and returns the new time.
+    ///
+    /// A `target` at or before the current time leaves the clock unchanged
+    /// (advancing to "now or earlier" is a no-op, not an error, so event
+    /// loops can pass already-due deadlines freely).
+    pub fn advance_to(&self, target: SimTime) -> SimTime {
+        let mut now = self.now.lock();
+        if target > *now {
+            *now = target;
+        }
+        *now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_epoch() {
+        assert_eq!(SimClock::new().now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn starting_at_sets_origin() {
+        let clock = SimClock::starting_at(SimTime::from_secs(42));
+        assert_eq!(clock.now(), SimTime::from_secs(42));
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance(SimDuration::from_secs(5));
+        assert_eq!(b.now(), SimTime::from_secs(5));
+        b.advance(SimDuration::from_secs(5));
+        assert_eq!(a.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let clock = SimClock::new();
+        clock.advance_to(SimTime::from_secs(10));
+        assert_eq!(clock.now(), SimTime::from_secs(10));
+        // Going "back" is a no-op.
+        clock.advance_to(SimTime::from_secs(5));
+        assert_eq!(clock.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot advance the clock backwards")]
+    fn advance_rejects_negative() {
+        SimClock::new().advance(SimDuration::from_secs(-1));
+    }
+
+    #[test]
+    fn clock_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimClock>();
+    }
+}

@@ -1,0 +1,218 @@
+//! A deterministic discrete-event queue.
+//!
+//! The orchestrator schedules future actions (idle-instance termination,
+//! demand-window expiry, host maintenance reboots) as events on this queue.
+//! The experiment driver pops due events while advancing the [`SimClock`].
+//!
+//! Determinism: events at the same instant are delivered in insertion order
+//! (a monotone sequence number breaks ties), so a fixed seed always replays
+//! the same trajectory.
+//!
+//! [`SimClock`]: crate::clock::SimClock
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A scheduled event carrying a payload of type `T`.
+#[derive(Debug, Clone)]
+pub struct Event<T> {
+    due: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> Event<T> {
+    /// When the event fires.
+    pub fn due(&self) -> SimTime {
+        self.due
+    }
+
+    /// Borrows the payload.
+    pub fn payload(&self) -> &T {
+        &self.payload
+    }
+
+    /// Consumes the event, returning the payload.
+    pub fn into_payload(self) -> T {
+        self.payload
+    }
+}
+
+// Order by (due, seq), inverted for the max-heap so the earliest event pops
+// first.
+impl<T> PartialEq for Event<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Event<T> {}
+
+impl<T> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Event<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// A time-ordered queue of future events.
+///
+/// # Examples
+///
+/// ```
+/// use eaao_simcore::events::EventQueue;
+/// use eaao_simcore::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(10), "reap");
+/// q.schedule(SimTime::from_secs(5), "expire-window");
+/// let first = q.pop_due(SimTime::from_secs(7)).expect("due");
+/// assert_eq!(*first.payload(), "expire-window");
+/// assert!(q.pop_due(SimTime::from_secs(7)).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Event<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` to fire at `due`.
+    pub fn schedule(&mut self, due: SimTime, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { due, seq, payload });
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.due)
+    }
+
+    /// Pops the earliest event if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<Event<T>> {
+        if self.heap.peek().is_some_and(|e| e.due <= now) {
+            self.heap.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Pops every event due at or before `now`, in firing order.
+    pub fn drain_due(&mut self, now: SimTime) -> Vec<Event<T>> {
+        let mut out = Vec::new();
+        while let Some(e) = self.pop_due(now) {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T: fmt::Debug> fmt::Display for EventQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EventQueue({} pending)", self.heap.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 'c');
+        q.schedule(SimTime::from_secs(1), 'a');
+        q.schedule(SimTime::from_secs(2), 'b');
+        let fired: Vec<char> = q
+            .drain_due(SimTime::from_secs(10))
+            .into_iter()
+            .map(Event::into_payload)
+            .collect();
+        assert_eq!(fired, vec!['a', 'b', 'c']);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let fired: Vec<i32> = q
+            .drain_due(t)
+            .into_iter()
+            .map(Event::into_payload)
+            .collect();
+        assert_eq!(fired, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        assert!(q.pop_due(SimTime::from_secs(4)).is_none());
+        assert_eq!(q.len(), 1);
+        let e = q.pop_due(SimTime::from_secs(5)).unwrap();
+        assert_eq!(e.due(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn next_due_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.next_due().is_none());
+        q.schedule(SimTime::from_secs(8), ());
+        q.schedule(SimTime::from_secs(2), ());
+        assert_eq!(q.next_due(), Some(SimTime::from_secs(2)));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.to_string(), "EventQueue(0 pending)");
+    }
+
+    #[test]
+    fn event_accessors() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), String::from("x"));
+        let e = q.pop_due(SimTime::from_secs(1)).unwrap();
+        assert_eq!(e.payload(), "x");
+        assert_eq!(e.into_payload(), "x");
+    }
+}

@@ -1,0 +1,56 @@
+//! Simulation substrate for the EAAO reproduction.
+//!
+//! This crate provides the deterministic foundations every other crate in the
+//! workspace builds on:
+//!
+//! * [`time`] — virtual instants and spans ([`SimTime`], [`SimDuration`]),
+//! * [`clock`] — the shared monotone simulation clock ([`SimClock`]),
+//! * [`events`] — a deterministic discrete-event queue ([`EventQueue`]),
+//! * [`rng`] — forkable, seedable random number generation ([`SimRng`]),
+//! * [`dist`] — the distributions used by the noise and placement models,
+//! * [`stats`] — summaries, linear regression, and empirical CDFs,
+//! * [`series`] — `(x, y)` series recording for the figure drivers.
+//!
+//! Everything is deterministic under a fixed seed: re-running an experiment
+//! reproduces the exact same data center, noise, and placement decisions.
+//!
+//! # Examples
+//!
+//! ```
+//! use eaao_simcore::prelude::*;
+//!
+//! let clock = SimClock::new();
+//! let mut rng = SimRng::seed_from(1);
+//! clock.advance(SimDuration::from_mins(10));
+//! let jitter = Normal::new(0.0, 1e-6).sample(&mut rng);
+//! assert!(clock.now() > SimTime::ZERO);
+//! assert!(jitter.abs() < 1e-4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod clock;
+pub mod dist;
+pub mod events;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use clock::SimClock;
+pub use events::EventQueue;
+pub use rng::SimRng;
+pub use series::Series;
+pub use time::{SimDuration, SimTime};
+
+/// Convenient glob import of the most common substrate types.
+pub mod prelude {
+    pub use crate::clock::SimClock;
+    pub use crate::dist::{weighted_sample_indices, Exponential, LogNormal, Normal, Sample, Zipf};
+    pub use crate::events::EventQueue;
+    pub use crate::rng::SimRng;
+    pub use crate::series::Series;
+    pub use crate::stats::{linear_fit, Ecdf, LinearFit, Summary};
+    pub use crate::time::{SimDuration, SimTime};
+}

@@ -1,0 +1,181 @@
+//! TSC frequency representation and the reported-frequency heuristic.
+//!
+//! The paper's Gen 1 fingerprint needs a value of the TSC frequency `f` for
+//! Eq. 4.1. Cloud Run's `cpuid` does not report it, so the attacker falls
+//! back to the *labeled base frequency* embedded in the CPU model name
+//! (e.g. `"Intel Xeon CPU @ 2.00GHz"`), which empirically equals the
+//! frequency the TSC is *supposed* to run at (Section 4.2, method 1). The
+//! actual frequency deviates from this reported value by a constant per-host
+//! error `ε` of up to a few MHz, which is what makes derived boot times
+//! drift (Eq. 4.2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A TSC frequency in Hz.
+///
+/// # Examples
+///
+/// ```
+/// use eaao_tsc::freq::TscFrequency;
+///
+/// let reported = TscFrequency::from_ghz(2.0);
+/// let actual = reported.offset_by_hz(4_000.0); // ε = +4 kHz
+/// assert_eq!(actual.as_hz(), 2_000_000_000.0 + 4_000.0);
+/// assert!((actual.error_versus(reported) - 4_000.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct TscFrequency(f64);
+
+impl TscFrequency {
+    /// Creates a frequency from Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is not strictly positive and finite.
+    pub fn from_hz(hz: f64) -> Self {
+        assert!(hz.is_finite() && hz > 0.0, "frequency must be positive");
+        TscFrequency(hz)
+    }
+
+    /// Creates a frequency from GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghz` is not strictly positive and finite.
+    pub fn from_ghz(ghz: f64) -> Self {
+        TscFrequency::from_hz(ghz * 1e9)
+    }
+
+    /// The frequency in Hz.
+    pub fn as_hz(self) -> f64 {
+        self.0
+    }
+
+    /// The frequency in kHz.
+    pub fn as_khz(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// The frequency in GHz.
+    pub fn as_ghz(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Returns this frequency shifted by `delta_hz` (the per-host error ε).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would be non-positive.
+    pub fn offset_by_hz(self, delta_hz: f64) -> TscFrequency {
+        TscFrequency::from_hz(self.0 + delta_hz)
+    }
+
+    /// The signed error of `self` relative to `reported` (ε in Eq. 4.2,
+    /// in Hz), i.e. `self − reported`.
+    pub fn error_versus(self, reported: TscFrequency) -> f64 {
+        self.0 - reported.0
+    }
+
+    /// Number of TSC ticks elapsed over `seconds` at this frequency.
+    pub fn ticks_over(self, seconds: f64) -> f64 {
+        self.0 * seconds
+    }
+}
+
+impl fmt::Display for TscFrequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}GHz", self.as_ghz())
+    }
+}
+
+/// Extracts the labeled base frequency from a CPU model-name string.
+///
+/// Recognizes the `"… @ <x.y>GHz"` convention used by Intel model names
+/// (e.g. `"Intel(R) Xeon(R) CPU @ 2.20GHz"`). Returns `None` when the model
+/// name carries no frequency label — in that case the attacker cannot use
+/// the reported-frequency method on this host.
+///
+/// # Examples
+///
+/// ```
+/// use eaao_tsc::freq::parse_base_frequency;
+///
+/// let f = parse_base_frequency("Intel(R) Xeon(R) CPU @ 2.20GHz").unwrap();
+/// assert_eq!(f.as_ghz(), 2.2);
+/// assert!(parse_base_frequency("AMD EPYC 7B12").is_none());
+/// ```
+pub fn parse_base_frequency(model_name: &str) -> Option<TscFrequency> {
+    let at = model_name.rfind('@')?;
+    let tail = model_name[at + 1..].trim();
+    let ghz_pos = tail.find("GHz")?;
+    let number = tail[..ghz_pos].trim();
+    let ghz: f64 = number.parse().ok()?;
+    if ghz > 0.0 && ghz.is_finite() {
+        Some(TscFrequency::from_ghz(ghz))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let f = TscFrequency::from_ghz(2.5);
+        assert_eq!(f.as_hz(), 2.5e9);
+        assert_eq!(f.as_khz(), 2.5e6);
+        assert_eq!(f.as_ghz(), 2.5);
+        assert_eq!(f.to_string(), "2.500000GHz");
+    }
+
+    #[test]
+    fn offset_and_error() {
+        let reported = TscFrequency::from_ghz(2.0);
+        let actual = reported.offset_by_hz(-12_345.0);
+        assert!((actual.error_versus(reported) + 12_345.0).abs() < 1e-6);
+        assert!(actual < reported);
+    }
+
+    #[test]
+    fn ticks_over_scales_linearly() {
+        let f = TscFrequency::from_ghz(2.0);
+        assert_eq!(f.ticks_over(0.5), 1e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn rejects_zero() {
+        TscFrequency::from_hz(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn offset_cannot_go_negative() {
+        TscFrequency::from_hz(1.0).offset_by_hz(-2.0);
+    }
+
+    #[test]
+    fn parses_intel_style_names() {
+        let cases = [
+            ("Intel(R) Xeon(R) CPU @ 2.00GHz", 2.0),
+            ("Intel Xeon CPU @ 2.20GHz", 2.2),
+            ("Intel(R) Xeon(R) Platinum 8273CL CPU @ 2.80GHz", 2.8),
+        ];
+        for (name, ghz) in cases {
+            let f = parse_base_frequency(name).unwrap_or_else(|| panic!("parse {name}"));
+            assert!((f.as_ghz() - ghz).abs() < 1e-12, "{name}");
+        }
+    }
+
+    #[test]
+    fn rejects_unlabeled_names() {
+        assert!(parse_base_frequency("AMD EPYC 7B12").is_none());
+        assert!(parse_base_frequency("Intel Xeon CPU @ GHz").is_none());
+        assert!(parse_base_frequency("Intel Xeon CPU @ -2.0GHz").is_none());
+        assert!(parse_base_frequency("").is_none());
+    }
+}

@@ -1,0 +1,131 @@
+//! Hardware-assisted TSC offsetting, as used by the Gen 2 environment.
+//!
+//! With TSC offsetting (Section 4.5), the hypervisor records the host TSC
+//! value `tsc0` when it boots a guest VM and configures the hardware so
+//! every guest `rdtsc` returns `host_tsc − tsc0`. The guest sees a counter
+//! that was zero at *VM* boot — hiding the host's boot time — but the
+//! counter still ticks at the host's actual rate, which is what the Gen 2
+//! fingerprint exploits.
+
+use eaao_simcore::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::counter::InvariantTsc;
+
+/// A guest-visible view of a host TSC with an offset applied.
+///
+/// # Examples
+///
+/// ```
+/// use eaao_simcore::time::SimTime;
+/// use eaao_tsc::counter::InvariantTsc;
+/// use eaao_tsc::freq::TscFrequency;
+/// use eaao_tsc::offset::OffsetTsc;
+///
+/// let host = InvariantTsc::new(SimTime::ZERO, TscFrequency::from_ghz(2.0));
+/// // VM boots 100 s after the host.
+/// let guest = OffsetTsc::for_vm_booted_at(host, SimTime::from_secs(100));
+/// assert_eq!(guest.read(SimTime::from_secs(100)), 0);
+/// assert_eq!(guest.read(SimTime::from_secs(101)), 2_000_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OffsetTsc {
+    host: InvariantTsc,
+    offset: u64,
+}
+
+impl OffsetTsc {
+    /// Creates a guest view with an explicit raw offset.
+    pub fn new(host: InvariantTsc, offset: u64) -> Self {
+        OffsetTsc { host, offset }
+    }
+
+    /// Creates the conventional hypervisor configuration: the offset is the
+    /// host TSC value at the moment the VM boots, so the guest counter reads
+    /// zero at VM boot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm_boot` precedes the host's boot.
+    pub fn for_vm_booted_at(host: InvariantTsc, vm_boot: SimTime) -> Self {
+        OffsetTsc {
+            host,
+            offset: host.read(vm_boot),
+        }
+    }
+
+    /// The raw offset subtracted from host reads.
+    pub fn offset(self) -> u64 {
+        self.offset
+    }
+
+    /// Reads the guest-visible counter at `now` (`rdtsc` inside the VM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the VM boot instant (the guest counter would
+    /// be negative, which the hardware never produces for a live VM).
+    pub fn read(self, now: SimTime) -> u64 {
+        let host_value = self.host.read(now);
+        host_value
+            .checked_sub(self.offset)
+            .expect("guest TSC read before VM boot")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::TscFrequency;
+
+    fn host() -> InvariantTsc {
+        InvariantTsc::new(
+            SimTime::from_secs(10),
+            TscFrequency::from_ghz(2.0).offset_by_hz(7_000.0),
+        )
+    }
+
+    #[test]
+    fn guest_zero_at_vm_boot() {
+        let guest = OffsetTsc::for_vm_booted_at(host(), SimTime::from_secs(500));
+        assert_eq!(guest.read(SimTime::from_secs(500)), 0);
+    }
+
+    #[test]
+    fn guest_rate_matches_host_rate() {
+        let h = host();
+        let guest = OffsetTsc::for_vm_booted_at(h, SimTime::from_secs(500));
+        let t1 = SimTime::from_secs(600);
+        let t2 = SimTime::from_secs(700);
+        let guest_delta = guest.read(t2) - guest.read(t1);
+        let host_delta = h.read(t2) - h.read(t1);
+        assert_eq!(guest_delta, host_delta);
+    }
+
+    #[test]
+    fn offset_hides_host_boot_time() {
+        // Deriving "boot time" from the guest TSC yields the VM boot, not
+        // the host boot.
+        let h = host();
+        let vm_boot = SimTime::from_secs(500);
+        let guest = OffsetTsc::for_vm_booted_at(h, vm_boot);
+        let now = SimTime::from_secs(1_000);
+        let apparent_uptime_s = guest.read(now) as f64 / h.actual_frequency().as_hz();
+        let derived_boot = now.as_secs_f64() - apparent_uptime_s;
+        assert!((derived_boot - vm_boot.as_secs_f64()).abs() < 1e-6);
+        assert!((derived_boot - h.boot_time().as_secs_f64()).abs() > 400.0);
+    }
+
+    #[test]
+    fn explicit_offset_accessor() {
+        let guest = OffsetTsc::new(host(), 12345);
+        assert_eq!(guest.offset(), 12345);
+    }
+
+    #[test]
+    #[should_panic(expected = "guest TSC read before VM boot")]
+    fn read_before_vm_boot_panics() {
+        let guest = OffsetTsc::for_vm_booted_at(host(), SimTime::from_secs(500));
+        guest.read(SimTime::from_secs(499));
+    }
+}

@@ -1,0 +1,57 @@
+//! Mitigation lab: deploy the Section 6 defenses one at a time and watch
+//! what happens to the fingerprints, the application latency, and the
+//! attack.
+//!
+//! ```text
+//! cargo run --release --example mitigation_lab
+//! ```
+
+use eaao::core::experiment::sec6::Sec6Config;
+use eaao::prelude::*;
+
+fn main() {
+    println!("Evaluating the paper's Section 6 mitigations (reduced scale)\n");
+    let result = Sec6Config::quick().run(6);
+
+    println!(
+        "{:<28} {:>9} {:>15} {:>14} {:>13}",
+        "mitigation", "Gen1 FMI", "Gen2 precision", "db overhead", "web overhead"
+    );
+    for row in &result.rows {
+        let name = match row.mitigation {
+            TscMitigation::None => "none (status quo)",
+            TscMitigation::TrapAndEmulate => "trap & emulate rdtsc",
+            TscMitigation::OffsetAndScale => "TSC offset + scale",
+        };
+        println!(
+            "{:<28} {:>9.4} {:>15.3} {:>13.1}% {:>12.2}%",
+            name,
+            row.gen1_fmi,
+            row.gen2_precision,
+            row.database_overhead * 100.0,
+            row.web_overhead * 100.0,
+        );
+    }
+
+    println!("\nWhat each defense buys:");
+    println!(
+        "  trap & emulate kills the Gen 1 fingerprint (FMI {:.2} -> {:.2}) but taxes \
+         timer-heavy\n  applications ~{:.0}% — the Cassandra clock-source effect the paper cites.",
+        result.row(TscMitigation::None).gen1_fmi,
+        result.row(TscMitigation::TrapAndEmulate).gen1_fmi,
+        result.row(TscMitigation::TrapAndEmulate).database_overhead * 100.0,
+    );
+    println!(
+        "  offset + scale collapses the Gen 2 fingerprint to {} distinct values \
+         (from {}) at zero cost\n  — the hardware-assisted mitigation the paper's shepherd suggested.",
+        result.row(TscMitigation::OffsetAndScale).gen2_distinct_values,
+        result.row(TscMitigation::None).gen2_distinct_values,
+    );
+    println!(
+        "\nScheduler defense (co-location-resistant placement):\n  \
+         Strategy-2 victim coverage {:.0}% -> {:.0}% in this (small) region; the repro binary\n  \
+         shows the full-scale effect.",
+        result.coverage_unmitigated * 100.0,
+        result.coverage_resistant * 100.0,
+    );
+}

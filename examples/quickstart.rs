@@ -1,0 +1,64 @@
+//! Quickstart: deploy a service, fingerprint its hosts, and verify
+//! co-location — the paper's toolchain in ~60 lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use eaao::prelude::*;
+
+fn main() {
+    // A deterministic us-west1-style data center.
+    let mut world = World::new(RegionConfig::us_west1(), 42);
+    let account = world.create_account();
+    let service = world.deploy_service(account, ServiceSpec::default().with_max_instances(1_000));
+
+    // Launch 100 concurrent instances (100 WebSocket connections).
+    let launch = world.launch(service, 100).expect("within quota");
+    println!("launched {} instances", launch.instances().len());
+
+    // Probe every instance: cpuid model + (rdtsc, clock_gettime) pair.
+    let readings = probe_fleet(&mut world, launch.instances(), SimDuration::from_millis(10));
+
+    // Gen 1 fingerprint: CPU model + boot time derived via Eq. 4.1,
+    // rounded to p_boot = 1 s.
+    let fingerprinter = Gen1Fingerprinter::default();
+    let (groups, dropped) = group_by_fingerprint(&readings, |r| fingerprinter.fingerprint(r));
+    println!(
+        "{} distinct fingerprints ({} unfingerprintable readings)",
+        groups.len(),
+        dropped
+    );
+    for (fp, members) in groups.iter().take(3) {
+        println!("  {fp} -> {} instances", members.len());
+    }
+
+    // Verify the fingerprint groups with the scalable covert-channel
+    // methodology of Section 4.3.
+    let instance_groups: Vec<Vec<_>> = groups
+        .iter()
+        .map(|(_, members)| members.iter().map(|&i| readings[i].instance).collect())
+        .collect();
+    let outcome = HierarchicalVerifier::new()
+        .verify(&mut world, &instance_groups)
+        .expect("instances stay alive");
+    println!(
+        "verified {} co-location clusters with {} covert tests in {} (cost {})",
+        outcome.clusters.len(),
+        outcome.stats.ctests,
+        outcome.stats.wall,
+        outcome.stats.cost,
+    );
+
+    // Compare with the simulator's ground truth.
+    let mut correct = true;
+    for cluster in &outcome.clusters {
+        for pair in cluster.windows(2) {
+            correct &= world.co_located(pair[0], pair[1]);
+        }
+    }
+    println!(
+        "clusters match ground truth: {}",
+        if correct { "yes" } else { "no" }
+    );
+}

@@ -1,0 +1,276 @@
+//! `eaao` — command-line front end to the simulator and attack toolkit.
+//!
+//! ```text
+//! eaao attack     [--region R] [--seed N] [--strategy naive|optimized] [--victims N]
+//! eaao fingerprint [--region R] [--seed N] [--instances N] [--gen2]
+//! eaao verify      [--region R] [--seed N] [--instances N]
+//! eaao explore     [--region R] [--seed N]
+//! eaao monitor     [--region R] [--seed N] [--windows N]
+//! ```
+//!
+//! Every command is deterministic under `--seed` and runs in milliseconds
+//! of real time (the week-long experiments run on virtual time). For the
+//! paper's figures and tables use the `repro` binary in `eaao-bench`.
+
+use std::collections::HashMap;
+
+use eaao::prelude::*;
+
+struct Common {
+    region: String,
+    seed: u64,
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit();
+    }
+    let command = args.remove(0);
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut bare_flags: Vec<String> = Vec::new();
+    let mut it = args.into_iter().peekable();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    flags.insert(name.to_owned(), it.next().expect("peeked"));
+                }
+                _ => bare_flags.push(name.to_owned()),
+            }
+        } else {
+            die(&format!("unexpected argument {arg:?}"));
+        }
+    }
+    let common = Common {
+        region: flags
+            .get("region")
+            .cloned()
+            .unwrap_or_else(|| "us-east1".to_owned()),
+        seed: flags
+            .get("seed")
+            .map(|s| s.parse().unwrap_or_else(|_| die("--seed needs an integer")))
+            .unwrap_or(2_024),
+    };
+    match command.as_str() {
+        "attack" => attack(&common, &flags),
+        "fingerprint" => fingerprint(&common, &flags, &bare_flags),
+        "verify" => verify(&common, &flags),
+        "explore" => explore(&common),
+        "monitor" => monitor(&common, &flags),
+        "help" | "--help" | "-h" => usage_and_exit(),
+        other => die(&format!("unknown command {other:?}")),
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: eaao <command> [flags]\n\
+         commands:\n\
+           attack       run a co-location attack against a fresh victim\n\
+                        [--strategy naive|optimized] [--victims N]\n\
+           fingerprint  launch instances and print their host fingerprints [--instances N] [--gen2]\n\
+           verify       compare hierarchical vs pairwise verification [--instances N]\n\
+           explore      estimate the region's serving-pool size\n\
+           monitor      detect victim activity from a co-located instance [--windows N]\n\
+         common flags: --region us-east1|us-central1|us-west1   --seed N"
+    );
+    std::process::exit(2);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("eaao: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_or<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags
+        .get(key)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| die(&format!("--{key} got an invalid value {v:?}")))
+        })
+        .unwrap_or(default)
+}
+
+fn attack(common: &Common, flags: &HashMap<String, String>) {
+    let victims = parse_or(flags, "victims", 100usize);
+    let strategy = flags
+        .get("strategy")
+        .map(String::as_str)
+        .unwrap_or("optimized");
+    let mut arena = Scenario::in_region(&common.region)
+        .seed(common.seed)
+        .victims(victims)
+        .build();
+    println!(
+        "victim: {} instances in {} (seed {})",
+        victims, common.region, common.seed
+    );
+    let report = match strategy {
+        "naive" => NaiveLaunch::default()
+            .run(&mut arena.world, arena.attacker)
+            .unwrap_or_else(|e| die(&format!("attack failed: {e}"))),
+        "optimized" => OptimizedLaunch::default()
+            .run(&mut arena.world, arena.attacker)
+            .unwrap_or_else(|e| die(&format!("attack failed: {e}"))),
+        other => die(&format!("unknown strategy {other:?}")),
+    };
+    let coverage = measure_coverage(&arena.world, &report.live_instances, &arena.victims);
+    println!(
+        "attacker ({strategy}): {} instances on {} hosts ({:.0}% of the region), cost {}",
+        report.live_instances.len(),
+        report.hosts_occupied,
+        coverage.attacker_host_coverage() * 100.0,
+        report.cost
+    );
+    println!(
+        "victim instance coverage: {:.1}%  (co-located with >=1 victim instance: {})",
+        coverage.victim_instance_coverage() * 100.0,
+        if coverage.at_least_one() { "yes" } else { "no" }
+    );
+}
+
+fn fingerprint(common: &Common, flags: &HashMap<String, String>, bare: &[String]) {
+    let instances = parse_or(flags, "instances", 100usize);
+    let gen2 = bare.iter().any(|f| f == "gen2");
+    let mut world = World::new(region_by_name(&common.region), common.seed);
+    let account = world.create_account();
+    let generation = if gen2 {
+        Generation::Gen2
+    } else {
+        Generation::Gen1
+    };
+    let service = world.deploy_service(
+        account,
+        ServiceSpec::default()
+            .with_generation(generation)
+            .with_max_instances(1_000),
+    );
+    let launch = world
+        .launch(service, instances)
+        .unwrap_or_else(|e| die(&format!("launch failed: {e}")));
+    let readings = probe_fleet(&mut world, launch.instances(), SimDuration::from_millis(10));
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for reading in &readings {
+        let label = if gen2 {
+            Gen2Fingerprint::from_reading(reading)
+                .map(|f| f.to_string())
+                .unwrap_or_else(|| "-".to_owned())
+        } else {
+            Gen1Fingerprinter::default()
+                .fingerprint(reading)
+                .map(|f| f.to_string())
+                .unwrap_or_else(|| "-".to_owned())
+        };
+        *counts.entry(label).or_default() += 1;
+    }
+    let mut rows: Vec<(String, usize)> = counts.into_iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    println!(
+        "{} instances -> {} distinct {} fingerprints:",
+        instances,
+        rows.len(),
+        if gen2 { "Gen 2" } else { "Gen 1" }
+    );
+    for (fp, n) in rows {
+        println!("  {n:>4}  {fp}");
+    }
+}
+
+fn verify(common: &Common, flags: &HashMap<String, String>) {
+    let instances = parse_or(flags, "instances", 100usize);
+    let mut world = World::new(region_by_name(&common.region), common.seed);
+    let account = world.create_account();
+    let service = world.deploy_service(account, ServiceSpec::default().with_max_instances(1_000));
+    let launch = world
+        .launch(service, instances)
+        .unwrap_or_else(|e| die(&format!("launch failed: {e}")));
+    let ids = launch.instances().to_vec();
+    let readings = probe_fleet(&mut world, &ids, SimDuration::from_millis(10));
+    let fingerprinter = Gen1Fingerprinter::default();
+    let (groups, _) = group_by_fingerprint(&readings, |r| fingerprinter.fingerprint(r));
+    let groups: Vec<Vec<InstanceId>> = groups
+        .into_iter()
+        .map(|(_, m)| m.iter().map(|&i| readings[i].instance).collect())
+        .collect();
+    let outcome = HierarchicalVerifier::new()
+        .verify(&mut world, &groups)
+        .unwrap_or_else(|e| die(&format!("verification failed: {e}")));
+    println!(
+        "hierarchical: {} clusters, {} tests, {} wall, {} cost",
+        outcome.clusters.len(),
+        outcome.stats.ctests,
+        outcome.stats.wall,
+        outcome.stats.cost
+    );
+    println!(
+        "pairwise would need {} tests (~{:.1} h at 100 ms each)",
+        pair_count(instances),
+        pair_count(instances) as f64 * 0.1 / 3_600.0
+    );
+}
+
+fn explore(common: &Common) {
+    let mut world = World::new(region_by_name(&common.region), common.seed);
+    let report = ClusterExplorer::default()
+        .run(&mut world)
+        .unwrap_or_else(|e| die(&format!("exploration failed: {e}")));
+    println!(
+        "{}: {} unique apparent hosts after {} launches (true simulated pool: {})",
+        common.region,
+        report.estimated_hosts,
+        report.cumulative.len(),
+        report.true_hosts
+    );
+}
+
+fn monitor(common: &Common, flags: &HashMap<String, String>) {
+    let windows = parse_or(flags, "windows", 24usize);
+    let mut arena = Scenario::in_region(&common.region)
+        .seed(common.seed)
+        .victims(50)
+        .build();
+    let report = OptimizedLaunch {
+        services: 2,
+        launches_per_service: 3,
+        instances_per_launch: 400,
+        ..OptimizedLaunch::default()
+    }
+    .run(&mut arena.world, arena.attacker)
+    .unwrap_or_else(|e| die(&format!("attack failed: {e}")));
+    let observer = report
+        .live_instances
+        .iter()
+        .copied()
+        .find(|&a| arena.victims.iter().any(|&v| arena.world.co_located(a, v)))
+        .unwrap_or_else(|| die("no co-located instance this seed; try another"));
+    // The victim serves a bursty workload: active every third window.
+    let schedule: Vec<bool> = (0..windows).map(|w| w % 3 == 0).collect();
+    let trace = monitor_victim_activity(
+        &mut arena.world,
+        observer,
+        &arena.victims,
+        &schedule,
+        &MonitorConfig::default(),
+    )
+    .unwrap_or_else(|e| die(&format!("monitoring failed: {e}")));
+    let render =
+        |bits: &[bool]| -> String { bits.iter().map(|&b| if b { '#' } else { '.' }).collect() };
+    println!("victim activity:  {}", render(&schedule));
+    println!("attacker detects: {}", render(trace.windows()));
+    println!(
+        "detection accuracy: {:.1}%",
+        trace.accuracy_against(&schedule) * 100.0
+    );
+}
+
+/// Resolves a region name (CLI-side wrapper around the core lookup).
+fn region_by_name(name: &str) -> RegionConfig {
+    match name {
+        "us-east1" => RegionConfig::us_east1(),
+        "us-central1" => RegionConfig::us_central1(),
+        "us-west1" => RegionConfig::us_west1(),
+        other => die(&format!("unknown region {other:?}")),
+    }
+}

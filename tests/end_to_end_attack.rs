@@ -1,0 +1,196 @@
+//! End-to-end integration tests of the full attack (Section 5.2), spanning
+//! all crates through the facade.
+
+use eaao::prelude::*;
+
+/// One complete attack run against a victim account in a region.
+fn run_attack(region: RegionConfig, seed: u64) -> (CoverageReport, StrategyReport) {
+    let mut world = World::new(region, seed);
+    let attacker = world.create_account();
+    let victim = world.create_account();
+    let victim_service = world.deploy_service(victim, ServiceSpec::default());
+    let victim_instances = world
+        .launch(victim_service, 100)
+        .expect("victim fits")
+        .instances()
+        .to_vec();
+    let report = OptimizedLaunch {
+        services: 4,
+        launches_per_service: 4,
+        instances_per_launch: 400,
+        ..OptimizedLaunch::default()
+    }
+    .run(&mut world, attacker)
+    .expect("attacker fits");
+    let coverage = measure_coverage(&world, &report.live_instances, &victim_instances);
+    (coverage, report)
+}
+
+#[test]
+fn optimized_attack_co_locates_in_every_region_and_seed() {
+    for region in [
+        RegionConfig::us_east1(),
+        RegionConfig::us_central1(),
+        RegionConfig::us_west1(),
+    ] {
+        for seed in [1, 2, 3] {
+            let name = region.name.clone();
+            let (coverage, _) = run_attack(region.clone(), seed);
+            assert!(
+                coverage.at_least_one(),
+                "no co-location in {name} at seed {seed}"
+            );
+            assert!(
+                coverage.victim_instance_coverage() > 0.5,
+                "{name} seed {seed}: coverage {}",
+                coverage.victim_instance_coverage()
+            );
+        }
+    }
+}
+
+#[test]
+fn west1_reaches_full_coverage() {
+    let (coverage, _) = run_attack(RegionConfig::us_west1(), 9);
+    assert_eq!(coverage.victim_instance_coverage(), 1.0);
+}
+
+#[test]
+fn central1_is_the_hardest_region() {
+    // The paper's ordering: us-central1 yields the lowest coverage.
+    let mut central = 0.0;
+    let mut west = 0.0;
+    for seed in [5, 6, 7] {
+        central += run_attack(RegionConfig::us_central1(), seed)
+            .0
+            .victim_instance_coverage();
+        west += run_attack(RegionConfig::us_west1(), seed)
+            .0
+            .victim_instance_coverage();
+    }
+    assert!(
+        central <= west,
+        "central1 ({central}) should not beat west1 ({west})"
+    );
+}
+
+#[test]
+fn optimized_strategy_dominates_naive() {
+    let seed = 31;
+    let mut world = World::new(RegionConfig::us_east1(), seed);
+    let attacker = world.create_account();
+    let victim = world.create_account();
+    let victim_service = world.deploy_service(victim, ServiceSpec::default());
+    let victim_instances = world
+        .launch(victim_service, 100)
+        .expect("victim fits")
+        .instances()
+        .to_vec();
+
+    let naive = NaiveLaunch {
+        services: 3,
+        instances_per_service: 400,
+        ..NaiveLaunch::default()
+    }
+    .run(&mut world, attacker)
+    .expect("fits");
+    let naive_coverage = measure_coverage(&world, &naive.live_instances, &victim_instances);
+    for service in naive.services.clone() {
+        world.kill_all(service);
+    }
+    world.advance(SimDuration::from_mins(45));
+
+    let optimized = OptimizedLaunch {
+        services: 4,
+        launches_per_service: 4,
+        instances_per_launch: 400,
+        ..OptimizedLaunch::default()
+    }
+    .run(&mut world, attacker)
+    .expect("fits");
+    let optimized_coverage = measure_coverage(&world, &optimized.live_instances, &victim_instances);
+
+    assert!(
+        optimized.hosts_occupied > naive.hosts_occupied * 2,
+        "optimized {} hosts vs naive {}",
+        optimized.hosts_occupied,
+        naive.hosts_occupied
+    );
+    assert!(
+        optimized_coverage.victim_instance_coverage() >= naive_coverage.victim_instance_coverage(),
+        "optimized {} < naive {}",
+        optimized_coverage.victim_instance_coverage(),
+        naive_coverage.victim_instance_coverage()
+    );
+}
+
+#[test]
+fn attack_cost_is_tens_of_dollars_at_paper_scale() {
+    let mut world = World::new(RegionConfig::us_east1(), 41);
+    let attacker = world.create_account();
+    let report = OptimizedLaunch::default()
+        .run(&mut world, attacker)
+        .expect("fits");
+    let usd = report.cost.as_usd();
+    assert!(
+        (15.0..40.0).contains(&usd),
+        "paper-scale attack cost ${usd:.2} (paper: $23-27)"
+    );
+    // The attacker sits on hundreds of hosts at once (paper: 904 in
+    // us-central1).
+    assert!(
+        report.hosts_occupied > 300,
+        "{} hosts",
+        report.hosts_occupied
+    );
+}
+
+#[test]
+fn covert_verified_coverage_matches_ground_truth_end_to_end() {
+    let mut world = World::new(RegionConfig::us_west1(), 51);
+    let attacker = world.create_account();
+    let victim = world.create_account();
+    let victim_service = world.deploy_service(victim, ServiceSpec::default());
+    let victim_instances = world
+        .launch(victim_service, 40)
+        .expect("victim fits")
+        .instances()
+        .to_vec();
+    let report = OptimizedLaunch {
+        services: 2,
+        launches_per_service: 3,
+        instances_per_launch: 300,
+        ..OptimizedLaunch::default()
+    }
+    .run(&mut world, attacker)
+    .expect("fits");
+    let truth = measure_coverage(&world, &report.live_instances, &victim_instances);
+    let (verified, _) = measure_coverage_verified(
+        &mut world,
+        &report.live_instances,
+        &victim_instances,
+        &Gen1Fingerprinter::default(),
+    )
+    .expect("fleets alive");
+    let diff = (verified.covered_instances as i64 - truth.covered_instances as i64).abs();
+    assert!(
+        diff <= 2,
+        "covert-verified {} vs ground truth {}",
+        verified.covered_instances,
+        truth.covered_instances
+    );
+}
+
+#[test]
+fn gen2_attack_transfers() {
+    use eaao::core::experiment::fig11::Fig11Config;
+    let mut config = Fig11Config::quick();
+    config.generation = Generation::Gen2;
+    let result = config.run_11a(61);
+    assert!(result.at_least_one_rate() == 1.0);
+    assert!(
+        result.mean_coverage() > 0.6,
+        "gen2 coverage {}",
+        result.mean_coverage()
+    );
+}

@@ -1,0 +1,181 @@
+//! Integration tests of the fingerprinting pipeline: probe → fingerprint →
+//! verify → score, for both execution environments.
+
+use std::collections::HashMap;
+
+use eaao::prelude::*;
+
+fn launch(world: &mut World, generation: Generation, n: usize) -> Vec<InstanceId> {
+    let account = world.create_account();
+    let service = world.deploy_service(
+        account,
+        ServiceSpec::default()
+            .with_generation(generation)
+            .with_max_instances(1_000),
+    );
+    world.launch(service, n).expect("fits").instances().to_vec()
+}
+
+#[test]
+fn gen1_fingerprints_recover_ground_truth_hosts() {
+    let mut world = World::new(RegionConfig::us_west1(), 1);
+    let ids = launch(&mut world, Generation::Gen1, 150);
+    let readings = probe_fleet(&mut world, &ids, SimDuration::from_millis(10));
+    let fingerprinter = Gen1Fingerprinter::default();
+    let predicted: Vec<String> = readings
+        .iter()
+        .map(|r| fingerprinter.fingerprint(r).expect("parseable").to_string())
+        .collect();
+    let truth: Vec<u32> = readings
+        .iter()
+        .map(|r| world.host_of(r.instance).as_raw())
+        .collect();
+    let confusion = PairConfusion::from_assignments(&predicted, &truth);
+    assert!(
+        confusion.fmi() > 0.999,
+        "Gen 1 FMI {} at p_boot = 1 s",
+        confusion.fmi()
+    );
+}
+
+#[test]
+fn gen1_fingerprint_is_stable_across_repeated_probes() {
+    let mut world = World::new(RegionConfig::us_west1(), 2);
+    let ids = launch(&mut world, Generation::Gen1, 10);
+    let fingerprinter = Gen1Fingerprinter::default();
+    let first: Vec<_> = probe_fleet(&mut world, &ids, SimDuration::from_millis(10))
+        .iter()
+        .map(|r| fingerprinter.fingerprint(r))
+        .collect();
+    world.advance(SimDuration::from_mins(5));
+    let second: Vec<_> = probe_fleet(&mut world, &ids, SimDuration::from_millis(10))
+        .iter()
+        .map(|r| fingerprinter.fingerprint(r))
+        .collect();
+    assert_eq!(first, second, "fingerprints must be stable over minutes");
+}
+
+#[test]
+fn gen1_fingerprints_expire_after_enough_drift() {
+    // Find a host with a meaningful drift rate and check its fingerprint
+    // eventually rolls over.
+    let mut world = World::new(RegionConfig::us_west1(), 3);
+    let ids = launch(&mut world, Generation::Gen1, 60);
+    let fingerprinter = Gen1Fingerprinter::default();
+    let initial: HashMap<InstanceId, _> =
+        probe_fleet(&mut world, &ids, SimDuration::from_millis(10))
+            .iter()
+            .map(|r| (r.instance, fingerprinter.fingerprint(r).expect("parseable")))
+            .collect();
+    // A month of drift at a few kHz of crystal error crosses several 1-s
+    // boundaries on most hosts.
+    world.advance(SimDuration::from_days(30));
+    let later = probe_fleet(&mut world, &ids, SimDuration::from_millis(10));
+    let changed = later
+        .iter()
+        .filter(|r| {
+            fingerprinter
+                .fingerprint(r)
+                .map(|f| f != initial[&r.instance])
+                .unwrap_or(false)
+        })
+        .count();
+    assert!(
+        changed > later.len() / 4,
+        "only {changed} of {} fingerprints drifted after 30 days",
+        later.len()
+    );
+}
+
+#[test]
+fn gen2_fingerprints_have_no_false_negatives_but_collide() {
+    let mut world = World::new(RegionConfig::us_east1(), 4);
+    let ids = launch(&mut world, Generation::Gen2, 500);
+    let readings = probe_fleet(&mut world, &ids, SimDuration::from_millis(10));
+    let predicted: Vec<u64> = readings
+        .iter()
+        .map(|r| {
+            Gen2Fingerprint::from_reading(r)
+                .expect("gen2")
+                .refined()
+                .as_khz()
+        })
+        .collect();
+    let truth: Vec<u32> = readings
+        .iter()
+        .map(|r| world.host_of(r.instance).as_raw())
+        .collect();
+    let confusion = PairConfusion::from_assignments(&predicted, &truth);
+    assert_eq!(confusion.false_negatives, 0, "Gen 2 cannot split a host");
+    assert!(
+        confusion.false_positives > 0,
+        "Gen 2 should collide across hosts at this scale"
+    );
+}
+
+#[test]
+fn gen2_guest_cannot_learn_host_boot_time() {
+    let mut world = World::new(RegionConfig::us_west1(), 5);
+    let ids = launch(&mut world, Generation::Gen2, 5);
+    let readings = probe_fleet(&mut world, &ids, SimDuration::from_millis(10));
+    for reading in &readings {
+        // Deriving "boot time" from the offset TSC yields (approximately)
+        // the VM's start, i.e. essentially "now" — not the host boot,
+        // which lies hours to weeks in the past.
+        let apparent_uptime = reading.tsc as f64 / 2.4e9; // any plausible frequency
+        assert!(
+            apparent_uptime < 600.0,
+            "guest TSC should look freshly booted, got {apparent_uptime}s"
+        );
+        let host = world.data_center().host(world.host_of(reading.instance));
+        let true_uptime = (reading.wall - host.boot_time()).as_secs_f64();
+        assert!(true_uptime > 3_000.0, "host uptime {true_uptime}");
+    }
+}
+
+#[test]
+fn verification_corrects_fingerprint_errors_at_bad_precision() {
+    // Deliberately fingerprint at a terrible precision (1000 s): groups
+    // merge distinct hosts. Verification must split them back apart.
+    let mut world = World::new(RegionConfig::us_west1(), 6);
+    let ids = launch(&mut world, Generation::Gen1, 80);
+    let readings = probe_fleet(&mut world, &ids, SimDuration::from_millis(10));
+    let coarse = Gen1Fingerprinter::new(SimDuration::from_secs(1_000));
+    let (groups, _) = group_by_fingerprint(&readings, |r| coarse.fingerprint(r));
+    let groups: Vec<Vec<InstanceId>> = groups
+        .into_iter()
+        .map(|(_, m)| m.iter().map(|&i| readings[i].instance).collect())
+        .collect();
+    let outcome = HierarchicalVerifier::new()
+        .verify(&mut world, &groups)
+        .expect("alive");
+    for cluster in &outcome.clusters {
+        for pair in cluster.windows(2) {
+            assert!(
+                world.co_located(pair[0], pair[1]),
+                "cluster mixes hosts: {pair:?}"
+            );
+        }
+    }
+    // And nothing co-located was split.
+    let labels = outcome.labels_for(&ids);
+    for (i, &a) in ids.iter().enumerate() {
+        for (j, &b) in ids.iter().enumerate().skip(i + 1) {
+            if world.co_located(a, b) {
+                assert_eq!(labels[i], labels[j], "split co-located pair {a}/{b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn problematic_hosts_break_measured_frequency_but_not_reported() {
+    use eaao::core::experiment::sec42::Sec42Config;
+    let result = Sec42Config::quick().run(7);
+    // Some hosts are problematic for the measured-frequency method...
+    assert!(result.problematic_hosts() > 0);
+    // ...but the reported-frequency fingerprint on the same region stays
+    // near-perfect (previous test at FMI > 0.999 covers this; here just
+    // confirm the problematic fraction is the paper's ~10%, not ~50%).
+    assert!(result.problematic_fraction() < 0.3);
+}

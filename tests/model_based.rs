@@ -1,0 +1,169 @@
+//! Model-based testing: drive the World with arbitrary operation
+//! sequences and check its global invariants after every step.
+
+use proptest::prelude::*;
+
+use eaao::prelude::*;
+
+/// An operation an arbitrary tenant might perform.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Open `n` connections on service `s`.
+    Launch { s: usize, n: usize },
+    /// Autoscale service `s` to `n` concurrent requests.
+    SetLoad { s: usize, n: usize },
+    /// Close all connections of service `s`.
+    DisconnectAll { s: usize },
+    /// Kill all instances of service `s`.
+    KillAll { s: usize },
+    /// Let time pass (reaper fires).
+    Advance { minutes: i64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..3, 1usize..120).prop_map(|(s, n)| Op::Launch { s, n }),
+        (0usize..3, 0usize..120).prop_map(|(s, n)| Op::SetLoad { s, n }),
+        (0usize..3).prop_map(|s| Op::DisconnectAll { s }),
+        (0usize..3).prop_map(|s| Op::KillAll { s }),
+        (1i64..30).prop_map(|minutes| Op::Advance { minutes }),
+    ]
+}
+
+fn check_invariants(world: &World, services: &[ServiceId]) -> Result<(), TestCaseError> {
+    // 1. The host-side residency mirror matches the instance registry.
+    let alive_total: usize = services.iter().map(|&s| world.alive_count(s)).sum();
+    prop_assert_eq!(
+        world.data_center().resident_instances(),
+        alive_total,
+        "residency mirror out of sync"
+    );
+    // 2. No host exceeds its capacity.
+    for host in world.data_center().hosts() {
+        prop_assert!(
+            host.resident_count() <= host.capacity(),
+            "host {} over capacity",
+            host.id()
+        );
+    }
+    // 3. Every alive instance is where its host thinks it is.
+    for &service in services {
+        for id in world.alive_instances_of(service) {
+            let host = world.host_of(id);
+            prop_assert!(
+                world.data_center().host(host).hosts_instance(id),
+                "instance {} missing from host {}",
+                id,
+                host
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn world_invariants_hold_under_arbitrary_ops(
+        seed in 0u64..1_000,
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut world = World::new(RegionConfig::us_west1().with_hosts(25), seed);
+        let account = world.create_account();
+        let services: Vec<ServiceId> = (0..3)
+            .map(|_| {
+                world.deploy_service(
+                    account,
+                    ServiceSpec::default().with_max_instances(200),
+                )
+            })
+            .collect();
+        let mut billed_before = world.billed().as_usd();
+        for op in ops {
+            match op {
+                Op::Launch { s, n } => {
+                    // May legitimately fail (cap/capacity); must not corrupt.
+                    let _ = world.launch(services[s % 3], n);
+                }
+                Op::SetLoad { s, n } => {
+                    let _ = world.set_load(services[s % 3], n);
+                }
+                Op::DisconnectAll { s } => world.disconnect_all(services[s % 3]),
+                Op::KillAll { s } => world.kill_all(services[s % 3]),
+                Op::Advance { minutes } => world.advance(SimDuration::from_mins(minutes)),
+            }
+            check_invariants(&world, &services)?;
+            // 4. Billing is monotone.
+            let billed_now = world.billed().as_usd();
+            prop_assert!(
+                billed_now >= billed_before - 1e-12,
+                "billing went backwards: {billed_before} -> {billed_now}"
+            );
+            billed_before = billed_now;
+        }
+        // 5. After a full teardown and a reaper cycle, nothing is left.
+        for &s in &services {
+            world.kill_all(s);
+        }
+        world.advance(SimDuration::from_mins(20));
+        prop_assert_eq!(world.data_center().resident_instances(), 0);
+    }
+
+    #[test]
+    fn placement_is_a_function_of_the_seed(
+        seed in 0u64..500,
+        n in 1usize..150,
+    ) {
+        let run = |seed: u64| {
+            let mut world = World::new(RegionConfig::us_west1().with_hosts(25), seed);
+            let account = world.create_account();
+            let service = world.deploy_service(
+                account,
+                ServiceSpec::default().with_max_instances(200),
+            );
+            world
+                .launch(service, n)
+                .expect("fits")
+                .instances()
+                .iter()
+                .map(|&i| world.host_of(i).as_raw())
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}
+
+#[test]
+fn launch_rollback_rearms_the_reaper() {
+    // A tiny data center where a warm-reuse launch can fail: the rolled
+    // back instances must still be reaped eventually, not leak as
+    // permanent idlers.
+    let mut region = RegionConfig::us_west1().with_hosts(3);
+    region.host_config.capacity = 20;
+    let mut world = World::new(region, 9);
+    let account = world.create_account();
+    let service = world.deploy_service(account, ServiceSpec::default().with_max_instances(200));
+    // Fill half the pool and go idle.
+    world.launch(service, 30).expect("fits");
+    world.disconnect_all(service);
+    world.advance(SimDuration::from_secs(30));
+    // Another tenant grabs the remaining capacity.
+    let other = world.create_account();
+    let hog = world.deploy_service(other, ServiceSpec::default().with_max_instances(200));
+    world.launch(hog, 30).expect("fits");
+    // The original service now asks for more than fits: warm reuse (30)
+    // plus new instances that cannot be placed -> rollback.
+    let result = world.launch(service, 60);
+    assert!(result.is_err(), "expected DataCenterFull");
+    // The rolled-back warm instances must be reaped like any idle ones.
+    world.advance(SimDuration::from_mins(20));
+    assert_eq!(
+        world.alive_count(service),
+        0,
+        "rollback leaked idle instances"
+    );
+}

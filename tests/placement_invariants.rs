@@ -1,0 +1,172 @@
+//! Cross-crate invariants of the orchestrator and data-center model:
+//! conservation, capacity, determinism, billing sanity.
+
+use std::collections::HashMap;
+
+use eaao::prelude::*;
+
+#[test]
+fn residency_mirrors_instances_through_a_full_lifecycle() {
+    let mut world = World::new(RegionConfig::us_west1(), 1);
+    let account = world.create_account();
+    let service = world.deploy_service(account, ServiceSpec::default().with_max_instances(1_000));
+    for round in 0..4 {
+        let launch = world.launch(service, 200).expect("fits");
+        // Every live instance is resident exactly where it claims.
+        for &id in launch.instances() {
+            let host = world.host_of(id);
+            assert!(
+                world.data_center().host(host).hosts_instance(id),
+                "round {round}: instance {id} not resident on {host}"
+            );
+        }
+        assert_eq!(world.data_center().resident_instances(), 200);
+        world.disconnect_all(service);
+        world.advance(SimDuration::from_mins(20));
+        assert_eq!(
+            world.data_center().resident_instances(),
+            0,
+            "round {round}: reaper left residents behind"
+        );
+    }
+}
+
+#[test]
+fn capacity_is_never_exceeded() {
+    let mut region = RegionConfig::us_west1().with_hosts(12);
+    region.host_config.capacity = 20;
+    let mut world = World::new(region, 2);
+    let account = world.create_account();
+    // Saturate the data center across several services.
+    for _ in 0..3 {
+        let service =
+            world.deploy_service(account, ServiceSpec::default().with_max_instances(1_000));
+        let _ = world.launch(service, 80);
+    }
+    for host in world.data_center().hosts() {
+        assert!(
+            host.resident_count() <= host.capacity(),
+            "host {} over capacity: {}",
+            host.id(),
+            host.resident_count()
+        );
+    }
+}
+
+#[test]
+fn same_seed_reproduces_identical_placement() {
+    let run = || {
+        let mut world = World::new(RegionConfig::us_east1(), 33);
+        let account = world.create_account();
+        let service =
+            world.deploy_service(account, ServiceSpec::default().with_max_instances(1_000));
+        let launch = world.launch(service, 300).expect("fits");
+        launch
+            .instances()
+            .iter()
+            .map(|&i| world.host_of(i).as_raw())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run(), "placement must be deterministic under a seed");
+}
+
+#[test]
+fn different_seeds_shuffle_the_world() {
+    let boot = |seed| {
+        let world = World::new(RegionConfig::us_west1(), seed);
+        world.data_center().host(HostId::from_raw(0)).boot_time()
+    };
+    assert_ne!(boot(1), boot(2));
+}
+
+#[test]
+fn launch_spread_is_near_uniform_at_paper_scale() {
+    let mut world = World::new(RegionConfig::us_east1(), 4);
+    let account = world.create_account();
+    let service = world.deploy_service(account, ServiceSpec::default().with_max_instances(1_000));
+    let launch = world.launch(service, 800).expect("fits");
+    let mut per_host: HashMap<HostId, usize> = HashMap::new();
+    for &id in launch.instances() {
+        *per_host.entry(world.host_of(id)).or_default() += 1;
+    }
+    // Observation 1: ~75 hosts, 10-11 instances on the majority of them.
+    assert!(
+        (70..=85).contains(&per_host.len()),
+        "{} hosts",
+        per_host.len()
+    );
+    let ten_or_eleven = per_host.values().filter(|&&c| c == 10 || c == 11).count();
+    assert!(
+        ten_or_eleven * 3 > per_host.len() * 2,
+        "only {ten_or_eleven}/{} hosts at 10-11 instances",
+        per_host.len()
+    );
+}
+
+#[test]
+fn billing_is_monotone_and_idle_free() {
+    let mut world = World::new(RegionConfig::us_west1(), 5);
+    let account = world.create_account();
+    let service = world.deploy_service(account, ServiceSpec::default());
+    world.launch(service, 50).expect("fits");
+    let mut last = world.billed_for(account);
+    // Active time accrues.
+    for _ in 0..5 {
+        world.advance(SimDuration::from_secs(10));
+        let now = world.billed_for(account);
+        assert!(now > last);
+        last = now;
+    }
+    // Idle time is free.
+    world.disconnect_all(service);
+    let after_disconnect = world.billed_for(account);
+    world.advance(SimDuration::from_mins(20));
+    let after_idle = world.billed_for(account);
+    assert!((after_idle.as_usd() - after_disconnect.as_usd()).abs() < 1e-12);
+}
+
+#[test]
+fn accounts_are_billed_separately() {
+    let mut world = World::new(RegionConfig::us_west1(), 6);
+    let a = world.create_account();
+    let b = world.create_account();
+    let service_a = world.deploy_service(a, ServiceSpec::default());
+    let service_b = world.deploy_service(b, ServiceSpec::default().with_size(ContainerSize::Large));
+    world.launch(service_a, 10).expect("fits");
+    world.launch(service_b, 10).expect("fits");
+    world.advance(SimDuration::from_secs(60));
+    let bill_a = world.billed_for(a).as_usd();
+    let bill_b = world.billed_for(b).as_usd();
+    assert!(
+        bill_b > bill_a * 3.0,
+        "Large instances cost more: {bill_a} vs {bill_b}"
+    );
+    assert!((world.billed().as_usd() - bill_a - bill_b).abs() < 1e-9);
+}
+
+#[test]
+fn host_reboot_changes_fingerprint_but_not_crystal() {
+    let mut world = World::new(RegionConfig::us_west1().with_hosts(10), 7);
+    let account = world.create_account();
+    let service = world.deploy_service(account, ServiceSpec::default());
+    let launch = world.launch(service, 5).expect("fits");
+    let host_id = world.host_of(launch.instances()[0]);
+    let before_boot = world.data_center().host(host_id).boot_time();
+    let before_freq = world.data_center().host(host_id).actual_frequency();
+    world.enable_host_churn(SimDuration::from_hours(2));
+    world.advance(SimDuration::from_days(2));
+    let host = world.data_center().host(host_id);
+    assert_ne!(host.boot_time(), before_boot, "host should have rebooted");
+    assert_eq!(host.actual_frequency(), before_freq, "crystal survives");
+    // Displaced instances were terminated.
+    assert!(!world.instance(launch.instances()[0]).is_alive());
+}
+
+#[test]
+fn quotas_gate_new_accounts_until_promotion() {
+    let mut world = World::new(RegionConfig::us_west1(), 8);
+    let newbie = world.create_new_account();
+    let service = world.deploy_service(newbie, ServiceSpec::default().with_max_instances(1_000));
+    assert!(world.launch(service, 11).is_err());
+    assert!(world.launch(service, 10).is_ok());
+}

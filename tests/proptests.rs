@@ -1,0 +1,191 @@
+//! Property-based tests (proptest) on the core math and data structures:
+//! the invariants that must hold for *any* input, not just the paper's
+//! parameter points.
+
+use proptest::prelude::*;
+
+use eaao::core::cluster::CoLocationForest;
+use eaao::core::metrics::PairConfusion;
+use eaao::prelude::*;
+use eaao::simcore::events::EventQueue;
+use eaao::simcore::stats::{linear_fit, Ecdf};
+use eaao::tsc::boot::{drift_rate, time_to_expiration, TscSample};
+use eaao::tsc::counter::InvariantTsc;
+use eaao::tsc::freq::TscFrequency;
+use eaao::tsc::refine::RefinedTscFrequency;
+
+proptest! {
+    /// Eq. 4.1 inverts the TSC exactly when the true frequency is used.
+    #[test]
+    fn boot_derivation_inverts_the_counter(
+        boot_s in 0.0f64..1e7,
+        uptime_s in 1.0f64..1e7,
+        ghz in 1.0f64..4.0,
+    ) {
+        let freq = TscFrequency::from_ghz(ghz);
+        let boot = SimTime::from_secs_f64(boot_s);
+        let tsc = InvariantTsc::new(boot, freq);
+        let now = boot + SimDuration::from_secs_f64(uptime_s);
+        let sample = TscSample::new(tsc.read(now), now);
+        let derived = sample.derive_boot_time(freq);
+        prop_assert!((derived - boot).abs() < SimDuration::from_micros(1));
+    }
+
+    /// Rounding is idempotent and lands on the precision grid.
+    #[test]
+    fn rounding_is_idempotent(nanos in -1_000_000_000_000i64..1_000_000_000_000, p in 1i64..10_000_000_000) {
+        let t = SimTime::from_nanos(nanos);
+        let precision = SimDuration::from_nanos(p);
+        let rounded = t.round_to(precision);
+        prop_assert_eq!(rounded.round_to(precision), rounded);
+        prop_assert_eq!(rounded.as_nanos().rem_euclid(p), 0);
+        prop_assert!((t - rounded).abs().as_nanos() <= p / 2 + 1);
+    }
+
+    /// Drift is antisymmetric in the frequency error: swapping which side
+    /// is "fast" flips the sign of the rate.
+    #[test]
+    fn drift_rate_antisymmetry(base_hz in 1e9f64..4e9, err in 1.0f64..1e6) {
+        let reported = TscFrequency::from_hz(base_hz);
+        let fast = reported.offset_by_hz(err);
+        let slow = reported.offset_by_hz(-err);
+        let up = drift_rate(fast, reported);
+        let down = drift_rate(slow, reported);
+        prop_assert!((up + down).abs() < 1e-15);
+    }
+
+    /// Expiration shrinks as the drift rate grows, for any phase.
+    #[test]
+    fn expiration_monotone_in_rate(
+        phase in -0.49f64..0.49,
+        rate in 1e-9f64..1e-3,
+    ) {
+        let derived = SimTime::from_secs_f64(1_000.0 + phase);
+        let p = SimDuration::from_secs(1);
+        let slow = time_to_expiration(derived, rate, p).unwrap();
+        let fast = time_to_expiration(derived, rate * 2.0, p).unwrap();
+        prop_assert!(fast <= slow);
+        // And drifting the other way also expires eventually.
+        let reverse = time_to_expiration(derived, -rate, p).unwrap();
+        prop_assert!(reverse >= SimDuration::ZERO);
+    }
+
+    /// FMI, precision, and recall always live in [0, 1], and FMI is their
+    /// geometric mean.
+    #[test]
+    fn pair_confusion_bounds(labels in proptest::collection::vec((0u8..6, 0u8..6), 0..60)) {
+        let predicted: Vec<u8> = labels.iter().map(|&(p, _)| p).collect();
+        let truth: Vec<u8> = labels.iter().map(|&(_, t)| t).collect();
+        let c = PairConfusion::from_assignments(&predicted, &truth);
+        prop_assert!((0.0..=1.0).contains(&c.precision()));
+        prop_assert!((0.0..=1.0).contains(&c.recall()));
+        prop_assert!((0.0..=1.0).contains(&c.fmi()));
+        prop_assert!((c.fmi() - (c.precision() * c.recall()).sqrt()).abs() < 1e-12);
+        let n = labels.len() as u64;
+        prop_assert_eq!(
+            c.true_positives + c.false_positives + c.true_negatives + c.false_negatives,
+            n * n.saturating_sub(1) / 2
+        );
+    }
+
+    /// Identical label vectors give a perfect clustering.
+    #[test]
+    fn identical_labels_are_perfect(labels in proptest::collection::vec(0u8..6, 1..50)) {
+        let c = PairConfusion::from_assignments(&labels, &labels);
+        prop_assert!(c.is_perfect());
+        prop_assert_eq!(c.fmi(), 1.0);
+    }
+
+    /// Union-find: merges partition the instance set, regardless of order.
+    #[test]
+    fn forest_always_partitions(
+        n in 1usize..40,
+        merges in proptest::collection::vec((0usize..40, 0usize..40), 0..80),
+    ) {
+        let ids: Vec<InstanceId> = (0..n as u32).map(InstanceId::from_raw).collect();
+        let mut forest = CoLocationForest::new(ids.clone());
+        for (a, b) in merges {
+            forest.merge(ids[a % n], ids[b % n]);
+        }
+        let clusters = forest.clusters();
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n, "clusters must cover every instance once");
+        let mut seen = std::collections::HashSet::new();
+        for c in &clusters {
+            for &i in c {
+                prop_assert!(seen.insert(i), "instance in two clusters");
+            }
+        }
+    }
+
+    /// Event queues deliver in non-decreasing time order with FIFO ties.
+    #[test]
+    fn event_queue_is_time_ordered(times in proptest::collection::vec(0i64..1_000, 0..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let fired = q.drain_due(SimTime::MAX);
+        let mut last = (SimTime::from_nanos(i64::MIN), 0usize);
+        for e in fired {
+            let key = (e.due(), *e.payload());
+            prop_assert!(key > last, "out of order: {key:?} after {last:?}");
+            last = key;
+        }
+    }
+
+    /// Pricing is monotone in time, instance count, and size.
+    #[test]
+    fn pricing_monotonicity(secs in 1i64..100_000, n in 1usize..1_000) {
+        let rates = Rates::us_tier1();
+        let t = SimDuration::from_secs(secs);
+        let small = rates.fleet_cost(n, ContainerSize::Small, t);
+        let large = rates.fleet_cost(n, ContainerSize::Large, t);
+        prop_assert!(large > small);
+        let longer = rates.fleet_cost(n, ContainerSize::Small, t + SimDuration::from_secs(1));
+        prop_assert!(longer > small);
+        let more = rates.fleet_cost(n + 1, ContainerSize::Small, t);
+        prop_assert!(more > small);
+    }
+
+    /// The kernel refinement never moves the value by more than the
+    /// measurement error plus half a rounding bucket.
+    #[test]
+    fn refinement_error_is_bounded(base in 1e9f64..4e9, err in -5e4f64..5e4) {
+        let actual = TscFrequency::from_hz(base);
+        let refined = RefinedTscFrequency::refine(actual, err);
+        let moved = (refined.as_hz() - actual.as_hz()).abs();
+        prop_assert!(moved <= err.abs() + 500.0 + 1e-6);
+    }
+
+    /// Linear regression recovers exact lines and keeps |r| <= 1 under
+    /// noise.
+    #[test]
+    fn linear_fit_bounds(
+        slope in -1e3f64..1e3,
+        intercept in -1e3f64..1e3,
+        noise in proptest::collection::vec(-1.0f64..1.0, 3..30),
+    ) {
+        let xs: Vec<f64> = (0..noise.len()).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().zip(&noise).map(|(&x, &e)| slope * x + intercept + e).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        prop_assert!(fit.r_value().abs() <= 1.0 + 1e-12);
+        // With noise bounded by 1 and spread-out x, the slope error is
+        // bounded too.
+        prop_assert!((fit.slope() - slope).abs() < 2.0);
+    }
+
+    /// ECDF fractions are monotone and bounded.
+    #[test]
+    fn ecdf_is_a_cdf(xs in proptest::collection::vec(-1e6f64..1e6, 0..100)) {
+        let cdf = Ecdf::new(xs);
+        let probes = [-1e7, -1.0, 0.0, 1.0, 1e7];
+        let mut last = 0.0;
+        for &p in &probes {
+            let f = cdf.fraction_at_or_below(p);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= last);
+            last = f;
+        }
+    }
+}

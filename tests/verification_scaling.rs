@@ -1,0 +1,137 @@
+//! Integration tests of the verification methods across crates: the
+//! hierarchical verifier vs the pairwise baseline vs SIE (Section 4.3).
+
+use eaao::prelude::*;
+
+fn fleet(seed: u64, n: usize) -> (World, Vec<InstanceId>) {
+    let mut world = World::new(RegionConfig::us_west1().with_hosts(40), seed);
+    let account = world.create_account();
+    let service = world.deploy_service(account, ServiceSpec::default().with_max_instances(1_000));
+    let launch = world.launch(service, n).expect("fits");
+    (world, launch.instances().to_vec())
+}
+
+fn fingerprint_groups(world: &mut World, ids: &[InstanceId]) -> Vec<Vec<InstanceId>> {
+    let readings = probe_fleet(world, ids, SimDuration::from_millis(10));
+    let fingerprinter = Gen1Fingerprinter::default();
+    let (groups, _) = group_by_fingerprint(&readings, |r| fingerprinter.fingerprint(r));
+    groups
+        .into_iter()
+        .map(|(_, m)| m.iter().map(|&i| readings[i].instance).collect())
+        .collect()
+}
+
+#[test]
+fn hierarchical_and_pairwise_agree() {
+    let (mut world, ids) = fleet(1, 60);
+    let groups = fingerprint_groups(&mut world, &ids);
+    let hierarchical = HierarchicalVerifier::new()
+        .verify(&mut world, &groups)
+        .expect("alive");
+    let pairwise = pairwise_verify(&mut world, &ids, PairwiseChannel::RngUnit).expect("alive");
+    let mut a = hierarchical.clusters.clone();
+    let mut b = pairwise.clusters.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "methods disagree on clusters");
+}
+
+#[test]
+fn hierarchical_is_cheaper_in_time_tests_and_dollars() {
+    let (mut world, ids) = fleet(2, 100);
+    let groups = fingerprint_groups(&mut world, &ids);
+    let hierarchical = HierarchicalVerifier::new()
+        .verify(&mut world, &groups)
+        .expect("alive");
+    let (mut world2, ids2) = fleet(2, 100);
+    let pairwise = pairwise_verify(&mut world2, &ids2, PairwiseChannel::RngUnit).expect("alive");
+    assert!(hierarchical.stats.ctests * 20 < pairwise.stats.tests);
+    assert!(hierarchical.stats.wall.as_secs_f64() * 20.0 < pairwise.stats.wall.as_secs_f64());
+    assert!(hierarchical.stats.cost.as_usd() * 20.0 < pairwise.stats.cost.as_usd());
+}
+
+#[test]
+fn best_case_test_count_is_linear_in_hosts() {
+    // Doubling the fleet at fixed density roughly doubles hosts and the
+    // hierarchical test count — while pair counts quadruple.
+    let count_tests = |seed, n| {
+        let (mut world, ids) = fleet(seed, n);
+        let groups = fingerprint_groups(&mut world, &ids);
+        let outcome = HierarchicalVerifier::new()
+            .verify(&mut world, &groups)
+            .expect("alive");
+        outcome.stats.ctests
+    };
+    let small = count_tests(3, 60);
+    let large = count_tests(3, 240);
+    assert!(
+        large < small * 8,
+        "test count grew superlinearly: {small} -> {large}"
+    );
+    assert!(pair_count(240) / pair_count(60) >= 16);
+}
+
+#[test]
+fn sie_fails_on_faas_packing() {
+    let (mut world, ids) = fleet(4, 150);
+    let outcome = single_instance_elimination(&mut world, &ids).expect("alive");
+    assert!(
+        outcome.elimination_rate() < 0.05,
+        "SIE eliminated {:.1}%",
+        outcome.elimination_rate() * 100.0
+    );
+    // The remaining pairwise campaign is still effectively the full O(N²).
+    assert!(outcome.remaining_pairwise_tests() > pair_count(140));
+}
+
+#[test]
+fn gen2_verification_skips_the_false_negative_sweep() {
+    // Gen 2 fingerprint groups cannot split hosts, so the cheaper verifier
+    // configuration is sound: it must find the same clusters.
+    let mut world = World::new(RegionConfig::us_west1().with_hosts(40), 5);
+    let account = world.create_account();
+    let service = world.deploy_service(
+        account,
+        ServiceSpec::default()
+            .with_generation(Generation::Gen2)
+            .with_max_instances(1_000),
+    );
+    let ids = world
+        .launch(service, 80)
+        .expect("fits")
+        .instances()
+        .to_vec();
+    let readings = probe_fleet(&mut world, &ids, SimDuration::from_millis(10));
+    let (groups, _) = group_by_fingerprint(&readings, Gen2Fingerprint::from_reading);
+    let groups: Vec<Vec<InstanceId>> = groups
+        .into_iter()
+        .map(|(_, m)| m.iter().map(|&i| readings[i].instance).collect())
+        .collect();
+    let fast = HierarchicalVerifier::new()
+        .without_false_negative_sweep()
+        .verify(&mut world, &groups)
+        .expect("alive");
+    // Every cluster is host-pure and no co-located pair was split.
+    let labels = fast.labels_for(&ids);
+    for (i, &a) in ids.iter().enumerate() {
+        for (j, &b) in ids.iter().enumerate().skip(i + 1) {
+            assert_eq!(
+                labels[i] == labels[j],
+                world.co_located(a, b),
+                "mismatch for {a}/{b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn verification_survives_mid_campaign_churn_gracefully() {
+    // If instances die mid-campaign, the verifier reports an error rather
+    // than producing bogus clusters.
+    let (mut world, ids) = fleet(6, 30);
+    let service = world.instance(ids[0]).service();
+    world.kill_all(service);
+    let groups: Vec<Vec<InstanceId>> = vec![ids];
+    let result = HierarchicalVerifier::new().verify(&mut world, &groups);
+    assert!(result.is_err(), "verifying dead instances must fail");
+}
