@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper at full scale.
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--seed N] [--json DIR] [--quick]
+//! repro [EXPERIMENT ...] [--seed N] [--json DIR] [--quick] [--jobs N]
 //! ```
 //!
 //! Experiments: `fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11a fig11b fig12
@@ -9,8 +9,13 @@
 //!
 //! `--quick` swaps in the reduced-scale configurations used by tests.
 //! `--json DIR` additionally dumps each result as JSON for plotting.
+//! `--jobs N` (N > 1) runs the selected experiments as a parallel campaign
+//! through `eaao-campaign` — one run per experiment × paper region,
+//! streamed to `<json dir>/results.jsonl` — instead of the serial text
+//! report. Exit status is non-zero if any experiment fails either way.
 
 use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use eaao_bench::{format_series, format_summary, percent, TextTable};
@@ -22,11 +27,34 @@ use eaao_core::experiment::{
 };
 use eaao_simcore::time::SimDuration;
 
+/// Every experiment name `repro` accepts, in paper order.
+const KNOWN_EXPERIMENTS: [&str; 18] = [
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11a",
+    "fig11b",
+    "fig12",
+    "sec4.2",
+    "sec4.3",
+    "sec4.5",
+    "strategy1",
+    "gen2",
+    "sec6",
+    "opt",
+    "factors",
+];
+
 struct Options {
     experiments: BTreeSet<String>,
     seed: u64,
     json_dir: Option<String>,
     quick: bool,
+    jobs: usize,
 }
 
 fn parse_args() -> Options {
@@ -34,6 +62,7 @@ fn parse_args() -> Options {
     let mut seed = 2_024;
     let mut json_dir = None;
     let mut quick = false;
+    let mut jobs = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -46,50 +75,48 @@ fn parse_args() -> Options {
             "--json" => {
                 json_dir = Some(args.next().unwrap_or_else(|| die("--json needs a dir")));
             }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--jobs needs a positive integer"));
+            }
             "--quick" => quick = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [EXPERIMENT ...] [--seed N] [--json DIR] [--quick]\n\
-                     experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11a fig11b fig12 \
-                     sec4.2 sec4.3 sec4.5 strategy1 gen2 sec6 opt factors all"
+                    "usage: repro [EXPERIMENT ...] [--seed N] [--json DIR] [--quick] [--jobs N]\n\
+                     experiments: {} all",
+                    KNOWN_EXPERIMENTS.join(" ")
                 );
                 std::process::exit(0);
             }
-            name => {
+            name if name.starts_with("--") => {
+                die(&format!("unknown flag {name:?}"));
+            }
+            "all" => {
+                experiments.insert("all".to_owned());
+            }
+            name if KNOWN_EXPERIMENTS.contains(&name) => {
                 experiments.insert(name.to_owned());
+            }
+            other => {
+                die(&format!(
+                    "unknown experiment {other:?} (known: {} all)",
+                    KNOWN_EXPERIMENTS.join(" ")
+                ));
             }
         }
     }
     if experiments.is_empty() || experiments.contains("all") {
-        experiments = [
-            "fig4",
-            "fig5",
-            "fig6",
-            "fig7",
-            "fig8",
-            "fig9",
-            "fig10",
-            "fig11a",
-            "fig11b",
-            "fig12",
-            "sec4.2",
-            "sec4.3",
-            "sec4.5",
-            "strategy1",
-            "gen2",
-            "sec6",
-            "opt",
-            "factors",
-        ]
-        .iter()
-        .map(|s| (*s).to_owned())
-        .collect();
+        experiments = KNOWN_EXPERIMENTS.iter().map(|s| (*s).to_owned()).collect();
     }
     Options {
         experiments,
         seed,
         json_dir,
         quick,
+        jobs,
     }
 }
 
@@ -113,10 +140,15 @@ fn banner(title: &str) {
 
 fn main() {
     let options = parse_args();
+    if options.jobs > 1 {
+        run_as_campaign(&options);
+        return;
+    }
     let started = Instant::now();
+    let mut failed: Vec<String> = Vec::new();
     for name in options.experiments.clone() {
         let t = Instant::now();
-        match name.as_str() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| match name.as_str() {
             "fig4" => fig4(&options),
             "fig5" => fig5(&options),
             "fig6" => fig6(&options),
@@ -136,10 +168,67 @@ fn main() {
             "opt" => opt_optimizations(&options),
             "factors" => other_factors_checks(&options),
             other => die(&format!("unknown experiment {other:?}")),
+        }));
+        if outcome.is_err() {
+            eprintln!("repro: experiment {name:?} failed");
+            failed.push(name.clone());
         }
         println!("  [{} took {:.1?}]", name, t.elapsed());
     }
     println!("\nall done in {:.1?}", started.elapsed());
+    if !failed.is_empty() {
+        eprintln!(
+            "repro: {} experiment(s) failed: {}",
+            failed.len(),
+            failed.join(" ")
+        );
+        std::process::exit(1);
+    }
+}
+
+/// The `--jobs N` path: the selected experiments become a campaign grid
+/// (experiment × paper region, one seed) executed in parallel, streamed
+/// to JSONL under the `--json` directory (default `repro-campaign`).
+fn run_as_campaign(options: &Options) {
+    use eaao_campaign::engine::Campaign;
+    use eaao_campaign::spec::CampaignSpec;
+
+    let regions = if options.quick {
+        vec!["us-west1".to_owned()]
+    } else {
+        vec![
+            "us-east1".to_owned(),
+            "us-central1".to_owned(),
+            "us-west1".to_owned(),
+        ]
+    };
+    let spec = CampaignSpec {
+        name: "repro".to_owned(),
+        experiments: options.experiments.iter().cloned().collect(),
+        regions,
+        seeds: 1,
+        seed: options.seed,
+        quick: options.quick,
+        ..CampaignSpec::default()
+    };
+    let out_dir = options
+        .json_dir
+        .clone()
+        .unwrap_or_else(|| "repro-campaign".to_owned());
+    let report = Campaign::new(spec, &out_dir)
+        .jobs(options.jobs)
+        .run_with_progress(|done, total, record| {
+            let status = if record.is_ok() { "ok" } else { "FAILED" };
+            println!("[{done:>4}/{total}] {status:>6}  {}", record.key);
+        })
+        .unwrap_or_else(|e| die(&format!("campaign failed: {e}")));
+    println!(
+        "repro campaign: {} runs, {} failed -> {out_dir}/results.jsonl",
+        report.total, report.failed
+    );
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
 }
 
 fn fig4(options: &Options) {

@@ -1,0 +1,323 @@
+//! The campaign engine: spec → grid → parallel execution → JSONL.
+//!
+//! [`Campaign`] ties the other modules together. A campaign is
+//! deterministic by construction: the grid expansion is pure, every run's
+//! seed is a function of (master seed, run key) only, and the finalized
+//! result stream is written in grid order — so two campaigns with the same
+//! spec produce byte-identical `results.jsonl` (modulo the `wall_ms`
+//! field) at any `--jobs` value.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Serialize, Value};
+
+use crate::pool::Executor;
+use crate::runner::{execute, RunRecord};
+use crate::sink::{JsonlSink, PriorRuns};
+use crate::spec::{CampaignSpec, RunSpec, SpecError};
+
+/// Everything that can go wrong running a campaign.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The spec failed validation.
+    Spec(SpecError),
+    /// The output directory or its files could not be written.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Spec(error) => write!(f, "invalid campaign spec: {error}"),
+            CampaignError::Io(error) => write!(f, "campaign i/o failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<SpecError> for CampaignError {
+    fn from(error: SpecError) -> Self {
+        CampaignError::Spec(error)
+    }
+}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(error: std::io::Error) -> Self {
+        CampaignError::Io(error)
+    }
+}
+
+/// What a finished (or interrupted-by-`limit`) campaign did.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CampaignReport {
+    /// Campaign name from the spec.
+    pub name: String,
+    /// Total grid cells in the spec.
+    pub total: usize,
+    /// Cells skipped because a prior run already completed them.
+    pub resumed: usize,
+    /// Cells executed this invocation.
+    pub executed: usize,
+    /// Cells that ended `"failed"` (over the whole campaign, resumed
+    /// included).
+    pub failed: usize,
+    /// Whether every cell of the grid now has a record (false only when
+    /// `limit` stopped the campaign early).
+    pub complete: bool,
+}
+
+impl CampaignReport {
+    /// Whether the campaign finished with zero failed runs.
+    pub fn all_ok(&self) -> bool {
+        self.complete && self.failed == 0
+    }
+}
+
+/// A configured campaign, ready to run.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    spec: CampaignSpec,
+    out_dir: PathBuf,
+    jobs: usize,
+    resume: bool,
+    limit: Option<usize>,
+}
+
+impl Campaign {
+    /// A campaign writing into `out_dir` with one worker, no resume.
+    pub fn new(spec: CampaignSpec, out_dir: impl Into<PathBuf>) -> Self {
+        Campaign {
+            spec,
+            out_dir: out_dir.into(),
+            jobs: 1,
+            resume: false,
+            limit: None,
+        }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Reuses completed runs already recorded in the output directory.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Executes at most `limit` pending cells, then stops without
+    /// finalizing — simulating an interrupted campaign. Used by the
+    /// resume tests; a limited campaign is resumable exactly like a
+    /// killed one.
+    pub fn limit(mut self, limit: Option<usize>) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// The output directory.
+    pub fn out_dir(&self) -> &Path {
+        &self.out_dir
+    }
+
+    /// Runs the campaign, streaming records as cells complete and calling
+    /// `progress` (on the calling thread) after each one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Spec`] for an invalid spec and
+    /// [`CampaignError::Io`] if the output directory cannot be written.
+    pub fn run_with_progress(
+        &self,
+        mut progress: impl FnMut(usize, usize, &RunRecord),
+    ) -> Result<CampaignReport, CampaignError> {
+        let grid = self.spec.expand()?;
+        let total = grid.len();
+        let mut prior = if self.resume {
+            PriorRuns::load(&self.out_dir)?
+        } else {
+            // A stale stream would corrupt the append-only manifest's
+            // meaning; start every non-resumed campaign clean. Only the
+            // campaign's own files are removed, never the directory.
+            for name in ["results.jsonl", "manifest.jsonl", "campaign.json"] {
+                let path = self.out_dir.join(name);
+                if path.exists() {
+                    std::fs::remove_file(&path)?;
+                }
+            }
+            PriorRuns::default()
+        };
+
+        let mut records: Vec<Option<RunRecord>> = Vec::with_capacity(total);
+        let mut pending: Vec<RunSpec> = Vec::new();
+        for run in &grid {
+            records.push(prior.take(&run.key()));
+            if records.last().expect("just pushed").is_none() {
+                pending.push(run.clone());
+            }
+        }
+        let resumed = total - pending.len();
+        let truncated = match self.limit {
+            Some(limit) if limit < pending.len() => {
+                pending.truncate(limit);
+                true
+            }
+            _ => false,
+        };
+        let executed = pending.len();
+
+        let sink = JsonlSink::open(&self.out_dir)?;
+        let master_seed = self.spec.seed;
+        let io_error = parking_lot::Mutex::new(None::<std::io::Error>);
+        let mut done = 0usize;
+        let fresh = Executor::new(self.jobs).run_with(
+            pending,
+            |_, run| execute(&run, master_seed),
+            |_, record| {
+                if let Err(error) = sink.record(record) {
+                    io_error.lock().get_or_insert(error);
+                }
+                done += 1;
+                progress(resumed + done, total, record);
+            },
+        );
+        if let Some(error) = io_error.into_inner() {
+            return Err(CampaignError::Io(error));
+        }
+
+        // Merge fresh records back into grid order.
+        let mut fresh_iter = fresh.into_iter();
+        for slot in &mut records {
+            if slot.is_none() {
+                *slot = fresh_iter.next();
+            }
+        }
+        let complete = !truncated && records.iter().all(Option::is_some);
+        let finished: Vec<RunRecord> = records.into_iter().flatten().collect();
+        let failed = finished.iter().filter(|r| !r.is_ok()).count();
+
+        let report = CampaignReport {
+            name: self.spec.name.clone(),
+            total,
+            resumed,
+            executed,
+            failed,
+            complete,
+        };
+        if complete {
+            let summary = Value::Object(vec![
+                (
+                    "spec".to_owned(),
+                    serde_json::to_value(&self.spec).expect("spec serializes"),
+                ),
+                (
+                    "report".to_owned(),
+                    serde_json::to_value(&report).expect("report serializes"),
+                ),
+            ]);
+            sink.finalize(&finished, &summary)?;
+        }
+        Ok(report)
+    }
+
+    /// [`Campaign::run_with_progress`] without a progress callback.
+    ///
+    /// # Errors
+    ///
+    /// See [`Campaign::run_with_progress`].
+    pub fn run(&self) -> Result<CampaignReport, CampaignError> {
+        self.run_with_progress(|_, _, _| {})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("eaao-campaign-engine-tests")
+            .join(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quick_spec(seeds: u32) -> CampaignSpec {
+        CampaignSpec {
+            experiments: vec!["fig6".to_owned(), "attack-naive".to_owned()],
+            regions: vec!["us-west1".to_owned()],
+            seeds,
+            quick: true,
+            ..CampaignSpec::default()
+        }
+    }
+
+    #[test]
+    fn a_campaign_runs_to_a_complete_report() {
+        let dir = scratch("complete");
+        let report = Campaign::new(quick_spec(2), &dir).run().expect("runs");
+        assert_eq!(report.total, 4);
+        assert_eq!(report.executed, 4);
+        assert_eq!(report.resumed, 0);
+        assert!(report.complete);
+        assert!(report.all_ok(), "failed runs: {report:?}");
+        assert!(dir.join("campaign.json").exists());
+    }
+
+    #[test]
+    fn progress_reports_every_cell() {
+        let dir = scratch("progress");
+        let mut seen = 0;
+        Campaign::new(quick_spec(1), &dir)
+            .run_with_progress(|done, total, _| {
+                seen += 1;
+                assert_eq!(done, seen);
+                assert_eq!(total, 2);
+            })
+            .expect("runs");
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn limit_leaves_an_incomplete_resumable_campaign() {
+        let dir = scratch("limit-resume");
+        let campaign = Campaign::new(quick_spec(3), &dir);
+        let first = campaign.clone().limit(Some(2)).run().expect("runs");
+        assert_eq!(first.total, 6);
+        assert_eq!(first.executed, 2);
+        assert!(!first.complete);
+        assert!(!dir.join("campaign.json").exists());
+
+        let second = campaign.resume(true).run().expect("runs");
+        assert_eq!(second.resumed, 2);
+        assert_eq!(second.executed, 4);
+        assert!(second.complete);
+        assert!(dir.join("campaign.json").exists());
+    }
+
+    #[test]
+    fn rerun_without_resume_starts_clean() {
+        let dir = scratch("clean");
+        let campaign = Campaign::new(quick_spec(1), &dir);
+        campaign.clone().limit(Some(1)).run().expect("runs");
+        let report = campaign.run().expect("runs");
+        assert_eq!(report.resumed, 0);
+        assert_eq!(report.executed, 2);
+    }
+
+    #[test]
+    fn an_invalid_spec_is_rejected_before_any_io() {
+        let dir = scratch("invalid");
+        let spec = CampaignSpec {
+            experiments: vec!["figNaN".to_owned()],
+            ..CampaignSpec::default()
+        };
+        let error = Campaign::new(spec, &dir).run().expect_err("rejects");
+        assert!(matches!(error, CampaignError::Spec(_)));
+        assert!(!dir.exists());
+    }
+}

@@ -1,0 +1,162 @@
+//! A work-stealing executor for embarrassingly parallel run grids.
+//!
+//! Built on the `crossbeam` deque (a shared [`Injector`] feeding
+//! per-worker queues with stealing between them) and a `crossbeam`
+//! channel for completion streaming. Results are slotted by task index,
+//! so the output order is the input order regardless of worker count or
+//! scheduling — the executor introduces no nondeterminism of its own.
+
+use crossbeam::channel;
+use crossbeam::deque::{Injector, Worker};
+use parking_lot::Mutex;
+
+/// A fixed-size pool of worker threads executing a task list.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    jobs: usize,
+}
+
+impl Executor {
+    /// An executor with `jobs` worker threads (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Executor { jobs: jobs.max(1) }
+    }
+
+    /// Number of worker threads.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `work` over every task, returning results in task order.
+    pub fn run<T, R>(&self, tasks: Vec<T>, work: impl Fn(usize, T) -> R + Sync) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+    {
+        self.run_with(tasks, work, |_, _| {})
+    }
+
+    /// Like [`Executor::run`], additionally invoking `on_complete` on the
+    /// calling thread as each result lands (in completion order — use it
+    /// for streaming sinks and progress, not for ordered output).
+    pub fn run_with<T, R>(
+        &self,
+        tasks: Vec<T>,
+        work: impl Fn(usize, T) -> R + Sync,
+        mut on_complete: impl FnMut(usize, &R),
+    ) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+    {
+        let total = tasks.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let injector = Injector::new();
+        for (index, task) in tasks.into_iter().enumerate() {
+            injector.push((index, task));
+        }
+        let slot_store: Mutex<Vec<Option<R>>> = Mutex::new((0..total).map(|_| None).collect());
+        let (done_tx, done_rx) = channel::unbounded::<usize>();
+        let work = &work;
+        let injector = &injector;
+        let slots = &slot_store;
+        std::thread::scope(|scope| {
+            let workers: Vec<Worker<(usize, T)>> =
+                (0..self.jobs).map(|_| Worker::new_fifo()).collect();
+            let stealers: Vec<_> = workers.iter().map(Worker::stealer).collect();
+            for (me, local) in workers.into_iter().enumerate() {
+                let stealers = stealers.clone();
+                let done_tx = done_tx.clone();
+                scope.spawn(move || loop {
+                    let task = local
+                        .pop()
+                        .or_else(|| injector.steal_batch_and_pop(&local).success())
+                        .or_else(|| {
+                            stealers
+                                .iter()
+                                .enumerate()
+                                .filter(|&(victim, _)| victim != me)
+                                .find_map(|(_, stealer)| stealer.steal().success())
+                        });
+                    let Some((index, task)) = task else { break };
+                    let result = work(index, task);
+                    slots.lock()[index] = Some(result);
+                    if done_tx.send(index).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(done_tx);
+            for _ in 0..total {
+                let index = done_rx.recv().expect("a worker completes each task");
+                // Take the result out and release the lock before the
+                // callback: holding it across a (possibly I/O-bound)
+                // `on_complete` would serialize workers against the sink.
+                let result = slots.lock()[index]
+                    .take()
+                    .expect("slot filled before signal");
+                on_complete(index, &result);
+                slots.lock()[index] = Some(result);
+            }
+        });
+        slot_store
+            .into_inner()
+            .into_iter()
+            .map(|slot| slot.expect("every task produced a result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for jobs in [1, 2, 8] {
+            let tasks: Vec<u64> = (0..200).collect();
+            let out = Executor::new(jobs).run(tasks, |_, x| x * 2);
+            assert_eq!(out, (0..200).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = Executor::new(4).run((0..500).collect::<Vec<_>>(), |_, x: u32| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 500);
+        assert_eq!(out.len(), 500);
+    }
+
+    #[test]
+    fn completion_callback_sees_every_result_once() {
+        let mut seen = Vec::new();
+        Executor::new(3).run_with(
+            (0..64).collect::<Vec<_>>(),
+            |_, x: u32| x,
+            |index, &result| {
+                assert_eq!(index as u32, result);
+                seen.push(index);
+            },
+        );
+        seen.sort_unstable();
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        let out: Vec<u32> = Executor::new(4).run(Vec::<u32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn jobs_clamp_to_one() {
+        assert_eq!(Executor::new(0).jobs(), 1);
+    }
+}

@@ -1,0 +1,418 @@
+//! Executes one grid cell: derives the run's seed, dispatches to the
+//! experiment driver, catches panics, and packages a [`RunRecord`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use eaao_cloudsim::mitigation::TscMitigation;
+use eaao_cloudsim::service::Generation;
+use eaao_core::coverage::measure_coverage;
+use eaao_core::experiment::{
+    fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12, opt52, other_factors, sec42,
+    sec43, sec45, sec52, sec6,
+};
+use eaao_core::scenario::Scenario;
+use eaao_core::strategy::{NaiveLaunch, OptimizedLaunch};
+use eaao_simcore::rng::SimRng;
+use rand::RngCore;
+use serde::{Deserialize, Serialize, Value};
+
+use crate::spec::{ExperimentKind, RunSpec};
+
+/// The per-run wall-time field name — the **only** nondeterministic field
+/// in a record. Consumers comparing result streams byte-for-byte (e.g.
+/// the determinism tests) drop this field and nothing else.
+pub const WALL_FIELD: &str = "wall_ms";
+
+/// The outcome of one run, as streamed to `results.jsonl`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Stable identity of the grid cell (see [`RunSpec::key`]).
+    pub key: String,
+    /// Position in the expanded grid.
+    pub index: u64,
+    /// Experiment name.
+    pub experiment: String,
+    /// Region swept.
+    pub region: String,
+    /// Generation axis value (`"-"` when collapsed).
+    pub generation: String,
+    /// Mitigation axis value (`"-"` when collapsed).
+    pub mitigation: String,
+    /// Seed index within the campaign.
+    pub seed_index: u32,
+    /// The derived per-run seed actually passed to the driver.
+    pub seed: u64,
+    /// `"ok"` or `"failed"`.
+    pub status: String,
+    /// Panic message, for failed runs.
+    pub error: Option<String>,
+    /// Virtual (simulated) time the run modeled, where the experiment has
+    /// a natural horizon.
+    pub virtual_s: Option<f64>,
+    /// Real time the run took. Nondeterministic; see [`WALL_FIELD`].
+    pub wall_ms: f64,
+    /// The driver's full serialized result, for successful runs.
+    pub payload: Option<Value>,
+}
+
+impl RunRecord {
+    /// Whether the run completed successfully.
+    pub fn is_ok(&self) -> bool {
+        self.status == "ok"
+    }
+
+    /// FNV-1a hash of the record's deterministic content (the canonical
+    /// JSON with [`WALL_FIELD`] zeroed). Stored in the manifest; a resume
+    /// re-runs any cell whose stored record no longer matches its hash.
+    pub fn content_hash(&self) -> u64 {
+        let mut canonical = self.clone();
+        canonical.wall_ms = 0.0;
+        let text = serde_json::to_string(&canonical).expect("record serializes");
+        fnv1a(text.as_bytes())
+    }
+}
+
+/// FNV-1a over a byte stream.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Derives the run's seed from the campaign master seed and the run key.
+///
+/// Every run forks a fresh labeled stream off `SimRng::seed_from(master)`,
+/// so the mapping depends only on (master seed, run key) — never on
+/// worker count or execution order. This is what makes campaign output
+/// byte-identical across `--jobs` values.
+pub fn derive_seed(master: u64, key: &str) -> u64 {
+    SimRng::seed_from(master).fork_labeled(key).next_u64()
+}
+
+/// Runs one grid cell to completion, never panicking: driver panics are
+/// caught and reported as failed records.
+pub fn execute(run: &RunSpec, master_seed: u64) -> RunRecord {
+    let key = run.key();
+    let seed = derive_seed(master_seed, &key);
+    let started = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| dispatch(run, seed)));
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let (status, error, virtual_s, payload) = match outcome {
+        Ok((virtual_s, payload)) => ("ok".to_owned(), None, virtual_s, Some(payload)),
+        Err(cause) => {
+            let message = if let Some(text) = cause.downcast_ref::<String>() {
+                text.clone()
+            } else if let Some(text) = cause.downcast_ref::<&str>() {
+                (*text).to_owned()
+            } else {
+                "non-string panic payload".to_owned()
+            };
+            ("failed".to_owned(), Some(message), None, None)
+        }
+    };
+    RunRecord {
+        key,
+        index: run.index as u64,
+        experiment: run.experiment.name().to_owned(),
+        region: run.region.clone(),
+        generation: run
+            .generation
+            .map_or("-", |g| match g {
+                Generation::Gen1 => "gen1",
+                Generation::Gen2 => "gen2",
+            })
+            .to_owned(),
+        mitigation: run
+            .mitigation
+            .map_or("-", |m| match m {
+                TscMitigation::None => "none",
+                TscMitigation::TrapAndEmulate => "trap-and-emulate",
+                TscMitigation::OffsetAndScale => "offset-and-scale",
+            })
+            .to_owned(),
+        seed_index: run.seed_index,
+        seed,
+        status,
+        error,
+        virtual_s,
+        wall_ms,
+        payload,
+    }
+}
+
+/// Dispatches to the experiment driver, returning the virtual horizon (if
+/// the experiment has a natural one) and the serialized result.
+fn dispatch(run: &RunSpec, seed: u64) -> (Option<f64>, Value) {
+    let region = run.region.clone();
+    match run.experiment {
+        ExperimentKind::Fig4 => {
+            let mut config = pick(run, fig04::Fig04Config::quick, fig04::Fig04Config::default);
+            config.regions = vec![region];
+            (None, val(&config.run(seed)))
+        }
+        ExperimentKind::Fig5 => {
+            let mut config = pick(run, fig05::Fig05Config::quick, fig05::Fig05Config::default);
+            config.region = region;
+            let virtual_s = config.duration.as_secs_f64();
+            (Some(virtual_s), val(&config.run(seed)))
+        }
+        ExperimentKind::Fig6 => {
+            let mut config = pick(run, fig06::Fig06Config::quick, fig06::Fig06Config::default);
+            config.region = region;
+            let virtual_s = config.watch.as_secs_f64();
+            (Some(virtual_s), val(&config.run(seed)))
+        }
+        ExperimentKind::Fig7 => {
+            let mut config = pick(run, fig07::Fig07Config::quick, fig07::Fig07Config::default);
+            config.region = region;
+            let virtual_s = config.interval.as_secs_f64() * config.launches as f64;
+            (Some(virtual_s), val(&config.run(seed)))
+        }
+        ExperimentKind::Fig8 => {
+            let mut config = pick(run, fig08::Fig08Config::quick, fig08::Fig08Config::default);
+            config.region = region;
+            (None, val(&config.run(seed)))
+        }
+        ExperimentKind::Fig9 => {
+            let mut config = pick(run, fig09::Fig09Config::quick, fig09::Fig09Config::default);
+            config.region = region;
+            let virtual_s = config.interval.as_secs_f64() * config.launches as f64;
+            (Some(virtual_s), val(&config.run(seed)))
+        }
+        ExperimentKind::Fig10 => {
+            let mut config = pick(run, fig10::Fig10Config::quick, fig10::Fig10Config::default);
+            config.region = region;
+            let per_episode = config.interval.as_secs_f64() * config.launches_per_episode as f64
+                + config.episode_gap.as_secs_f64();
+            let virtual_s = per_episode * config.episodes as f64;
+            (Some(virtual_s), val(&config.run(seed)))
+        }
+        ExperimentKind::Fig11a | ExperimentKind::Fig11b => {
+            let mut config = pick(run, fig11::Fig11Config::quick, fig11::Fig11Config::default);
+            config.regions = vec![region];
+            if let Some(generation) = run.generation {
+                config.generation = generation;
+            }
+            let result = if run.experiment == ExperimentKind::Fig11b {
+                config.run_11b(seed)
+            } else {
+                config.run_11a(seed)
+            };
+            (None, val(&result))
+        }
+        ExperimentKind::Gen2 => {
+            let mut config = pick(run, fig11::Fig11Config::quick, fig11::Fig11Config::default);
+            config.regions = vec![region];
+            config.generation = Generation::Gen2;
+            if !run.quick {
+                config.victim_counts = vec![100];
+            }
+            (None, val(&config.run_11a(seed)))
+        }
+        ExperimentKind::Fig12 => {
+            let mut config = pick(run, fig12::Fig12Config::quick, fig12::Fig12Config::default);
+            config.regions = vec![region];
+            (None, val(&config.run(seed)))
+        }
+        ExperimentKind::Sec42 => {
+            let mut config = pick(run, sec42::Sec42Config::quick, sec42::Sec42Config::default);
+            config.region = region;
+            (None, val(&config.run(seed)))
+        }
+        ExperimentKind::Sec43 => {
+            let mut config = pick(run, sec43::Sec43Config::quick, sec43::Sec43Config::default);
+            config.region = region;
+            (None, val(&config.run(seed)))
+        }
+        ExperimentKind::Sec45 => {
+            let mut config = pick(run, sec45::Sec45Config::quick, sec45::Sec45Config::default);
+            config.regions = vec![region];
+            (None, val(&config.run(seed)))
+        }
+        ExperimentKind::Strategy1 => {
+            let mut config = pick(run, sec52::Sec52Config::quick, sec52::Sec52Config::default);
+            config.regions = vec![region];
+            (None, val(&config.run(seed)))
+        }
+        ExperimentKind::Sec6 => {
+            let mut config = pick(run, sec6::Sec6Config::quick, sec6::Sec6Config::default);
+            config.region = region;
+            (None, val(&config.run(seed)))
+        }
+        ExperimentKind::Opt => {
+            let mut config = pick(run, opt52::Opt52Config::quick, opt52::Opt52Config::default);
+            config.region = region;
+            (None, val(&config.run(seed)))
+        }
+        ExperimentKind::Factors => {
+            let mut config = pick(
+                run,
+                other_factors::OtherFactorsConfig::quick,
+                other_factors::OtherFactorsConfig::default,
+            );
+            config.region = region;
+            (None, val(&config.run(seed)))
+        }
+        ExperimentKind::AttackNaive | ExperimentKind::AttackOptimized => attack_trial(run, seed),
+    }
+}
+
+/// Serializes a driver result into the record payload.
+fn val<T: Serialize + ?Sized>(value: &T) -> Value {
+    serde_json::to_value(value).expect("driver result serializes")
+}
+
+fn pick<C>(run: &RunSpec, quick: impl Fn() -> C, full: impl Fn() -> C) -> C {
+    if run.quick {
+        quick()
+    } else {
+        full()
+    }
+}
+
+/// The campaign-native experiment: one full co-location attack against a
+/// fresh victim, on every axis the campaign sweeps (region × generation ×
+/// mitigation). This is the cell behind strategy/region sweeps like
+/// `examples/campaign_sweep.rs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackTrial {
+    /// Victim instances deployed.
+    pub victims: u64,
+    /// Attacker instances alive at the end of the attack.
+    pub attacker_instances: u64,
+    /// Distinct hosts the attacker occupies (ground truth).
+    pub attacker_hosts: u64,
+    /// Launches the strategy issued.
+    pub launches: u64,
+    /// Fraction of victim instances co-located with >= 1 attacker.
+    pub victim_instance_coverage: f64,
+    /// Whether the attacker co-located with at least one victim instance.
+    pub at_least_one: bool,
+    /// Fraction of the region's hosts the attacker occupies.
+    pub attacker_host_coverage: f64,
+    /// Total billed cost of the attack.
+    pub cost_usd: f64,
+}
+
+fn attack_trial(run: &RunSpec, seed: u64) -> (Option<f64>, Value) {
+    let quick = run.quick;
+    let mut scenario = Scenario::in_region(&run.region);
+    scenario
+        .seed(seed)
+        .victims(if quick { 40 } else { 100 })
+        .generation(run.generation.unwrap_or(Generation::Gen1))
+        .tsc_mitigation(run.mitigation.unwrap_or(TscMitigation::None));
+    let mut arena = scenario.build();
+    let report = match run.experiment {
+        ExperimentKind::AttackNaive => {
+            let strategy = if quick {
+                NaiveLaunch {
+                    services: 3,
+                    instances_per_service: 400,
+                    ..NaiveLaunch::default()
+                }
+            } else {
+                NaiveLaunch::default()
+            };
+            strategy.run(&mut arena.world, arena.attacker)
+        }
+        _ => {
+            let strategy = if quick {
+                OptimizedLaunch {
+                    services: 3,
+                    launches_per_service: 4,
+                    instances_per_launch: 300,
+                    ..OptimizedLaunch::default()
+                }
+            } else {
+                OptimizedLaunch::default()
+            };
+            strategy.run(&mut arena.world, arena.attacker)
+        }
+    }
+    .expect("attack fleet fits the region");
+    let coverage = measure_coverage(&arena.world, &report.live_instances, &arena.victims);
+    let trial = AttackTrial {
+        victims: arena.victims.len() as u64,
+        attacker_instances: report.live_instances.len() as u64,
+        attacker_hosts: report.hosts_occupied as u64,
+        launches: report.launches as u64,
+        victim_instance_coverage: coverage.victim_instance_coverage(),
+        at_least_one: coverage.at_least_one(),
+        attacker_host_coverage: coverage.attacker_host_coverage(),
+        cost_usd: report.cost.as_usd(),
+    };
+    let virtual_s = arena.world.now().as_secs_f64();
+    (Some(virtual_s), val(&trial))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    fn quick_run(experiment: &str) -> RunSpec {
+        let spec = CampaignSpec {
+            experiments: vec![experiment.to_owned()],
+            regions: vec!["us-west1".to_owned()],
+            quick: true,
+            ..CampaignSpec::default()
+        };
+        spec.expand().expect("valid")[0].clone()
+    }
+
+    #[test]
+    fn derived_seeds_depend_only_on_master_and_key() {
+        let a = derive_seed(7, "fig6/us-west1/-/-/s0");
+        assert_eq!(a, derive_seed(7, "fig6/us-west1/-/-/s0"));
+        assert_ne!(a, derive_seed(8, "fig6/us-west1/-/-/s0"));
+        assert_ne!(a, derive_seed(7, "fig6/us-west1/-/-/s1"));
+    }
+
+    #[test]
+    fn a_quick_cell_executes_to_an_ok_record() {
+        let record = execute(&quick_run("fig6"), 11);
+        assert!(record.is_ok(), "error: {:?}", record.error);
+        assert_eq!(record.experiment, "fig6");
+        assert_eq!(record.generation, "-");
+        assert!(record.payload.is_some());
+        assert!(record.virtual_s.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn attack_trials_record_coverage() {
+        let record = execute(&quick_run("attack-optimized"), 11);
+        assert!(record.is_ok(), "error: {:?}", record.error);
+        assert_eq!(record.generation, "gen1");
+        assert_eq!(record.mitigation, "none");
+        let payload = record.payload.expect("payload");
+        let coverage = payload
+            .get("victim_instance_coverage")
+            .and_then(Value::as_f64)
+            .expect("coverage field");
+        assert!((0.0..=1.0).contains(&coverage));
+    }
+
+    #[test]
+    fn content_hash_ignores_wall_time() {
+        let mut a = execute(&quick_run("fig6"), 3);
+        let mut b = a.clone();
+        a.wall_ms = 1.0;
+        b.wall_ms = 9_999.0;
+        assert_eq!(a.content_hash(), b.content_hash());
+        b.seed ^= 1;
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn records_round_trip_through_jsonl() {
+        let record = execute(&quick_run("fig6"), 5);
+        let line = serde_json::to_string(&record).expect("serializes");
+        let back: RunRecord = serde_json::from_str(&line).expect("parses");
+        assert_eq!(back, record);
+    }
+}

@@ -1,0 +1,331 @@
+//! Crash-safe JSONL result streaming with a resume manifest.
+//!
+//! A campaign directory holds three files:
+//!
+//! * `results.jsonl` — one [`RunRecord`] per line. Appended in completion
+//!   order while the campaign runs; rewritten in grid order by
+//!   [`JsonlSink::finalize`] so a finished campaign's bytes are identical
+//!   regardless of `--jobs`.
+//! * `manifest.jsonl` — one entry per *completed* run: `{key, status,
+//!   hash}`. Strictly append-only, written **after** the record it covers,
+//!   so a crash can lose at most the in-flight runs — never record a run
+//!   it didn't save.
+//! * `campaign.json` — written by [`JsonlSink::finalize`]: the spec plus
+//!   aggregate counts, marking the campaign complete.
+//!
+//! `--resume` loads the manifest, verifies each entry's stored record
+//! against its content hash, and schedules only the missing cells.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize, Value};
+
+use crate::runner::RunRecord;
+
+/// One manifest line: proof that a run's record reached `results.jsonl`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// The run key (see `RunSpec::key`).
+    pub key: String,
+    /// `"ok"` or `"failed"`.
+    pub status: String,
+    /// `RunRecord::content_hash` of the stored record.
+    pub hash: u64,
+}
+
+/// Completed runs recovered from a previous (possibly interrupted)
+/// campaign in the same directory.
+#[derive(Debug, Default)]
+pub struct PriorRuns {
+    records: BTreeMap<String, RunRecord>,
+}
+
+impl PriorRuns {
+    /// Loads `manifest.jsonl` + `results.jsonl` from `dir`, keeping only
+    /// records whose manifest hash still matches — anything torn or
+    /// tampered is silently dropped and will re-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::Error`] if either file exists but cannot be
+    /// read. Missing files mean no prior runs, not an error.
+    pub fn load(dir: &Path) -> std::io::Result<PriorRuns> {
+        let manifest_path = dir.join("manifest.jsonl");
+        let results_path = dir.join("results.jsonl");
+        if !manifest_path.exists() || !results_path.exists() {
+            return Ok(PriorRuns::default());
+        }
+        let mut manifest: BTreeMap<String, ManifestEntry> = BTreeMap::new();
+        for line in fs::read_to_string(&manifest_path)?.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(entry) = serde_json::from_str::<ManifestEntry>(line) else {
+                continue; // torn tail line from a crash mid-write
+            };
+            manifest.insert(entry.key.clone(), entry);
+        }
+        let mut records = BTreeMap::new();
+        for line in fs::read_to_string(&results_path)?.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(record) = serde_json::from_str::<RunRecord>(line) else {
+                continue;
+            };
+            let verified = manifest
+                .get(&record.key)
+                .is_some_and(|entry| entry.hash == record.content_hash());
+            if verified {
+                records.insert(record.key.clone(), record);
+            }
+        }
+        Ok(PriorRuns { records })
+    }
+
+    /// Whether `key` completed in a prior run.
+    pub fn contains(&self, key: &str) -> bool {
+        self.records.contains_key(key)
+    }
+
+    /// Number of recovered runs.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was recovered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Takes the recovered record for `key`, if any.
+    pub fn take(&mut self, key: &str) -> Option<RunRecord> {
+        self.records.remove(key)
+    }
+}
+
+/// Streaming writer for a campaign directory.
+#[derive(Debug)]
+pub struct JsonlSink {
+    dir: PathBuf,
+    writers: Mutex<Writers>,
+}
+
+#[derive(Debug)]
+struct Writers {
+    results: BufWriter<File>,
+    manifest: BufWriter<File>,
+}
+
+impl JsonlSink {
+    /// Opens (creating or appending) the result and manifest streams in
+    /// `dir`, creating the directory if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::Error`] if the directory or files cannot be
+    /// created.
+    pub fn open(dir: &Path) -> std::io::Result<JsonlSink> {
+        fs::create_dir_all(dir)?;
+        let append = |name: &str| -> std::io::Result<BufWriter<File>> {
+            Ok(BufWriter::new(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(dir.join(name))?,
+            ))
+        };
+        Ok(JsonlSink {
+            dir: dir.to_path_buf(),
+            writers: Mutex::new(Writers {
+                results: append("results.jsonl")?,
+                manifest: append("manifest.jsonl")?,
+            }),
+        })
+    }
+
+    /// The campaign directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one record and, once it is flushed, its manifest entry.
+    /// The ordering is the crash-safety invariant: the manifest never
+    /// names a record that isn't durably in `results.jsonl`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::Error`] on write failure.
+    pub fn record(&self, record: &RunRecord) -> std::io::Result<()> {
+        let record_line = serde_json::to_string(record).expect("record serializes");
+        let entry = ManifestEntry {
+            key: record.key.clone(),
+            status: record.status.clone(),
+            hash: record.content_hash(),
+        };
+        let entry_line = serde_json::to_string(&entry).expect("entry serializes");
+        let mut writers = self.writers.lock();
+        writeln!(writers.results, "{record_line}")?;
+        writers.results.flush()?;
+        writeln!(writers.manifest, "{entry_line}")?;
+        writers.manifest.flush()
+    }
+
+    /// Completes the campaign: rewrites `results.jsonl` with `records` in
+    /// the given (grid) order, so finished campaigns are byte-identical
+    /// however they were scheduled, and writes the `campaign.json` summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::Error`] on write failure.
+    pub fn finalize(self, records: &[RunRecord], summary: &Value) -> std::io::Result<()> {
+        drop(self.writers);
+        let mut body = String::new();
+        for record in records {
+            body.push_str(&serde_json::to_string(record).expect("record serializes"));
+            body.push('\n');
+        }
+        write_atomic(&self.dir.join("results.jsonl"), body.as_bytes())?;
+        let mut manifest = String::new();
+        for record in records {
+            let entry = ManifestEntry {
+                key: record.key.clone(),
+                status: record.status.clone(),
+                hash: record.content_hash(),
+            };
+            manifest.push_str(&serde_json::to_string(&entry).expect("entry serializes"));
+            manifest.push('\n');
+        }
+        write_atomic(&self.dir.join("manifest.jsonl"), manifest.as_bytes())?;
+        let text = serde_json::to_string_pretty(summary).expect("summary serializes");
+        write_atomic(&self.dir.join("campaign.json"), text.as_bytes())
+    }
+}
+
+/// Writes via a temp file + rename so readers never see a torn file.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::execute;
+    use crate::spec::CampaignSpec;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("eaao-campaign-sink-tests")
+            .join(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_records(count: u32) -> Vec<RunRecord> {
+        let spec = CampaignSpec {
+            experiments: vec!["fig6".to_owned()],
+            seeds: count,
+            quick: true,
+            ..CampaignSpec::default()
+        };
+        spec.expand()
+            .expect("valid spec")
+            .iter()
+            .map(|run| execute(run, 42))
+            .collect()
+    }
+
+    #[test]
+    fn recorded_runs_are_recovered_on_load() {
+        let dir = scratch("recover");
+        let records = sample_records(3);
+        let sink = JsonlSink::open(&dir).expect("open");
+        for record in &records {
+            sink.record(record).expect("record");
+        }
+        let mut prior = PriorRuns::load(&dir).expect("load");
+        assert_eq!(prior.len(), 3);
+        for record in &records {
+            assert!(prior.contains(&record.key));
+            assert_eq!(prior.take(&record.key).expect("taken"), *record);
+        }
+    }
+
+    #[test]
+    fn a_torn_manifest_tail_drops_only_that_run() {
+        let dir = scratch("torn");
+        let records = sample_records(2);
+        let sink = JsonlSink::open(&dir).expect("open");
+        for record in &records {
+            sink.record(record).expect("record");
+        }
+        drop(sink);
+        // Simulate a crash that tore the last manifest line.
+        let manifest_path = dir.join("manifest.jsonl");
+        let text = fs::read_to_string(&manifest_path).expect("read");
+        let mut lines: Vec<&str> = text.lines().collect();
+        let last = lines.pop().expect("two lines");
+        let truncated = format!("{}\n{}", lines.join("\n"), &last[..last.len() / 2]);
+        fs::write(&manifest_path, truncated).expect("write");
+        let prior = PriorRuns::load(&dir).expect("load");
+        assert_eq!(prior.len(), 1);
+        assert!(prior.contains(&records[0].key));
+        assert!(!prior.contains(&records[1].key));
+    }
+
+    #[test]
+    fn a_tampered_record_fails_hash_verification() {
+        let dir = scratch("tamper");
+        let records = sample_records(1);
+        let sink = JsonlSink::open(&dir).expect("open");
+        sink.record(&records[0]).expect("record");
+        drop(sink);
+        let results_path = dir.join("results.jsonl");
+        let text = fs::read_to_string(&results_path).expect("read");
+        fs::write(
+            &results_path,
+            text.replace("\"status\":\"ok\"", "\"status\":\"failed\""),
+        )
+        .expect("write");
+        let prior = PriorRuns::load(&dir).expect("load");
+        assert!(prior.is_empty());
+    }
+
+    #[test]
+    fn finalize_rewrites_in_grid_order() {
+        let dir = scratch("finalize");
+        let records = sample_records(3);
+        let sink = JsonlSink::open(&dir).expect("open");
+        // Record out of order, as a parallel run would.
+        for record in records.iter().rev() {
+            sink.record(record).expect("record");
+        }
+        let summary = Value::Object(vec![("runs".to_owned(), Value::U64(3))]);
+        sink.finalize(&records, &summary).expect("finalize");
+        let text = fs::read_to_string(dir.join("results.jsonl")).expect("read");
+        let keys: Vec<String> = text
+            .lines()
+            .map(|line| {
+                serde_json::from_str::<RunRecord>(line)
+                    .expect("record parses")
+                    .key
+            })
+            .collect();
+        let expected: Vec<String> = records.iter().map(|r| r.key.clone()).collect();
+        assert_eq!(keys, expected);
+        assert!(dir.join("campaign.json").exists());
+    }
+
+    #[test]
+    fn missing_files_mean_no_prior_runs() {
+        let dir = scratch("fresh");
+        let prior = PriorRuns::load(&dir).expect("load");
+        assert!(prior.is_empty());
+    }
+}

@@ -1,0 +1,531 @@
+//! Declarative campaign specifications and their expansion into run grids.
+//!
+//! A [`CampaignSpec`] names the experiments to run and the axes to sweep
+//! (region × generation × mitigation × seed). [`CampaignSpec::expand`]
+//! turns it into a flat, deterministically ordered list of [`RunSpec`]s —
+//! the unit of work the executor schedules.
+
+use std::fmt;
+
+use eaao_cloudsim::mitigation::TscMitigation;
+use eaao_cloudsim::service::Generation;
+use serde::{Serialize, Value};
+
+/// The paper regions a campaign may sweep.
+pub const KNOWN_REGIONS: [&str; 3] = ["us-east1", "us-central1", "us-west1"];
+
+/// Accepted names for the generation axis.
+pub const KNOWN_GENERATIONS: [&str; 2] = ["gen1", "gen2"];
+
+/// Accepted names for the mitigation axis.
+pub const KNOWN_MITIGATIONS: [&str; 3] = ["none", "trap-and-emulate", "offset-and-scale"];
+
+/// Every experiment a campaign can schedule: the `repro` binary's drivers
+/// plus the campaign-native co-location attack trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ExperimentKind {
+    /// Fig. 4 — Gen 1 fingerprint accuracy vs `p_boot`.
+    Fig4,
+    /// Fig. 5 — fingerprint expiration CDF.
+    Fig5,
+    /// Fig. 6 — idle-instance termination curve.
+    Fig6,
+    /// Fig. 7 — base hosts across 45-minute launches.
+    Fig7,
+    /// Fig. 8 — base hosts across accounts.
+    Fig8,
+    /// Fig. 9 — helper hosts at 10-minute intervals.
+    Fig9,
+    /// Fig. 10 — helper-host footprint across episodes.
+    Fig10,
+    /// Fig. 11a — victim coverage vs victim count.
+    Fig11a,
+    /// Fig. 11b — victim coverage vs victim size.
+    Fig11b,
+    /// Fig. 12 — cluster-size estimation.
+    Fig12,
+    /// §4.2 — measured-TSC-frequency scatter.
+    Sec42,
+    /// §4.3 — verification cost, pairwise vs hierarchical.
+    Sec43,
+    /// §4.5 — Gen 2 fingerprint accuracy.
+    Sec45,
+    /// §5.2 — Strategy 1 (naive) coverage and cost.
+    Strategy1,
+    /// §5.2 — Strategy 2 in the Gen 2 environment.
+    Gen2,
+    /// §6 — mitigations (sweeps all three internally).
+    Sec6,
+    /// §5.2 — attack optimizations.
+    Opt,
+    /// §5.1 — other factors.
+    Factors,
+    /// Campaign-native single co-location attack trial, naive strategy.
+    AttackNaive,
+    /// Campaign-native single co-location attack trial, optimized strategy.
+    AttackOptimized,
+}
+
+impl ExperimentKind {
+    /// All kinds, in canonical order.
+    pub const ALL: [ExperimentKind; 20] = [
+        ExperimentKind::Fig4,
+        ExperimentKind::Fig5,
+        ExperimentKind::Fig6,
+        ExperimentKind::Fig7,
+        ExperimentKind::Fig8,
+        ExperimentKind::Fig9,
+        ExperimentKind::Fig10,
+        ExperimentKind::Fig11a,
+        ExperimentKind::Fig11b,
+        ExperimentKind::Fig12,
+        ExperimentKind::Sec42,
+        ExperimentKind::Sec43,
+        ExperimentKind::Sec45,
+        ExperimentKind::Strategy1,
+        ExperimentKind::Gen2,
+        ExperimentKind::Sec6,
+        ExperimentKind::Opt,
+        ExperimentKind::Factors,
+        ExperimentKind::AttackNaive,
+        ExperimentKind::AttackOptimized,
+    ];
+
+    /// The spec-file / CLI name (matches the `repro` binary's names).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExperimentKind::Fig4 => "fig4",
+            ExperimentKind::Fig5 => "fig5",
+            ExperimentKind::Fig6 => "fig6",
+            ExperimentKind::Fig7 => "fig7",
+            ExperimentKind::Fig8 => "fig8",
+            ExperimentKind::Fig9 => "fig9",
+            ExperimentKind::Fig10 => "fig10",
+            ExperimentKind::Fig11a => "fig11a",
+            ExperimentKind::Fig11b => "fig11b",
+            ExperimentKind::Fig12 => "fig12",
+            ExperimentKind::Sec42 => "sec4.2",
+            ExperimentKind::Sec43 => "sec4.3",
+            ExperimentKind::Sec45 => "sec4.5",
+            ExperimentKind::Strategy1 => "strategy1",
+            ExperimentKind::Gen2 => "gen2",
+            ExperimentKind::Sec6 => "sec6",
+            ExperimentKind::Opt => "opt",
+            ExperimentKind::Factors => "factors",
+            ExperimentKind::AttackNaive => "attack-naive",
+            ExperimentKind::AttackOptimized => "attack-optimized",
+        }
+    }
+
+    /// Parses a spec-file / CLI name.
+    pub fn parse(name: &str) -> Option<ExperimentKind> {
+        ExperimentKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Whether the experiment is parameterized by an execution-environment
+    /// generation. (`gen2` is excluded: it *is* the Gen 2 variant.)
+    pub fn supports_generation(self) -> bool {
+        matches!(
+            self,
+            ExperimentKind::Fig11a
+                | ExperimentKind::Fig11b
+                | ExperimentKind::AttackNaive
+                | ExperimentKind::AttackOptimized
+        )
+    }
+
+    /// Whether the experiment is parameterized by a platform TSC
+    /// mitigation. (`sec6` is excluded: it sweeps all three internally.)
+    pub fn supports_mitigation(self) -> bool {
+        matches!(
+            self,
+            ExperimentKind::AttackNaive | ExperimentKind::AttackOptimized
+        )
+    }
+}
+
+impl fmt::Display for ExperimentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A declarative campaign: experiments × regions × generations ×
+/// mitigations × seeds.
+///
+/// Axes an experiment is not parameterized by are collapsed rather than
+/// multiplied, so the grid never contains two runs that would compute the
+/// same thing (and every run key stays unique).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CampaignSpec {
+    /// Campaign name (used in the output manifest).
+    pub name: String,
+    /// Experiments to run; see [`ExperimentKind`] for the names.
+    pub experiments: Vec<String>,
+    /// Regions to sweep.
+    pub regions: Vec<String>,
+    /// Seeds per grid cell (seed indices `0..seeds`).
+    pub seeds: u32,
+    /// Campaign master seed; per-run seeds derive from it hierarchically.
+    pub seed: u64,
+    /// Execution-environment generations to sweep.
+    pub generations: Vec<String>,
+    /// Platform TSC mitigations to sweep.
+    pub mitigations: Vec<String>,
+    /// Use the scaled-down `quick()` experiment configurations.
+    pub quick: bool,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            name: "campaign".to_owned(),
+            experiments: Vec::new(),
+            regions: vec!["us-east1".to_owned()],
+            seeds: 1,
+            seed: 2_024,
+            generations: vec!["gen1".to_owned()],
+            mitigations: vec!["none".to_owned()],
+            quick: false,
+        }
+    }
+}
+
+/// A problem with a campaign specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// An experiment name is not one of [`ExperimentKind::ALL`].
+    UnknownExperiment(String),
+    /// A region name is not one of [`KNOWN_REGIONS`].
+    UnknownRegion(String),
+    /// A generation name is not one of [`KNOWN_GENERATIONS`].
+    UnknownGeneration(String),
+    /// A mitigation name is not one of [`KNOWN_MITIGATIONS`].
+    UnknownMitigation(String),
+    /// A sweep axis is empty (no experiments, regions, seeds, ...).
+    EmptyAxis(&'static str),
+    /// Two grid cells collapsed to the same run key (duplicate axis
+    /// entries).
+    DuplicateRun(String),
+    /// The spec file was not valid JSON.
+    Parse(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownExperiment(name) => {
+                let known: Vec<&str> = ExperimentKind::ALL.iter().map(|k| k.name()).collect();
+                write!(
+                    f,
+                    "unknown experiment {name:?}; known experiments: {}",
+                    known.join(" ")
+                )
+            }
+            SpecError::UnknownRegion(name) => {
+                write!(
+                    f,
+                    "unknown region {name:?}; known regions: {}",
+                    KNOWN_REGIONS.join(" ")
+                )
+            }
+            SpecError::UnknownGeneration(name) => {
+                write!(
+                    f,
+                    "unknown generation {name:?}; known generations: {}",
+                    KNOWN_GENERATIONS.join(" ")
+                )
+            }
+            SpecError::UnknownMitigation(name) => {
+                write!(
+                    f,
+                    "unknown mitigation {name:?}; known mitigations: {}",
+                    KNOWN_MITIGATIONS.join(" ")
+                )
+            }
+            SpecError::EmptyAxis(axis) => write!(f, "campaign sweeps no {axis}"),
+            SpecError::DuplicateRun(key) => {
+                write!(f, "duplicate run {key:?}; remove repeated axis entries")
+            }
+            SpecError::Parse(message) => write!(f, "invalid campaign spec: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn parse_generation(name: &str) -> Result<Generation, SpecError> {
+    match name {
+        "gen1" => Ok(Generation::Gen1),
+        "gen2" => Ok(Generation::Gen2),
+        other => Err(SpecError::UnknownGeneration(other.to_owned())),
+    }
+}
+
+fn parse_mitigation(name: &str) -> Result<TscMitigation, SpecError> {
+    match name {
+        "none" => Ok(TscMitigation::None),
+        "trap-and-emulate" => Ok(TscMitigation::TrapAndEmulate),
+        "offset-and-scale" => Ok(TscMitigation::OffsetAndScale),
+        other => Err(SpecError::UnknownMitigation(other.to_owned())),
+    }
+}
+
+impl CampaignSpec {
+    /// Parses a spec from its JSON form. Missing fields take their
+    /// [`Default`] values; `experiments` is the only required field.
+    pub fn from_json(text: &str) -> Result<CampaignSpec, SpecError> {
+        let value: Value =
+            serde_json::from_str(text).map_err(|e| SpecError::Parse(e.to_string()))?;
+        let mut spec = CampaignSpec::default();
+        let string_list = |value: &Value, field: &str| -> Result<Vec<String>, SpecError> {
+            value
+                .as_array()
+                .ok_or_else(|| SpecError::Parse(format!("{field} must be an array of strings")))?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| SpecError::Parse(format!("{field} entries must be strings")))
+                })
+                .collect()
+        };
+        if let Some(v) = value.get("name") {
+            spec.name = v
+                .as_str()
+                .ok_or_else(|| SpecError::Parse("name must be a string".to_owned()))?
+                .to_owned();
+        }
+        if let Some(v) = value.get("experiments") {
+            spec.experiments = string_list(v, "experiments")?;
+        }
+        if let Some(v) = value.get("regions") {
+            spec.regions = string_list(v, "regions")?;
+        }
+        if let Some(v) = value.get("generations") {
+            spec.generations = string_list(v, "generations")?;
+        }
+        if let Some(v) = value.get("mitigations") {
+            spec.mitigations = string_list(v, "mitigations")?;
+        }
+        if let Some(v) = value.get("seeds") {
+            spec.seeds = v
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| SpecError::Parse("seeds must be a small integer".to_owned()))?;
+        }
+        if let Some(v) = value.get("seed") {
+            spec.seed = v
+                .as_u64()
+                .ok_or_else(|| SpecError::Parse("seed must be an integer".to_owned()))?;
+        }
+        if let Some(v) = value.get("quick") {
+            spec.quick = match v {
+                Value::Bool(b) => *b,
+                _ => return Err(SpecError::Parse("quick must be a boolean".to_owned())),
+            };
+        }
+        Ok(spec)
+    }
+
+    /// Checks every name against the known sets without expanding.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        self.expand().map(|_| ())
+    }
+
+    /// Expands the spec into the deterministic, duplicate-free run list.
+    pub fn expand(&self) -> Result<Vec<RunSpec>, SpecError> {
+        if self.experiments.is_empty() {
+            return Err(SpecError::EmptyAxis("experiments"));
+        }
+        if self.regions.is_empty() {
+            return Err(SpecError::EmptyAxis("regions"));
+        }
+        if self.generations.is_empty() {
+            return Err(SpecError::EmptyAxis("generations"));
+        }
+        if self.mitigations.is_empty() {
+            return Err(SpecError::EmptyAxis("mitigations"));
+        }
+        if self.seeds == 0 {
+            return Err(SpecError::EmptyAxis("seeds"));
+        }
+        for region in &self.regions {
+            if !KNOWN_REGIONS.contains(&region.as_str()) {
+                return Err(SpecError::UnknownRegion(region.clone()));
+            }
+        }
+        let generations: Vec<Generation> = self
+            .generations
+            .iter()
+            .map(|g| parse_generation(g))
+            .collect::<Result<_, _>>()?;
+        let mitigations: Vec<TscMitigation> = self
+            .mitigations
+            .iter()
+            .map(|m| parse_mitigation(m))
+            .collect::<Result<_, _>>()?;
+        let mut runs = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for name in &self.experiments {
+            let kind = ExperimentKind::parse(name)
+                .ok_or_else(|| SpecError::UnknownExperiment(name.clone()))?;
+            // Collapse axes the experiment is not parameterized by, so no
+            // two runs compute the same thing under different keys.
+            let gens: Vec<Option<Generation>> = if kind.supports_generation() {
+                generations.iter().copied().map(Some).collect()
+            } else {
+                vec![None]
+            };
+            let mits: Vec<Option<TscMitigation>> = if kind.supports_mitigation() {
+                mitigations.iter().copied().map(Some).collect()
+            } else {
+                vec![None]
+            };
+            for region in &self.regions {
+                for &generation in &gens {
+                    for &mitigation in &mits {
+                        for seed_index in 0..self.seeds {
+                            let run = RunSpec {
+                                index: runs.len(),
+                                experiment: kind,
+                                region: region.clone(),
+                                generation,
+                                mitigation,
+                                seed_index,
+                                quick: self.quick,
+                            };
+                            if !seen.insert(run.key()) {
+                                return Err(SpecError::DuplicateRun(run.key()));
+                            }
+                            runs.push(run);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(runs)
+    }
+}
+
+/// One cell of the expanded campaign grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Position in the expanded grid (defines canonical output order).
+    pub index: usize,
+    /// The experiment to run.
+    pub experiment: ExperimentKind,
+    /// Region to run it in.
+    pub region: String,
+    /// Generation override, when the experiment supports one.
+    pub generation: Option<Generation>,
+    /// Mitigation override, when the experiment supports one.
+    pub mitigation: Option<TscMitigation>,
+    /// Which of the campaign's seeds this run uses.
+    pub seed_index: u32,
+    /// Use the scaled-down configuration.
+    pub quick: bool,
+}
+
+impl RunSpec {
+    /// The run's stable identity: every axis value, no positional parts —
+    /// the same cell keys identically across spec edits that only reorder
+    /// or extend the grid.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/s{}{}",
+            self.experiment,
+            self.region,
+            self.generation.map_or("-", |g| match g {
+                Generation::Gen1 => "gen1",
+                Generation::Gen2 => "gen2",
+            }),
+            self.mitigation.map_or("-", |m| match m {
+                TscMitigation::None => "none",
+                TscMitigation::TrapAndEmulate => "trap-and-emulate",
+                TscMitigation::OffsetAndScale => "offset-and-scale",
+            }),
+            self.seed_index,
+            if self.quick { "/quick" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_spec() -> CampaignSpec {
+        CampaignSpec {
+            experiments: vec!["fig6".to_owned(), "attack-optimized".to_owned()],
+            regions: vec!["us-west1".to_owned(), "us-east1".to_owned()],
+            seeds: 3,
+            ..CampaignSpec::default()
+        }
+    }
+
+    #[test]
+    fn every_kind_round_trips_its_name() {
+        for kind in ExperimentKind::ALL {
+            assert_eq!(ExperimentKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(ExperimentKind::parse("fig99"), None);
+    }
+
+    #[test]
+    fn expansion_is_a_cross_product_with_collapsed_axes() {
+        let runs = base_spec().expand().expect("valid spec");
+        // fig6 ignores generation/mitigation: 2 regions x 3 seeds = 6.
+        // attack-optimized sweeps both: 2 x 1 x 1 x 3 = 6.
+        assert_eq!(runs.len(), 12);
+        let keys: Vec<String> = runs.iter().map(RunSpec::key).collect();
+        let mut deduped = keys.clone();
+        deduped.dedup();
+        assert_eq!(keys, deduped);
+        assert!(keys[0].starts_with("fig6/us-west1/-/-/s0"));
+        assert!(keys
+            .iter()
+            .any(|k| k == "attack-optimized/us-east1/gen1/none/s2"));
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_with_the_known_set() {
+        let mut spec = base_spec();
+        spec.experiments.push("fig99".to_owned());
+        let err = spec.expand().unwrap_err();
+        assert_eq!(err, SpecError::UnknownExperiment("fig99".to_owned()));
+        assert!(err.to_string().contains("fig4"));
+
+        let mut spec = base_spec();
+        spec.regions = vec!["eu-mars1".to_owned()];
+        assert_eq!(
+            spec.expand().unwrap_err(),
+            SpecError::UnknownRegion("eu-mars1".to_owned())
+        );
+    }
+
+    #[test]
+    fn duplicate_axis_entries_are_rejected() {
+        let mut spec = base_spec();
+        spec.experiments = vec!["fig6".to_owned(), "fig6".to_owned()];
+        assert!(matches!(
+            spec.expand().unwrap_err(),
+            SpecError::DuplicateRun(_)
+        ));
+    }
+
+    #[test]
+    fn json_round_trip_applies_defaults() {
+        let spec =
+            CampaignSpec::from_json(r#"{"experiments": ["fig6"], "seeds": 5, "quick": true}"#)
+                .expect("parses");
+        assert_eq!(spec.experiments, vec!["fig6".to_owned()]);
+        assert_eq!(spec.seeds, 5);
+        assert!(spec.quick);
+        assert_eq!(spec.regions, vec!["us-east1".to_owned()]);
+        assert_eq!(spec.seed, 2_024);
+
+        assert!(CampaignSpec::from_json("not json").is_err());
+        assert!(CampaignSpec::from_json(r#"{"experiments": "fig6"}"#).is_err());
+    }
+}

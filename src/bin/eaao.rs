@@ -58,6 +58,7 @@ fn main() {
         "verify" => verify(&common, &flags),
         "explore" => explore(&common),
         "monitor" => monitor(&common, &flags),
+        "campaign" => campaign(&common, &flags, &bare_flags),
         "help" | "--help" | "-h" => usage_and_exit(),
         other => die(&format!("unknown command {other:?}")),
     }
@@ -73,6 +74,9 @@ fn usage_and_exit() -> ! {
            verify       compare hierarchical vs pairwise verification [--instances N]\n\
            explore      estimate the region's serving-pool size\n\
            monitor      detect victim activity from a co-located instance [--windows N]\n\
+           campaign     run a batch experiment grid in parallel, streaming JSONL\n\
+                        --spec FILE | --experiments a,b,c [--regions r1,r2]\n\
+                        [--seeds N] [--out DIR] [--jobs N] [--resume] [--quick]\n\
          common flags: --region us-east1|us-central1|us-west1   --seed N"
     );
     std::process::exit(2);
@@ -263,6 +267,67 @@ fn monitor(common: &Common, flags: &HashMap<String, String>) {
         "detection accuracy: {:.1}%",
         trace.accuracy_against(&schedule) * 100.0
     );
+}
+
+fn campaign(common: &Common, flags: &HashMap<String, String>, bare: &[String]) {
+    let mut spec = if let Some(path) = flags.get("spec") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read spec {path:?}: {e}")));
+        CampaignSpec::from_json(&text).unwrap_or_else(|e| die(&format!("bad spec {path:?}: {e}")))
+    } else {
+        let Some(experiments) = flags.get("experiments") else {
+            die("campaign needs --spec FILE or --experiments a,b,c");
+        };
+        CampaignSpec {
+            experiments: split_list(experiments),
+            ..CampaignSpec::default()
+        }
+    };
+    // Flags refine the spec (CLI wins over file).
+    if let Some(regions) = flags.get("regions") {
+        spec.regions = split_list(regions);
+    } else if flags.contains_key("region") {
+        spec.regions = vec![common.region.clone()];
+    }
+    spec.seeds = parse_or(flags, "seeds", spec.seeds);
+    if flags.contains_key("seed") {
+        spec.seed = common.seed;
+    }
+    if bare.iter().any(|f| f == "quick") {
+        spec.quick = true;
+    }
+    spec.validate()
+        .unwrap_or_else(|e| die(&format!("invalid campaign: {e}")));
+
+    let out_dir = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| format!("campaign-{}", spec.name));
+    let jobs = parse_or(flags, "jobs", 1usize);
+    let resume = bare.iter().any(|f| f == "resume");
+    let report = Campaign::new(spec, &out_dir)
+        .jobs(jobs)
+        .resume(resume)
+        .run_with_progress(|done, total, record| {
+            let status = if record.is_ok() { "ok" } else { "FAILED" };
+            println!("[{done:>4}/{total}] {status:>6}  {}", record.key);
+        })
+        .unwrap_or_else(|e| die(&format!("campaign failed: {e}")));
+    println!(
+        "{}: {} runs ({} resumed, {} executed, {} failed) -> {out_dir}/results.jsonl",
+        report.name, report.total, report.resumed, report.executed, report.failed
+    );
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}
+
+fn split_list(csv: &str) -> Vec<String> {
+    csv.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect()
 }
 
 /// Resolves a region name (CLI-side wrapper around the core lookup).

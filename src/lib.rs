@@ -17,6 +17,9 @@
 //! * [`core`] — the paper's attack toolkit: host fingerprinting, scalable
 //!   co-location verification, launch strategies, and the per-figure
 //!   experiment drivers.
+//! * [`campaign`] — the batch campaign engine: declarative experiment
+//!   grids run on a work-stealing pool, streamed to resumable JSONL with
+//!   seeds derived so results are identical at any parallelism.
 //!
 //! # Quickstart
 //!
@@ -39,6 +42,7 @@
 //! assert_eq!(fingerprints.len(), 20);
 //! ```
 
+pub use eaao_campaign as campaign;
 pub use eaao_cloudsim as cloudsim;
 pub use eaao_core as core;
 pub use eaao_orchestrator as orchestrator;
@@ -47,6 +51,7 @@ pub use eaao_tsc as tsc;
 
 /// One-stop import for examples and downstream users.
 pub mod prelude {
+    pub use eaao_campaign::prelude::*;
     pub use eaao_cloudsim::prelude::*;
     pub use eaao_core::prelude::*;
     pub use eaao_orchestrator::prelude::*;

@@ -1,0 +1,152 @@
+//! Integration tests for the campaign engine's two core promises:
+//!
+//! 1. **Parallelism-independence** — the finalized `results.jsonl` is
+//!    identical at `jobs = 1` and `jobs = 4` once the (only
+//!    nondeterministic) wall-time field is stripped.
+//! 2. **Resumability** — a campaign interrupted midway and re-invoked
+//!    with resume completes the remaining runs without re-running (or
+//!    changing) the finished ones.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use eaao::prelude::*;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("eaao-campaign-integration")
+        .join(name);
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A grid crossing both attack experiments (which exercise the
+/// generation and mitigation axes) with a cheap repro figure: 2 × 2 + 2
+/// cells per seed index.
+fn sweep_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "determinism".to_owned(),
+        experiments: vec![
+            "attack-naive".to_owned(),
+            "attack-optimized".to_owned(),
+            "fig6".to_owned(),
+        ],
+        regions: vec!["us-west1".to_owned()],
+        seeds: 2,
+        seed: 77,
+        generations: vec!["gen1".to_owned()],
+        mitigations: vec!["none".to_owned(), "offset-and-scale".to_owned()],
+        quick: true,
+    }
+}
+
+/// Reads `results.jsonl` with the wall-time field zeroed out of every
+/// record — the comparison form for determinism assertions.
+fn stripped_results(dir: &Path) -> Vec<RunRecord> {
+    let text = fs::read_to_string(dir.join("results.jsonl")).expect("results exist");
+    text.lines()
+        .map(|line| {
+            let mut record: RunRecord = serde_json::from_str(line).expect("record parses");
+            record.wall_ms = 0.0;
+            record
+        })
+        .collect()
+}
+
+#[test]
+fn jobs_1_and_jobs_4_produce_identical_results() {
+    let dir_serial = scratch("jobs1");
+    let dir_parallel = scratch("jobs4");
+
+    let serial = Campaign::new(sweep_spec(), &dir_serial)
+        .jobs(1)
+        .run()
+        .expect("serial campaign runs");
+    let parallel = Campaign::new(sweep_spec(), &dir_parallel)
+        .jobs(4)
+        .run()
+        .expect("parallel campaign runs");
+    assert!(serial.all_ok(), "serial failures: {serial:?}");
+    assert!(parallel.all_ok(), "parallel failures: {parallel:?}");
+    // 2 attack experiments × 2 mitigations × 2 seeds + fig6 × 2 seeds.
+    assert_eq!(serial.total, 10);
+
+    let a = stripped_results(&dir_serial);
+    let b = stripped_results(&dir_parallel);
+    assert_eq!(a, b, "results differ between jobs=1 and jobs=4");
+
+    // Stronger than record equality: the files are byte-identical after
+    // zeroing wall_ms, because finalize writes in grid order.
+    let rewrite = |records: &[RunRecord]| -> String {
+        records
+            .iter()
+            .map(|r| serde_json::to_string(r).expect("serializes"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(rewrite(&a), rewrite(&b));
+}
+
+#[test]
+fn resume_after_interrupt_skips_completed_runs_and_finishes() {
+    let dir = scratch("resume");
+
+    // Simulate a campaign killed after 4 of 10 runs.
+    let interrupted = Campaign::new(sweep_spec(), &dir)
+        .jobs(2)
+        .limit(Some(4))
+        .run()
+        .expect("interrupted campaign runs");
+    assert_eq!(interrupted.executed, 4);
+    assert!(!interrupted.complete);
+    assert!(
+        !dir.join("campaign.json").exists(),
+        "an interrupted campaign must not be marked complete"
+    );
+    let manifest_before = fs::read_to_string(dir.join("manifest.jsonl")).expect("manifest");
+    let completed_keys: Vec<ManifestEntry> = manifest_before
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("entry parses"))
+        .collect();
+    assert_eq!(completed_keys.len(), 4);
+
+    // Resume: exactly the remaining 6 run; the 4 finished ones are reused.
+    let mut re_executed: Vec<String> = Vec::new();
+    let resumed = Campaign::new(sweep_spec(), &dir)
+        .jobs(2)
+        .resume(true)
+        .run_with_progress(|_, _, record| re_executed.push(record.key.clone()))
+        .expect("resumed campaign runs");
+    assert_eq!(resumed.resumed, 4);
+    assert_eq!(resumed.executed, 6);
+    assert!(resumed.complete);
+    assert!(resumed.all_ok(), "failures: {resumed:?}");
+    for entry in &completed_keys {
+        assert!(
+            !re_executed.contains(&entry.key),
+            "completed run {} was re-executed",
+            entry.key
+        );
+    }
+
+    // The finished campaign matches a never-interrupted one exactly.
+    let dir_clean = scratch("resume-clean");
+    Campaign::new(sweep_spec(), &dir_clean)
+        .jobs(1)
+        .run()
+        .expect("clean campaign runs");
+    assert_eq!(stripped_results(&dir), stripped_results(&dir_clean));
+}
+
+#[test]
+fn resume_on_a_complete_campaign_re_runs_nothing() {
+    let dir = scratch("noop");
+    Campaign::new(sweep_spec(), &dir).run().expect("runs");
+    let report = Campaign::new(sweep_spec(), &dir)
+        .resume(true)
+        .run_with_progress(|_, _, record| panic!("re-executed {}", record.key))
+        .expect("resume runs");
+    assert_eq!(report.resumed, report.total);
+    assert_eq!(report.executed, 0);
+    assert!(report.complete);
+}

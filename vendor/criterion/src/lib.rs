@@ -1,0 +1,268 @@
+//! In-tree stand-in for `criterion`.
+//!
+//! Mirrors the criterion API surface the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
+//! `criterion_group!`, `criterion_main!` — over a plain wall-clock
+//! harness: each benchmark runs a warm-up pass, then `sample_size` timed
+//! samples, and reports min / mean / max per-iteration times. There is no
+//! statistical outlier analysis or HTML report; the numbers are for
+//! regression eyeballing, not publication.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box` as well as
+/// `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for the rest of this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.criterion.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Runs a parameterized benchmark; `input` is passed to the closure.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.criterion.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name, a bare parameter, or both.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: Some(name.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(name), Some(p)) => write!(f, "{name}/{p}"),
+            (Some(name), None) => write!(f, "{name}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; times the routine under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // One untimed warm-up pass to populate caches and lazy state.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark(name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    println!(
+        "{name:<50} time: [{} {} {}]",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max)
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Defines a benchmark group function that runs each target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Defines `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_the_requested_samples() {
+        let mut ran = 0usize;
+        run_benchmark("noop", 5, |b| {
+            b.iter(|| ran += 1);
+        });
+        // 5 timed samples plus 1 warm-up.
+        assert_eq!(ran, 6);
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("hierarchical", 64).to_string(),
+            "hierarchical/64"
+        );
+        assert_eq!(BenchmarkId::from_parameter(800).to_string(), "800");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+
+    #[test]
+    fn group_api_is_chainable() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("one", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.bench_function("named", |b| b.iter(|| black_box(0)));
+        group.finish();
+    }
+
+    #[test]
+    fn durations_format_with_sensible_units() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

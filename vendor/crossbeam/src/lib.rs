@@ -1,0 +1,343 @@
+//! In-tree stand-in for `crossbeam`.
+//!
+//! Provides the two pieces the campaign executor builds on:
+//!
+//! * [`deque`] — a work-stealing scheduler substrate: a shared [`deque::Injector`]
+//!   plus per-worker [`deque::Worker`] queues with [`deque::Stealer`] handles,
+//!   mirroring `crossbeam-deque`'s API shape.
+//! * [`channel`] — cloneable MPMC channels over `std::sync::mpsc` with a
+//!   mutexed receiver.
+//!
+//! The implementations favor clarity over lock-free cleverness (the real
+//! crate's Chase-Lev deques are replaced with mutexed `VecDeque`s); the unit
+//! of scheduled work here is an entire simulation run, so queue overhead is
+//! noise. The API mirroring keeps call sites source-compatible with real
+//! crossbeam.
+
+pub mod deque {
+    //! Work-stealing double-ended queues, after `crossbeam-deque`.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// The result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The attempt lost a race; the caller may retry.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(task) => Some(task),
+                _ => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// A global FIFO injector queue, shared by all workers.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("injector lock").push_back(task);
+        }
+
+        /// Steals one task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector lock").pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch of tasks into `worker`'s local queue and pops one.
+        pub fn steal_batch_and_pop(&self, worker: &Worker<T>) -> Steal<T> {
+            let mut queue = self.queue.lock().expect("injector lock");
+            let first = match queue.pop_front() {
+                Some(task) => task,
+                None => return Steal::Empty,
+            };
+            // Move up to half of the remainder over to the local queue.
+            let batch = queue.len().div_ceil(2).min(16);
+            let mut local = worker.queue.lock().expect("worker lock");
+            for _ in 0..batch {
+                match queue.pop_front() {
+                    Some(task) => local.push_back(task),
+                    None => break,
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector lock").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().expect("injector lock").len()
+        }
+    }
+
+    /// A worker-local queue; the owning worker pops LIFO-free (FIFO here),
+    /// thieves steal from the opposite end.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO worker queue.
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the local queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("worker lock").push_back(task);
+        }
+
+        /// Pops the next local task.
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("worker lock").pop_front()
+        }
+
+        /// Whether the local queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker lock").is_empty()
+        }
+
+        /// Creates a stealer handle for other workers.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A handle for stealing tasks from another worker's queue.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the back of the victim's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("stealer lock").pop_back() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the victim's queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("stealer lock").is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+}
+
+pub mod channel {
+    //! Cloneable MPMC channels, after `crossbeam-channel`.
+
+    use std::sync::{mpsc, Arc, Mutex};
+
+    /// Error returned by [`Receiver::recv`] on a closed, drained channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    /// The receiving half; cloneable (receives are serialized by a mutex).
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing if every receiver is dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message; errors when the channel is closed
+        /// and drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner
+                .lock()
+                .expect("receiver lock")
+                .recv()
+                .map_err(|_| RecvError)
+        }
+
+        /// Receives without blocking, if a message is ready.
+        pub fn try_recv(&self) -> Option<T> {
+            self.inner.lock().expect("receiver lock").try_recv().ok()
+        }
+
+        /// Drains and collects every currently queued message.
+        pub fn try_iter(&self) -> Vec<T> {
+            let rx = self.inner.lock().expect("receiver lock");
+            let mut out = Vec::new();
+            while let Ok(v) = rx.try_recv() {
+                out.push(v);
+            }
+            out
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn injector_fifo_order() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal(), Steal::Success(1));
+        assert_eq!(inj.steal(), Steal::Success(2));
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn batch_steal_moves_work_locally() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let worker = Worker::new_fifo();
+        assert_eq!(inj.steal_batch_and_pop(&worker), Steal::Success(0));
+        assert!(!worker.is_empty());
+        let mut drained = Vec::new();
+        while let Some(x) = worker.pop() {
+            drained.push(x);
+        }
+        // Local batch holds the next tasks in order.
+        assert_eq!(drained, (1..=drained.len() as i32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealers_take_from_the_back() {
+        let worker = Worker::new_fifo();
+        worker.push(1);
+        worker.push(2);
+        let stealer = worker.stealer();
+        assert_eq!(stealer.steal(), Steal::Success(2));
+        assert_eq!(worker.pop(), Some(1));
+    }
+
+    #[test]
+    fn concurrent_workers_drain_everything() {
+        let inj = Arc::new(Injector::new());
+        for i in 0..1000 {
+            inj.push(i);
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let inj = Arc::clone(&inj);
+            handles.push(thread::spawn(move || {
+                let worker = Worker::new_fifo();
+                let mut count = 0usize;
+                loop {
+                    let task = worker
+                        .pop()
+                        .or_else(|| inj.steal_batch_and_pop(&worker).success());
+                    match task {
+                        Some(_) => count += 1,
+                        None => break,
+                    }
+                }
+                count
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn channels_fan_in() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        thread::spawn(move || tx2.send(1).unwrap());
+        tx.send(2).unwrap();
+        drop(tx);
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,508 @@
+//! In-tree stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace uses: range and
+//! collection strategies, `prop_map`, `prop_oneof!`, tuple composition,
+//! and the `proptest!` / `prop_assert!` macros. Two deliberate
+//! simplifications versus the real crate:
+//!
+//! * **Deterministic by construction** — case inputs derive from a hash of
+//!   the test name and the case index, never from OS entropy, so a failure
+//!   reproduces on every run with no persistence file.
+//! * **No shrinking** — a failing case reports the exact generated input
+//!   (inputs here are small tuples and short vectors, readable as-is).
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Box::new(self),
+            }
+        }
+    }
+
+    /// A strategy mapped through a function; see [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// A type-erased strategy; see [`Strategy::boxed`].
+    pub struct BoxedStrategy<T> {
+        inner: Box<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.inner.sample(rng)
+        }
+    }
+
+    /// A uniform choice among several strategies; backs `prop_oneof!`.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given options (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].sample(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // Width computed in u64 via wrapping sub: correct for
+                    // signed ranges since the span is <= u64::MAX.
+                    let width = (self.end as u64).wrapping_sub(self.start as u64);
+                    (self.start as u64).wrapping_add(rng.below(width)) as $t
+                }
+            }
+        )+};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            self.start + rng.unit_f64() as f32 * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<char> {
+        type Value = char;
+        fn sample(&self, rng: &mut TestRng) -> char {
+            let (lo, hi) = (self.start as u32, self.end as u32);
+            char::from_u32(lo + rng.below((hi - lo) as u64) as u32).unwrap_or(self.start)
+        }
+    }
+
+    impl Strategy for bool {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s with uniformly chosen length; see [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `size` elements (length drawn uniformly from the range),
+    /// each generated by `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec-length range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case generation and execution.
+
+    use crate::strategy::Strategy;
+    use std::fmt;
+
+    /// The deterministic generator behind every strategy (splitmix64).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator seeded from an arbitrary 64-bit value.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// A test-case failure (from `prop_assert!` or an explicit `Err`).
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property does not hold.
+        Fail(String),
+        /// The input was rejected (counted, not failed).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// A rejection with the given reason.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// Execution knobs for `proptest!` blocks.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Upper bound on shrinking steps after a failure (the stand-in
+        /// reports the failing input without shrinking, but the knob is
+        /// kept so config literals using struct update stay portable).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 48,
+                max_shrink_iters: 1024,
+            }
+        }
+    }
+
+    /// Runs a property over deterministically generated cases.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        /// A runner whose case stream is a pure function of `name`.
+        pub fn new(config: ProptestConfig, name: &str) -> Self {
+            // FNV-1a over the test name: stable across runs and platforms.
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for byte in name.bytes() {
+                seed ^= u64::from(byte);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner { config, seed }
+        }
+
+        /// Samples `config.cases` inputs and checks the property on each,
+        /// panicking with the offending input on the first failure.
+        pub fn run<S>(
+            &mut self,
+            strategy: &S,
+            mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+        ) where
+            S: Strategy,
+            S::Value: fmt::Debug + Clone,
+        {
+            for case in 0..self.config.cases {
+                let mut rng = TestRng::new(self.seed ^ (u64::from(case) << 32 | 0x5DEE_CE66));
+                let input = strategy.sample(&mut rng);
+                match test(input.clone()) {
+                    Ok(()) => {}
+                    Err(TestCaseError::Reject(_)) => {}
+                    Err(TestCaseError::Fail(message)) => panic!(
+                        "property failed on case {case}/{total}: {message}\n  input: {input:?}",
+                        total = self.config.cases,
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Everything a `proptest!` block needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that checks the body over generated inputs.
+///
+/// An optional leading `#![proptest_config(expr)]` overrides the
+/// [`ProptestConfig`](crate::test_runner::ProptestConfig) for the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default())
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner =
+                $crate::test_runner::TestRunner::new($config, stringify!($name));
+            let strategy = ($($strategy,)+);
+            runner.run(&strategy, |($($arg,)+)| {
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, failing the case (not the whole
+/// process) so the runner can report the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {{
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    }};
+    ($cond:expr, $($fmt:tt)+) => {{
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    }};
+}
+
+/// `prop_assert!` for equality, reporting both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: both sides equal `{:?}`",
+            left
+        );
+    }};
+}
+
+/// A strategy choosing uniformly among the listed strategies (which must
+/// all produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(i64),
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in -50i64..50, f in 0.25f64..0.75, b in 0u8..3) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!(b < 3);
+        }
+
+        #[test]
+        fn vec_lengths_land_in_range(xs in crate::collection::vec(0u32..10, 2..6)) {
+            prop_assert!((2..6).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(shape in prop_oneof![
+            (0i64..10).prop_map(Shape::Line),
+            (0i64..1).prop_map(|_| Shape::Dot),
+        ]) {
+            match shape {
+                Shape::Dot => {}
+                Shape::Line(n) => prop_assert!((0..10).contains(&n)),
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, ..ProptestConfig::default() })]
+
+        #[test]
+        fn config_override_applies(x in 0u64..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    fn same_name_means_same_cases() {
+        let sample = |name: &str| {
+            let mut runner = TestRunner::new(
+                ProptestConfig {
+                    cases: 5,
+                    ..ProptestConfig::default()
+                },
+                name,
+            );
+            let mut values = Vec::new();
+            runner.run(&(0u64..1_000_000), |x| {
+                values.push(x);
+                Ok(())
+            });
+            values
+        };
+        assert_eq!(sample("alpha"), sample("alpha"));
+        assert_ne!(sample("alpha"), sample("beta"));
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_the_input() {
+        let mut runner = TestRunner::new(ProptestConfig::default(), "doomed");
+        runner.run(&(0u64..10), |x| {
+            prop_assert!(x > 100, "x was {x}");
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,432 @@
+//! In-tree stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! vendored `serde` stub's value model (`Serialize::to_value` /
+//! `Deserialize::from_value`). The parser is hand-rolled over
+//! `proc_macro::TokenStream` — no `syn`/`quote` — and supports the shapes this
+//! repository uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (single-field newtypes serialize transparently),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde's default).
+//!
+//! Generic types and `#[serde(...)]` attributes are intentionally not
+//! supported; deriving on one produces a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` via the value model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derives `serde::Deserialize` via the value model.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, direction: Direction) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => generate(&name, &shape, direction)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error token parses"),
+    }
+}
+
+/// Parses the deriving item down to its name and field/variant layout.
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("derive expects a struct or enum".to_owned()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("missing type name".to_owned()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the vendored serde derive does not support generics (on `{name}`)"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::NamedStruct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::TupleStruct(count_tuple_fields(g.stream()))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            _ => Err(format!("unsupported struct body for `{name}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+            }
+            _ => Err(format!("missing enum body for `{name}`")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Advances past `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // `#`
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // `[...]`
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names from the body of a braced struct.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in struct body: {other}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past a type, stopping at a top-level `,` (tracks `<...>` depth;
+/// parenthesized and bracketed types arrive as atomic groups).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+/// Extracts the variants of an enum body.
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantFields::Named(names)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantFields::Tuple(n)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip a discriminant (`= expr`) if present.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type(&tokens, &mut i);
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn generate(name: &str, shape: &Shape, direction: Direction) -> String {
+    match direction {
+        Direction::Serialize => generate_serialize(name, shape),
+        Direction::Deserialize => generate_deserialize(name, shape),
+    }
+}
+
+fn generate_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{pushes}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::TupleStruct(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_owned(),
+        Shape::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| serialize_arm(name, v)).collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_arm(name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.fields {
+        VariantFields::Unit => {
+            format!("{name}::{v} => ::serde::Value::String(::std::string::String::from({v:?})),")
+        }
+        VariantFields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let pattern = binds.join(", ");
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_value(__f0)".to_owned()
+            } else {
+                let items: String = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{items}])")
+            };
+            format!(
+                "{name}::{v}({pattern}) => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from({v:?}), {payload})]),"
+            )
+        }
+        VariantFields::Named(fields) => {
+            let pattern = fields.join(", ");
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value({f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{v} {{ {pattern} }} => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from({v:?}), \
+                 ::serde::Value::Object(::std::vec![{pushes}]))]),"
+            )
+        }
+    }
+}
+
+fn generate_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         __v.field({name:?}, {f:?})?)?,"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                     \"wrong tuple arity for {name}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({inits}))"
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => generate_enum_deserialize(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn generate_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| format!("{0:?} => ::std::result::Result::Ok({name}::{0}),", v.name))
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| match &v.fields {
+            VariantFields::Unit => None,
+            VariantFields::Tuple(1) => Some(format!(
+                "{0:?} => ::std::result::Result::Ok(\
+                 {name}::{0}(::serde::Deserialize::from_value(__payload)?)),",
+                v.name
+            )),
+            VariantFields::Tuple(n) => {
+                let inits: String = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                    .collect();
+                Some(format!(
+                    "{0:?} => {{\n\
+                         let __items = __payload.as_array().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected array payload\"))?;\n\
+                         if __items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(\
+                             ::serde::Error::custom(\"wrong variant arity\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{0}({inits}))\n\
+                     }},",
+                    v.name
+                ))
+            }
+            VariantFields::Named(fields) => {
+                let inits: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                             __payload.field({name:?}, {f:?})?)?,"
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "{0:?} => ::std::result::Result::Ok({name}::{0} {{ {inits} }}),",
+                    v.name
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "match __v {{\n\
+             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__fields[0];\n\
+                 match __tag.as_str() {{\n\
+                     {tagged_arms}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+             }},\n\
+             __other => ::std::result::Result::Err(::serde::Error::custom(\
+             ::std::format!(\"expected {name} variant, got {{}}\", __other.kind()))),\n\
+         }}"
+    )
+}
