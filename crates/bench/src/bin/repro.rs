@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper at full scale.
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--seed N] [--json DIR] [--quick] [--jobs N]
+//! repro [EXPERIMENT ...] [--seed N] [--json DIR] [--quick] [--jobs N] [--trace FILE]
 //! ```
 //!
 //! Experiments: `fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11a fig11b fig12
@@ -13,6 +13,9 @@
 //! through `eaao-campaign` — one run per experiment × paper region,
 //! streamed to `<json dir>/results.jsonl` — instead of the serial text
 //! report. Exit status is non-zero if any experiment fails either way.
+//! `--trace FILE` streams structured span/metrics events to `FILE` as
+//! JSONL on either path (see `docs/OBSERVABILITY.md`); summarize with
+//! `eaao trace FILE`.
 
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -55,6 +58,7 @@ struct Options {
     json_dir: Option<String>,
     quick: bool,
     jobs: usize,
+    trace: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Options {
@@ -63,6 +67,7 @@ fn parse_args() -> Options {
     let mut json_dir = None;
     let mut quick = false;
     let mut jobs = 1;
+    let mut trace = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -82,10 +87,15 @@ fn parse_args() -> Options {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| die("--jobs needs a positive integer"));
             }
+            "--trace" => {
+                trace = Some(std::path::PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--trace needs a file")),
+                ));
+            }
             "--quick" => quick = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [EXPERIMENT ...] [--seed N] [--json DIR] [--quick] [--jobs N]\n\
+                    "usage: repro [EXPERIMENT ...] [--seed N] [--json DIR] [--quick] [--jobs N] [--trace FILE]\n\
                      experiments: {} all",
                     KNOWN_EXPERIMENTS.join(" ")
                 );
@@ -117,6 +127,7 @@ fn parse_args() -> Options {
         json_dir,
         quick,
         jobs,
+        trace,
     }
 }
 
@@ -144,29 +155,56 @@ fn main() {
         run_as_campaign(&options);
         return;
     }
+    // The serial path traces the whole report as one collector scope.
+    let tracer = options.trace.as_ref().map(|path| {
+        let writer = eaao_obs::TraceWriter::create(path)
+            .unwrap_or_else(|e| die(&format!("cannot create trace file {}: {e}", path.display())));
+        (writer, eaao_obs::Collector::with_events())
+    });
+    let ok = match &tracer {
+        Some((_, collector)) => {
+            eaao_obs::with_instrument(collector.clone(), || run_serial(&options))
+        }
+        None => run_serial(&options),
+    };
+    if let Some((writer, collector)) = &tracer {
+        let mut events = collector.drain_events();
+        events.extend(collector.metrics_event());
+        writer
+            .write_events(&events)
+            .unwrap_or_else(|e| die(&format!("cannot write trace file: {e}")));
+        eprintln!("trace: {} events written", events.len());
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+/// Runs the selected experiments serially, returning whether all passed.
+fn run_serial(options: &Options) -> bool {
     let started = Instant::now();
     let mut failed: Vec<String> = Vec::new();
     for name in options.experiments.clone() {
         let t = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| match name.as_str() {
-            "fig4" => fig4(&options),
-            "fig5" => fig5(&options),
-            "fig6" => fig6(&options),
-            "fig7" => fig7(&options),
-            "fig8" => fig8(&options),
-            "fig9" => fig9(&options),
-            "fig10" => fig10(&options),
-            "fig11a" => fig11(&options, "11a", Generation::Gen1),
-            "fig11b" => fig11(&options, "11b", Generation::Gen1),
-            "gen2" => fig11(&options, "11a", Generation::Gen2),
-            "fig12" => fig12(&options),
-            "sec4.2" => sec42(&options),
-            "sec4.3" => sec43(&options),
-            "sec4.5" => sec45(&options),
-            "strategy1" => strategy1(&options),
-            "sec6" => sec6_mitigations(&options),
-            "opt" => opt_optimizations(&options),
-            "factors" => other_factors_checks(&options),
+            "fig4" => fig4(options),
+            "fig5" => fig5(options),
+            "fig6" => fig6(options),
+            "fig7" => fig7(options),
+            "fig8" => fig8(options),
+            "fig9" => fig9(options),
+            "fig10" => fig10(options),
+            "fig11a" => fig11(options, "11a", Generation::Gen1),
+            "fig11b" => fig11(options, "11b", Generation::Gen1),
+            "gen2" => fig11(options, "11a", Generation::Gen2),
+            "fig12" => fig12(options),
+            "sec4.2" => sec42(options),
+            "sec4.3" => sec43(options),
+            "sec4.5" => sec45(options),
+            "strategy1" => strategy1(options),
+            "sec6" => sec6_mitigations(options),
+            "opt" => opt_optimizations(options),
+            "factors" => other_factors_checks(options),
             other => die(&format!("unknown experiment {other:?}")),
         }));
         if outcome.is_err() {
@@ -182,8 +220,9 @@ fn main() {
             failed.len(),
             failed.join(" ")
         );
-        std::process::exit(1);
+        return false;
     }
+    true
 }
 
 /// The `--jobs N` path: the selected experiments become a campaign grid
@@ -217,6 +256,7 @@ fn run_as_campaign(options: &Options) {
         .unwrap_or_else(|| "repro-campaign".to_owned());
     let report = Campaign::new(spec, &out_dir)
         .jobs(options.jobs)
+        .trace(options.trace.clone())
         .run_with_progress(|done, total, record| {
             let status = if record.is_ok() { "ok" } else { "FAILED" };
             println!("[{done:>4}/{total}] {status:>6}  {}", record.key);

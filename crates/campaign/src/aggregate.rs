@@ -2,6 +2,7 @@
 //! numbers campaigns exist to estimate — above all, the probability that
 //! an attack achieves co-location at least once.
 
+use eaao_obs::MetricsSnapshot;
 use eaao_simcore::stats::Summary;
 use serde::{Serialize, Value};
 
@@ -105,6 +106,19 @@ pub fn colocation_by_group(records: &[RunRecord]) -> Vec<(String, Estimate)> {
         .into_iter()
         .map(|(label, samples)| (label, Estimate::of(&samples)))
         .collect()
+}
+
+/// Folds every record's per-run `metrics` block into one campaign-level
+/// snapshot: counters add, gauges keep their maximum, and stage-latency
+/// histograms merge bucket-wise (so the aggregate p50/p95/p99 reflect the
+/// whole campaign). This is the `metrics` object written to
+/// `campaign.json`.
+pub fn merged_metrics(records: &[RunRecord]) -> MetricsSnapshot {
+    let mut aggregate = MetricsSnapshot::default();
+    for record in records {
+        aggregate.merge(&record.metrics);
+    }
+    aggregate
 }
 
 #[cfg(test)]

@@ -9,10 +9,12 @@
 
 use std::path::{Path, PathBuf};
 
+use eaao_obs::TraceWriter;
 use serde::{Serialize, Value};
 
+use crate::aggregate::merged_metrics;
 use crate::pool::Executor;
-use crate::runner::{execute, RunRecord};
+use crate::runner::{execute_traced, RunRecord};
 use crate::sink::{JsonlSink, PriorRuns};
 use crate::spec::{CampaignSpec, RunSpec, SpecError};
 
@@ -82,6 +84,7 @@ pub struct Campaign {
     jobs: usize,
     resume: bool,
     limit: Option<usize>,
+    trace: Option<PathBuf>,
 }
 
 impl Campaign {
@@ -93,6 +96,7 @@ impl Campaign {
             jobs: 1,
             resume: false,
             limit: None,
+            trace: None,
         }
     }
 
@@ -114,6 +118,17 @@ impl Campaign {
     /// killed one.
     pub fn limit(mut self, limit: Option<usize>) -> Self {
         self.limit = limit;
+        self
+    }
+
+    /// Streams every executed run's trace events to a JSONL file (see
+    /// `eaao-obs` for the event schema). Tracing is strictly additive:
+    /// `results.jsonl` stays byte-identical whether or not a trace is
+    /// collected. Events land in run-completion order — within one run
+    /// key they are ordered, across runs the interleaving is as
+    /// nondeterministic as `wall_ms`.
+    pub fn trace(mut self, path: Option<PathBuf>) -> Self {
+        self.trace = path;
         self
     }
 
@@ -169,12 +184,24 @@ impl Campaign {
         let executed = pending.len();
 
         let sink = JsonlSink::open(&self.out_dir)?;
+        let tracer = match &self.trace {
+            Some(path) => Some(TraceWriter::create(path)?),
+            None => None,
+        };
         let master_seed = self.spec.seed;
         let io_error = parking_lot::Mutex::new(None::<std::io::Error>);
         let mut done = 0usize;
         let fresh = Executor::new(self.jobs).run_with(
             pending,
-            |_, run| execute(&run, master_seed),
+            |_, run| {
+                let (record, events) = execute_traced(&run, master_seed, tracer.is_some());
+                if let Some(writer) = &tracer {
+                    if let Err(error) = writer.write_events(&events) {
+                        io_error.lock().get_or_insert(error);
+                    }
+                }
+                record
+            },
             |_, record| {
                 if let Err(error) = sink.record(record) {
                     io_error.lock().get_or_insert(error);
@@ -215,6 +242,10 @@ impl Campaign {
                 (
                     "report".to_owned(),
                     serde_json::to_value(&report).expect("report serializes"),
+                ),
+                (
+                    "metrics".to_owned(),
+                    serde_json::to_value(&merged_metrics(&finished)).expect("metrics serialize"),
                 ),
             ]);
             sink.finalize(&finished, &summary)?;

@@ -28,7 +28,16 @@
 //! * [`sink`] — the JSONL streams and the resume manifest.
 //! * [`engine`] — [`Campaign`](engine::Campaign), tying it together.
 //! * [`aggregate`] — co-location probability estimates with confidence
-//!   intervals across completed runs.
+//!   intervals across completed runs, plus
+//!   [`merged_metrics`](aggregate::merged_metrics) folding every run's
+//!   observability snapshot into one campaign-wide view.
+//!
+//! Every run executes under a private `eaao-obs` collector: its
+//! deterministic metrics land in the record's `metrics` field (and in
+//! `campaign.json`), and — with [`Campaign::trace`](engine::Campaign::trace)
+//! — its span events stream to a JSONL trace file next to
+//! `results.jsonl`. Tracing never perturbs results: `results.jsonl` is
+//! byte-identical with tracing on or off (see `docs/OBSERVABILITY.md`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -42,10 +51,12 @@ pub mod spec;
 
 /// Convenient single-import surface.
 pub mod prelude {
-    pub use crate::aggregate::{colocation_by_group, colocation_probability, Estimate};
+    pub use crate::aggregate::{
+        colocation_by_group, colocation_probability, merged_metrics, Estimate,
+    };
     pub use crate::engine::{Campaign, CampaignError, CampaignReport};
     pub use crate::pool::Executor;
-    pub use crate::runner::{derive_seed, execute, RunRecord, WALL_FIELD};
+    pub use crate::runner::{derive_seed, execute, execute_traced, RunRecord, WALL_FIELD};
     pub use crate::sink::{JsonlSink, ManifestEntry, PriorRuns};
     pub use crate::spec::{CampaignSpec, ExperimentKind, RunSpec, SpecError};
 }

@@ -13,6 +13,7 @@ use eaao_core::experiment::{
 };
 use eaao_core::scenario::Scenario;
 use eaao_core::strategy::{NaiveLaunch, OptimizedLaunch};
+use eaao_obs::{Collector, Event, MetricsSnapshot};
 use eaao_simcore::rng::SimRng;
 use rand::RngCore;
 use serde::{Deserialize, Serialize, Value};
@@ -52,6 +53,11 @@ pub struct RunRecord {
     pub virtual_s: Option<f64>,
     /// Real time the run took. Nondeterministic; see [`WALL_FIELD`].
     pub wall_ms: f64,
+    /// Deterministic per-run metrics collected while the driver ran:
+    /// counters, gauges, and stage-latency histograms over **simulated**
+    /// quantities only, so this block is byte-identical across `--jobs`
+    /// values and across tracing on/off.
+    pub metrics: MetricsSnapshot,
     /// The driver's full serialized result, for successful runs.
     pub payload: Option<Value>,
 }
@@ -96,10 +102,45 @@ pub fn derive_seed(master: u64, key: &str) -> u64 {
 /// Runs one grid cell to completion, never panicking: driver panics are
 /// caught and reported as failed records.
 pub fn execute(run: &RunSpec, master_seed: u64) -> RunRecord {
+    execute_traced(run, master_seed, false).0
+}
+
+/// Like [`execute`], with an [`eaao_obs::Collector`] installed around the
+/// driver so instrumented code (orchestrator, experiments, verification)
+/// reports into the record's `metrics` block. When `collect_events` is
+/// true the collector additionally buffers trace events, which are
+/// returned tagged with the run key — event collection never changes the
+/// record itself.
+pub fn execute_traced(
+    run: &RunSpec,
+    master_seed: u64,
+    collect_events: bool,
+) -> (RunRecord, Vec<Event>) {
     let key = run.key();
     let seed = derive_seed(master_seed, &key);
+    let collector = if collect_events {
+        Collector::with_events()
+    } else {
+        Collector::new()
+    };
     let started = Instant::now();
-    let outcome = catch_unwind(AssertUnwindSafe(|| dispatch(run, seed)));
+    let outcome = eaao_obs::with_instrument(collector.clone(), || {
+        let mut run_span = eaao_obs::span("campaign.run");
+        run_span.str_field("key", &key);
+        run_span.str_field("experiment", run.experiment.name());
+        let outcome = catch_unwind(AssertUnwindSafe(|| dispatch(run, seed)));
+        run_span.bool_field("ok", outcome.is_ok());
+        match &outcome {
+            Ok((virtual_s, _)) => {
+                eaao_obs::count("campaign.runs_ok", 1);
+                if let Some(virtual_s) = virtual_s {
+                    eaao_obs::observe("campaign.virtual_ms", (virtual_s * 1e3) as u64);
+                }
+            }
+            Err(_) => eaao_obs::count("campaign.runs_failed", 1),
+        }
+        outcome
+    });
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
     let (status, error, virtual_s, payload) = match outcome {
         Ok((virtual_s, payload)) => ("ok".to_owned(), None, virtual_s, Some(payload)),
@@ -114,7 +155,12 @@ pub fn execute(run: &RunSpec, master_seed: u64) -> RunRecord {
             ("failed".to_owned(), Some(message), None, None)
         }
     };
-    RunRecord {
+    let metrics = collector.snapshot();
+    let mut events = collector.drain_events();
+    for event in &mut events {
+        event.run = Some(key.clone());
+    }
+    let record = RunRecord {
         key,
         index: run.index as u64,
         experiment: run.experiment.name().to_owned(),
@@ -140,13 +186,17 @@ pub fn execute(run: &RunSpec, master_seed: u64) -> RunRecord {
         error,
         virtual_s,
         wall_ms,
+        metrics,
         payload,
-    }
+    };
+    (record, events)
 }
 
 /// Dispatches to the experiment driver, returning the virtual horizon (if
 /// the experiment has a natural one) and the serialized result.
 fn dispatch(run: &RunSpec, seed: u64) -> (Option<f64>, Value) {
+    let mut dispatch_span = eaao_obs::span("experiment.dispatch");
+    dispatch_span.str_field("experiment", run.experiment.name());
     let region = run.region.clone();
     match run.experiment {
         ExperimentKind::Fig4 => {

@@ -40,6 +40,9 @@ impl DataCenter {
         rng: &mut SimRng,
     ) -> Self {
         assert!(host_count > 0, "a data center needs hosts");
+        let mut generate_span = eaao_obs::span("cloudsim.datacenter.generate");
+        generate_span.u64_field("hosts", host_count as u64);
+        eaao_obs::count("cloudsim.hosts_generated", host_count as u64);
         let catalog_weighted = default_catalog();
         let catalog: Vec<CpuModel> = catalog_weighted.iter().map(|(m, _)| m.clone()).collect();
 
@@ -143,6 +146,7 @@ impl DataCenter {
     /// Reboots a host for maintenance; returns the displaced instances
     /// (the caller must terminate them).
     pub fn reboot_host(&mut self, host: HostId, now: SimTime) -> Vec<InstanceId> {
+        eaao_obs::count("cloudsim.host_reboots", 1);
         self.host_mut(host).reboot(now)
     }
 

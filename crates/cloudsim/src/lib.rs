@@ -20,8 +20,18 @@
 //!   co-location probing (the paper's motivation, Sections 1 and 7).
 //! * [`pricing`] — the Cloud Run billing formula and rates.
 //!
+//! Paper-section map: [`sandbox`] and [`host`] model §3 (the two execution
+//! environments and their TSC exposure), [`rng_unit`] the §4.3 covert
+//! channel, [`membus`] the §4.3 pairwise baseline, [`mitigation`] the §6
+//! defenses, [`network`] the §1/§7 motivation, and [`pricing`] the cost
+//! figures quoted throughout §5.
+//!
 //! The orchestrator that places instances onto these hosts lives in
-//! `eaao-orchestrator`; the attacks live in `eaao-core`.
+//! `eaao-orchestrator`; the attacks live in `eaao-core`. Contention media
+//! and host generation feed `eaao-obs` counters
+//! (`cloudsim.rng_rounds`, `cloudsim.membus_tests`,
+//! `cloudsim.hosts_generated`, …) so campaign records report how hard the
+//! simulated hardware was driven.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -67,6 +67,7 @@ impl MemoryBus {
     /// verdict, which can false-positive on background traffic (observed
     /// contention despite separate hosts) with a small probability.
     pub fn pairwise_test(&self, co_located: bool, rng: &mut SimRng) -> bool {
+        eaao_obs::count("cloudsim.membus_tests", 1);
         if co_located {
             // Dedicated hammering across one bus is unmistakable.
             true

@@ -1,25 +1,26 @@
 //! The EAAO attack toolkit — the paper's primary contribution.
 //!
-//! Everything the attacker runs, end to end:
+//! Everything the attacker runs, end to end. Each module maps to a section
+//! of *"Everywhere All at Once"* (ASPLOS 2024):
 //!
-//! * [`probe`] — the in-container payload gathering `cpuid`, `rdtsc`,
-//!   wall-clock pairs, and `tsc_khz`.
-//! * [`fingerprint`] — Gen 1 (model + rounded boot time) and Gen 2
-//!   (refined TSC frequency) host fingerprints.
-//! * [`expiry`] — drift tracking and fingerprint expiration estimation.
-//! * [`verify`] — the scalable co-location verification methodology, plus
-//!   the pairwise and SIE baselines.
-//! * [`cluster`] — co-location cluster bookkeeping.
-//! * [`metrics`] — precision / recall / Fowlkes–Mallows accuracy over
-//!   instance pairs.
-//! * [`coverage`] — victim instance coverage measurement.
-//! * [`extraction`] — step 2 of the threat model: detecting when the
-//!   co-located victim is running.
-//! * [`scenario`] — a builder for attacker-vs-victim setups.
-//! * [`strategy`] — naive and optimized launch strategies and the
-//!   cluster-size exploration campaign.
-//! * [`experiment`] — one driver per paper figure/table, shared by tests,
-//!   examples, and benches.
+//! | Module | Paper section |
+//! |---|---|
+//! | [`probe`] | §4.1 — the in-container payload gathering `cpuid`, `rdtsc`, wall-clock pairs, and `tsc_khz` |
+//! | [`fingerprint`] | §4.1 (Gen 1: model + rounded boot time), §4.5 (Gen 2: refined TSC frequency) |
+//! | [`expiry`] | §4.2 — drift tracking and fingerprint expiration estimation (Figure 5) |
+//! | [`verify`] | §4.3–4.4 — scalable co-location verification ([`verify::hierarchical`]), plus the pairwise and SIE baselines |
+//! | [`cluster`] | §4.4 — co-location cluster bookkeeping |
+//! | [`metrics`] | §4.1 — precision / recall / Fowlkes–Mallows accuracy over instance pairs (Figure 4) |
+//! | [`coverage`] | §5.2 — victim instance coverage measurement (Figure 11) |
+//! | [`extraction`] | §2 (threat model, step 2) — detecting when the co-located victim runs |
+//! | [`scenario`] | §5 — a builder for attacker-vs-victim setups |
+//! | [`strategy`] | §5.2 — [`strategy::naive`] (Strategy 1), [`strategy::optimized`] (Strategy 2), [`strategy::explore`] (Figure 12) |
+//! | [`experiment`] | one driver per paper figure/table, shared by tests, examples, and benches |
+//!
+//! Long-running entry points ([`verify::HierarchicalVerifier::verify`],
+//! the strategies, [`probe::probe_fleet`]) are instrumented with
+//! `eaao-obs` spans and counters; run any binary with `--trace FILE` to
+//! watch them (see `docs/OBSERVABILITY.md`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

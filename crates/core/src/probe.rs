@@ -43,6 +43,7 @@ impl ProbeReading {
 ///
 /// Returns a [`GuestError`] if the instance is unknown or terminated.
 pub fn probe_instance(world: &mut World, id: InstanceId) -> Result<ProbeReading, GuestError> {
+    eaao_obs::count("probe.instances_probed", 1);
     world.with_guest(id, |sandbox, now| ProbeReading {
         instance: id,
         model: sandbox.cpuid_model().to_owned(),
@@ -59,6 +60,8 @@ pub fn probe_instance(world: &mut World, id: InstanceId) -> Result<ProbeReading,
 /// Dead instances are skipped — exactly what a real measurement campaign
 /// experiences when the platform churns instances mid-sweep.
 pub fn probe_fleet(world: &mut World, ids: &[InstanceId], gap: SimDuration) -> Vec<ProbeReading> {
+    let mut fleet_span = eaao_obs::span("probe.fleet");
+    fleet_span.u64_field("instances", ids.len() as u64);
     let mut readings = Vec::with_capacity(ids.len());
     for &id in ids {
         if let Ok(reading) = probe_instance(world, id) {
@@ -66,6 +69,7 @@ pub fn probe_fleet(world: &mut World, ids: &[InstanceId], gap: SimDuration) -> V
         }
         world.advance(gap);
     }
+    fleet_span.u64_field("readings", readings.len() as u64);
     readings
 }
 

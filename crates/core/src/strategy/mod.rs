@@ -58,3 +58,17 @@ impl StrategyReport {
         }
     }
 }
+
+/// Annotates a strategy span with the report's headline numbers and feeds
+/// the shared counters every launching strategy reports.
+pub(crate) fn note_strategy_report(span: &mut eaao_obs::SpanGuard, report: &StrategyReport) {
+    span.u64_field("hosts_occupied", report.hosts_occupied as u64);
+    span.u64_field("launches", report.launches as u64);
+    span.u64_field("live_instances", report.live_instances.len() as u64);
+    eaao_obs::count("strategy.launches", report.launches as u64);
+    eaao_obs::count(
+        "strategy.spend_microusd",
+        (report.cost.as_usd() * 1e6).round() as u64,
+    );
+    eaao_obs::observe("strategy.hosts_occupied", report.hosts_occupied as u64);
+}

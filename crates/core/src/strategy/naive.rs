@@ -15,7 +15,7 @@ use eaao_orchestrator::world::World;
 use eaao_simcore::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
-use crate::strategy::StrategyReport;
+use crate::strategy::{note_strategy_report, StrategyReport};
 
 /// Configuration of the naive strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -49,6 +49,8 @@ impl NaiveLaunch {
         world: &mut World,
         account: AccountId,
     ) -> Result<StrategyReport, LaunchError> {
+        let mut strategy_span = eaao_obs::span("strategy.naive");
+        strategy_span.u64_field("services", self.services as u64);
         let wall_start = world.now();
         let cost_start = world.billed_for(account);
         let spec = ServiceSpec::default().with_max_instances(1_000);
@@ -64,14 +66,16 @@ impl NaiveLaunch {
         }
         world.advance(self.hold);
         let hosts: HashSet<_> = live.iter().map(|&i| world.host_of(i)).collect();
-        Ok(StrategyReport {
+        let report = StrategyReport {
             services,
             hosts_occupied: hosts.len(),
             live_instances: live,
             launches,
             cost: world.billed_for(account) - cost_start,
             wall: world.now() - wall_start,
-        })
+        };
+        note_strategy_report(&mut strategy_span, &report);
+        Ok(report)
     }
 }
 

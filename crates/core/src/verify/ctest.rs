@@ -81,6 +81,8 @@ pub fn ctest(
     config: &CTestConfig,
 ) -> Result<Vec<bool>, GuestError> {
     config.validate();
+    eaao_obs::count("verify.ctests", 1);
+    eaao_obs::count("verify.ctest_participants", participants.len() as u64);
     let observations = world.rng_covert_observations(participants, config.rounds)?;
     Ok(observations
         .iter()

@@ -116,7 +116,10 @@ impl HierarchicalVerifier {
         world: &mut World,
         groups: &[Vec<InstanceId>],
     ) -> Result<VerificationOutcome, GuestError> {
+        let mut verify_span = eaao_obs::span("verify.hierarchical");
+        verify_span.u64_field("groups", groups.len() as u64);
         let all: Vec<InstanceId> = groups.iter().flatten().copied().collect();
+        verify_span.u64_field("instances", all.len() as u64);
         let mut forest = CoLocationForest::new(all);
         let mut stats = VerifierStats::default();
         let wall_start = world.now();
@@ -134,6 +137,13 @@ impl HierarchicalVerifier {
 
         stats.wall = world.now() - wall_start;
         stats.cost = world.billed() - cost_start;
+        verify_span.u64_field("ctests", stats.ctests as u64);
+        verify_span.u64_field("pairwise_fallback", stats.pairwise_fallback_tests as u64);
+        eaao_obs::observe("verify.sim_ns", stats.wall.as_nanos() as u64);
+        eaao_obs::count(
+            "verify.cost_microusd",
+            (stats.cost.as_usd() * 1e6).round() as u64,
+        );
         Ok(VerificationOutcome {
             clusters: forest.clusters(),
             stats,

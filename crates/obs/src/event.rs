@@ -1,0 +1,151 @@
+//! The structured event schema written to `--trace` JSONL streams.
+//!
+//! Every line of a trace file is one [`Event`], serialized as a JSON
+//! object with a fixed field set (see [`Event`] for the meaning of each
+//! field and `docs/OBSERVABILITY.md` for worked examples). The schema is
+//! versioned through [`SCHEMA_VERSION`] so readers can reject streams
+//! produced by an incompatible writer.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Version stamped into every event's `v` field. Bump on any breaking
+/// change to the [`Event`] layout.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// What an [`Event`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened: `t_ns` is its start time, `span` its id.
+    SpanStart,
+    /// A span closed: `t_ns` is its end time, `dur_ns` its duration, and
+    /// `fields` carries every annotation added while it was open.
+    SpanEnd,
+    /// A one-off annotation outside any span lifecycle.
+    Point,
+    /// A metrics snapshot: `fields` holds a serialized
+    /// [`MetricsSnapshot`](crate::metrics::MetricsSnapshot).
+    Metrics,
+}
+
+impl EventKind {
+    /// The snake_case wire name of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Point => "point",
+            EventKind::Metrics => "metrics",
+        }
+    }
+}
+
+impl Serialize for EventKind {
+    fn to_value(&self) -> Value {
+        Value::String(self.as_str().to_owned())
+    }
+}
+
+impl Deserialize for EventKind {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let text = v.as_str().ok_or_else(|| {
+            Error::custom(format!("expected event kind string, got {}", v.kind()))
+        })?;
+        match text {
+            "span_start" => Ok(EventKind::SpanStart),
+            "span_end" => Ok(EventKind::SpanEnd),
+            "point" => Ok(EventKind::Point),
+            "metrics" => Ok(EventKind::Metrics),
+            other => Err(Error::custom(format!("unknown event kind {other:?}"))),
+        }
+    }
+}
+
+/// One structured observability event.
+///
+/// Timestamps (`t_ns`, `dur_ns`) are **wall-clock** nanoseconds measured
+/// from a per-run monotonic anchor — they are the only nondeterministic
+/// content in a trace, exactly as `wall_ms` is the only nondeterministic
+/// field of a campaign record. Everything else (names, span topology,
+/// deterministic `fields` annotations) is reproducible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Schema version; always [`SCHEMA_VERSION`] for events this crate
+    /// emits.
+    pub v: u64,
+    /// The campaign run key the event belongs to, when emitted under the
+    /// campaign engine (`None` for standalone CLI traces).
+    pub run: Option<String>,
+    /// What the event describes.
+    pub kind: EventKind,
+    /// Dotted event name, e.g. `world.ctest` (see `docs/OBSERVABILITY.md`
+    /// for the full catalog).
+    pub name: String,
+    /// Span id, unique within one run's event stream.
+    pub span: Option<u64>,
+    /// Id of the span that was open when this one started.
+    pub parent: Option<u64>,
+    /// Nanoseconds since the run's clock anchor (wall time; monotonic and
+    /// non-decreasing within a run).
+    pub t_ns: u64,
+    /// Span duration in nanoseconds (`span_end` only).
+    pub dur_ns: Option<u64>,
+    /// Deterministic annotations (span fields or a metrics snapshot);
+    /// `null` when there are none.
+    pub fields: Value,
+}
+
+impl Event {
+    /// A bare event of `kind` named `name` at `t_ns`, with every optional
+    /// field empty.
+    pub fn new(kind: EventKind, name: impl Into<String>, t_ns: u64) -> Event {
+        Event {
+            v: SCHEMA_VERSION,
+            run: None,
+            kind,
+            name: name.into(),
+            span: None,
+            parent: None,
+            t_ns,
+            dur_ns: None,
+            fields: Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip_through_their_wire_names() {
+        for kind in [
+            EventKind::SpanStart,
+            EventKind::SpanEnd,
+            EventKind::Point,
+            EventKind::Metrics,
+        ] {
+            let wire = serde_json::to_string(&kind).expect("serializes");
+            assert_eq!(wire, format!("{:?}", kind.as_str()));
+            let back: EventKind = serde_json::from_str(&wire).expect("parses");
+            assert_eq!(back, kind);
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        assert!(serde_json::from_str::<EventKind>("\"span_begin\"").is_err());
+    }
+
+    #[test]
+    fn events_round_trip_through_jsonl() {
+        let mut event = Event::new(EventKind::SpanEnd, "world.launch", 42);
+        event.run = Some("fig6/us-west1/-/-/s0".to_owned());
+        event.span = Some(3);
+        event.parent = Some(1);
+        event.dur_ns = Some(17);
+        event.fields = Value::Object(vec![("requested".to_owned(), Value::I64(800))]);
+        let line = serde_json::to_string(&event).expect("serializes");
+        let back: Event = serde_json::from_str(&line).expect("parses");
+        assert_eq!(back, event);
+    }
+}

@@ -1,0 +1,226 @@
+//! Trace streams on disk: the JSONL writer behind `--trace` and the
+//! reader behind `eaao trace`.
+//!
+//! A trace file holds one [`Event`] per line, in the order batches were
+//! flushed. Within one `run` the events are in emission order (and their
+//! `t_ns` values non-decreasing); across runs the interleaving follows
+//! completion order, which — like `wall_ms` — is nondeterministic.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+use crate::event::{Event, EventKind};
+use crate::metrics::Histogram;
+
+/// A shared, append-only JSONL event stream.
+#[derive(Debug)]
+pub struct TraceWriter {
+    inner: Mutex<BufWriter<File>>,
+}
+
+impl TraceWriter {
+    /// Creates (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] if the file cannot be created.
+    pub fn create(path: &Path) -> io::Result<TraceWriter> {
+        Ok(TraceWriter {
+            inner: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    /// Appends a batch of events, one JSONL line each, flushing once at
+    /// the end so concurrent batches never interleave mid-line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] on write failure.
+    pub fn write_events(&self, events: &[Event]) -> io::Result<()> {
+        let mut writer = self.inner.lock();
+        for event in events {
+            let line = serde_json::to_string(event).expect("event serializes");
+            writeln!(writer, "{line}")?;
+        }
+        writer.flush()
+    }
+}
+
+/// Per-span-name duration statistics computed from a trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStats {
+    /// The span name.
+    pub name: String,
+    /// Number of `span_end` events seen.
+    pub count: u64,
+    /// Sum of span durations, nanoseconds.
+    pub total_ns: u64,
+    /// Median span duration (log-bucket estimate), nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile span duration, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile span duration, nanoseconds.
+    pub p99_ns: u64,
+    /// Longest span duration, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// An aggregated reading of a `--trace` JSONL file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Total events in the file.
+    pub events: u64,
+    /// Distinct run keys seen (0 when the trace was not campaign-scoped).
+    pub runs: u64,
+    /// Duration statistics per span name, sorted by descending total time.
+    pub spans: Vec<SpanStats>,
+}
+
+impl TraceSummary {
+    /// Reads and aggregates the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] if the file cannot be read, or one of kind
+    /// [`io::ErrorKind::InvalidData`] naming the offending line if any
+    /// line fails to parse as an [`Event`].
+    pub fn read(path: &Path) -> io::Result<TraceSummary> {
+        let text = std::fs::read_to_string(path)?;
+        let mut events = 0u64;
+        let mut runs: BTreeMap<String, ()> = BTreeMap::new();
+        let mut durations: BTreeMap<String, (Histogram, u64, u64)> = BTreeMap::new();
+        for (number, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event: Event = serde_json::from_str(line).map_err(|error| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("trace line {}: {error}", number + 1),
+                )
+            })?;
+            events += 1;
+            if let Some(run) = &event.run {
+                runs.insert(run.clone(), ());
+            }
+            if event.kind == EventKind::SpanEnd {
+                let duration = event.dur_ns.unwrap_or(0);
+                let entry = durations
+                    .entry(event.name.clone())
+                    .or_insert_with(|| (Histogram::default(), 0, 0));
+                entry.0.record(duration);
+                entry.1 += duration;
+                entry.2 = entry.2.max(duration);
+            }
+        }
+        let mut spans: Vec<SpanStats> = durations
+            .into_iter()
+            .map(|(name, (histogram, total_ns, max_ns))| {
+                let snapshot = histogram.snapshot();
+                SpanStats {
+                    name,
+                    count: snapshot.count,
+                    total_ns,
+                    p50_ns: snapshot.p50,
+                    p95_ns: snapshot.p95,
+                    p99_ns: snapshot.p99,
+                    max_ns,
+                }
+            })
+            .collect();
+        spans.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+        Ok(TraceSummary {
+            events,
+            runs: runs.len() as u64,
+            spans,
+        })
+    }
+
+    /// Renders the summary as an aligned text table for terminal output.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} events, {} runs\n{:<28} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+            self.events, self.runs, "span", "count", "total_ms", "p50_us", "p99_us", "max_us"
+        );
+        for stats in &self.spans {
+            out.push_str(&format!(
+                "{:<28} {:>7} {:>10.2} {:>10.1} {:>10.1} {:>10.1}\n",
+                stats.name,
+                stats.count,
+                stats.total_ns as f64 / 1e6,
+                stats.p50_ns as f64 / 1e3,
+                stats.p99_ns as f64 / 1e3,
+                stats.max_ns as f64 / 1e3,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SCHEMA_VERSION;
+    use serde::Value;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("eaao-obs-trace-tests");
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir.join(name)
+    }
+
+    fn end_event(run: &str, name: &str, t_ns: u64, dur_ns: u64) -> Event {
+        let mut event = Event::new(EventKind::SpanEnd, name, t_ns);
+        event.run = Some(run.to_owned());
+        event.span = Some(1);
+        event.dur_ns = Some(dur_ns);
+        event
+    }
+
+    #[test]
+    fn written_events_summarize_back() {
+        let path = scratch("roundtrip.jsonl");
+        let writer = TraceWriter::create(&path).expect("create");
+        writer
+            .write_events(&[
+                end_event("a/s0", "world.launch", 10, 5_000),
+                end_event("a/s0", "world.launch", 20, 7_000),
+                end_event("b/s0", "verify.hierarchical", 10, 90_000),
+            ])
+            .expect("write");
+        let summary = TraceSummary::read(&path).expect("read");
+        assert_eq!(summary.events, 3);
+        assert_eq!(summary.runs, 2);
+        assert_eq!(summary.spans.len(), 2);
+        // Sorted by total time: verify.hierarchical (90us) first.
+        assert_eq!(summary.spans[0].name, "verify.hierarchical");
+        assert_eq!(summary.spans[1].count, 2);
+        assert_eq!(summary.spans[1].total_ns, 12_000);
+        assert!(summary.render().contains("world.launch"));
+    }
+
+    #[test]
+    fn a_malformed_line_is_an_invalid_data_error() {
+        let path = scratch("malformed.jsonl");
+        std::fs::write(&path, "{\"not\":\"an event\"}\n").expect("write");
+        let error = TraceSummary::read(&path).expect_err("rejects");
+        assert_eq!(error.kind(), io::ErrorKind::InvalidData);
+        assert!(error.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn schema_version_round_trips_through_the_file() {
+        let path = scratch("version.jsonl");
+        let writer = TraceWriter::create(&path).expect("create");
+        let mut event = Event::new(EventKind::Point, "marker", 0);
+        event.fields = Value::Object(vec![("hosts".to_owned(), Value::I64(4))]);
+        writer.write_events(&[event]).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read");
+        let parsed: Event = serde_json::from_str(text.trim()).expect("parses");
+        assert_eq!(parsed.v, SCHEMA_VERSION);
+    }
+}

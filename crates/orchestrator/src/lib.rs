@@ -13,6 +13,17 @@
 //! * [`world`] — accounts, services, launches, the idle reaper (Figure 6),
 //!   covert-channel plumbing, billing, and churn.
 //! * [`error`] — launch and guest error types.
+//!
+//! Paper-section map: [`placement`] encodes §5.1 Observations 1–6 (base
+//! hosts, helper hosts, spreading), [`autoscaler`] and [`demand`] the §2.2
+//! scaling behaviour, and [`world`] the end-to-end platform the §5.2
+//! strategies attack.
+//!
+//! The [`World`] is instrumented with `eaao-obs`: launches, autoscaler
+//! decisions, churn, covert-channel tests, and billed spend surface as
+//! spans (`world.launch`, `world.ctest`, …) and deterministic metrics
+//! (`orchestrator.*`, `world.*`, `autoscaler.*` — see
+//! `docs/OBSERVABILITY.md`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -128,6 +128,8 @@ impl CloudRunPolicy {
         if need_new == 0 {
             return Vec::new();
         }
+        eaao_obs::count("placement.plans", 1);
+        eaao_obs::observe("placement.plan_size", need_new as u64);
         if self.config.co_location_resistant {
             // Section 6 scheduler mitigation: a fresh uniformly random
             // host subset per launch — no per-account affinity for an

@@ -17,6 +17,7 @@ use eaao_cloudsim::instance::{ContainerInstance, InstanceState};
 use eaao_cloudsim::pricing::{BillingMeter, Cost};
 use eaao_cloudsim::sandbox::{Gen1Sandbox, Gen2Sandbox, Sandbox};
 use eaao_cloudsim::service::{Generation, Service, ServiceSpec};
+use eaao_obs as obs;
 use eaao_simcore::clock::SimClock;
 use eaao_simcore::dist::{Exponential, Sample};
 use eaao_simcore::events::EventQueue;
@@ -95,6 +96,9 @@ pub struct World {
 impl World {
     /// Builds a world for `region`, deterministic under `seed`.
     pub fn new(region: RegionConfig, seed: u64) -> Self {
+        let mut build_span = obs::span("world.build");
+        build_span.str_field("region", &region.name);
+        build_span.u64_field("hosts", region.host_count as u64);
         let mut rng = SimRng::seed_from(seed);
         let mut dc_rng = rng.fork_labeled("datacenter");
         let dc = DataCenter::generate(
@@ -198,6 +202,8 @@ impl World {
     /// Returns a [`LaunchError`] if the request exceeds the service cap or
     /// the account quota, or if the data center cannot place all instances.
     pub fn launch(&mut self, service: ServiceId, count: usize) -> Result<Launch, LaunchError> {
+        let mut launch_span = obs::span("world.launch");
+        launch_span.u64_field("requested", count as u64);
         let now = self.clock.now();
         let svc = self
             .services
@@ -272,6 +278,12 @@ impl World {
             let id = self.create_instance(service, owner, host_id, spec, now);
             instances.push(id);
         }
+        launch_span.u64_field("reused", reused as u64);
+        launch_span.u64_field("created", need_new as u64);
+        obs::count("orchestrator.launches", 1);
+        obs::count("orchestrator.instances_reused", reused as u64);
+        obs::count("orchestrator.instances_created", need_new as u64);
+        obs::observe("orchestrator.launch_size", count as u64);
         Ok(Launch { instances, reused })
     }
 
@@ -359,8 +371,13 @@ impl World {
             .collect();
         active.sort_unstable();
         match decide(active.len(), demand, spec.max_instances) {
-            ScaleAction::Hold => Ok(active),
+            ScaleAction::Hold => {
+                obs::count("autoscaler.hold", 1);
+                Ok(active)
+            }
             ScaleAction::Out(shortfall) => {
+                obs::count("autoscaler.scale_out", 1);
+                obs::observe("autoscaler.scale_out_size", shortfall as u64);
                 // `launch` implements the scale-out path for the shortfall:
                 // it reuses warm idle instances and places the remainder.
                 let launch = self.launch(service, shortfall)?;
@@ -369,6 +386,8 @@ impl World {
                 Ok(active)
             }
             ScaleAction::In(surplus) => {
+                obs::count("autoscaler.scale_in", 1);
+                obs::observe("autoscaler.scale_in_size", surplus as u64);
                 let now = self.clock.now();
                 // Newest instances drain first (they have the least warm
                 // state worth keeping).
@@ -402,6 +421,7 @@ impl World {
         let period = instance.go_idle(now);
         let size = instance.size();
         self.billing.record(size, period);
+        self.note_spend();
         // Gradual termination: preserved through the grace period, then
         // reaped at a uniformly random point across the spread, capped by
         // the 15-minute contract.
@@ -431,6 +451,8 @@ impl World {
 
     /// Advances simulated time to `target`, processing due events in order.
     pub fn run_until(&mut self, target: SimTime) {
+        let start = self.clock.now();
+        let mut processed = 0u64;
         while let Some(due) = self.events.next_due() {
             if due > target {
                 break;
@@ -438,8 +460,14 @@ impl World {
             let event = self.events.pop_due(due).expect("event is due");
             self.clock.advance_to(event.due());
             self.handle_event(*event.payload());
+            processed += 1;
         }
         self.clock.advance_to(target);
+        obs::count("world.events_processed", processed);
+        let advanced = self.clock.now().duration_since(start);
+        if advanced.as_nanos() > 0 {
+            obs::count("world.sim_advanced_ns", advanced.as_nanos() as u64);
+        }
     }
 
     fn handle_event(&mut self, event: WorldEvent) {
@@ -453,6 +481,7 @@ impl World {
                     return;
                 };
                 if i.state() == InstanceState::Idle && i.idle_since() == Some(idle_since) {
+                    obs::count("world.instances_reaped", 1);
                     self.terminate_instance(instance);
                 }
             }
@@ -465,11 +494,14 @@ impl World {
                     return;
                 };
                 if i.is_alive() {
+                    obs::count("world.instance_restarts", 1);
                     self.terminate_instance(instance);
                 }
             }
             WorldEvent::RebootHost(host) => {
+                obs::count("world.host_reboots", 1);
                 let displaced = self.dc.reboot_host(host, now);
+                obs::count("world.instances_displaced", displaced.len() as u64);
                 for id in displaced {
                     let instance = self.instances.get_mut(&id).expect("resident exists");
                     let closed = instance.terminate(now);
@@ -477,6 +509,7 @@ impl World {
                         self.billing.record(instance.size(), period);
                     }
                 }
+                self.note_spend();
                 if let Some(mean) = self.host_churn_mean {
                     let delay = Exponential::from_mean(mean.as_secs_f64()).sample(&mut self.rng);
                     self.events.schedule(
@@ -496,8 +529,16 @@ impl World {
         let size = instance.size();
         if let Some(period) = closed {
             self.billing.record(size, period);
+            self.note_spend();
         }
         self.dc.host_mut(host).evict(id);
+    }
+
+    /// Mirrors the settled billing total into the `world.billed_usd`
+    /// gauge. The value is pure simulation state, so the gauge stays
+    /// deterministic.
+    fn note_spend(&self) {
+        obs::gauge("world.billed_usd", self.billing.total().as_usd());
     }
 
     /// Terminates one live instance immediately (the owner closing and
@@ -594,6 +635,14 @@ impl World {
         participants: &[InstanceId],
         rounds: usize,
     ) -> Result<Vec<Vec<u32>>, GuestError> {
+        let mut ctest_span = obs::span("world.ctest");
+        ctest_span.u64_field("participants", participants.len() as u64);
+        ctest_span.u64_field("rounds", rounds as u64);
+        obs::count("world.ctests", 1);
+        obs::observe(
+            "world.ctest_sim_ns",
+            (CTEST_ROUND_DURATION * rounds as i64).as_nanos() as u64,
+        );
         let mut per_host: HashMap<HostId, usize> = HashMap::new();
         for &id in participants {
             let instance = self
@@ -639,6 +688,7 @@ impl World {
         active: &[InstanceId],
         rounds: usize,
     ) -> Result<Vec<u32>, GuestError> {
+        obs::count("world.rng_observations", 1);
         let obs_instance = self
             .instances
             .get(&observer)
@@ -691,6 +741,8 @@ impl World {
         let truth = host_a == self.instances[&b].host();
         let bus = self.dc.host(host_a).memory_bus();
         let verdict = bus.pairwise_test(truth, &mut self.rng);
+        obs::count("world.membus_tests", 1);
+        obs::observe("world.membus_sim_ns", bus.test_latency().as_nanos() as u64);
         self.advance(bus.test_latency());
         Ok(verdict)
     }

@@ -6,13 +6,19 @@
 //! eaao verify      [--region R] [--seed N] [--instances N]
 //! eaao explore     [--region R] [--seed N]
 //! eaao monitor     [--region R] [--seed N] [--windows N]
+//! eaao trace FILE
 //! ```
 //!
 //! Every command is deterministic under `--seed` and runs in milliseconds
 //! of real time (the week-long experiments run on virtual time). For the
 //! paper's figures and tables use the `repro` binary in `eaao-bench`.
+//!
+//! Any command accepts `--trace FILE` to stream structured span events and
+//! a closing metrics snapshot to `FILE` as JSONL (see
+//! `docs/OBSERVABILITY.md`); `eaao trace FILE` summarizes such a file.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 
 use eaao::prelude::*;
 
@@ -27,6 +33,14 @@ fn main() {
         usage_and_exit();
     }
     let command = args.remove(0);
+    if command == "trace" {
+        // `trace` takes a positional file, unlike every other command.
+        let [path] = args.as_slice() else {
+            die("trace needs exactly one trace-file argument");
+        };
+        summarize_trace(Path::new(path));
+        return;
+    }
     let mut flags: HashMap<String, String> = HashMap::new();
     let mut bare_flags: Vec<String> = Vec::new();
     let mut it = args.into_iter().peekable();
@@ -52,16 +66,41 @@ fn main() {
             .map(|s| s.parse().unwrap_or_else(|_| die("--seed needs an integer")))
             .unwrap_or(2_024),
     };
+    let trace = flags.get("trace").map(PathBuf::from);
     match command.as_str() {
-        "attack" => attack(&common, &flags),
-        "fingerprint" => fingerprint(&common, &flags, &bare_flags),
-        "verify" => verify(&common, &flags),
-        "explore" => explore(&common),
-        "monitor" => monitor(&common, &flags),
-        "campaign" => campaign(&common, &flags, &bare_flags),
+        "attack" => run_traced(trace, || attack(&common, &flags)),
+        "fingerprint" => run_traced(trace, || fingerprint(&common, &flags, &bare_flags)),
+        "verify" => run_traced(trace, || verify(&common, &flags)),
+        "explore" => run_traced(trace, || explore(&common)),
+        "monitor" => run_traced(trace, || monitor(&common, &flags)),
+        "campaign" => campaign(&common, &flags, &bare_flags, trace),
         "help" | "--help" | "-h" => usage_and_exit(),
         other => die(&format!("unknown command {other:?}")),
     }
+}
+
+/// Runs `run` under a tracing collector when `--trace FILE` was given,
+/// writing its span events plus a closing metrics snapshot to the file.
+fn run_traced(trace: Option<PathBuf>, run: impl FnOnce()) {
+    let Some(path) = trace else {
+        return run();
+    };
+    let writer = TraceWriter::create(&path)
+        .unwrap_or_else(|e| die(&format!("cannot create trace file {}: {e}", path.display())));
+    let collector = Collector::with_events();
+    with_instrument(collector.clone(), run);
+    let mut events = collector.drain_events();
+    events.extend(collector.metrics_event());
+    writer
+        .write_events(&events)
+        .unwrap_or_else(|e| die(&format!("cannot write trace file {}: {e}", path.display())));
+    eprintln!("trace: {} events -> {}", events.len(), path.display());
+}
+
+fn summarize_trace(path: &Path) {
+    let summary = TraceSummary::read(path)
+        .unwrap_or_else(|e| die(&format!("cannot summarize {}: {e}", path.display())));
+    print!("{}", summary.render());
 }
 
 fn usage_and_exit() -> ! {
@@ -77,7 +116,9 @@ fn usage_and_exit() -> ! {
            campaign     run a batch experiment grid in parallel, streaming JSONL\n\
                         --spec FILE | --experiments a,b,c [--regions r1,r2]\n\
                         [--seeds N] [--out DIR] [--jobs N] [--resume] [--quick]\n\
-         common flags: --region us-east1|us-central1|us-west1   --seed N"
+           trace        summarize a JSONL trace file: eaao trace FILE\n\
+         common flags: --region us-east1|us-central1|us-west1   --seed N\n\
+                       --trace FILE   write structured span/metrics events as JSONL"
     );
     std::process::exit(2);
 }
@@ -269,7 +310,12 @@ fn monitor(common: &Common, flags: &HashMap<String, String>) {
     );
 }
 
-fn campaign(common: &Common, flags: &HashMap<String, String>, bare: &[String]) {
+fn campaign(
+    common: &Common,
+    flags: &HashMap<String, String>,
+    bare: &[String],
+    trace: Option<PathBuf>,
+) {
     let mut spec = if let Some(path) = flags.get("spec") {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| die(&format!("cannot read spec {path:?}: {e}")));
@@ -308,6 +354,7 @@ fn campaign(common: &Common, flags: &HashMap<String, String>, bare: &[String]) {
     let report = Campaign::new(spec, &out_dir)
         .jobs(jobs)
         .resume(resume)
+        .trace(trace)
         .run_with_progress(|done, total, record| {
             let status = if record.is_ok() { "ok" } else { "FAILED" };
             println!("[{done:>4}/{total}] {status:>6}  {}", record.key);

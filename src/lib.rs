@@ -20,6 +20,9 @@
 //! * [`campaign`] — the batch campaign engine: declarative experiment
 //!   grids run on a work-stealing pool, streamed to resumable JSONL with
 //!   seeds derived so results are identical at any parallelism.
+//! * [`obs`] — the structured observability layer: span tracing, a
+//!   deterministic metrics registry, and JSONL trace files (see
+//!   `docs/OBSERVABILITY.md`).
 //!
 //! # Quickstart
 //!
@@ -45,6 +48,7 @@
 pub use eaao_campaign as campaign;
 pub use eaao_cloudsim as cloudsim;
 pub use eaao_core as core;
+pub use eaao_obs as obs;
 pub use eaao_orchestrator as orchestrator;
 pub use eaao_simcore as simcore;
 pub use eaao_tsc as tsc;
@@ -54,6 +58,7 @@ pub mod prelude {
     pub use eaao_campaign::prelude::*;
     pub use eaao_cloudsim::prelude::*;
     pub use eaao_core::prelude::*;
+    pub use eaao_obs::prelude::*;
     pub use eaao_orchestrator::prelude::*;
     pub use eaao_simcore::prelude::*;
     pub use eaao_tsc::prelude::*;

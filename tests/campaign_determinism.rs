@@ -88,6 +88,43 @@ fn jobs_1_and_jobs_4_produce_identical_results() {
 }
 
 #[test]
+fn tracing_does_not_perturb_results() {
+    let dir_plain = scratch("untraced");
+    let dir_traced = scratch("traced");
+    let trace_path = dir_traced.join("trace.jsonl");
+
+    Campaign::new(sweep_spec(), &dir_plain)
+        .jobs(2)
+        .run()
+        .expect("untraced campaign runs");
+    let traced = Campaign::new(sweep_spec(), &dir_traced)
+        .jobs(2)
+        .trace(Some(trace_path.clone()))
+        .run()
+        .expect("traced campaign runs");
+    assert!(traced.all_ok(), "traced failures: {traced:?}");
+
+    // Byte-identical results with tracing on vs off (wall_ms aside).
+    let rewrite = |records: &[RunRecord]| -> String {
+        records
+            .iter()
+            .map(|r| serde_json::to_string(r).expect("serializes"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        rewrite(&stripped_results(&dir_plain)),
+        rewrite(&stripped_results(&dir_traced)),
+        "tracing changed the campaign's results"
+    );
+
+    // And the trace itself is non-trivial: one file, covering every run.
+    let summary = TraceSummary::read(&trace_path).expect("trace summarizes");
+    assert_eq!(summary.runs, 10, "every run should appear in the trace");
+    assert!(summary.events > 0);
+}
+
+#[test]
 fn resume_after_interrupt_skips_completed_runs_and_finishes() {
     let dir = scratch("resume");
 

@@ -173,7 +173,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// A strategy for `Vec`s with uniformly chosen length; see [`vec`].
+    /// A strategy for `Vec`s with uniformly chosen length; see [`vec()`](vec()).
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,

@@ -1,6 +1,6 @@
 //! In-tree stand-in for `rand`.
 //!
-//! The workspace's deterministic generator ([`eaao_simcore::rng::SimRng`])
+//! The workspace's deterministic generator (`eaao_simcore::rng::SimRng`)
 //! implements the `rand` *trait surface* — [`RngCore`] and [`SeedableRng`] —
 //! so downstream code can use standard idioms (`rng.next_u64()`,
 //! `rng.gen::<u64>()`). Only the traits are vendored; there are no OS
