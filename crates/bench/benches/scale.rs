@@ -1,0 +1,233 @@
+//! The million-host scale bench guarding the placement/launch hot path.
+//!
+//! Runs the standard launch/idle/relaunch grid (the workload
+//! `results/BENCH_scale.json` records) on 10k-, 100k-, and 1M-host
+//! regions and reports two costs per size: building the world (index
+//! construction is O(hosts)) and running the grid (which must NOT scale
+//! with pool size — that is the point of the incremental capacity index
+//! and precomputed popularity sampler).
+//!
+//! Besides the Criterion display output, the bench rewrites
+//! `results/BENCH_scale.json` with wall-clock medians next to the pinned
+//! pre-PR baselines, so the speedup at each size is auditable in-repo.
+//! CI runs the 10k smoke subset by setting `EAAO_BENCH_SMOKE=1`.
+//!
+//! At 10k hosts the grid is also timed on the oracle's reference engine
+//! (linear sampling + full-scan capacity): the measured gap is what the
+//! differential tests buy us the license to keep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use eaao_cloudsim::service::ServiceSpec;
+use eaao_oracle::ReferenceEngine;
+use eaao_orchestrator::config::RegionConfig;
+use eaao_orchestrator::engine::Engine;
+use eaao_orchestrator::world::World;
+use eaao_simcore::time::SimDuration;
+
+/// Grid-ms medians measured at the parent of the hot-path PR, same
+/// workload and machine class; kept in the JSON so the report carries its
+/// own baseline.
+const PRE_PR_GRID_MS: [(usize, f64); 3] = [(10_000, 17.1), (100_000, 59.9), (1_000_000, 942.8)];
+const PRE_PR_BUILD_MS: [(usize, f64); 3] = [(10_000, 4.8), (100_000, 51.6), (1_000_000, 1_755.0)];
+
+fn smoke_only() -> bool {
+    std::env::var_os("EAAO_BENCH_SMOKE").is_some()
+}
+
+fn sizes() -> &'static [usize] {
+    if smoke_only() {
+        &[10_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    }
+}
+
+/// The grid workload: 8 services across 4 accounts, staggered launches,
+/// an idle/reap cycle, three relaunch waves, and a teardown. Mirrors the
+/// campaign engine's per-cell experiment shape.
+fn grid<E: Engine>(world: &mut World<E>) {
+    let mut services = Vec::new();
+    for _ in 0..4 {
+        let account = world.create_account();
+        for _ in 0..2 {
+            services.push(
+                world.deploy_service(account, ServiceSpec::default().with_max_instances(1_000)),
+            );
+        }
+    }
+    for &svc in &services {
+        world.launch(svc, 400).expect("fits");
+        world.advance(SimDuration::from_mins(1));
+    }
+    for &svc in &services {
+        world.disconnect_all(svc);
+    }
+    world.advance(SimDuration::from_mins(20));
+    for round in 0..3 {
+        for &svc in &services {
+            world.launch(svc, 200 + 100 * round).expect("fits");
+            world.advance(SimDuration::from_mins(2));
+        }
+    }
+    for &svc in &services {
+        world.kill_all(svc);
+    }
+    world.advance(SimDuration::from_mins(30));
+}
+
+fn region(hosts: usize) -> RegionConfig {
+    RegionConfig::us_east1().with_hosts(hosts)
+}
+
+/// Median wall-clock milliseconds of `f` over `reps` runs.
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn baseline(table: &[(usize, f64); 3], hosts: usize) -> f64 {
+    table
+        .iter()
+        .find(|&&(h, _)| h == hosts)
+        .map(|&(_, ms)| ms)
+        .expect("pinned baseline for every bench size")
+}
+
+/// Measures every size and rewrites `results/BENCH_scale.json`.
+fn write_report() {
+    let reps = if smoke_only() { 3 } else { 5 };
+    let mut entries = Vec::new();
+    for &hosts in sizes() {
+        let build_ms = median_ms(reps, || {
+            black_box(World::new(region(hosts), 42));
+        });
+        // Each rep gets a fresh world built outside the timed region, so
+        // grid_ms covers only the launch/advance/reap hot path.
+        let grid_only_ms = {
+            let mut samples = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let mut w = World::new(region(hosts), 42);
+                let t = Instant::now();
+                grid(&mut w);
+                samples.push(t.elapsed().as_secs_f64() * 1e3);
+            }
+            samples.sort_by(f64::total_cmp);
+            samples[samples.len() / 2]
+        };
+        let pre_grid = baseline(&PRE_PR_GRID_MS, hosts);
+        let pre_build = baseline(&PRE_PR_BUILD_MS, hosts);
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"hosts\": {},\n",
+                "      \"build_ms\": {:.1},\n",
+                "      \"grid_ms\": {:.1},\n",
+                "      \"pre_pr_build_ms\": {:.1},\n",
+                "      \"pre_pr_grid_ms\": {:.1},\n",
+                "      \"grid_speedup\": {:.2}\n",
+                "    }}"
+            ),
+            hosts,
+            build_ms,
+            grid_only_ms,
+            pre_build,
+            pre_grid,
+            pre_grid / grid_only_ms,
+        ));
+        println!(
+            "scale/{hosts}: build {build_ms:.1} ms, grid {grid_only_ms:.1} ms \
+             (pre-PR grid {pre_grid:.1} ms, {:.2}x)",
+            pre_grid / grid_only_ms
+        );
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"scale\",\n",
+            "  \"workload\": \"8 services x staggered 400-instance launches, idle/reap cycle, 3 relaunch waves, teardown\",\n",
+            "  \"seed\": 42,\n",
+            "  \"region\": \"us-east1 preset, host pool overridden\",\n",
+            "  \"note\": \"grid_ms must not scale with hosts; pre_pr columns are the pinned parent-commit medians of the same workload\",\n",
+            "  \"smoke\": {},\n",
+            "  \"sizes\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        smoke_only(),
+        entries.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_scale.json"
+    );
+    std::fs::write(path, json).expect("write BENCH_scale.json");
+    println!("wrote {path}");
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_build");
+    for &hosts in sizes() {
+        group.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, &hosts| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(World::new(region(hosts), seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_grid");
+    for &hosts in sizes() {
+        group.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, &hosts| {
+            b.iter(|| {
+                let mut world = World::new(region(hosts), 42);
+                grid(&mut world);
+                black_box(world.now())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_reference_engine(c: &mut Criterion) {
+    // Small scale only: the reference engine's full scans are O(hosts)
+    // per launch and would take minutes at 1M hosts — which is exactly
+    // the comparison this bench exists to record.
+    c.bench_function("scale_grid_reference/10000", |b| {
+        b.iter(|| {
+            let mut world: World<ReferenceEngine> = World::with_engine(region(10_000), 42);
+            grid(&mut world);
+            black_box(world.now())
+        });
+    });
+}
+
+fn bench_report(c: &mut Criterion) {
+    // Piggyback on the harness so `cargo bench --bench scale` always
+    // refreshes the JSON; the measurement itself is self-timed.
+    c.bench_function("scale_report_refresh", |b| b.iter(|| black_box(1)));
+    write_report();
+}
+
+criterion_group! {
+    name = scale;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_build,
+        bench_grid,
+        bench_reference_engine,
+        bench_report,
+}
+criterion_main!(scale);

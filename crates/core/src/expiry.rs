@@ -207,4 +207,86 @@ mod tests {
         assert!(study.min_abs_r().is_none());
         assert!(study.expiration_days(SimDuration::from_secs(1)).is_empty());
     }
+
+    #[test]
+    fn histories_shorter_than_the_filter_are_all_dropped() {
+        // Span is measured first-to-last: 24 hourly samples span 23 h, so
+        // even a dense history falls to a 24 h filter — the boundary the
+        // paper's "tracked for at least a day" cut sits on.
+        let dense_but_short = drifting_history(2.5e-6, 24, 0.0);
+        assert_eq!(dense_but_short.span(), SimDuration::from_hours(23));
+        let single = {
+            let mut h = FingerprintHistory::new();
+            h.record(SimTime::ZERO, SimTime::from_secs(1_000));
+            h
+        };
+        let study = DriftStudy::from_histories(
+            [dense_but_short, single, FingerprintHistory::new()],
+            SimDuration::from_hours(24),
+        );
+        assert!(study.histories.is_empty());
+        assert_eq!(study.filtered_out, 3);
+    }
+
+    #[test]
+    fn zero_span_series_cannot_be_fit() {
+        // Repeated measurements at one instant are legal (record only
+        // requires non-decreasing times) but carry no drift information:
+        // x-variance is zero, so the fit and the estimate must decline
+        // rather than divide by zero.
+        let mut h = FingerprintHistory::new();
+        for boot_s in [1_000.0, 1_000.1, 999.9] {
+            h.record(SimTime::from_secs(50), SimTime::from_secs_f64(boot_s));
+        }
+        assert_eq!(h.span(), SimDuration::ZERO);
+        assert!(h.fit().is_none());
+        assert!(h.estimate_expiration(SimDuration::from_secs(1)).is_none());
+        // A zero min-span filter keeps it (span 0 >= 0, len >= 2), and the
+        // study aggregates must tolerate the fit-less member.
+        let study = DriftStudy::from_histories([h], SimDuration::ZERO);
+        assert_eq!(study.histories.len(), 1);
+        assert!(study.min_abs_r().is_none());
+        assert!(study.expiration_days(SimDuration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn negative_drift_fits_and_expires_symmetrically() {
+        // A host whose reported frequency errs the other way drifts the
+        // derived boot time downward; the fit recovers the negative slope
+        // and, with the phase centered in its bucket, the time to the
+        // lower rounding boundary equals the positive-drift case.
+        let down = drifting_history(-2.5e-6, 48, 0.0);
+        let fit = down.fit().expect("well-posed");
+        assert!((fit.slope() + 2.5e-6).abs() < 1e-8, "slope {}", fit.slope());
+        assert!(fit.r_value() < -0.9997, "r {}", fit.r_value());
+        let exp_down = down
+            .estimate_expiration(SimDuration::from_secs(1))
+            .expect("drifting");
+        let exp_up = drifting_history(2.5e-6, 48, 0.0)
+            .estimate_expiration(SimDuration::from_secs(1))
+            .expect("drifting");
+        assert!(
+            (exp_down.as_secs_f64() - exp_up.as_secs_f64()).abs() < 1.0,
+            "asymmetric: down {exp_down} vs up {exp_up}"
+        );
+    }
+
+    #[test]
+    fn coarse_precision_scales_the_expiration() {
+        // Gen 2's coarser boot-time rounding widens every bucket: from the
+        // bucket center, the distance to the boundary is half the
+        // precision, so a 100x coarser grid pushes expiration out 100x.
+        let h = drifting_history(2.5e-6, 48, 0.0);
+        let fine = h
+            .estimate_expiration(SimDuration::from_secs(1))
+            .expect("drifting");
+        let coarse = h
+            .estimate_expiration(SimDuration::from_secs(100))
+            .expect("drifting");
+        let ratio = coarse.as_secs_f64() / fine.as_secs_f64();
+        assert!((ratio - 100.0).abs() < 1.0, "ratio {ratio}");
+        // ~231 days: far beyond any practical campaign, matching the
+        // paper's conclusion that coarse rounding defeats drift tracking.
+        assert!(coarse.as_days_f64() > 200.0, "coarse {coarse}");
+    }
 }

@@ -1,0 +1,208 @@
+//! Regenerates the pinned seed corpus under `crates/oracle/corpus/`.
+//!
+//! The corpus pins one schedule per regime the differential suite covers,
+//! so CI exercises every code path deterministically even when the
+//! randomized properties happen not to. Run after changing the
+//! [`Schedule`] shape:
+//!
+//! ```text
+//! cargo run -p eaao-oracle --example gen_corpus
+//! ```
+//!
+//! Minimized counterexamples from failed property runs belong here too:
+//! add them to `corpus()` with a comment naming the bug they caught.
+
+use eaao_oracle::schedule::{Op, Schedule};
+
+/// Every pinned schedule, `(file_stem, schedule)`.
+pub fn corpus() -> Vec<(&'static str, Schedule)> {
+    vec![
+        (
+            "smoke",
+            Schedule {
+                seed: 2_024,
+                hosts: 25,
+                host_capacity: 0,
+                services: 2,
+                dynamic: false,
+                instance_churn: false,
+                host_churn_mins: None,
+                ops: vec![
+                    Op::Launch {
+                        service: 0,
+                        count: 40,
+                    },
+                    Op::SetLoad {
+                        service: 1,
+                        demand: 25,
+                    },
+                    Op::DisconnectAll { service: 0 },
+                    Op::Advance { seconds: 1_200 },
+                    Op::Launch {
+                        service: 0,
+                        count: 10,
+                    },
+                    Op::KillAll { service: 1 },
+                ],
+            },
+        ),
+        (
+            "reap",
+            Schedule {
+                seed: 7,
+                hosts: 20,
+                host_capacity: 0,
+                services: 2,
+                dynamic: false,
+                instance_churn: false,
+                host_churn_mins: None,
+                ops: vec![
+                    Op::Launch {
+                        service: 0,
+                        count: 60,
+                    },
+                    Op::DisconnectAll { service: 0 },
+                    Op::Advance { seconds: 200 },
+                    Op::Launch {
+                        service: 0,
+                        count: 30,
+                    },
+                    Op::DisconnectAll { service: 0 },
+                    Op::Advance { seconds: 300 },
+                    Op::Advance { seconds: 300 },
+                    Op::Advance { seconds: 300 },
+                ],
+            },
+        ),
+        (
+            "churn",
+            Schedule {
+                seed: 99,
+                hosts: 15,
+                host_capacity: 0,
+                services: 2,
+                dynamic: false,
+                instance_churn: true,
+                host_churn_mins: Some(30),
+                ops: vec![
+                    Op::Launch {
+                        service: 0,
+                        count: 40,
+                    },
+                    Op::Advance { seconds: 40_000 },
+                    Op::SetLoad {
+                        service: 0,
+                        demand: 20,
+                    },
+                    Op::Advance { seconds: 40_000 },
+                    Op::Launch {
+                        service: 1,
+                        count: 30,
+                    },
+                    Op::Advance { seconds: 40_000 },
+                ],
+            },
+        ),
+        (
+            "spill",
+            Schedule {
+                seed: 13,
+                hosts: 8,
+                host_capacity: 4,
+                services: 2,
+                dynamic: false,
+                instance_churn: false,
+                host_churn_mins: None,
+                ops: vec![
+                    Op::Launch {
+                        service: 0,
+                        count: 30,
+                    },
+                    Op::Launch {
+                        service: 1,
+                        count: 30,
+                    },
+                    Op::KillAll { service: 0 },
+                    Op::Launch {
+                        service: 1,
+                        count: 20,
+                    },
+                ],
+            },
+        ),
+        (
+            "dynamic",
+            Schedule {
+                seed: 1_234,
+                hosts: 30,
+                host_capacity: 0,
+                services: 2,
+                dynamic: true,
+                instance_churn: false,
+                host_churn_mins: None,
+                ops: vec![
+                    Op::Launch {
+                        service: 0,
+                        count: 80,
+                    },
+                    Op::KillAll { service: 0 },
+                    Op::Advance { seconds: 2_700 },
+                    Op::Launch {
+                        service: 0,
+                        count: 80,
+                    },
+                    Op::SetLoad {
+                        service: 1,
+                        demand: 50,
+                    },
+                ],
+            },
+        ),
+        (
+            "errors",
+            Schedule {
+                seed: 55,
+                hosts: 6,
+                host_capacity: 3,
+                services: 1,
+                dynamic: false,
+                instance_churn: false,
+                host_churn_mins: None,
+                ops: vec![
+                    // Over the service cap: rejected before planning.
+                    Op::Launch {
+                        service: 0,
+                        count: 400,
+                    },
+                    // Over the pool: planned, rolled back, DataCenterFull.
+                    Op::Launch {
+                        service: 0,
+                        count: 100,
+                    },
+                    Op::Launch {
+                        service: 0,
+                        count: 12,
+                    },
+                    // Warm reuse + rollback interplay.
+                    Op::DisconnectAll { service: 0 },
+                    Op::Launch {
+                        service: 0,
+                        count: 100,
+                    },
+                    Op::Advance { seconds: 1_200 },
+                ],
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    for (stem, schedule) in corpus() {
+        let path = dir.join(format!("{stem}.json"));
+        let json = serde_json::to_string_pretty(&schedule).expect("serializes");
+        std::fs::write(&path, json + "\n").expect("write corpus file");
+        println!("wrote {}", path.display());
+    }
+}

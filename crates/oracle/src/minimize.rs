@@ -1,0 +1,215 @@
+//! Greedy counterexample minimization.
+//!
+//! The vendored `proptest` stand-in generates inputs but does not shrink
+//! them, so a raw failing [`Schedule`] can carry dozens of irrelevant
+//! ops. [`minimize`] implements delta-debugging-style reduction: delete
+//! chunks of ops (halving the chunk size down to single ops), shrink op
+//! magnitudes and world parameters toward their minima, and keep any
+//! change under which the failure predicate still fires. The result is
+//! 1-minimal — no single remaining op can be deleted, and no single
+//! shrink step applies — which is what the differential tests print and
+//! what goes into the seed corpus.
+
+use crate::schedule::{Op, Schedule};
+
+/// Shrinks `schedule` while `fails` keeps returning `true` for the
+/// candidate. `fails(&schedule)` must be `true` on entry; the returned
+/// schedule also satisfies it.
+///
+/// The predicate is pure trial execution — typically
+/// `|s| check(s).is_err()` — and may run many times; keep schedules
+/// small.
+///
+/// # Panics
+///
+/// Panics if `fails(&schedule)` is `false` on entry (nothing to
+/// minimize).
+pub fn minimize(schedule: Schedule, fails: impl Fn(&Schedule) -> bool) -> Schedule {
+    assert!(fails(&schedule), "minimize needs a failing schedule");
+    let mut best = schedule;
+    loop {
+        let mut changed = false;
+        changed |= delete_op_chunks(&mut best, &fails);
+        changed |= shrink_ops(&mut best, &fails);
+        changed |= shrink_world(&mut best, &fails);
+        if !changed {
+            return best;
+        }
+    }
+}
+
+/// Tries deleting runs of ops, largest chunks first.
+fn delete_op_chunks(best: &mut Schedule, fails: &impl Fn(&Schedule) -> bool) -> bool {
+    let mut changed = false;
+    let mut chunk = best.ops.len();
+    while chunk >= 1 {
+        let mut start = 0;
+        while start < best.ops.len() {
+            let end = (start + chunk).min(best.ops.len());
+            let mut candidate = best.clone();
+            candidate.ops.drain(start..end);
+            if fails(&candidate) {
+                *best = candidate;
+                changed = true;
+                // Same start now names the next chunk; do not advance.
+            } else {
+                start = end;
+            }
+        }
+        chunk /= 2;
+    }
+    changed
+}
+
+/// Tries halving each op's magnitude toward 1 (or 0 for demand).
+fn shrink_ops(best: &mut Schedule, fails: &impl Fn(&Schedule) -> bool) -> bool {
+    let mut changed = false;
+    for i in 0..best.ops.len() {
+        loop {
+            let shrunk = match best.ops[i] {
+                Op::Launch { service, count } if count > 1 => Some(Op::Launch {
+                    service,
+                    count: count / 2,
+                }),
+                Op::SetLoad { service, demand } if demand > 0 => Some(Op::SetLoad {
+                    service,
+                    demand: demand / 2,
+                }),
+                Op::Advance { seconds } if seconds > 1 => Some(Op::Advance {
+                    seconds: seconds / 2,
+                }),
+                _ => None,
+            };
+            let Some(op) = shrunk else { break };
+            let mut candidate = best.clone();
+            candidate.ops[i] = op;
+            if fails(&candidate) {
+                *best = candidate;
+                changed = true;
+            } else {
+                break;
+            }
+        }
+    }
+    changed
+}
+
+/// Tries simplifying the world: fewer services and hosts, default
+/// capacity, churn off.
+fn shrink_world(best: &mut Schedule, fails: &impl Fn(&Schedule) -> bool) -> bool {
+    let mut changed = false;
+    let try_candidate = |best: &mut Schedule, candidate: Schedule| {
+        if candidate != *best && fails(&candidate) {
+            *best = candidate;
+            true
+        } else {
+            false
+        }
+    };
+    if best.services > 1 {
+        let mut c = best.clone();
+        c.services = 1;
+        changed |= try_candidate(best, c);
+    }
+    while best.hosts > 4 {
+        let mut c = best.clone();
+        c.hosts = (best.hosts / 2).max(4);
+        if !try_candidate(best, c) {
+            break;
+        }
+        changed = true;
+    }
+    if best.host_capacity > 0 {
+        let mut c = best.clone();
+        c.host_capacity = 0;
+        changed |= try_candidate(best, c);
+    }
+    if best.instance_churn {
+        let mut c = best.clone();
+        c.instance_churn = false;
+        changed |= try_candidate(best, c);
+    }
+    if best.host_churn_mins.is_some() {
+        let mut c = best.clone();
+        c.host_churn_mins = None;
+        changed |= try_candidate(best, c);
+    }
+    if best.dynamic {
+        let mut c = best.clone();
+        c.dynamic = false;
+        changed |= try_candidate(best, c);
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bloated() -> Schedule {
+        Schedule {
+            seed: 1,
+            hosts: 64,
+            host_capacity: 9,
+            services: 3,
+            dynamic: true,
+            instance_churn: true,
+            host_churn_mins: Some(120),
+            ops: vec![
+                Op::Advance { seconds: 600 },
+                Op::Launch {
+                    service: 0,
+                    count: 96,
+                },
+                Op::SetLoad {
+                    service: 1,
+                    demand: 40,
+                },
+                Op::KillAll { service: 2 },
+                Op::DisconnectAll { service: 0 },
+                Op::Advance { seconds: 1_200 },
+            ],
+        }
+    }
+
+    #[test]
+    fn minimizes_to_the_failure_witness() {
+        // Synthetic failure: any schedule containing a KillAll. Everything
+        // else must be stripped or shrunk to its floor.
+        let fails = |s: &Schedule| s.ops.iter().any(|op| matches!(op, Op::KillAll { .. }));
+        let min = minimize(bloated(), fails);
+        assert_eq!(min.ops, vec![Op::KillAll { service: 2 }]);
+        assert_eq!(min.services, 1);
+        assert_eq!(min.hosts, 4);
+        assert_eq!(min.host_capacity, 0);
+        assert!(!min.dynamic && !min.instance_churn);
+        assert_eq!(min.host_churn_mins, None);
+    }
+
+    #[test]
+    fn preserves_conjunctive_witnesses() {
+        // Failure needs a launch of at least 8 AND a later advance: the
+        // minimizer must keep one of each at the boundary magnitudes.
+        let fails = |s: &Schedule| {
+            let launch_at = s
+                .ops
+                .iter()
+                .position(|op| matches!(op, Op::Launch { count, .. } if *count >= 8));
+            let advance_at = s
+                .ops
+                .iter()
+                .rposition(|op| matches!(op, Op::Advance { .. }));
+            matches!((launch_at, advance_at), (Some(l), Some(a)) if l < a)
+        };
+        let min = minimize(bloated(), fails);
+        assert_eq!(min.ops.len(), 2, "exactly the two witnesses: {:?}", min.ops);
+        assert!(matches!(min.ops[0], Op::Launch { count: 8..=15, .. }));
+        assert!(matches!(min.ops[1], Op::Advance { seconds: 1 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "failing schedule")]
+    fn rejects_passing_schedules() {
+        let _ = minimize(bloated(), |_| false);
+    }
+}

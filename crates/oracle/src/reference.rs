@@ -1,0 +1,269 @@
+//! The naive reference engine: linear weighted sampling and full-scan
+//! capacity lookups.
+//!
+//! These are the implementations the optimized engine replaced, kept as
+//! executable ground truth. They follow the exact sampling protocol of
+//! [`eaao_simcore::wsample`] — integer fixed-point weights, one
+//! `rng.below(total)` draw per pick — so they are drop-in interchangeable
+//! with the Fenwick/incremental backends: same RNG stream in, same picks
+//! out, at O(hosts) per operation instead of O(log hosts).
+
+use std::collections::HashMap;
+
+use eaao_cloudsim::datacenter::DataCenter;
+use eaao_cloudsim::ids::HostId;
+use eaao_orchestrator::engine::{CapacityIndex, Engine};
+use eaao_simcore::rng::SimRng;
+use eaao_simcore::wsample::{fixed_weight, IndexSampler};
+
+/// The naive engine: [`LinearSampler`] + [`ScanCapacity`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceEngine;
+
+impl Engine for ReferenceEngine {
+    type Sampler = LinearSampler;
+    type Capacity = ScanCapacity;
+}
+
+/// O(n)-per-pick weighted sampler: [`locate`](IndexSampler::locate) walks
+/// the cumulative sum from the front, and
+/// [`set_weight`](IndexSampler::set_weight) re-sums the whole weight
+/// vector rather than maintaining the total incrementally.
+#[derive(Debug, Clone)]
+pub struct LinearSampler {
+    weights: Vec<u64>,
+    total: u64,
+}
+
+fn checked_sum(weights: &[u64]) -> u64 {
+    weights
+        .iter()
+        .try_fold(0u64, |acc, &w| acc.checked_add(w))
+        .expect("total weight overflows u64")
+}
+
+impl IndexSampler for LinearSampler {
+    fn from_weights(weights: Vec<u64>) -> Self {
+        let total = checked_sum(&weights);
+        LinearSampler { weights, total }
+    }
+
+    fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn weight(&self, index: usize) -> u64 {
+        self.weights[index]
+    }
+
+    fn set_weight(&mut self, index: usize, weight: u64) {
+        self.weights[index] = weight;
+        // Deliberately naive: recompute instead of applying the delta.
+        self.total = checked_sum(&self.weights);
+    }
+
+    fn locate(&self, target: u64) -> usize {
+        let mut cum = 0u64;
+        for (i, &w) in self.weights.iter().enumerate() {
+            cum += w;
+            if target < cum {
+                return i;
+            }
+        }
+        panic!("target {target} >= total {cum}");
+    }
+}
+
+/// Full-scan capacity lookups against the data center itself.
+///
+/// The data center's per-host residency *is* the committed state, so the
+/// residency-change notifications are no-ops and every query walks all
+/// hosts. Planning sessions overlay tentative consumption in a map, and
+/// the popularity-weighted spill pick rebuilds a [`LinearSampler`] over
+/// the overlayed availability on every single pick — the O(hosts) cost
+/// per placed instance the incremental index exists to avoid.
+#[derive(Debug)]
+pub struct ScanCapacity {
+    cell_of_host: Vec<u32>,
+    cell_count: usize,
+    /// Fixed-point popularity per host, same quantization as the
+    /// optimized index so spill-pick totals match exactly.
+    pop_fixed: Vec<u64>,
+    /// Overlay: slots tentatively consumed per host this planning session.
+    taken: HashMap<usize, u32>,
+}
+
+impl ScanCapacity {
+    fn effective_free(&self, host: usize, dc: &DataCenter) -> usize {
+        let taken = self.taken.get(&host).copied().unwrap_or(0) as usize;
+        dc.host(HostId::from_raw(host as u32)).free_slots() - taken
+    }
+}
+
+impl CapacityIndex for ScanCapacity {
+    fn new(dc: &DataCenter, cell_of_host: Vec<u32>, cell_count: usize) -> Self {
+        assert_eq!(cell_of_host.len(), dc.len(), "cell map covers every host");
+        let pop_fixed = dc.hosts().map(|h| fixed_weight(h.popularity())).collect();
+        ScanCapacity {
+            cell_of_host,
+            cell_count,
+            pop_fixed,
+            taken: HashMap::new(),
+        }
+    }
+
+    fn on_admit_n(&mut self, _host: HostId, _n: usize, _dc: &DataCenter) {}
+
+    fn on_evict(&mut self, _host: HostId, _dc: &DataCenter) {}
+
+    fn on_host_reboot(&mut self, _host: HostId, _displaced: usize, _dc: &DataCenter) {}
+
+    fn total_free(&self, dc: &DataCenter) -> u64 {
+        dc.hosts().map(|h| h.free_slots() as u64).sum()
+    }
+
+    fn cell_free(&self, cell: usize, dc: &DataCenter) -> u64 {
+        assert!(cell < self.cell_count, "cell {cell} out of range");
+        dc.hosts()
+            .enumerate()
+            .filter(|&(h, _)| self.cell_of_host[h] as usize == cell)
+            .map(|(_, host)| host.free_slots() as u64)
+            .sum()
+    }
+
+    fn cell_count(&self) -> usize {
+        self.cell_count
+    }
+
+    fn begin_plan(&mut self) {
+        debug_assert!(self.taken.is_empty(), "previous plan not ended");
+    }
+
+    fn plan_free(&self, host: HostId, dc: &DataCenter) -> usize {
+        self.effective_free(host.as_usize(), dc)
+    }
+
+    fn plan_take(&mut self, host: HostId, dc: &DataCenter) -> bool {
+        let h = host.as_usize();
+        if self.effective_free(h, dc) == 0 {
+            return false;
+        }
+        *self.taken.entry(h).or_insert(0) += 1;
+        true
+    }
+
+    fn plan_spill_pick(&mut self, dc: &DataCenter, rng: &mut SimRng) -> Option<HostId> {
+        // Rebuild the availability-masked popularity weights from scratch
+        // — exactly the weights the optimized index maintains in `avail`.
+        let weights: Vec<u64> = (0..dc.len())
+            .map(|h| {
+                if self.effective_free(h, dc) > 0 {
+                    self.pop_fixed[h]
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let sampler = LinearSampler::from_weights(weights);
+        let h = sampler.pick(rng)?;
+        *self.taken.entry(h).or_insert(0) += 1;
+        Some(HostId::from_raw(h as u32))
+    }
+
+    fn end_plan(&mut self) {
+        self.taken.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eaao_cloudsim::host::HostGenConfig;
+    use eaao_cloudsim::ids::InstanceId;
+    use eaao_orchestrator::engine::IncrementalCapacity;
+    use eaao_simcore::time::SimTime;
+    use eaao_simcore::wsample::FenwickSampler;
+
+    fn small_dc(seed: u64, hosts: usize, capacity: usize) -> DataCenter {
+        let mut rng = SimRng::seed_from(seed);
+        let config = HostGenConfig {
+            capacity,
+            ..HostGenConfig::default()
+        };
+        DataCenter::generate("test", hosts, &config, 0.9, &mut rng)
+    }
+
+    #[test]
+    fn linear_sampler_matches_fenwick_draw_for_draw() {
+        let mut rng = SimRng::seed_from(3);
+        let weights: Vec<u64> = (0..97).map(|_| rng.below(1_000)).collect();
+        let mut lin = LinearSampler::from_weights(weights.clone());
+        let mut fen = FenwickSampler::from_weights(weights);
+        let mut rng_a = SimRng::seed_from(7);
+        let mut rng_b = rng_a.clone();
+        for round in 0..300 {
+            assert_eq!(lin.total(), fen.total(), "round {round}");
+            assert_eq!(lin.pick(&mut rng_a), fen.pick(&mut rng_b), "round {round}");
+            // Mutate both the same way between picks.
+            let i = rng.below(97) as usize;
+            let w = rng.below(1_000);
+            lin.set_weight(i, w);
+            fen.set_weight(i, w);
+        }
+    }
+
+    #[test]
+    fn scan_capacity_mirrors_incremental_through_residency_changes() {
+        let mut dc = small_dc(5, 16, 3);
+        let cells: Vec<u32> = (0..16).map(|h| (h % 4) as u32).collect();
+        let mut fast = IncrementalCapacity::new(&dc, cells.clone(), 4);
+        let slow = ScanCapacity::new(&dc, cells, 4);
+
+        let h = HostId::from_raw(2);
+        for i in 0..3 {
+            dc.host_mut(h).admit(InstanceId::from_raw(i));
+        }
+        fast.on_admit_n(h, 3, &dc);
+        assert_eq!(fast.total_free(&dc), slow.total_free(&dc));
+
+        dc.host_mut(h).evict(InstanceId::from_raw(1));
+        fast.on_evict(h, &dc);
+        assert_eq!(fast.total_free(&dc), slow.total_free(&dc));
+
+        let displaced = dc.reboot_host(h, SimTime::from_secs(9));
+        fast.on_host_reboot(h, displaced.len(), &dc);
+        assert_eq!(fast.total_free(&dc), slow.total_free(&dc));
+        for cell in 0..4 {
+            assert_eq!(fast.cell_free(cell, &dc), slow.cell_free(cell, &dc));
+        }
+    }
+
+    #[test]
+    fn spill_picks_agree_with_the_optimized_overlay() {
+        let dc = small_dc(11, 10, 2);
+        let cells: Vec<u32> = (0..10).map(|h| (h % 2) as u32).collect();
+        let mut fast = IncrementalCapacity::new(&dc, cells.clone(), 2);
+        let mut slow = ScanCapacity::new(&dc, cells, 2);
+        let mut rng_a = SimRng::seed_from(13);
+        let mut rng_b = rng_a.clone();
+        fast.begin_plan();
+        slow.begin_plan();
+        // Drain the whole pool through the overlay: 20 picks, then None.
+        for round in 0..20 {
+            let a = fast.plan_spill_pick(&dc, &mut rng_a);
+            let b = slow.plan_spill_pick(&dc, &mut rng_b);
+            assert_eq!(a, b, "round {round}");
+            assert!(a.is_some(), "round {round}");
+        }
+        assert_eq!(fast.plan_spill_pick(&dc, &mut rng_a), None);
+        assert_eq!(slow.plan_spill_pick(&dc, &mut rng_b), None);
+        fast.end_plan();
+        slow.end_plan();
+        // Both consumed identical RNG: the streams still agree.
+        assert_eq!(rng_a.below(1 << 30), rng_b.below(1 << 30));
+    }
+}

@@ -1,0 +1,187 @@
+//! Shared proptest generators for world schedules.
+//!
+//! One home for the generators that were previously duplicated across the
+//! root integration tests (`tests/model_based.rs`,
+//! `tests/placement_invariants.rs`, `tests/proptests.rs`) and the
+//! differential suites in this crate: arbitrary tenant [`Op`]s and whole
+//! [`Schedule`]s, plus tailored variants emphasizing specific regimes
+//! (idle-reap cycles, churn, capacity spill, dynamic placement).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use crate::schedule::{Op, Schedule};
+
+/// An arbitrary tenant operation over `services` deployed services.
+pub fn op(services: usize) -> BoxedStrategy<Op> {
+    assert!(services > 0, "need at least one service");
+    prop_oneof![
+        (0usize..services, 1usize..120).prop_map(|(service, count)| Op::Launch { service, count }),
+        (0usize..services, 0usize..120)
+            .prop_map(|(service, demand)| Op::SetLoad { service, demand }),
+        (0usize..services).prop_map(|service| Op::DisconnectAll { service }),
+        (0usize..services).prop_map(|service| Op::KillAll { service }),
+        (1i64..1_800).prop_map(|seconds| Op::Advance { seconds }),
+    ]
+    .boxed()
+}
+
+/// 1 to `max_len` arbitrary ops over `services` services.
+pub fn ops(services: usize, max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    vec(op(services), 1..max_len.max(2))
+}
+
+/// Fully arbitrary schedules: every regime the oracle guards, in one
+/// generator.
+pub fn schedule() -> BoxedStrategy<Schedule> {
+    (
+        (
+            0u64..1_000_000,
+            8usize..40,
+            1usize..4,
+            prop_oneof![Just(0usize), Just(4), Just(12)],
+        ),
+        (bool_any(), bool_any(), churn_mins()),
+        vec(op(3), 1..24),
+    )
+        .prop_map(
+            |(
+                (seed, hosts, services, host_capacity),
+                (dynamic, instance_churn, host_churn_mins),
+                ops,
+            )| Schedule {
+                seed,
+                hosts,
+                host_capacity,
+                services,
+                dynamic,
+                instance_churn,
+                host_churn_mins,
+                ops,
+            },
+        )
+        .boxed()
+}
+
+/// Schedules emphasizing idle-reap timing: launches and disconnects
+/// interleaved with sub-reaper-period advances, no churn.
+pub fn reap_heavy_schedule() -> BoxedStrategy<Schedule> {
+    let op = prop_oneof![
+        (0usize..2, 1usize..100).prop_map(|(service, count)| Op::Launch { service, count }),
+        (0usize..2).prop_map(|service| Op::DisconnectAll { service }),
+        (30i64..400).prop_map(|seconds| Op::Advance { seconds }),
+    ];
+    ((0u64..1_000_000, 10usize..40), vec(op, 4..28))
+        .prop_map(|((seed, hosts), ops)| Schedule {
+            seed,
+            hosts,
+            host_capacity: 0,
+            services: 2,
+            dynamic: false,
+            instance_churn: false,
+            host_churn_mins: None,
+            ops,
+        })
+        .boxed()
+}
+
+/// Schedules with instance and host churn on, and long advances so both
+/// fire many times.
+pub fn churn_heavy_schedule() -> BoxedStrategy<Schedule> {
+    let op = prop_oneof![
+        (0usize..2, 1usize..80).prop_map(|(service, count)| Op::Launch { service, count }),
+        (0usize..2, 0usize..80).prop_map(|(service, demand)| Op::SetLoad { service, demand }),
+        (600i64..50_000).prop_map(|seconds| Op::Advance { seconds }),
+    ];
+    ((0u64..1_000_000, 8usize..30, 10i64..200), vec(op, 3..16))
+        .prop_map(|((seed, hosts, churn_mins), ops)| Schedule {
+            seed,
+            hosts,
+            host_capacity: 0,
+            services: 2,
+            dynamic: false,
+            instance_churn: true,
+            host_churn_mins: Some(churn_mins),
+            ops,
+        })
+        .boxed()
+}
+
+/// Schedules on a tiny pool with tiny hosts, so launches overflow their
+/// targets and exercise the popularity-weighted spill path.
+pub fn spill_heavy_schedule() -> BoxedStrategy<Schedule> {
+    let op = prop_oneof![
+        (0usize..2, 20usize..120).prop_map(|(service, count)| Op::Launch { service, count }),
+        (0usize..2).prop_map(|service| Op::KillAll { service }),
+        (60i64..1_200).prop_map(|seconds| Op::Advance { seconds }),
+    ];
+    ((0u64..1_000_000, 6usize..14), vec(op, 2..14))
+        .prop_map(|((seed, hosts), ops)| Schedule {
+            seed,
+            hosts,
+            host_capacity: 4,
+            services: 2,
+            dynamic: false,
+            instance_churn: false,
+            host_churn_mins: None,
+            ops,
+        })
+        .boxed()
+}
+
+/// Schedules on the dynamic-placement (us-central1-style) preset.
+pub fn dynamic_schedule() -> BoxedStrategy<Schedule> {
+    ((0u64..1_000_000, 12usize..40), vec(op(2), 1..20))
+        .prop_map(|((seed, hosts), ops)| Schedule {
+            seed,
+            hosts,
+            host_capacity: 0,
+            services: 2,
+            dynamic: true,
+            instance_churn: false,
+            host_churn_mins: None,
+            ops,
+        })
+        .boxed()
+}
+
+/// A fair coin (`bool` itself implements `Strategy`; the value is
+/// ignored, so either literal works).
+fn bool_any() -> BoxedStrategy<bool> {
+    true.boxed()
+}
+
+/// `None` / occasional host-churn means, minutes per host.
+fn churn_mins() -> BoxedStrategy<Option<i64>> {
+    prop_oneof![
+        Just(None),
+        Just(None),
+        Just(Some(60i64)),
+        Just(Some(600i64)),
+    ]
+    .boxed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::test_runner::TestRng;
+
+    #[test]
+    fn generators_produce_valid_schedules() {
+        let mut rng = TestRng::new(42);
+        for variant in [
+            schedule(),
+            reap_heavy_schedule(),
+            churn_heavy_schedule(),
+            spill_heavy_schedule(),
+            dynamic_schedule(),
+        ] {
+            for _ in 0..20 {
+                let s = variant.sample(&mut rng);
+                assert!(s.hosts >= 4, "pool too small: {s:?}");
+                assert!(s.services >= 1 && !s.ops.is_empty(), "degenerate: {s:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Pinned seed-corpus runner: every schedule under `corpus/` must pass
+//! the differential oracle, byte for byte, on every commit.
+//!
+//! The corpus pins one schedule per regime (see
+//! `examples/gen_corpus.rs`), plus any minimized counterexamples promoted
+//! from failed property runs. Unlike the randomized suites, these inputs
+//! never move, so a regression here bisects cleanly.
+
+use eaao_oracle::schedule::{check, Schedule};
+
+/// `(file_stem, pinned JSON)` — embedded so the test needs no filesystem
+/// layout assumptions at run time.
+const CORPUS: &[(&str, &str)] = &[
+    ("smoke", include_str!("../corpus/smoke.json")),
+    ("reap", include_str!("../corpus/reap.json")),
+    ("churn", include_str!("../corpus/churn.json")),
+    ("spill", include_str!("../corpus/spill.json")),
+    ("dynamic", include_str!("../corpus/dynamic.json")),
+    ("errors", include_str!("../corpus/errors.json")),
+];
+
+#[test]
+fn every_corpus_schedule_passes_the_oracle() {
+    for (name, json) in CORPUS {
+        let schedule: Schedule =
+            serde_json::from_str(json).unwrap_or_else(|e| panic!("corpus/{name}.json: {e:?}"));
+        if let Err(divergence) = check(&schedule) {
+            panic!("corpus/{name}.json diverged:\n{divergence}");
+        }
+    }
+}
+
+#[test]
+fn corpus_files_are_regenerable() {
+    // Round-trip: parse → re-serialize(pretty) must reproduce the file
+    // byte-for-byte, so `cargo run -p eaao-oracle --example gen_corpus`
+    // stays a no-op when nothing changed.
+    for (name, json) in CORPUS {
+        let schedule: Schedule =
+            serde_json::from_str(json).unwrap_or_else(|e| panic!("corpus/{name}.json: {e:?}"));
+        let regenerated = serde_json::to_string_pretty(&schedule).expect("serializes") + "\n";
+        assert_eq!(
+            &regenerated, *json,
+            "corpus/{name}.json is stale; rerun gen_corpus"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! The differential-oracle property suite: randomized schedules through
+//! both engines, byte-identical transcripts required.
+//!
+//! Each property targets one regime of the hot path (general mixes,
+//! idle-reap timing, churn, capacity spill, dynamic placement, and the
+//! exact billing/free-slot accounting). A failure is first minimized with
+//! the greedy shrinker and the *minimized* schedule is printed as JSON —
+//! paste it into a corpus file or `replay` it per `docs/TESTING.md`.
+
+use proptest::prelude::*;
+
+use eaao_oracle::minimize::minimize;
+use eaao_oracle::schedule::{check, run, Schedule};
+use eaao_oracle::strategies;
+use eaao_oracle::ReferenceEngine;
+use eaao_orchestrator::engine::OptimizedEngine;
+
+/// Checks the schedule on both engines; on divergence, shrinks it and
+/// fails with the minimized reproducer.
+fn assert_engines_agree(schedule: &Schedule) -> Result<(), TestCaseError> {
+    if check(schedule).is_ok() {
+        return Ok(());
+    }
+    let minimized = minimize(schedule.clone(), |s| check(s).is_err());
+    let divergence = check(&minimized).expect_err("minimized schedule still fails");
+    Err(TestCaseError::fail(format!(
+        "{divergence}\nminimized schedule (save to corpus / replay per docs/TESTING.md):\n{}",
+        serde_json::to_string(&minimized).expect("schedule serializes")
+    )))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Property 1: arbitrary schedules — every op mix, capacity override,
+    /// churn switch, and region flavor the generator can produce.
+    #[test]
+    fn transcripts_identical_for_arbitrary_schedules(s in strategies::schedule()) {
+        assert_engines_agree(&s)?;
+    }
+
+    /// Property 2: idle-reap timing — disconnects and sub-reaper-period
+    /// advances, so instances vanish mid-schedule and the reap times
+    /// (observable as alive-set shrinkage per step) must line up exactly.
+    #[test]
+    fn reap_times_identical_under_idle_cycles(s in strategies::reap_heavy_schedule()) {
+        assert_engines_agree(&s)?;
+    }
+
+    /// Property 3: churn — instance restarts and host reboot sweeps fire
+    /// many times; every displaced-instance unindex and capacity update
+    /// must keep the engines in lockstep.
+    #[test]
+    fn churn_trajectories_identical(s in strategies::churn_heavy_schedule()) {
+        assert_engines_agree(&s)?;
+    }
+
+    /// Property 4: capacity spill — tiny hosts force launches past their
+    /// target sets into the popularity-weighted spill pick, the most
+    /// intricate shared code path between the two capacity backends.
+    #[test]
+    fn spill_paths_identical_when_pool_saturates(s in strategies::spill_heavy_schedule()) {
+        assert_engines_agree(&s)?;
+    }
+
+    /// Property 5: dynamic placement (us-central1-style) — per-launch
+    /// weighted-subset draws go through the engines' samplers.
+    #[test]
+    fn dynamic_region_transcripts_identical(s in strategies::dynamic_schedule()) {
+        assert_engines_agree(&s)?;
+    }
+
+    /// Property 6: the financial view in isolation — billing bits and
+    /// engine-reported free slots, extracted from the transcript, match
+    /// at every step (a focused failure message when only accounting
+    /// drifts).
+    #[test]
+    fn billing_and_free_slots_identical(s in strategies::reap_heavy_schedule()) {
+        let a = run::<OptimizedEngine>(&s);
+        let b = run::<ReferenceEngine>(&s);
+        prop_assert_eq!(a.lines.len(), b.lines.len());
+        for (la, lb) in a.lines.iter().zip(&b.lines) {
+            let ra: eaao_oracle::schedule::StepRecord =
+                serde_json::from_str(la).expect("valid record");
+            let rb: eaao_oracle::schedule::StepRecord =
+                serde_json::from_str(lb).expect("valid record");
+            prop_assert_eq!(ra.billed_bits, rb.billed_bits, "billing bits at step {}", ra.step);
+            prop_assert_eq!(ra.free_slots, rb.free_slots, "free slots at step {}", ra.step);
+        }
+    }
+}

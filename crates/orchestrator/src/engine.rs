@@ -1,0 +1,364 @@
+//! Pluggable placement/launch engine backends.
+//!
+//! The hot path of [`World::launch`](crate::world::World::launch) asks two
+//! questions millions of times per simulated day: *pick a host weighted by
+//! popularity* and *how much free capacity is left (here / in this cell /
+//! overall)*. [`Engine`] bundles the data structures that answer them:
+//!
+//! * [`OptimizedEngine`] — the production backend: a Fenwick-tree sampler
+//!   ([`FenwickSampler`]) and [`IncrementalCapacity`], a free-slot index
+//!   maintained incrementally on every instance create/terminate and host
+//!   reboot. Per-launch cost depends on the launch size, not the pool size.
+//! * `ReferenceEngine` (in the `eaao-oracle` crate) — the naive backend:
+//!   linear weighted sampling and full-scan capacity lookups, kept as the
+//!   differential-oracle ground truth.
+//!
+//! Both backends speak the sampling protocol of
+//! [`eaao_simcore::wsample`]: integer weights, one `rng.below(total)` draw
+//! per pick. Because `World` and `CloudRunPolicy` are generic over the
+//! engine and share all control flow, two worlds built from the same seed
+//! with different engines consume identical RNG streams and must produce
+//! identical trajectories — any divergence is a bug in one backend's
+//! bookkeeping, which is exactly what the oracle suite hunts for.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use eaao_cloudsim::datacenter::DataCenter;
+use eaao_cloudsim::ids::HostId;
+use eaao_simcore::rng::SimRng;
+use eaao_simcore::wsample::{fixed_weight, FenwickSampler, IndexSampler};
+
+/// A placement/launch backend: the sampler and capacity index types the
+/// generic `World`/`CloudRunPolicy` machinery instantiates.
+pub trait Engine: fmt::Debug + 'static {
+    /// Weighted host sampler (see [`IndexSampler`]).
+    type Sampler: IndexSampler;
+    /// Free-capacity index (see [`CapacityIndex`]).
+    type Capacity: CapacityIndex;
+}
+
+/// The production engine: Fenwick sampling + incremental capacity index.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptimizedEngine;
+
+impl Engine for OptimizedEngine {
+    type Sampler = FenwickSampler;
+    type Capacity = IncrementalCapacity;
+}
+
+/// Free-capacity bookkeeping for one data center.
+///
+/// `World` notifies the index on every residency change
+/// ([`on_admit_n`](CapacityIndex::on_admit_n),
+/// [`on_evict`](CapacityIndex::on_evict),
+/// [`on_host_reboot`](CapacityIndex::on_host_reboot)); the placement
+/// policy consumes it through a *planning session*: [`begin_plan`]
+/// overlays tentative slot consumption on top of the committed state,
+/// [`plan_take`]/[`plan_spill_pick`] allocate against the overlay, and
+/// [`end_plan`] discards it (the real admissions follow through
+/// `on_admit_n` once the plan is committed).
+///
+/// The spill pick is popularity-weighted over hosts with free slots left
+/// in the overlayed view, and must follow the one-draw protocol of
+/// [`eaao_simcore::wsample`] so backends are interchangeable.
+///
+/// [`begin_plan`]: CapacityIndex::begin_plan
+/// [`plan_take`]: CapacityIndex::plan_take
+/// [`plan_spill_pick`]: CapacityIndex::plan_spill_pick
+/// [`end_plan`]: CapacityIndex::end_plan
+pub trait CapacityIndex: fmt::Debug {
+    /// Builds the index for `dc`. `cell_of_host[h]` is the scheduling cell
+    /// of host `h`; `cell_count` the number of cells.
+    fn new(dc: &DataCenter, cell_of_host: Vec<u32>, cell_count: usize) -> Self
+    where
+        Self: Sized;
+
+    /// `n` instances were admitted to `host`.
+    fn on_admit_n(&mut self, host: HostId, n: usize, dc: &DataCenter);
+
+    /// One instance was evicted from `host`.
+    fn on_evict(&mut self, host: HostId, dc: &DataCenter);
+
+    /// `host` rebooted, displacing `displaced` instances (it is now empty).
+    fn on_host_reboot(&mut self, host: HostId, displaced: usize, dc: &DataCenter);
+
+    /// Total free slots across the data center.
+    fn total_free(&self, dc: &DataCenter) -> u64;
+
+    /// Free slots in one scheduling cell.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `cell >= cell_count()`.
+    fn cell_free(&self, cell: usize, dc: &DataCenter) -> u64;
+
+    /// Number of scheduling cells.
+    fn cell_count(&self) -> usize;
+
+    /// Starts a planning session with an empty overlay.
+    fn begin_plan(&mut self);
+
+    /// Free slots of `host` net of overlay consumption.
+    fn plan_free(&self, host: HostId, dc: &DataCenter) -> usize;
+
+    /// Consumes one slot of `host` in the overlay; `false` if none left.
+    fn plan_take(&mut self, host: HostId, dc: &DataCenter) -> bool;
+
+    /// Popularity-weighted pick over hosts with overlay-free slots,
+    /// consuming one slot of the picked host. Exactly one
+    /// `rng.below(total)` draw on success; `None` (no draw) when the
+    /// data center is full in the overlayed view.
+    fn plan_spill_pick(&mut self, dc: &DataCenter, rng: &mut SimRng) -> Option<HostId>;
+
+    /// Ends the planning session, discarding the overlay.
+    fn end_plan(&mut self);
+}
+
+/// The optimized capacity index.
+///
+/// Committed state (free slots per host/cell/total and a
+/// popularity-masked-by-availability Fenwick sampler) is updated in O(1)
+/// / O(log n) on each residency change. Planning sessions overlay
+/// tentative consumption with a small per-plan ledger touching only the
+/// hosts the plan uses, so a launch never scans the pool.
+#[derive(Debug)]
+pub struct IncrementalCapacity {
+    /// Committed free slots per host.
+    free: Vec<u32>,
+    /// Committed free slots, summed.
+    total_free: u64,
+    /// Committed free slots per scheduling cell.
+    cell_free: Vec<u64>,
+    cell_of_host: Vec<u32>,
+    /// Fixed-point popularity of each host (constant after construction).
+    pop_fixed: Vec<u64>,
+    /// Sampler with weight `pop_fixed[h]` iff the *overlayed* free count
+    /// of `h` is positive (committed free outside a planning session).
+    avail: FenwickSampler,
+    /// Overlay: slots tentatively consumed per host this planning session.
+    plan_taken: HashMap<usize, u32>,
+    /// Hosts whose `avail` weight was zeroed by the overlay only.
+    plan_suppressed: Vec<usize>,
+}
+
+impl IncrementalCapacity {
+    fn effective_free(&self, host: usize) -> u32 {
+        let taken = self.plan_taken.get(&host).copied().unwrap_or(0);
+        self.free[host] - taken
+    }
+
+    fn take_at(&mut self, host: usize) -> bool {
+        if self.effective_free(host) == 0 {
+            return false;
+        }
+        *self.plan_taken.entry(host).or_insert(0) += 1;
+        if self.effective_free(host) == 0 && self.avail.weight(host) > 0 {
+            self.avail.set_weight(host, 0);
+            self.plan_suppressed.push(host);
+        }
+        true
+    }
+}
+
+impl CapacityIndex for IncrementalCapacity {
+    fn new(dc: &DataCenter, cell_of_host: Vec<u32>, cell_count: usize) -> Self {
+        assert_eq!(cell_of_host.len(), dc.len(), "cell map covers every host");
+        let free: Vec<u32> = dc.hosts().map(|h| h.free_slots() as u32).collect();
+        let pop_fixed: Vec<u64> = dc.hosts().map(|h| fixed_weight(h.popularity())).collect();
+        let total_free = free.iter().map(|&f| u64::from(f)).sum();
+        let mut cell_free = vec![0u64; cell_count];
+        for (h, &cell) in cell_of_host.iter().enumerate() {
+            cell_free[cell as usize] += u64::from(free[h]);
+        }
+        let weights: Vec<u64> = free
+            .iter()
+            .zip(&pop_fixed)
+            .map(|(&f, &p)| if f > 0 { p } else { 0 })
+            .collect();
+        IncrementalCapacity {
+            free,
+            total_free,
+            cell_free,
+            cell_of_host,
+            pop_fixed,
+            avail: FenwickSampler::from_weights(weights),
+            plan_taken: HashMap::new(),
+            plan_suppressed: Vec::new(),
+        }
+    }
+
+    fn on_admit_n(&mut self, host: HostId, n: usize, _dc: &DataCenter) {
+        let h = host.as_usize();
+        let n32 = n as u32;
+        assert!(
+            self.free[h] >= n32,
+            "admitting past capacity on host {host}"
+        );
+        self.free[h] -= n32;
+        self.total_free -= n as u64;
+        self.cell_free[self.cell_of_host[h] as usize] -= n as u64;
+        if self.free[h] == 0 {
+            self.avail.set_weight(h, 0);
+        }
+    }
+
+    fn on_evict(&mut self, host: HostId, _dc: &DataCenter) {
+        let h = host.as_usize();
+        self.free[h] += 1;
+        self.total_free += 1;
+        self.cell_free[self.cell_of_host[h] as usize] += 1;
+        if self.free[h] == 1 {
+            self.avail.set_weight(h, self.pop_fixed[h]);
+        }
+    }
+
+    fn on_host_reboot(&mut self, host: HostId, displaced: usize, dc: &DataCenter) {
+        let h = host.as_usize();
+        debug_assert_eq!(dc.host(host).resident_count(), 0, "reboot empties the host");
+        let was_free = self.free[h];
+        self.free[h] = dc.host(host).capacity() as u32;
+        debug_assert_eq!(u64::from(self.free[h] - was_free), displaced as u64);
+        self.total_free += displaced as u64;
+        self.cell_free[self.cell_of_host[h] as usize] += displaced as u64;
+        if was_free == 0 && self.free[h] > 0 {
+            self.avail.set_weight(h, self.pop_fixed[h]);
+        }
+    }
+
+    fn total_free(&self, _dc: &DataCenter) -> u64 {
+        self.total_free
+    }
+
+    fn cell_free(&self, cell: usize, _dc: &DataCenter) -> u64 {
+        self.cell_free[cell]
+    }
+
+    fn cell_count(&self) -> usize {
+        self.cell_free.len()
+    }
+
+    fn begin_plan(&mut self) {
+        debug_assert!(self.plan_taken.is_empty() && self.plan_suppressed.is_empty());
+    }
+
+    fn plan_free(&self, host: HostId, _dc: &DataCenter) -> usize {
+        self.effective_free(host.as_usize()) as usize
+    }
+
+    fn plan_take(&mut self, host: HostId, _dc: &DataCenter) -> bool {
+        self.take_at(host.as_usize())
+    }
+
+    fn plan_spill_pick(&mut self, _dc: &DataCenter, rng: &mut SimRng) -> Option<HostId> {
+        let h = self.avail.pick(rng)?;
+        let took = self.take_at(h);
+        debug_assert!(took, "sampled host must have an overlay-free slot");
+        Some(HostId::from_raw(h as u32))
+    }
+
+    fn end_plan(&mut self) {
+        for h in std::mem::take(&mut self.plan_suppressed) {
+            // Suppressed by the overlay only: the committed view still has
+            // free slots here, so the weight comes back.
+            if self.free[h] > 0 {
+                self.avail.set_weight(h, self.pop_fixed[h]);
+            }
+        }
+        self.plan_taken.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eaao_cloudsim::host::HostGenConfig;
+
+    fn small_dc(seed: u64, hosts: usize, capacity: usize) -> DataCenter {
+        let mut rng = SimRng::seed_from(seed);
+        let config = HostGenConfig {
+            capacity,
+            ..HostGenConfig::default()
+        };
+        DataCenter::generate("test", hosts, &config, 0.9, &mut rng)
+    }
+
+    fn index_for(dc: &DataCenter, cells: usize) -> IncrementalCapacity {
+        let map: Vec<u32> = (0..dc.len()).map(|h| (h % cells) as u32).collect();
+        IncrementalCapacity::new(dc, map, cells)
+    }
+
+    /// Committed free counts must always equal a full scan of the DC.
+    fn assert_mirrors(cap: &IncrementalCapacity, dc: &DataCenter) {
+        let scan: u64 = dc.hosts().map(|h| h.free_slots() as u64).sum();
+        assert_eq!(cap.total_free(dc), scan);
+        let cells: u64 = (0..cap.cell_count()).map(|c| cap.cell_free(c, dc)).sum();
+        assert_eq!(cells, scan);
+        for (h, host) in dc.hosts().enumerate() {
+            assert_eq!(cap.free[h] as usize, host.free_slots(), "host {h}");
+        }
+    }
+
+    #[test]
+    fn tracks_admit_evict_reboot() {
+        use eaao_cloudsim::ids::InstanceId;
+        use eaao_simcore::time::SimTime;
+        let mut dc = small_dc(1, 12, 4);
+        let mut cap = index_for(&dc, 3);
+        assert_mirrors(&cap, &dc);
+
+        let h = HostId::from_raw(5);
+        for i in 0..4 {
+            dc.host_mut(h).admit(InstanceId::from_raw(i));
+        }
+        cap.on_admit_n(h, 4, &dc);
+        assert_mirrors(&cap, &dc);
+        assert_eq!(cap.avail.weight(5), 0, "full host drops out of sampling");
+
+        dc.host_mut(h).evict(InstanceId::from_raw(0));
+        cap.on_evict(h, &dc);
+        assert_mirrors(&cap, &dc);
+        assert!(cap.avail.weight(5) > 0, "freed host is sampleable again");
+
+        let displaced = dc.reboot_host(h, SimTime::from_secs(10));
+        cap.on_host_reboot(h, displaced.len(), &dc);
+        assert_mirrors(&cap, &dc);
+    }
+
+    #[test]
+    fn plan_overlay_is_discarded_by_end_plan() {
+        let dc = small_dc(2, 6, 2);
+        let mut cap = index_for(&dc, 2);
+        let h = HostId::from_raw(0);
+        cap.begin_plan();
+        assert_eq!(cap.plan_free(h, &dc), 2);
+        assert!(cap.plan_take(h, &dc));
+        assert!(cap.plan_take(h, &dc));
+        assert!(!cap.plan_take(h, &dc), "overlay exhausted");
+        assert_eq!(cap.plan_free(h, &dc), 0);
+        assert_eq!(cap.avail.weight(0), 0, "exhausted in overlay");
+        cap.end_plan();
+        // Committed state untouched.
+        assert_eq!(cap.plan_free(h, &dc), 2);
+        assert!(cap.avail.weight(0) > 0);
+        assert_mirrors(&cap, &dc);
+    }
+
+    #[test]
+    fn spill_pick_respects_overlay_capacity() {
+        let dc = small_dc(3, 4, 2);
+        let mut cap = index_for(&dc, 1);
+        let mut rng = SimRng::seed_from(4);
+        cap.begin_plan();
+        // 4 hosts × 2 slots: exactly 8 picks succeed, then None.
+        let mut per_host = HashMap::new();
+        for _ in 0..8 {
+            let h = cap.plan_spill_pick(&dc, &mut rng).expect("slots left");
+            *per_host.entry(h).or_insert(0u32) += 1;
+        }
+        assert!(cap.plan_spill_pick(&dc, &mut rng).is_none());
+        assert!(per_host.values().all(|&c| c <= 2), "capacity respected");
+        cap.end_plan();
+        assert_eq!(cap.total_free(&dc), 8, "overlay never committed");
+    }
+}

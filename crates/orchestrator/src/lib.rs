@@ -8,6 +8,8 @@
 //! * [`autoscaler`] — request-driven scale-out/scale-in decisions
 //!   (Section 2.2).
 //! * [`demand`] — the ~30-minute per-service demand window (Observation 5).
+//! * [`engine`] — pluggable sampling/capacity backends; the optimized
+//!   engine keeps an incremental free-capacity index and Fenwick samplers.
 //! * [`placement`] — base hosts per account (scheduling cells), helper-host
 //!   exploration under load, near-uniform spreading, dynamic placement.
 //! * [`world`] — accounts, services, launches, the idle reaper (Figure 6),
@@ -31,11 +33,13 @@
 pub mod autoscaler;
 pub mod config;
 pub mod demand;
+pub mod engine;
 pub mod error;
 pub mod placement;
 pub mod world;
 
 pub use config::{PlacementConfig, RegionConfig};
+pub use engine::{CapacityIndex, Engine, OptimizedEngine};
 pub use error::{GuestError, LaunchError};
 pub use world::{Launch, World};
 
@@ -44,6 +48,7 @@ pub mod prelude {
     pub use crate::autoscaler::{decide as autoscale_decide, ScaleAction};
     pub use crate::config::{PlacementConfig, RegionConfig};
     pub use crate::demand::DemandWindow;
+    pub use crate::engine::{CapacityIndex, Engine, OptimizedEngine};
     pub use crate::error::{GuestError, LaunchError};
     pub use crate::placement::CloudRunPolicy;
     pub use crate::world::{Launch, World, CTEST_ROUND_DURATION};

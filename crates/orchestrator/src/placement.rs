@@ -20,22 +20,34 @@
 //!   larger and every launch draws a fresh popularity-weighted subset from
 //!   it, so instances land on different hosts across launches even from a
 //!   cold state (the paper's "more dynamic" observation).
+//!
+//! # Scaling
+//!
+//! The policy is generic over an [`Engine`]: all popularity-weighted
+//! sampling goes through a precomputed [`IndexSampler`] over fixed-point
+//! weights (one `rng.below(total)` draw per pick — see
+//! [`eaao_simcore::wsample`]), and all capacity questions go through the
+//! engine's [`CapacityIndex`], which `World` maintains incrementally.
+//! Planning a launch therefore costs O(plan size · log hosts) instead of
+//! the former O(hosts) scan/re-rank per launch, and the naive reference
+//! engine in `eaao-oracle` must reproduce it draw for draw.
 
 use std::collections::HashMap;
 
 use eaao_cloudsim::datacenter::DataCenter;
 use eaao_cloudsim::ids::{AccountId, HostId, ServiceId};
-use eaao_simcore::dist::weighted_sample_indices;
 use eaao_simcore::rng::SimRng;
+use eaao_simcore::wsample::{fixed_weight, sample_distinct, IndexSampler};
 
 use crate::config::PlacementConfig;
+use crate::engine::{CapacityIndex, Engine, OptimizedEngine};
 
 /// A placement decision: one target host per new instance.
 pub type PlacementPlan = Vec<HostId>;
 
 /// The placement policy state.
 #[derive(Debug)]
-pub struct CloudRunPolicy {
+pub struct CloudRunPolicy<E: Engine = OptimizedEngine> {
     config: PlacementConfig,
     dynamic: bool,
     /// Per-cell host lists, each ordered by descending popularity.
@@ -47,9 +59,17 @@ pub struct CloudRunPolicy {
     /// Salt mixed into the account→cell hash.
     cell_salt: u64,
     rng: SimRng,
+    /// Fixed-point popularity weight per host (constant after build).
+    pop_fixed: Vec<u64>,
+    /// Popularity sampler over the whole pool; weights are suppressed and
+    /// restored around exclusion-aware draws.
+    pop_sampler: E::Sampler,
+    /// Lazily built uniform sampler for the co-location-resistant
+    /// mitigation (weights never change, so it is reusable).
+    uniform: Option<E::Sampler>,
 }
 
-impl CloudRunPolicy {
+impl<E: Engine> CloudRunPolicy<E> {
     /// Builds the policy for a data center.
     pub fn new(dc: &DataCenter, config: PlacementConfig, dynamic: bool, mut rng: SimRng) -> Self {
         // Rank hosts by popularity (descending) and deal them into cells
@@ -69,6 +89,8 @@ impl CloudRunPolicy {
             cells[rank % cell_count].push(host);
         }
         let cell_salt = rng.next_u64_salt();
+        let pop_fixed: Vec<u64> = dc.hosts().map(|h| fixed_weight(h.popularity())).collect();
+        let pop_sampler = E::Sampler::from_weights(pop_fixed.clone());
         CloudRunPolicy {
             config,
             dynamic,
@@ -77,12 +99,27 @@ impl CloudRunPolicy {
             helpers: HashMap::new(),
             cell_salt,
             rng,
+            pop_fixed,
+            pop_sampler,
+            uniform: None,
         }
     }
 
     /// Number of scheduling cells.
     pub fn cell_count(&self) -> usize {
         self.cells.len()
+    }
+
+    /// The scheduling cell of each host (`map[h]` is host `h`'s cell), for
+    /// building a [`CapacityIndex`] that mirrors the policy's cells.
+    pub fn host_cells(&self) -> Vec<u32> {
+        let mut map = vec![0u32; self.pop_fixed.len()];
+        for (cell, hosts) in self.cells.iter().enumerate() {
+            for &h in hosts {
+                map[h.as_usize()] = cell as u32;
+            }
+        }
+        map
     }
 
     /// The scheduling cell an account hashes to.
@@ -112,7 +149,8 @@ impl CloudRunPolicy {
     }
 
     /// Plans the placement of `need_new` new instances for `service` owned
-    /// by `account`.
+    /// by `account`, allocating against `capacity`'s planning overlay
+    /// (tentative only — committing the plan is the caller's job).
     ///
     /// `pressure` is the service's demand pressure (qualifying launches in
     /// the window, *excluding* the current one); `pressure > 0` marks the
@@ -120,6 +158,7 @@ impl CloudRunPolicy {
     pub fn plan(
         &mut self,
         dc: &DataCenter,
+        capacity: &mut E::Capacity,
         service: ServiceId,
         account: AccountId,
         need_new: usize,
@@ -130,19 +169,40 @@ impl CloudRunPolicy {
         }
         eaao_obs::count("placement.plans", 1);
         eaao_obs::observe("placement.plan_size", need_new as u64);
+        capacity.begin_plan();
+        let plan = self.plan_inner(dc, capacity, service, account, need_new, pressure);
+        capacity.end_plan();
+        plan
+    }
+
+    fn plan_inner(
+        &mut self,
+        dc: &DataCenter,
+        capacity: &mut E::Capacity,
+        service: ServiceId,
+        account: AccountId,
+        need_new: usize,
+        pressure: usize,
+    ) -> PlacementPlan {
         if self.config.co_location_resistant {
             // Section 6 scheduler mitigation: a fresh uniformly random
             // host subset per launch — no per-account affinity for an
             // attacker to learn, no demand-driven spreading to exploit.
             let want =
                 ((need_new as f64 / self.config.target_density).ceil() as usize).clamp(1, dc.len());
-            let uniform = vec![1.0; dc.len()];
-            let targets: Vec<HostId> = weighted_sample_indices(&uniform, want, &mut self.rng)
+            let pool = dc.len();
+            let uniform = self
+                .uniform
+                .get_or_insert_with(|| E::Sampler::from_weights(vec![1; pool]));
+            let picks = sample_distinct(uniform, want, &mut self.rng);
+            for &i in &picks {
+                uniform.set_weight(i, 1);
+            }
+            let targets: Vec<HostId> = picks
                 .into_iter()
                 .map(|i| HostId::from_raw(i as u32))
                 .collect();
-            let mut remaining: Vec<usize> = dc.hosts().map(|h| h.free_slots()).collect();
-            return self.spread(dc, &targets, need_new, &mut remaining);
+            return self.spread(dc, capacity, &targets, need_new);
         }
         let base: Vec<HostId> = self.base_hosts(account).to_vec();
 
@@ -162,7 +222,7 @@ impl CloudRunPolicy {
                     .copied()
                     .chain(self.helper_hosts(service).iter().copied())
                     .collect();
-                let fresh = self.sample_hosts(dc, growth, &exclude);
+                let fresh = self.sample_hosts(growth, &exclude);
                 self.helpers.entry(service).or_default().extend(fresh);
             }
         }
@@ -176,7 +236,7 @@ impl CloudRunPolicy {
                 // Dynamic regions (us-central1): every launch draws a fresh
                 // popularity-weighted subset of the (large) base pool, so
                 // footprints vary launch to launch even from cold.
-                self.weighted_subset(dc, &base, want)
+                self.weighted_subset(&base, want)
             } else {
                 // Cold spread: enough of the most popular base hosts to hit
                 // the target density, with mild per-launch jitter (Figure 7
@@ -193,43 +253,36 @@ impl CloudRunPolicy {
                 // Keep the per-launch variance: sample a large subset
                 // rather than always using every known host.
                 let want = (t.len() * 4).div_ceil(5).max(1);
-                t = self.weighted_subset(dc, &t, want);
+                t = self.weighted_subset(&t, want);
             }
             t
         };
 
-        // Shared capacity ledger for the whole plan: admitting more
-        // instances than a host has slots is an orchestrator bug.
-        let mut remaining: Vec<usize> = dc.hosts().map(|h| h.free_slots()).collect();
-        self.spread(dc, &targets, need_new, &mut remaining)
+        self.spread(dc, capacity, &targets, need_new)
     }
 
     /// A popularity-weighted subset of `candidates` of size `want`.
-    fn weighted_subset(
-        &mut self,
-        dc: &DataCenter,
-        candidates: &[HostId],
-        want: usize,
-    ) -> Vec<HostId> {
-        let weights: Vec<f64> = candidates
+    fn weighted_subset(&mut self, candidates: &[HostId], want: usize) -> Vec<HostId> {
+        let weights: Vec<u64> = candidates
             .iter()
-            .map(|&h| dc.host(h).popularity())
+            .map(|&h| self.pop_fixed[h.as_usize()])
             .collect();
-        weighted_sample_indices(&weights, want, &mut self.rng)
+        let mut sampler = E::Sampler::from_weights(weights);
+        sample_distinct(&mut sampler, want, &mut self.rng)
             .into_iter()
             .map(|i| candidates[i])
             .collect()
     }
 
-    /// Near-uniform spread of `count` instances over `targets`, respecting
-    /// the `remaining` capacity ledger and spilling popularity-weighted
-    /// when the targets fill up.
+    /// Near-uniform spread of `count` instances over `targets`, allocating
+    /// against the capacity overlay and spilling popularity-weighted onto
+    /// the rest of the pool when the targets fill up.
     fn spread(
         &mut self,
         dc: &DataCenter,
+        capacity: &mut E::Capacity,
         targets: &[HostId],
         count: usize,
-        remaining: &mut [usize],
     ) -> PlacementPlan {
         let mut order: Vec<HostId> = targets.to_vec();
         self.rng.shuffle(&mut order);
@@ -239,63 +292,41 @@ impl CloudRunPolicy {
         while plan.len() < count && exhausted < order.len() {
             let host = order[cursor % order.len()];
             cursor += 1;
-            if remaining[host.as_usize()] > 0 {
-                remaining[host.as_usize()] -= 1;
+            if capacity.plan_take(host, dc) {
                 exhausted = 0;
                 plan.push(host);
             } else {
                 exhausted += 1;
             }
         }
-        // Spill: targets are full; fall back to the rest of the pool.
-        if plan.len() < count {
-            let missing = count - plan.len();
-            let spill = self.sample_hosts_with_capacity(dc, missing, remaining);
-            plan.extend(spill);
+        // Spill: targets are full; fall back to the rest of the pool,
+        // weighted by popularity among hosts with overlay-free slots.
+        while plan.len() < count {
+            match capacity.plan_spill_pick(dc, &mut self.rng) {
+                Some(host) => plan.push(host),
+                None => break, // the entire data center is full
+            }
         }
         plan
     }
 
     /// Popularity-weighted sample of `count` hosts, excluding `exclude`.
-    fn sample_hosts(&mut self, dc: &DataCenter, count: usize, exclude: &[HostId]) -> Vec<HostId> {
-        let mut weights: Vec<f64> = dc.hosts().map(|h| h.popularity()).collect();
+    fn sample_hosts(&mut self, count: usize, exclude: &[HostId]) -> Vec<HostId> {
         for &h in exclude {
-            weights[h.as_usize()] = 0.0;
+            self.pop_sampler.set_weight(h.as_usize(), 0);
         }
-        weighted_sample_indices(&weights, count, &mut self.rng)
+        let picks = sample_distinct(&mut self.pop_sampler, count, &mut self.rng);
+        for &h in exclude {
+            let i = h.as_usize();
+            self.pop_sampler.set_weight(i, self.pop_fixed[i]);
+        }
+        for &i in &picks {
+            self.pop_sampler.set_weight(i, self.pop_fixed[i]);
+        }
+        picks
             .into_iter()
             .map(|i| HostId::from_raw(i as u32))
             .collect()
-    }
-
-    /// Spill allocation: weighted by popularity, but only hosts with slots
-    /// left in the shared capacity ledger.
-    fn sample_hosts_with_capacity(
-        &mut self,
-        dc: &DataCenter,
-        count: usize,
-        remaining: &mut [usize],
-    ) -> Vec<HostId> {
-        let mut plan = Vec::with_capacity(count);
-        let weights: Vec<f64> = dc.hosts().map(|h| h.popularity()).collect();
-        while plan.len() < count {
-            let available: Vec<f64> = weights
-                .iter()
-                .zip(remaining.iter())
-                .map(|(&w, &f)| if f > 0 { w } else { 0.0 })
-                .collect();
-            let picks = weighted_sample_indices(&available, count - plan.len(), &mut self.rng);
-            if picks.is_empty() {
-                break; // the entire data center is full
-            }
-            for i in picks {
-                if plan.len() < count && remaining[i] > 0 {
-                    remaining[i] -= 1;
-                    plan.push(HostId::from_raw(i as u32));
-                }
-            }
-        }
-        plan
     }
 
     /// The first `want` of `ordered`, with mild stochastic swaps from the
@@ -335,6 +366,7 @@ impl SaltExt for SimRng {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::IncrementalCapacity;
     use eaao_cloudsim::host::HostGenConfig;
 
     fn dc(seed: u64, hosts: usize) -> DataCenter {
@@ -351,6 +383,10 @@ mod tests {
         )
     }
 
+    fn capacity_for(dc: &DataCenter, p: &CloudRunPolicy) -> IncrementalCapacity {
+        IncrementalCapacity::new(dc, p.host_cells(), p.cell_count())
+    }
+
     #[test]
     fn cells_partition_the_pool() {
         let dc = dc(1, 520);
@@ -365,6 +401,13 @@ mod tests {
             }
         }
         assert_eq!(total, 520);
+        // The host→cell map inverts the cell lists.
+        let map = p.host_cells();
+        for c in 0..p.cell_count() {
+            for &h in &p.cells[c] {
+                assert_eq!(map[h.as_usize()] as usize, c);
+            }
+        }
     }
 
     #[test]
@@ -416,7 +459,15 @@ mod tests {
     fn cold_launch_spreads_at_target_density() {
         let dc = dc(9, 520);
         let mut p = policy(&dc, 10);
-        let plan = p.plan(&dc, ServiceId::from_raw(1), AccountId::from_raw(1), 800, 0);
+        let mut cap = capacity_for(&dc, &p);
+        let plan = p.plan(
+            &dc,
+            &mut cap,
+            ServiceId::from_raw(1),
+            AccountId::from_raw(1),
+            800,
+            0,
+        );
         assert_eq!(plan.len(), 800);
         let mut hosts: Vec<HostId> = plan.clone();
         hosts.sort_unstable();
@@ -441,12 +492,13 @@ mod tests {
     fn cold_launches_reuse_base_hosts() {
         let dc = dc(11, 520);
         let mut p = policy(&dc, 12);
+        let mut cap = capacity_for(&dc, &p);
         let svc = ServiceId::from_raw(1);
         let acct = AccountId::from_raw(1);
         let mut cumulative = std::collections::HashSet::new();
         let mut per_launch = Vec::new();
         for _ in 0..6 {
-            let plan = p.plan(&dc, svc, acct, 800, 0);
+            let plan = p.plan(&dc, &mut cap, svc, acct, 800, 0);
             let hosts: std::collections::HashSet<HostId> = plan.into_iter().collect();
             per_launch.push(hosts.len());
             cumulative.extend(hosts);
@@ -464,12 +516,13 @@ mod tests {
     fn hot_launches_acquire_helpers_saturating() {
         let dc = dc(13, 520);
         let mut p = policy(&dc, 14);
+        let mut cap = capacity_for(&dc, &p);
         let svc = ServiceId::from_raw(1);
         let acct = AccountId::from_raw(1);
         let mut increments = Vec::new();
         let mut prev = 0;
         for pressure in 1..=5 {
-            let _ = p.plan(&dc, svc, acct, 800, pressure);
+            let _ = p.plan(&dc, &mut cap, svc, acct, 800, pressure);
             let now = p.helper_hosts(svc).len();
             increments.push(now - prev);
             prev = now;
@@ -489,8 +542,9 @@ mod tests {
         // that need (the paper's 2-minute-interval result).
         let dc = dc(15, 520);
         let mut p = policy(&dc, 16);
+        let mut cap = capacity_for(&dc, &p);
         let svc = ServiceId::from_raw(1);
-        let _ = p.plan(&dc, svc, AccountId::from_raw(1), 12, 2);
+        let _ = p.plan(&dc, &mut cap, svc, AccountId::from_raw(1), 12, 2);
         assert!(p.helper_hosts(svc).len() <= 12);
     }
 
@@ -498,9 +552,10 @@ mod tests {
     fn helpers_exclude_own_base() {
         let dc = dc(17, 520);
         let mut p = policy(&dc, 18);
+        let mut cap = capacity_for(&dc, &p);
         let svc = ServiceId::from_raw(1);
         let acct = AccountId::from_raw(1);
-        let _ = p.plan(&dc, svc, acct, 800, 3);
+        let _ = p.plan(&dc, &mut cap, svc, acct, 800, 3);
         let base: std::collections::HashSet<HostId> = p.base_hosts(acct).iter().copied().collect();
         assert!(p.helper_hosts(svc).iter().all(|h| !base.contains(h)));
     }
@@ -509,10 +564,11 @@ mod tests {
     fn different_services_get_overlapping_but_distinct_helpers() {
         let dc = dc(19, 520);
         let mut p = policy(&dc, 20);
+        let mut cap = capacity_for(&dc, &p);
         let acct = AccountId::from_raw(1);
         for s in [1u32, 2] {
             for pressure in 1..=5 {
-                let _ = p.plan(&dc, ServiceId::from_raw(s), acct, 800, pressure);
+                let _ = p.plan(&dc, &mut cap, ServiceId::from_raw(s), acct, 800, pressure);
             }
         }
         let h1: std::collections::HashSet<HostId> = p
@@ -539,13 +595,18 @@ mod tests {
             base_hosts_per_account: 240,
             ..PlacementConfig::default()
         };
-        let mut p = CloudRunPolicy::new(&dc, config, true, SimRng::seed_from(22));
+        let mut p: CloudRunPolicy = CloudRunPolicy::new(&dc, config, true, SimRng::seed_from(22));
+        let mut cap = capacity_for(&dc, &p);
         let acct = AccountId::from_raw(1);
         let svc = ServiceId::from_raw(1);
-        let first: std::collections::HashSet<HostId> =
-            p.plan(&dc, svc, acct, 800, 0).into_iter().collect();
-        let second: std::collections::HashSet<HostId> =
-            p.plan(&dc, svc, acct, 800, 0).into_iter().collect();
+        let first: std::collections::HashSet<HostId> = p
+            .plan(&dc, &mut cap, svc, acct, 800, 0)
+            .into_iter()
+            .collect();
+        let second: std::collections::HashSet<HostId> = p
+            .plan(&dc, &mut cap, svc, acct, 800, 0)
+            .into_iter()
+            .collect();
         let moved = second.difference(&first).count();
         assert!(
             moved > second.len() / 5,
@@ -561,8 +622,16 @@ mod tests {
     fn zero_need_returns_empty_plan() {
         let dc = dc(23, 100);
         let mut p = policy(&dc, 24);
+        let mut cap = capacity_for(&dc, &p);
         assert!(p
-            .plan(&dc, ServiceId::from_raw(1), AccountId::from_raw(1), 0, 5)
+            .plan(
+                &dc,
+                &mut cap,
+                ServiceId::from_raw(1),
+                AccountId::from_raw(1),
+                0,
+                5
+            )
             .is_empty());
     }
 
@@ -575,7 +644,7 @@ mod tests {
             ..HostGenConfig::default()
         };
         let dc = DataCenter::generate("tiny", 30, &config, 0.9, &mut rng);
-        let mut p = CloudRunPolicy::new(
+        let mut p: CloudRunPolicy = CloudRunPolicy::new(
             &dc,
             PlacementConfig {
                 cell_size: 10,
@@ -585,13 +654,39 @@ mod tests {
             false,
             SimRng::seed_from(26),
         );
+        let mut cap = capacity_for(&dc, &p);
         // 8 base hosts × 4 slots = 32 < 60 requested.
-        let plan = p.plan(&dc, ServiceId::from_raw(1), AccountId::from_raw(1), 60, 0);
+        let plan = p.plan(
+            &dc,
+            &mut cap,
+            ServiceId::from_raw(1),
+            AccountId::from_raw(1),
+            60,
+            0,
+        );
         assert_eq!(plan.len(), 60);
         let mut counts: HashMap<HostId, usize> = HashMap::new();
         for h in plan {
             *counts.entry(h).or_default() += 1;
         }
         assert!(counts.values().all(|&c| c <= 4), "capacity respected");
+    }
+
+    #[test]
+    fn plan_overlay_never_commits() {
+        // Planning must not mutate the committed capacity view.
+        let dc = dc(27, 200);
+        let mut p = policy(&dc, 28);
+        let mut cap = capacity_for(&dc, &p);
+        let before = cap.total_free(&dc);
+        let _ = p.plan(
+            &dc,
+            &mut cap,
+            ServiceId::from_raw(1),
+            AccountId::from_raw(1),
+            500,
+            0,
+        );
+        assert_eq!(cap.total_free(&dc), before);
     }
 }

@@ -9,7 +9,8 @@
 //! * [`rng`] — forkable, seedable random number generation ([`SimRng`]),
 //! * [`dist`] — the distributions used by the noise and placement models,
 //! * [`stats`] — summaries, linear regression, and empirical CDFs,
-//! * [`series`] — `(x, y)` series recording for the figure drivers.
+//! * [`series`] — `(x, y)` series recording for the figure drivers,
+//! * [`wsample`] — fixed-point weighted index sampling ([`wsample::IndexSampler`]).
 //!
 //! Everything is deterministic under a fixed seed: re-running an experiment
 //! reproduces the exact same data center, noise, and placement decisions.
@@ -37,6 +38,7 @@ pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod time;
+pub mod wsample;
 
 pub use clock::SimClock;
 pub use events::EventQueue;
@@ -53,4 +55,5 @@ pub mod prelude {
     pub use crate::series::Series;
     pub use crate::stats::{linear_fit, Ecdf, LinearFit, Summary};
     pub use crate::time::{SimDuration, SimTime};
+    pub use crate::wsample::{fixed_weight, sample_distinct, FenwickSampler, IndexSampler};
 }

@@ -1,0 +1,353 @@
+//! Weighted index sampling over fixed-point integer weights.
+//!
+//! The placement hot path samples hosts proportionally to popularity, with
+//! individual weights suppressed and restored as hosts are excluded, picked
+//! without replacement, or fill up. This module defines the *sampling
+//! protocol* every backend must speak so that an optimized engine and a
+//! naive reference engine consume identical RNG streams and return
+//! identical picks:
+//!
+//! 1. Weights are `u64` fixed-point values (see [`fixed_weight`]); all
+//!    arithmetic is exact integer arithmetic, so partial sums never depend
+//!    on evaluation order the way floating-point sums do.
+//! 2. One pick costs exactly one `rng.below(total)` draw. The picked index
+//!    is the unique `i` with `prefix(i) <= target < prefix(i + 1)`, where
+//!    `prefix(i)` is the sum of the first `i` weights.
+//!
+//! Any two [`IndexSampler`] implementations holding the same weights
+//! therefore return the same index for the same RNG state — the property
+//! the differential oracle in `crates/oracle` checks. [`FenwickSampler`]
+//! is the production backend: O(log n) pick and update via a Fenwick
+//! (binary indexed) tree, standing in for the precomputed table a real
+//! scheduler would keep. The O(n)-per-pick linear reference lives in the
+//! oracle crate.
+
+use crate::rng::SimRng;
+
+/// Fixed-point scale for [`fixed_weight`]: weights are quantized to
+/// multiples of 2⁻⁴⁰. Large enough that the least popular host of a
+/// 10⁶-host Zipf(1.25) pool still gets tens of thousands of quanta, small
+/// enough that 10⁶ maximal weights sum without overflowing `u64`.
+pub const WEIGHT_SCALE: f64 = (1u64 << 40) as f64;
+
+/// Quantizes a non-negative popularity weight to fixed point.
+///
+/// Zero maps to zero (never sampled); any positive weight maps to at least
+/// one quantum, so quantization can suppress relative precision but never
+/// an entire host.
+///
+/// # Panics
+///
+/// Panics if `weight` is negative, non-finite, or ≥ 2²³ (which would risk
+/// overflowing the `u64` total across a million-entry pool).
+pub fn fixed_weight(weight: f64) -> u64 {
+    assert!(
+        weight.is_finite() && weight >= 0.0,
+        "weight must be finite and non-negative, got {weight}"
+    );
+    assert!(weight < (1u64 << 23) as f64, "weight {weight} too large");
+    if weight == 0.0 {
+        0
+    } else {
+        ((weight * WEIGHT_SCALE).round() as u64).max(1)
+    }
+}
+
+/// A mutable population of integer weights supporting weighted index picks.
+///
+/// See the [module docs](self) for the protocol contract. Implementations
+/// must keep [`total`](IndexSampler::total) equal to the exact sum of all
+/// current weights.
+pub trait IndexSampler: std::fmt::Debug {
+    /// Builds a sampler over `weights`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if the weights sum past `u64::MAX`.
+    fn from_weights(weights: Vec<u64>) -> Self
+    where
+        Self: Sized;
+
+    /// Number of indexed entries (with any weight, including zero).
+    fn len(&self) -> usize;
+
+    /// Whether the sampler indexes no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exact sum of all current weights.
+    fn total(&self) -> u64;
+
+    /// The current weight of `index`.
+    fn weight(&self, index: usize) -> u64;
+
+    /// Replaces the weight of `index`.
+    fn set_weight(&mut self, index: usize, weight: u64);
+
+    /// The unique index `i` with `prefix(i) <= target < prefix(i + 1)`.
+    ///
+    /// # Panics
+    ///
+    /// May panic (or return an arbitrary index) if `target >= total()`;
+    /// callers must draw `target` with `rng.below(total)`.
+    fn locate(&self, target: u64) -> usize;
+
+    /// One weighted pick: a single `rng.below(total)` draw mapped through
+    /// [`locate`](IndexSampler::locate). `None` when every weight is zero
+    /// (consuming no randomness).
+    fn pick(&self, rng: &mut SimRng) -> Option<usize> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        Some(self.locate(rng.below(total)))
+    }
+}
+
+/// Samples up to `count` distinct indices without replacement by repeatedly
+/// picking and zeroing the picked weight. Stops early when all weight is
+/// exhausted.
+///
+/// Picked weights are left zeroed; the caller restores them (it knows the
+/// original weights) when the exclusion should not persist.
+pub fn sample_distinct<S: IndexSampler>(
+    sampler: &mut S,
+    count: usize,
+    rng: &mut SimRng,
+) -> Vec<usize> {
+    let mut picks = Vec::with_capacity(count.min(sampler.len()));
+    while picks.len() < count {
+        match sampler.pick(rng) {
+            Some(i) => {
+                sampler.set_weight(i, 0);
+                picks.push(i);
+            }
+            None => break,
+        }
+    }
+    picks
+}
+
+/// The production sampler: a Fenwick (binary indexed) tree over the
+/// weights, giving O(log n) [`set_weight`](IndexSampler::set_weight) and
+/// O(log n) [`locate`](IndexSampler::locate) by binary descent, with the
+/// total maintained incrementally.
+#[derive(Debug, Clone)]
+pub struct FenwickSampler {
+    /// 1-indexed Fenwick tree; `tree[i]` covers `i - lowbit(i) .. i`.
+    tree: Vec<u64>,
+    weights: Vec<u64>,
+    total: u64,
+    /// Largest power of two ≤ len, the starting stride of the descent.
+    top: usize,
+}
+
+impl IndexSampler for FenwickSampler {
+    fn from_weights(weights: Vec<u64>) -> Self {
+        let n = weights.len();
+        let mut tree = vec![0u64; n + 1];
+        tree[1..].copy_from_slice(&weights);
+        // O(n) bottom-up construction: fold each node into its parent.
+        for i in 1..=n {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= n {
+                tree[parent] = tree[parent]
+                    .checked_add(tree[i])
+                    .expect("total weight overflows u64");
+            }
+        }
+        let total = weights
+            .iter()
+            .try_fold(0u64, |acc, &w| acc.checked_add(w))
+            .expect("total weight overflows u64");
+        let top = if n == 0 { 0 } else { usize::pow(2, n.ilog2()) };
+        FenwickSampler {
+            tree,
+            weights,
+            total,
+            top,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn weight(&self, index: usize) -> u64 {
+        self.weights[index]
+    }
+
+    fn set_weight(&mut self, index: usize, weight: u64) {
+        let old = self.weights[index];
+        if old == weight {
+            return;
+        }
+        self.weights[index] = weight;
+        let mut i = index + 1;
+        if weight > old {
+            let delta = weight - old;
+            self.total = self.total.checked_add(delta).expect("total overflow");
+            while i < self.tree.len() {
+                self.tree[i] += delta;
+                i += i & i.wrapping_neg();
+            }
+        } else {
+            let delta = old - weight;
+            self.total -= delta;
+            while i < self.tree.len() {
+                self.tree[i] -= delta;
+                i += i & i.wrapping_neg();
+            }
+        }
+    }
+
+    fn locate(&self, target: u64) -> usize {
+        debug_assert!(
+            target < self.total,
+            "target {target} >= total {}",
+            self.total
+        );
+        // Binary descent: find the largest position whose prefix sum is
+        // ≤ target; the entry right after it is the picked index.
+        let mut pos = 0usize;
+        let mut rem = target;
+        let mut stride = self.top;
+        while stride > 0 {
+            let next = pos + stride;
+            if next < self.tree.len() && self.tree[next] <= rem {
+                rem -= self.tree[next];
+                pos = next;
+            }
+            stride >>= 1;
+        }
+        pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The obvious O(n) locate, used to cross-check the descent.
+    fn linear_locate(weights: &[u64], target: u64) -> usize {
+        let mut cum = 0u64;
+        for (i, &w) in weights.iter().enumerate() {
+            cum += w;
+            if target < cum {
+                return i;
+            }
+        }
+        panic!("target {target} >= total {cum}");
+    }
+
+    #[test]
+    fn fixed_weight_quantizes_without_dropping() {
+        assert_eq!(fixed_weight(0.0), 0);
+        assert_eq!(fixed_weight(1.0), 1u64 << 40);
+        // Tiny but positive weights survive quantization.
+        assert!(fixed_weight(1e-15) >= 1);
+        // Monotone on representable values.
+        assert!(fixed_weight(0.25) < fixed_weight(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn fixed_weight_rejects_negative() {
+        fixed_weight(-1.0);
+    }
+
+    #[test]
+    fn locate_matches_linear_scan_exhaustively() {
+        let weights = vec![3u64, 0, 5, 1, 0, 0, 7, 2, 4, 0, 6];
+        let s = FenwickSampler::from_weights(weights.clone());
+        assert_eq!(s.total(), 28);
+        for target in 0..28 {
+            assert_eq!(
+                s.locate(target),
+                linear_locate(&weights, target),
+                "target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn locate_matches_linear_after_random_updates() {
+        let mut rng = SimRng::seed_from(42);
+        let mut weights: Vec<u64> = (0..257).map(|_| rng.below(100)).collect();
+        let mut s = FenwickSampler::from_weights(weights.clone());
+        for _ in 0..500 {
+            let i = rng.below(weights.len() as u64) as usize;
+            let w = rng.below(100);
+            weights[i] = w;
+            s.set_weight(i, w);
+            assert_eq!(s.total(), weights.iter().sum::<u64>());
+            if s.total() > 0 {
+                let target = rng.below(s.total());
+                assert_eq!(s.locate(target), linear_locate(&weights, target));
+            }
+        }
+    }
+
+    #[test]
+    fn pick_never_returns_zero_weight() {
+        let mut rng = SimRng::seed_from(7);
+        let weights = vec![0u64, 4, 0, 0, 9, 0, 1, 0];
+        let s = FenwickSampler::from_weights(weights.clone());
+        for _ in 0..200 {
+            let i = s.pick(&mut rng).expect("positive total");
+            assert!(weights[i] > 0, "picked zero-weight index {i}");
+        }
+    }
+
+    #[test]
+    fn pick_on_empty_total_is_none_and_draws_nothing() {
+        let mut rng = SimRng::seed_from(9);
+        let mut probe = rng.clone();
+        let s = FenwickSampler::from_weights(vec![0, 0, 0]);
+        assert_eq!(s.pick(&mut rng), None);
+        // No RNG state consumed.
+        assert_eq!(rng.below(1000), probe.below(1000));
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_exhausts() {
+        let mut rng = SimRng::seed_from(11);
+        let mut s = FenwickSampler::from_weights(vec![5, 1, 3, 2]);
+        let picks = sample_distinct(&mut s, 10, &mut rng);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), picks.len(), "duplicate picks");
+        assert_eq!(picks.len(), 4, "exhausts the population then stops");
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn pick_distribution_tracks_weights() {
+        let mut rng = SimRng::seed_from(13);
+        let s = FenwickSampler::from_weights(vec![9000, 900, 90, 10]);
+        let mut counts = [0usize; 4];
+        for _ in 0..10_000 {
+            counts[s.pick(&mut rng).unwrap()] += 1;
+        }
+        assert!(counts[0] > 8_500, "heavy index under-sampled: {counts:?}");
+        assert!(counts[3] < 100, "light index over-sampled: {counts:?}");
+    }
+
+    #[test]
+    fn single_entry_and_empty_samplers() {
+        let s = FenwickSampler::from_weights(vec![42]);
+        assert_eq!(s.locate(0), 0);
+        assert_eq!(s.locate(41), 0);
+        let empty = FenwickSampler::from_weights(Vec::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.total(), 0);
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(empty.pick(&mut rng), None);
+    }
+}

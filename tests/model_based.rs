@@ -1,34 +1,19 @@
 //! Model-based testing: drive the World with arbitrary operation
 //! sequences and check its global invariants after every step.
+//!
+//! The operations and their generators are shared with the differential
+//! oracle (`eaao_oracle::schedule::Op`, `eaao_oracle::strategies`), and
+//! every op is applied through `eaao_oracle::schedule::apply` — the same
+//! surface the oracle drives — so an invariant violation found here is
+//! immediately replayable as an oracle schedule.
+
+mod common;
 
 use proptest::prelude::*;
 
+use common::strategies;
 use eaao::prelude::*;
-
-/// An operation an arbitrary tenant might perform.
-#[derive(Debug, Clone, Copy)]
-enum Op {
-    /// Open `n` connections on service `s`.
-    Launch { s: usize, n: usize },
-    /// Autoscale service `s` to `n` concurrent requests.
-    SetLoad { s: usize, n: usize },
-    /// Close all connections of service `s`.
-    DisconnectAll { s: usize },
-    /// Kill all instances of service `s`.
-    KillAll { s: usize },
-    /// Let time pass (reaper fires).
-    Advance { minutes: i64 },
-}
-
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0usize..3, 1usize..120).prop_map(|(s, n)| Op::Launch { s, n }),
-        (0usize..3, 0usize..120).prop_map(|(s, n)| Op::SetLoad { s, n }),
-        (0usize..3).prop_map(|s| Op::DisconnectAll { s }),
-        (0usize..3).prop_map(|s| Op::KillAll { s }),
-        (1i64..30).prop_map(|minutes| Op::Advance { minutes }),
-    ]
-}
+use eaao_oracle::schedule::apply;
 
 fn check_invariants(world: &World, services: &[ServiceId]) -> Result<(), TestCaseError> {
     // 1. The host-side residency mirror matches the instance registry.
@@ -58,6 +43,13 @@ fn check_invariants(world: &World, services: &[ServiceId]) -> Result<(), TestCas
             );
         }
     }
+    // 4. The engine's free-slot index agrees with ground truth.
+    let ground_truth: u64 = world
+        .data_center()
+        .hosts()
+        .map(|h| h.free_slots() as u64)
+        .sum();
+    prop_assert_eq!(world.free_slots(), ground_truth, "capacity index drifted");
     Ok(())
 }
 
@@ -70,34 +62,15 @@ proptest! {
     #[test]
     fn world_invariants_hold_under_arbitrary_ops(
         seed in 0u64..1_000,
-        ops in proptest::collection::vec(op_strategy(), 1..40),
+        ops in strategies::ops(3, 40),
     ) {
-        let mut world = World::new(RegionConfig::us_west1().with_hosts(25), seed);
-        let account = world.create_account();
-        let services: Vec<ServiceId> = (0..3)
-            .map(|_| {
-                world.deploy_service(
-                    account,
-                    ServiceSpec::default().with_max_instances(200),
-                )
-            })
-            .collect();
+        let (mut world, services) = common::small_world(seed, 3);
         let mut billed_before = world.billed().as_usd();
         for op in ops {
-            match op {
-                Op::Launch { s, n } => {
-                    // May legitimately fail (cap/capacity); must not corrupt.
-                    let _ = world.launch(services[s % 3], n);
-                }
-                Op::SetLoad { s, n } => {
-                    let _ = world.set_load(services[s % 3], n);
-                }
-                Op::DisconnectAll { s } => world.disconnect_all(services[s % 3]),
-                Op::KillAll { s } => world.kill_all(services[s % 3]),
-                Op::Advance { minutes } => world.advance(SimDuration::from_mins(minutes)),
-            }
+            // Ops may legitimately fail (cap/capacity); must not corrupt.
+            let _ = apply(&mut world, &services, op);
             check_invariants(&world, &services)?;
-            // 4. Billing is monotone.
+            // 5. Billing is monotone.
             let billed_now = world.billed().as_usd();
             prop_assert!(
                 billed_now >= billed_before - 1e-12,
@@ -105,7 +78,7 @@ proptest! {
             );
             billed_before = billed_now;
         }
-        // 5. After a full teardown and a reaper cycle, nothing is left.
+        // 6. After a full teardown and a reaper cycle, nothing is left.
         for &s in &services {
             world.kill_all(s);
         }
@@ -119,14 +92,9 @@ proptest! {
         n in 1usize..150,
     ) {
         let run = |seed: u64| {
-            let mut world = World::new(RegionConfig::us_west1().with_hosts(25), seed);
-            let account = world.create_account();
-            let service = world.deploy_service(
-                account,
-                ServiceSpec::default().with_max_instances(200),
-            );
+            let (mut world, services) = common::small_world(seed, 1);
             world
-                .launch(service, n)
+                .launch(services[0], n)
                 .expect("fits")
                 .instances()
                 .iter()

@@ -1,9 +1,35 @@
 //! Cross-crate invariants of the orchestrator and data-center model:
 //! conservation, capacity, determinism, billing sanity.
 
+mod common;
+
 use std::collections::HashMap;
 
+use proptest::prelude::*;
+
+use common::strategies;
+use eaao::orchestrator::engine::OptimizedEngine;
 use eaao::prelude::*;
+use eaao_oracle::schedule::run;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        .. ProptestConfig::default()
+    })]
+
+    /// Whole trajectories — placements, reap times, billing bits — are a
+    /// pure function of the schedule, not just the first launch. This is
+    /// the root-level restatement of the determinism the differential
+    /// oracle relies on.
+    #[test]
+    fn trajectories_are_a_function_of_the_schedule(s in strategies::schedule()) {
+        prop_assert_eq!(
+            run::<OptimizedEngine>(&s).transcript(),
+            run::<OptimizedEngine>(&s).transcript()
+        );
+    }
+}
 
 #[test]
 fn residency_mirrors_instances_through_a_full_lifecycle() {

@@ -2,6 +2,8 @@
 //! the invariants that must hold for *any* input, not just the paper's
 //! parameter points.
 
+mod common;
+
 use proptest::prelude::*;
 
 use eaao::core::cluster::CoLocationForest;
@@ -73,7 +75,7 @@ proptest! {
     /// FMI, precision, and recall always live in [0, 1], and FMI is their
     /// geometric mean.
     #[test]
-    fn pair_confusion_bounds(labels in proptest::collection::vec((0u8..6, 0u8..6), 0..60)) {
+    fn pair_confusion_bounds(labels in common::label_pairs()) {
         let predicted: Vec<u8> = labels.iter().map(|&(p, _)| p).collect();
         let truth: Vec<u8> = labels.iter().map(|&(_, t)| t).collect();
         let c = PairConfusion::from_assignments(&predicted, &truth);
@@ -120,7 +122,7 @@ proptest! {
 
     /// Event queues deliver in non-decreasing time order with FIFO ties.
     #[test]
-    fn event_queue_is_time_ordered(times in proptest::collection::vec(0i64..1_000, 0..100)) {
+    fn event_queue_is_time_ordered(times in common::event_times()) {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_nanos(t), i);

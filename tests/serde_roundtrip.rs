@@ -11,6 +11,23 @@ where
     serde_json::from_str(&json).expect("deserialize")
 }
 
+/// Round-trips `value` and additionally requires the re-serialization to
+/// reproduce the original bytes — the contract resumable JSONL files
+/// (campaign manifests, trace streams, oracle corpora) rely on.
+fn stable_roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    let back: T = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(
+        serde_json::to_string(&back).expect("re-serialize"),
+        json,
+        "re-serialization must be byte-identical"
+    );
+    back
+}
+
 #[test]
 fn time_types_round_trip() {
     let t = SimTime::from_secs_f64(123.456789);
@@ -93,6 +110,46 @@ fn strategy_and_coverage_reports_round_trip() {
 
     let coverage = measure_coverage(&arena.world, &report.live_instances, &arena.victims);
     assert_eq!(roundtrip(&coverage), coverage);
+}
+
+#[test]
+fn campaign_manifest_entries_round_trip_byte_stable() {
+    // The resume path re-reads manifest.jsonl and compares hashes against
+    // re-serialized records, so the wire format must be byte-stable.
+    for (status, hash) in [("ok", 0u64), ("failed", u64::MAX), ("ok", 0xdead_beef)] {
+        let entry = ManifestEntry {
+            key: "fig06/us-west1/-/-/s3".to_owned(),
+            status: status.to_owned(),
+            hash,
+        };
+        assert_eq!(stable_roundtrip(&entry), entry);
+    }
+}
+
+#[test]
+fn trace_events_round_trip_byte_stable() {
+    use eaao::obs::SCHEMA_VERSION;
+
+    // Every kind through its wire name, with the optional fields both
+    // empty and populated.
+    for kind in [
+        EventKind::SpanStart,
+        EventKind::SpanEnd,
+        EventKind::Point,
+        EventKind::Metrics,
+    ] {
+        let bare = Event::new(kind, "world.ctest", 1_234);
+        assert_eq!(stable_roundtrip(&bare), bare);
+    }
+    let mut full = Event::new(EventKind::SpanEnd, "campaign.run", 9_999);
+    full.run = Some("fig06/us-west1/-/-/s0".to_owned());
+    full.span = Some(7);
+    full.parent = Some(3);
+    full.dur_ns = Some(1_000_000);
+    full.fields = serde_json::from_str(r#"{"cells":40,"ok":true}"#).expect("literal");
+    let back = stable_roundtrip(&full);
+    assert_eq!(back, full);
+    assert_eq!(back.v, SCHEMA_VERSION);
 }
 
 #[test]
