@@ -5,6 +5,7 @@
 //! figure at paper scale. This library holds the shared formatting helpers.
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 use eaao_simcore::series::Series;
 use eaao_simcore::stats::Summary;

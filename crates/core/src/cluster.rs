@@ -4,7 +4,7 @@
 //! proven to share a host. A tiny union-find keeps that bookkeeping exact
 //! regardless of the order in which evidence arrives.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use eaao_cloudsim::ids::InstanceId;
 
@@ -12,7 +12,7 @@ use eaao_cloudsim::ids::InstanceId;
 #[derive(Debug, Clone)]
 pub struct CoLocationForest {
     ids: Vec<InstanceId>,
-    index: HashMap<InstanceId, usize>,
+    index: BTreeMap<InstanceId, usize>,
     parent: Vec<usize>,
     rank: Vec<u8>,
 }
@@ -25,7 +25,7 @@ impl CoLocationForest {
     /// Panics if `ids` contains duplicates.
     pub fn new(ids: impl IntoIterator<Item = InstanceId>) -> Self {
         let ids: Vec<InstanceId> = ids.into_iter().collect();
-        let mut index = HashMap::with_capacity(ids.len());
+        let mut index = BTreeMap::new();
         for (i, &id) in ids.iter().enumerate() {
             let previous = index.insert(id, i);
             assert!(previous.is_none(), "duplicate instance {id}");
@@ -50,6 +50,16 @@ impl CoLocationForest {
         self.ids.is_empty()
     }
 
+    /// Index of a tracked instance; the documented `# Panics` contract of
+    /// `merge`/`same_cluster`.
+    fn index_of(&self, id: InstanceId) -> usize {
+        match self.index.get(&id) {
+            Some(&i) => i,
+            // tidy:allow(panic-policy) -- documented `# Panics` contract: callers must pass tracked ids
+            None => panic!("unknown instance {id}"),
+        }
+    }
+
     fn find(&mut self, mut i: usize) -> usize {
         while self.parent[i] != i {
             self.parent[i] = self.parent[self.parent[i]];
@@ -64,14 +74,7 @@ impl CoLocationForest {
     ///
     /// Panics if either instance is not tracked.
     pub fn merge(&mut self, a: InstanceId, b: InstanceId) {
-        let ia = *self
-            .index
-            .get(&a)
-            .unwrap_or_else(|| panic!("unknown instance {a}"));
-        let ib = *self
-            .index
-            .get(&b)
-            .unwrap_or_else(|| panic!("unknown instance {b}"));
+        let (ia, ib) = (self.index_of(a), self.index_of(b));
         let (ra, rb) = (self.find(ia), self.find(ib));
         if ra == rb {
             return;
@@ -99,21 +102,14 @@ impl CoLocationForest {
     ///
     /// Panics if either instance is not tracked.
     pub fn same_cluster(&mut self, a: InstanceId, b: InstanceId) -> bool {
-        let ia = *self
-            .index
-            .get(&a)
-            .unwrap_or_else(|| panic!("unknown instance {a}"));
-        let ib = *self
-            .index
-            .get(&b)
-            .unwrap_or_else(|| panic!("unknown instance {b}"));
+        let (ia, ib) = (self.index_of(a), self.index_of(b));
         self.find(ia) == self.find(ib)
     }
 
     /// Extracts the clusters, each sorted by instance id, ordered by their
     /// smallest member.
     pub fn clusters(&mut self) -> Vec<Vec<InstanceId>> {
-        let mut by_root: HashMap<usize, Vec<InstanceId>> = HashMap::new();
+        let mut by_root: BTreeMap<usize, Vec<InstanceId>> = BTreeMap::new();
         for i in 0..self.ids.len() {
             let root = self.find(i);
             by_root.entry(root).or_default().push(self.ids[i]);

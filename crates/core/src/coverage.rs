@@ -10,7 +10,7 @@
 //!   fingerprint both fleets, nominate candidates with matching
 //!   fingerprints, and confirm each with a covert-channel pair test.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use eaao_cloudsim::ids::{HostId, InstanceId};
 use eaao_orchestrator::error::GuestError;
@@ -64,7 +64,7 @@ impl CoverageReport {
     }
 }
 
-fn hosts_of(world: &World, instances: &[InstanceId]) -> HashSet<HostId> {
+fn hosts_of(world: &World, instances: &[InstanceId]) -> BTreeSet<HostId> {
     instances.iter().map(|&i| world.host_of(i)).collect()
 }
 
@@ -110,7 +110,7 @@ pub fn measure_coverage_verified(
     let victim_readings = probe_fleet(world, victims, gap);
 
     // Index attacker instances by fingerprint.
-    let mut by_fp: HashMap<_, Vec<InstanceId>> = HashMap::new();
+    let mut by_fp: BTreeMap<_, Vec<InstanceId>> = BTreeMap::new();
     for reading in &attacker_readings {
         if let Some(fp) = fingerprinter.fingerprint(reading) {
             by_fp.entry(fp).or_default().push(reading.instance);
@@ -118,7 +118,7 @@ pub fn measure_coverage_verified(
     }
 
     let config = CTestConfig::default();
-    let mut covered = HashSet::new();
+    let mut covered = BTreeSet::new();
     let mut confirmations = 0;
     for reading in &victim_readings {
         let Some(fp) = fingerprinter.fingerprint(reading) else {

@@ -86,7 +86,7 @@ impl Fig05Config {
         // churns an instance, its slot reconnects to a fresh one and
         // starts a new history.
         let mut slots: Vec<(ServiceId, InstanceId, FingerprintHistory)> = Vec::new();
-        let mut seen_hosts = std::collections::HashSet::new();
+        let mut seen_hosts = std::collections::BTreeSet::new();
         for _ in 0..self.accounts.max(1) {
             let account = world.create_account();
             let service =

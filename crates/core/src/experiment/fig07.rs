@@ -5,7 +5,7 @@
 //! number of *apparent hosts* and the cumulative footprint barely grows:
 //! the orchestrator prefers a per-account set of base hosts.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use eaao_cloudsim::service::ServiceSpec;
 use eaao_orchestrator::world::World;
@@ -69,7 +69,7 @@ impl Fig07Config {
 
         let mut per_launch = Series::new("apparent hosts");
         let mut cumulative = Series::new("cumulative apparent hosts");
-        let mut seen: HashSet<Gen1Fingerprint> = HashSet::new();
+        let mut seen: BTreeSet<Gen1Fingerprint> = BTreeSet::new();
         for launch_id in 1..=self.launches {
             if self.fresh_service_per_launch && launch_id > 1 {
                 service = world.deploy_service(account, spec);

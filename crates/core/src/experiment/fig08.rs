@@ -6,7 +6,7 @@
 //! barely moves when the same account launches again — different accounts
 //! use different base hosts.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use eaao_cloudsim::ids::AccountId;
 use eaao_cloudsim::service::ServiceSpec;
@@ -70,7 +70,7 @@ impl Fig08Config {
         let mut per_launch = Series::new("apparent hosts");
         let mut cumulative = Series::new("cumulative apparent hosts");
         let mut owners = Vec::new();
-        let mut seen: HashSet<Gen1Fingerprint> = HashSet::new();
+        let mut seen: BTreeSet<Gen1Fingerprint> = BTreeSet::new();
         let mut launch_id = 0;
         for &account in &accounts {
             let service = world.deploy_service(account, spec);

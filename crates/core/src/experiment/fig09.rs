@@ -8,7 +8,7 @@
 //! interval almost every instance is reused warm and only a dozen new
 //! hosts appear; with 45-minute gaps (Figure 7) no helpers appear at all.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use eaao_cloudsim::service::ServiceSpec;
 use eaao_orchestrator::world::World;
@@ -68,7 +68,7 @@ impl Fig09Config {
 
         let mut per_launch = Series::new("apparent hosts");
         let mut cumulative = Series::new("cumulative apparent hosts");
-        let mut seen: HashSet<Gen1Fingerprint> = HashSet::new();
+        let mut seen: BTreeSet<Gen1Fingerprint> = BTreeSet::new();
         for launch_id in 1..=self.launches {
             let launch = world.launch(service, self.instances).expect("within caps");
             let hosts = apparent_hosts(&mut world, launch.instances(), &fingerprinter);

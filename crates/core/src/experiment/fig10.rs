@@ -7,7 +7,7 @@
 //! different helper sets — but by less than each episode's own footprint:
 //! the sets overlap.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use eaao_cloudsim::service::ServiceSpec;
 use eaao_orchestrator::world::World;
@@ -74,11 +74,11 @@ impl Fig10Config {
 
         let mut per_episode = Series::new("apparent helper hosts");
         let mut cumulative = Series::new("cumulative apparent helper hosts");
-        let mut all_helpers: HashSet<Gen1Fingerprint> = HashSet::new();
+        let mut all_helpers: BTreeSet<Gen1Fingerprint> = BTreeSet::new();
         for episode in 1..=self.episodes {
             let service = world.deploy_service(account, spec);
-            let mut first_footprint: HashSet<Gen1Fingerprint> = HashSet::new();
-            let mut final_footprint: HashSet<Gen1Fingerprint> = HashSet::new();
+            let mut first_footprint: BTreeSet<Gen1Fingerprint> = BTreeSet::new();
+            let mut final_footprint: BTreeSet<Gen1Fingerprint> = BTreeSet::new();
             for launch_id in 1..=self.launches_per_episode {
                 let launch = world.launch(service, self.instances).expect("within caps");
                 let hosts = apparent_hosts(&mut world, launch.instances(), &fingerprinter);
@@ -91,7 +91,7 @@ impl Fig10Config {
             }
             // Helper footprint: hosts beyond the episode's first (cold)
             // launch.
-            let helpers: HashSet<Gen1Fingerprint> = final_footprint
+            let helpers: BTreeSet<Gen1Fingerprint> = final_footprint
                 .difference(&first_footprint)
                 .cloned()
                 .collect();

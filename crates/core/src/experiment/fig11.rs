@@ -241,7 +241,7 @@ fn run_gen2_strategy(
     account: eaao_cloudsim::ids::AccountId,
     config: &OptimizedLaunch,
 ) -> crate::strategy::StrategyReport {
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
     let wall_start = world.now();
     let cost_start = world.billed_for(account);
     let spec = ServiceSpec::default()
@@ -275,7 +275,7 @@ fn run_gen2_strategy(
         }
     }
     live.retain(|&id| world.instance(id).is_alive());
-    let hosts: HashSet<_> = live.iter().map(|&i| world.host_of(i)).collect();
+    let hosts: BTreeSet<_> = live.iter().map(|&i| world.host_of(i)).collect();
     crate::strategy::StrategyReport {
         services,
         hosts_occupied: hosts.len(),

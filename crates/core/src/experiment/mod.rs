@@ -41,7 +41,7 @@ pub mod sec45;
 pub mod sec52;
 pub mod sec6;
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use eaao_cloudsim::ids::InstanceId;
 use eaao_orchestrator::world::World;
@@ -61,7 +61,7 @@ pub(crate) fn apparent_hosts(
     world: &mut World,
     instances: &[InstanceId],
     fingerprinter: &Gen1Fingerprinter,
-) -> HashSet<Gen1Fingerprint> {
+) -> BTreeSet<Gen1Fingerprint> {
     probe_fleet(world, instances, PROBE_GAP)
         .iter()
         .filter_map(|r| fingerprinter.fingerprint(r))

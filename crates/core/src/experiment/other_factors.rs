@@ -8,7 +8,7 @@
 //! 4. Gen 2 placement behaves like Gen 1, and Gen 2 instances share hosts
 //!    with Gen 1 instances.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use eaao_cloudsim::ids::HostId;
 use eaao_cloudsim::service::{ContainerSize, Generation, ServiceSpec};
@@ -54,7 +54,7 @@ impl OtherFactorsConfig {
         let mut world = World::new(region_config(&self.region), seed);
         let account = world.create_account();
 
-        let footprint = |world: &mut World, spec: ServiceSpec, n: usize| -> HashSet<HostId> {
+        let footprint = |world: &mut World, spec: ServiceSpec, n: usize| -> BTreeSet<HostId> {
             let service = world.deploy_service(account, spec);
             let launch = world.launch(service, n).expect("within caps");
             let hosts = launch
@@ -67,7 +67,7 @@ impl OtherFactorsConfig {
             world.advance(SimDuration::from_mins(45));
             hosts
         };
-        let overlap = |a: &HashSet<HostId>, b: &HashSet<HostId>| -> f64 {
+        let overlap = |a: &BTreeSet<HostId>, b: &BTreeSet<HostId>| -> f64 {
             let inter = a.intersection(b).count() as f64;
             inter / a.len().min(b.len()).max(1) as f64
         };
@@ -118,7 +118,7 @@ impl OtherFactorsConfig {
             .expect("fits")
             .instances()
             .to_vec();
-        let gen1_hosts: HashSet<HostId> = gen1_live.iter().map(|&i| world.host_of(i)).collect();
+        let gen1_hosts: BTreeSet<HostId> = gen1_live.iter().map(|&i| world.host_of(i)).collect();
         let mixed_hosts = gen2_live
             .iter()
             .filter(|&&i| gen1_hosts.contains(&world.host_of(i)))

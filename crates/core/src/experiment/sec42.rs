@@ -96,7 +96,7 @@ impl Sec42Config {
         let mut world = World::new(region_config(&self.region), seed);
         // One representative instance per host (ground truth used only to
         // avoid measuring a host twice — the paper counts per host too).
-        let mut seen_hosts = std::collections::HashSet::new();
+        let mut seen_hosts = std::collections::BTreeSet::new();
         let mut reps = Vec::new();
         for _ in 0..self.accounts {
             let account = world.create_account();

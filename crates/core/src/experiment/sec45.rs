@@ -7,7 +7,7 @@
 //! never produce a false negative, because refinement happens once per
 //! host boot.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use eaao_cloudsim::service::{Generation, ServiceSpec};
 use eaao_orchestrator::world::World;
@@ -103,7 +103,8 @@ impl Sec45Config {
                 false_negatives_total += confusion.false_negatives;
 
                 // Distinct hosts per fingerprint value.
-                let mut hosts_by_fp: HashMap<u64, std::collections::HashSet<u32>> = HashMap::new();
+                let mut hosts_by_fp: BTreeMap<u64, std::collections::BTreeSet<u32>> =
+                    BTreeMap::new();
                 for (fp, host) in predicted.iter().zip(&truth) {
                     hosts_by_fp.entry(*fp).or_default().insert(*host);
                 }

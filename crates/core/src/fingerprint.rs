@@ -8,6 +8,7 @@
 //!   measures ~2.0 hosts per fingerprint and precision 0.48) but free of
 //!   false negatives, because refinement happens once per host boot.
 
+// tidy:allow(determinism) -- `group_by_fingerprint` sequences its output by the explicit `order` vec, never by map order
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
@@ -148,6 +149,7 @@ where
     K: Eq + Hash + Clone,
 {
     let mut order: Vec<K> = Vec::new();
+    // tidy:allow(determinism) -- keyed lookups only; output order comes from `order` (first-seen), key bound is `Hash` (public API)
     let mut groups: HashMap<K, Vec<usize>> = HashMap::new();
     let mut dropped = 0;
     for (idx, reading) in readings.iter().enumerate() {

@@ -5,6 +5,7 @@
 //! positive, and so on. The headline metric is the Fowlkes–Mallows index,
 //! `FMI = sqrt(precision · recall)`.
 
+// tidy:allow(determinism) -- every map below is a counter summed commutatively; see the `from_assignments` notes
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -44,6 +45,7 @@ impl PairConfusion {
         let total_pairs = n * n.saturating_sub(1) / 2;
 
         fn pairs_within<K: Eq + Hash + Clone>(labels: &[K]) -> u64 {
+            // tidy:allow(determinism) -- counts summed over values(); addition commutes, order never observed
             let mut counts: HashMap<K, u64> = HashMap::new();
             for l in labels {
                 *counts.entry(l.clone()).or_default() += 1;
@@ -52,9 +54,12 @@ impl PairConfusion {
         }
 
         // Pairs sharing both labels: count joint groups.
+        // tidy:allow(determinism) -- group sizes summed commutatively; label bounds are `Hash` (public API)
         let mut joint: HashMap<(u64, u64), u64> = HashMap::new();
         {
+            // tidy:allow(determinism) -- keyed interning only, never iterated
             let mut pred_ids: HashMap<P, u64> = HashMap::new();
+            // tidy:allow(determinism) -- keyed interning only, never iterated
             let mut truth_ids: HashMap<T, u64> = HashMap::new();
             for (p, t) in predicted.iter().zip(truth) {
                 let np = pred_ids.len() as u64;

@@ -8,7 +8,7 @@
 //! pool. Starting from different accounts explores different base hosts,
 //! reaching new regions of the pool faster.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use eaao_cloudsim::ids::AccountId;
 use eaao_cloudsim::service::ServiceSpec;
@@ -69,7 +69,7 @@ impl ClusterExplorer {
     /// Propagates any [`LaunchError`].
     pub fn run(&self, world: &mut World) -> Result<ExplorationReport, LaunchError> {
         let fingerprinter = Gen1Fingerprinter::default();
-        let mut seen: HashSet<Gen1Fingerprint> = HashSet::new();
+        let mut seen: BTreeSet<Gen1Fingerprint> = BTreeSet::new();
         let mut cumulative = Series::new("cumulative unique apparent hosts");
         let mut launch_id = 0;
         let accounts: Vec<AccountId> = (0..self.accounts).map(|_| world.create_account()).collect();

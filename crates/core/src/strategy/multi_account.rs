@@ -9,7 +9,7 @@
 //! sustained usage — additional time and financial cost the model captures
 //! through account standing.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use eaao_cloudsim::ids::InstanceId;
 use eaao_cloudsim::service::ServiceSpec;
@@ -97,7 +97,7 @@ impl MultiAccountLaunch {
             }
         }
         live.retain(|&id| world.instance(id).is_alive());
-        let hosts: HashSet<_> = live.iter().map(|&i| world.host_of(i)).collect();
+        let hosts: BTreeSet<_> = live.iter().map(|&i| world.host_of(i)).collect();
         let cost_end: f64 = accounts.iter().map(|&a| world.billed_for(a).as_usd()).sum();
         Ok(StrategyReport {
             services,

@@ -6,7 +6,7 @@
 //! happens to share those base hosts (the bimodal overlap of
 //! Observations 3–4).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use eaao_cloudsim::ids::{AccountId, InstanceId};
 use eaao_cloudsim::service::ServiceSpec;
@@ -65,7 +65,7 @@ impl NaiveLaunch {
             live.extend_from_slice(launch.instances());
         }
         world.advance(self.hold);
-        let hosts: HashSet<_> = live.iter().map(|&i| world.host_of(i)).collect();
+        let hosts: BTreeSet<_> = live.iter().map(|&i| world.host_of(i)).collect();
         let report = StrategyReport {
             services,
             hosts_occupied: hosts.len(),
@@ -125,8 +125,8 @@ mod tests {
         }
         .run(&mut world, attacker)
         .expect("fits");
-        let hosts_a: HashSet<_> = a.live_instances.iter().map(|&i| world.host_of(i)).collect();
-        let hosts_b: HashSet<_> = b.live_instances.iter().map(|&i| world.host_of(i)).collect();
+        let hosts_a: BTreeSet<_> = a.live_instances.iter().map(|&i| world.host_of(i)).collect();
+        let hosts_b: BTreeSet<_> = b.live_instances.iter().map(|&i| world.host_of(i)).collect();
         let overlap = hosts_a.intersection(&hosts_b).count();
         assert!(
             overlap * 2 > hosts_a.len(),

@@ -8,7 +8,7 @@
 //! killed after each launch except the final one, whose instances carry
 //! the subsequent side-channel attack.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use eaao_cloudsim::ids::{AccountId, InstanceId};
 use eaao_cloudsim::service::ServiceSpec;
@@ -96,7 +96,7 @@ impl OptimizedLaunch {
         }
         // Some held instances may have been churned; keep the survivors.
         live.retain(|&id| world.instance(id).is_alive());
-        let hosts: HashSet<_> = live.iter().map(|&i| world.host_of(i)).collect();
+        let hosts: BTreeSet<_> = live.iter().map(|&i| world.host_of(i)).collect();
         let report = StrategyReport {
             services,
             hosts_occupied: hosts.len(),

@@ -17,7 +17,7 @@
 //! extraction phase (the expensive part, where instances must stay busy
 //! monitoring the side channel) runs on a fraction of the fleet.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use eaao_cloudsim::ids::{AccountId, InstanceId};
 use eaao_orchestrator::error::LaunchError;
@@ -35,7 +35,7 @@ use crate::verify::ctest::{ctest, CTestConfig};
 /// Fingerprints of hosts where the victim was confirmed during an attack.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct VictimHostRecord {
-    fingerprints: HashSet<Gen1Fingerprint>,
+    fingerprints: BTreeSet<Gen1Fingerprint>,
 }
 
 impl VictimHostRecord {
@@ -120,7 +120,7 @@ impl RepeatedAttack {
             // has no record yet, so test victim against a sample of its
             // own fleet grouped by host fingerprint.
             let mut confirmed = None;
-            let mut seen = HashSet::new();
+            let mut seen = BTreeSet::new();
             for reading in &own {
                 let Some(fp) = fingerprinter.fingerprint(reading) else {
                     continue;
@@ -194,7 +194,7 @@ impl RepeatedAttack {
             })
             .map(|r| r.instance)
             .collect();
-        let retained_set: HashSet<InstanceId> = retained.iter().copied().collect();
+        let retained_set: BTreeSet<InstanceId> = retained.iter().copied().collect();
         for service in &report.services {
             // Kill everything not retained: disconnecting would leave them
             // idle (free) but the attacker wants the capacity released.

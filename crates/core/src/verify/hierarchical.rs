@@ -62,6 +62,7 @@ impl VerificationOutcome {
                 self.clusters
                     .iter()
                     .position(|c| c.contains(id))
+                    // tidy:allow(panic-policy) -- documented `# Panics` contract: callers pass verified instances only
                     .unwrap_or_else(|| panic!("instance {id} not verified"))
             })
             .collect()

@@ -105,6 +105,7 @@ pub fn observe(name: &str, value: u64) {
 }
 
 /// State of a live span; present only while a scope wants events.
+#[derive(Debug)]
 struct SpanActive {
     name: String,
     id: u64,
@@ -119,6 +120,7 @@ struct SpanActive {
 /// matching `span_end` (carrying duration and any annotations added via
 /// the `*_field` methods) when dropped. Outside an event-collecting
 /// scope the guard is inert and allocation-free.
+#[derive(Debug)]
 pub struct SpanGuard {
     active: Option<SpanActive>,
 }

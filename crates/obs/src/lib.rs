@@ -59,6 +59,7 @@
 //! users who never ask for metrics pay almost nothing.
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod event;
 pub mod instrument;

@@ -8,7 +8,7 @@
 //! with the Fenwick/incremental backends: same RNG stream in, same picks
 //! out, at O(hosts) per operation instead of O(log hosts).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use eaao_cloudsim::datacenter::DataCenter;
 use eaao_cloudsim::ids::HostId;
@@ -74,6 +74,7 @@ impl IndexSampler for LinearSampler {
                 return i;
             }
         }
+        // tidy:allow(panic-policy) -- sampler contract: callers draw `target < total()`; out-of-range is a caller bug, mirrored from wsample
         panic!("target {target} >= total {cum}");
     }
 }
@@ -94,7 +95,7 @@ pub struct ScanCapacity {
     /// optimized index so spill-pick totals match exactly.
     pop_fixed: Vec<u64>,
     /// Overlay: slots tentatively consumed per host this planning session.
-    taken: HashMap<usize, u32>,
+    taken: BTreeMap<usize, u32>,
 }
 
 impl ScanCapacity {
@@ -112,7 +113,7 @@ impl CapacityIndex for ScanCapacity {
             cell_of_host,
             cell_count,
             pop_fixed,
-            taken: HashMap::new(),
+            taken: BTreeMap::new(),
         }
     }
 

@@ -21,6 +21,7 @@
 //! identical trajectories — any divergence is a bug in one backend's
 //! bookkeeping, which is exactly what the oracle suite hunts for.
 
+// tidy:allow(determinism) -- only `IncrementalCapacity::plan_taken`, a keyed-only overlay (see below)
 use std::collections::HashMap;
 use std::fmt;
 
@@ -137,6 +138,9 @@ pub struct IncrementalCapacity {
     /// of `h` is positive (committed free outside a planning session).
     avail: FenwickSampler,
     /// Overlay: slots tentatively consumed per host this planning session.
+    /// Never iterated — probed by host index and drained via
+    /// `plan_suppressed`/`clear`, so its order cannot reach the trajectory.
+    // tidy:allow(determinism) -- keyed lookups only; iteration order provably unobservable
     plan_taken: HashMap<usize, u32>,
     /// Hosts whose `avail` weight was zeroed by the overlay only.
     plan_suppressed: Vec<usize>,
@@ -183,6 +187,7 @@ impl CapacityIndex for IncrementalCapacity {
             cell_of_host,
             pop_fixed,
             avail: FenwickSampler::from_weights(weights),
+            // tidy:allow(determinism) -- keyed-only overlay, see field doc
             plan_taken: HashMap::new(),
             plan_suppressed: Vec::new(),
         }

@@ -32,7 +32,7 @@
 //! the former O(hosts) scan/re-rank per launch, and the naive reference
 //! engine in `eaao-oracle` must reproduce it draw for draw.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use eaao_cloudsim::datacenter::DataCenter;
 use eaao_cloudsim::ids::{AccountId, HostId, ServiceId};
@@ -53,9 +53,9 @@ pub struct CloudRunPolicy<E: Engine = OptimizedEngine> {
     /// Per-cell host lists, each ordered by descending popularity.
     cells: Vec<Vec<HostId>>,
     /// Cached base-host assignments.
-    base_cache: HashMap<AccountId, Vec<HostId>>,
+    base_cache: BTreeMap<AccountId, Vec<HostId>>,
     /// Accumulated helper hosts per service, in acquisition order.
-    helpers: HashMap<ServiceId, Vec<HostId>>,
+    helpers: BTreeMap<ServiceId, Vec<HostId>>,
     /// Salt mixed into the account→cell hash.
     cell_salt: u64,
     rng: SimRng,
@@ -95,8 +95,8 @@ impl<E: Engine> CloudRunPolicy<E> {
             config,
             dynamic,
             cells,
-            base_cache: HashMap::new(),
-            helpers: HashMap::new(),
+            base_cache: BTreeMap::new(),
+            helpers: BTreeMap::new(),
             cell_salt,
             rng,
             pop_fixed,
@@ -365,6 +365,8 @@ impl SaltExt for SimRng {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashMap;
+
     use super::*;
     use crate::engine::IncrementalCapacity;
     use eaao_cloudsim::host::HostGenConfig;

@@ -9,7 +9,7 @@
 //! channel observations, and billing.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use eaao_cloudsim::account::{Account, Standing};
 use eaao_cloudsim::datacenter::DataCenter;
@@ -93,17 +93,17 @@ pub struct World<E: Engine = OptimizedEngine> {
     /// Free-capacity index mirroring `dc` residency; maintained on every
     /// instance create/terminate and host reboot.
     capacity: E::Capacity,
-    accounts: HashMap<AccountId, Account>,
-    services: HashMap<ServiceId, Service>,
-    demand: HashMap<ServiceId, DemandWindow>,
+    accounts: BTreeMap<AccountId, Account>,
+    services: BTreeMap<ServiceId, Service>,
+    demand: BTreeMap<ServiceId, DemandWindow>,
     /// Keyed by id in a `BTreeMap` so every whole-fleet iteration
     /// (billing sums, bulk terminations) runs in one deterministic order.
     instances: BTreeMap<InstanceId, ContainerInstance>,
     /// Idle instances per service, most recently idled first (ties broken
     /// by ascending id) — the warm-reuse order of `launch`.
-    idle_index: HashMap<ServiceId, BTreeSet<(Reverse<SimTime>, InstanceId)>>,
+    idle_index: BTreeMap<ServiceId, BTreeSet<(Reverse<SimTime>, InstanceId)>>,
     /// Active instances per service, ascending id.
-    active_index: HashMap<ServiceId, BTreeSet<InstanceId>>,
+    active_index: BTreeMap<ServiceId, BTreeSet<InstanceId>>,
     events: EventQueue<WorldEvent>,
     billing: BillingMeter,
     rng: SimRng,
@@ -153,12 +153,12 @@ impl<E: Engine> World<E> {
             dc,
             policy,
             capacity,
-            accounts: HashMap::new(),
-            services: HashMap::new(),
-            demand: HashMap::new(),
+            accounts: BTreeMap::new(),
+            services: BTreeMap::new(),
+            demand: BTreeMap::new(),
             instances: BTreeMap::new(),
-            idle_index: HashMap::new(),
-            active_index: HashMap::new(),
+            idle_index: BTreeMap::new(),
+            active_index: BTreeMap::new(),
             events: EventQueue::new(),
             billing,
             rng,
@@ -771,7 +771,7 @@ impl<E: Engine> World<E> {
             "world.ctest_sim_ns",
             (CTEST_ROUND_DURATION * rounds as i64).as_nanos() as u64,
         );
-        let mut per_host: HashMap<HostId, usize> = HashMap::new();
+        let mut per_host: BTreeMap<HostId, usize> = BTreeMap::new();
         for &id in participants {
             let instance = self
                 .instances
@@ -991,6 +991,8 @@ impl<E: Engine> World<E> {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashMap;
+
     use super::*;
     use crate::config::RegionConfig;
     use eaao_cloudsim::rng_unit::is_positive;

@@ -1,0 +1,124 @@
+//! The determinism check: sources of nondeterminism in simulation-critical
+//! crates.
+//!
+//! The differential oracle and the campaign engine promise byte-identical
+//! output for a given seed, at any parallelism. Four classes of constructs
+//! can silently break that promise:
+//!
+//! * **Iteration-order hazards** — `std::collections::HashMap`/`HashSet`
+//!   iterate in a layout-dependent order (randomized per process by the
+//!   default hasher), so any iteration that reaches output, or feeds an
+//!   RNG draw sequence, forks the trajectory.
+//! * **Wall clocks** — `SystemTime`/`Instant` read host time; simulation
+//!   time is [`SimTime`](https://docs.rs/) from `eaao-simcore`.
+//! * **Ambient inputs** — `std::env`, `std::fs`, `std::net`,
+//!   `std::process` smuggle host state into the model.
+//! * **Non-seeded RNGs** — `thread_rng`/`from_entropy`/`OsRng` draw OS
+//!   entropy; every stream must derive from `SimRng::fork_labeled`.
+
+use crate::checks::find_token;
+use crate::diag::{CheckId, Diagnostic};
+use crate::source::SourceFile;
+
+/// Banned token → remedy. Matched with identifier boundaries against
+/// masked code, so mentions in comments, docs, and string literals are
+/// fine.
+const BANNED: &[(&str, &str)] = &[
+    (
+        "HashMap",
+        "iteration order is layout-dependent; use BTreeMap or an index-keyed Vec",
+    ),
+    (
+        "HashSet",
+        "iteration order is layout-dependent; use BTreeSet or a sorted Vec",
+    ),
+    (
+        "SystemTime",
+        "wall-clock read; simulation code must use eaao_simcore::time::SimTime",
+    ),
+    (
+        "Instant",
+        "wall-clock read; simulation code must use eaao_simcore::time::SimTime",
+    ),
+    (
+        "std::env",
+        "ambient environment read; thread configuration through RegionConfig/Spec types",
+    ),
+    (
+        "std::fs",
+        "ambient file I/O; only host-tool crates (campaign, obs, bench, tidy) may touch the filesystem",
+    ),
+    (
+        "std::net",
+        "ambient network I/O is banned in simulation-critical crates",
+    ),
+    (
+        "std::process",
+        "process spawning/exit is banned in simulation-critical crates",
+    ),
+    (
+        "thread_rng",
+        "non-seeded RNG; derive a stream with SimRng::fork_labeled",
+    ),
+    (
+        "from_entropy",
+        "non-seeded RNG; derive a stream with SimRng::fork_labeled",
+    ),
+    (
+        "from_os_rng",
+        "non-seeded RNG; derive a stream with SimRng::fork_labeled",
+    ),
+    (
+        "OsRng",
+        "OS entropy source; derive a stream with SimRng::fork_labeled",
+    ),
+];
+
+/// Scans non-test library code for the banned tokens.
+pub fn check(rel: &str, src: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in src.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for &(token, remedy) in BANNED {
+            if find_token(&line.code, token).is_some() {
+                out.push(Diagnostic::new(
+                    rel,
+                    idx + 1,
+                    CheckId::Determinism,
+                    format!("`{token}` in a simulation-critical crate: {remedy}"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(text: &str) -> Vec<Diagnostic> {
+        let src = SourceFile::parse(text);
+        let mut out = Vec::new();
+        check("x.rs", &src, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_each_class() {
+        let d = run("use std::collections::HashMap;\nlet t = Instant::now();\nlet e = std::env::var(\"X\");\nlet f = std::fs::read(p);\nlet r = thread_rng();\n");
+        let lines: Vec<usize> = d.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![1, 2, 3, 4, 5]);
+        assert!(d.iter().all(|d| d.check == CheckId::Determinism));
+    }
+
+    #[test]
+    fn ignores_tests_comments_and_strings() {
+        assert!(run("// a HashMap in prose\nlet s = \"HashMap\";\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n").is_empty());
+    }
+
+    #[test]
+    fn ignores_lookalike_identifiers() {
+        assert!(run("struct SimInstant;\nfn hash_map() {}\n").is_empty());
+    }
+}

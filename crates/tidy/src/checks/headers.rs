@@ -1,0 +1,88 @@
+//! Crate-header hygiene: the standard lint set on every `lib.rs`, and a
+//! justification on every `#[allow(...)]`.
+
+use crate::diag::{CheckId, Diagnostic};
+use crate::source::SourceFile;
+
+/// Lints every `lib.rs` must enable (via `#![warn]`, `#![deny]`, or
+/// `#![forbid]`).
+const REQUIRED_LINTS: &[&str] = &["missing_docs", "missing_debug_implementations"];
+
+/// Checks that a `lib.rs` carries the standard lint header.
+pub fn check_lint_header(rel: &str, src: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for &lint in REQUIRED_LINTS {
+        let present = src.lines.iter().any(|l| {
+            (l.code.contains("#![warn(")
+                || l.code.contains("#![deny(")
+                || l.code.contains("#![forbid("))
+                && l.code.contains(lint)
+        });
+        if !present {
+            out.push(Diagnostic::new(
+                rel,
+                1,
+                CheckId::CrateHeader,
+                format!("lib.rs is missing the standard lint header `#![warn({lint})]`"),
+            ));
+        }
+    }
+}
+
+/// Checks that every `#[allow(...)]` / `#![allow(...)]` in non-test
+/// library code explains itself — a trailing comment on the same line or a
+/// comment on the line directly above.
+pub fn check_allow_attributes(rel: &str, src: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in src.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if !(line.code.contains("#[allow(") || line.code.contains("#![allow(")) {
+            continue;
+        }
+        let justified = !line.comment.trim().is_empty()
+            || (idx > 0 && !src.lines[idx - 1].comment.trim().is_empty());
+        if !justified {
+            out.push(Diagnostic::new(
+                rel,
+                idx + 1,
+                CheckId::CrateHeader,
+                "#[allow(...)] without a justification comment (same line or the line above)",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_lints_reported_individually() {
+        let src = SourceFile::parse("#![warn(missing_docs)]\npub fn f() {}\n");
+        let mut out = Vec::new();
+        check_lint_header("src/lib.rs", &src, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("missing_debug_implementations"));
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn combined_warn_attribute_satisfies_both() {
+        let src = SourceFile::parse("#![warn(missing_docs, missing_debug_implementations)]\n");
+        let mut out = Vec::new();
+        check_lint_header("src/lib.rs", &src, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn allow_needs_a_reason() {
+        let src = SourceFile::parse(
+            "#[allow(dead_code)]\nfn a() {}\n// scratch buffer reused across calls\n#[allow(clippy::type_complexity)]\nfn b() {}\n#[allow(unused)] // windows-only helper\nfn c() {}\n",
+        );
+        let mut out = Vec::new();
+        check_allow_attributes("x.rs", &src, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 1);
+        assert_eq!(out[0].check, CheckId::CrateHeader);
+    }
+}

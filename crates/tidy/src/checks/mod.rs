@@ -1,0 +1,121 @@
+//! The checks, and the per-file driver that runs them and applies
+//! suppressions.
+
+pub mod determinism;
+pub mod headers;
+pub mod hermeticity;
+pub mod panics;
+pub mod unsafe_code;
+
+use crate::diag::{CheckId, Diagnostic};
+use crate::policy::{CratePolicy, FileKind};
+use crate::source::SourceFile;
+
+/// Finds `pattern` in masked code with identifier boundaries on both ends
+/// (`HashMap` does not match `FxHashMap` or `HashMaps`; `std::fs` does
+/// match `use std::fs::File`). Returns the byte offset of the first hit.
+pub fn find_token(code: &str, pattern: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(pattern) {
+        let at = from + rel;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + pattern.len();
+        let after_ok = !code[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + pattern.len();
+    }
+    None
+}
+
+/// Runs every source-level check on one Rust file and appends the
+/// surviving findings to `diags`. `rel` is the workspace-relative path
+/// used in diagnostics.
+pub fn check_rust_file(
+    policy: &CratePolicy,
+    kind: FileKind,
+    rel: &str,
+    text: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let src = SourceFile::parse(text);
+    let mut raw: Vec<Diagnostic> = Vec::new();
+
+    if policy.determinism && kind == FileKind::LibSrc {
+        determinism::check(rel, &src, &mut raw);
+    }
+    if kind == FileKind::LibSrc {
+        panics::check(rel, &src, &mut raw);
+        headers::check_allow_attributes(rel, &src, &mut raw);
+    }
+    unsafe_code::check(rel, &src, &mut raw);
+    if rel.ends_with("src/lib.rs") {
+        headers::check_lint_header(rel, &src, &mut raw);
+    }
+
+    // Apply suppressions, tracking which ones earned their keep.
+    let mut used = vec![false; src.suppressions.len()];
+    for d in raw {
+        if !src.is_suppressed(d.line, d.check, &mut used) {
+            diags.push(d);
+        }
+    }
+    for (s, used) in src.suppressions.iter().zip(&used) {
+        if s.check.is_none() {
+            diags.push(Diagnostic::new(
+                rel,
+                s.declared_at,
+                CheckId::Suppression,
+                format!(
+                    "unknown check `{}` in tidy:allow (known: determinism, \
+                     unsafe-policy, crate-header, panic-policy, hermeticity)",
+                    s.check_name
+                ),
+            ));
+        } else if !s.justified {
+            diags.push(Diagnostic::new(
+                rel,
+                s.declared_at,
+                CheckId::Suppression,
+                format!(
+                    "tidy:allow({}) needs a justification: \
+                     `// tidy:allow({}) -- why this is sound`",
+                    s.check_name, s.check_name
+                ),
+            ));
+        } else if !used {
+            diags.push(Diagnostic::new(
+                rel,
+                s.declared_at,
+                CheckId::Suppression,
+                format!(
+                    "unused suppression tidy:allow({}): nothing on the covered \
+                     line fires this check — remove it",
+                    s.check_name
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_boundaries() {
+        assert!(find_token("use std::collections::HashMap;", "HashMap").is_some());
+        assert!(find_token("type FxHashMap = ();", "HashMap").is_none());
+        assert!(find_token("fn hashmaps()", "HashMap").is_none());
+        assert!(find_token("use std::fs::File;", "std::fs").is_some());
+        assert!(find_token("use mystd::fs;", "std::fs").is_none());
+    }
+}

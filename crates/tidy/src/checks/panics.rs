@@ -1,0 +1,120 @@
+//! The panic policy for library code.
+//!
+//! Recoverable failures take typed errors (`LaunchError`, `GuestError`,
+//! `SpecError`, …). Genuine invariants use `expect("message naming the
+//! invariant")` — the message is the documentation, which is why `expect`
+//! is the sanctioned form and is *not* flagged here. What is flagged, in
+//! non-test library code:
+//!
+//! * bare `unwrap()` — an invariant nobody wrote down;
+//! * `panic!` — usually an error path that deserves a type (suppressible
+//!   where the panic *is* the documented contract, e.g. a formatted
+//!   "unknown id" message behind a `# Panics` doc section);
+//! * `todo!` / `unimplemented!` — unfinished code has no business on the
+//!   simulation path.
+//!
+//! `assert!`/`debug_assert!` are allowed: they state their predicate.
+
+use crate::checks::find_token;
+use crate::diag::{CheckId, Diagnostic};
+use crate::source::SourceFile;
+
+const BANNED_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Scans non-test library code for panic-policy violations.
+pub fn check(rel: &str, src: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in src.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if has_bare_unwrap(&line.code) {
+            out.push(Diagnostic::new(
+                rel,
+                idx + 1,
+                CheckId::PanicPolicy,
+                "`unwrap()` in library code: use `?`, a typed error, or \
+                 `expect(\"the invariant that holds here\")`",
+            ));
+        }
+        for &mac in BANNED_MACROS {
+            if is_macro_call(&line.code, mac) {
+                out.push(Diagnostic::new(
+                    rel,
+                    idx + 1,
+                    CheckId::PanicPolicy,
+                    format!(
+                        "`{mac}!` in library code: prefer a typed error or \
+                         `expect`; suppress only with a documented invariant"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `unwrap` immediately followed by `()` (so `unwrap_or`, `unwrap_err`,
+/// and `unwrap_or_else` never match).
+fn has_bare_unwrap(code: &str) -> bool {
+    let mut rest = code;
+    while let Some(at) = find_token(rest, "unwrap") {
+        let tail = rest[at + "unwrap".len()..].trim_start();
+        if let Some(t) = tail.strip_prefix('(') {
+            if t.trim_start().starts_with(')') {
+                return true;
+            }
+        }
+        rest = &rest[at + "unwrap".len()..];
+    }
+    false
+}
+
+/// `name` followed by `!` with an identifier boundary before it.
+fn is_macro_call(code: &str, name: &str) -> bool {
+    let mut rest = code;
+    while let Some(at) = find_token(rest, name) {
+        if rest[at + name.len()..].starts_with('!') {
+            return true;
+        }
+        rest = &rest[at + name.len()..];
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(text: &str) -> Vec<Diagnostic> {
+        let src = SourceFile::parse(text);
+        let mut out = Vec::new();
+        check("x.rs", &src, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_and_panic_macros() {
+        let d = run("let x = y.unwrap();\npanic!(\"boom\");\ntodo!()\n");
+        assert_eq!(d.iter().map(|d| d.line).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(d.iter().all(|d| d.check == CheckId::PanicPolicy));
+    }
+
+    #[test]
+    fn expect_and_fallible_unwraps_are_fine() {
+        assert!(run(
+            "let x = y.expect(\"queue is non-empty\");\nlet z = r.unwrap_or_else(|| 0);\nlet w = r.unwrap_or(1);\nassert!(x > 0);\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn panic_paths_and_should_panic_do_not_match() {
+        assert!(run("use std::panic::catch_unwind;\nfn panicking() {}\n").is_empty());
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        assert!(
+            run("#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); panic!(); }\n}\n").is_empty()
+        );
+    }
+}

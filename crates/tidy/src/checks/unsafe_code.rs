@@ -1,0 +1,73 @@
+//! The unsafe policy: no `unsafe` anywhere, with an explicit allowlist.
+//!
+//! The workspace is 100% safe Rust and the allowlist
+//! ([`UNSAFE_ALLOWLIST`]) is empty. If a
+//! future crate genuinely needs `unsafe` (an accelerator FFI boundary,
+//! say), its file goes on the allowlist *and* every block must carry a
+//! `// SAFETY:` comment on the block or the lines directly above it —
+//! both are enforced here.
+
+use crate::checks::find_token;
+use crate::diag::{CheckId, Diagnostic};
+use crate::policy::UNSAFE_ALLOWLIST;
+use crate::source::SourceFile;
+
+/// How many lines above an allowlisted `unsafe` block may carry the
+/// `SAFETY:` comment.
+const SAFETY_COMMENT_WINDOW: usize = 3;
+
+/// Scans all code (tests included — memory safety has no test exemption)
+/// for `unsafe`.
+pub fn check(rel: &str, src: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let allowlisted = UNSAFE_ALLOWLIST.contains(&rel);
+    for (idx, line) in src.lines.iter().enumerate() {
+        if find_token(&line.code, "unsafe").is_none() {
+            continue;
+        }
+        if !allowlisted {
+            out.push(Diagnostic::new(
+                rel,
+                idx + 1,
+                CheckId::UnsafePolicy,
+                "`unsafe` outside the allowlist (crates/tidy/src/policy.rs); \
+                 the workspace is safe Rust by policy",
+            ));
+            continue;
+        }
+        let has_safety = (idx.saturating_sub(SAFETY_COMMENT_WINDOW)..=idx)
+            .any(|i| src.lines[i].comment.contains("SAFETY:"));
+        if !has_safety {
+            out.push(Diagnostic::new(
+                rel,
+                idx + 1,
+                CheckId::UnsafePolicy,
+                "allowlisted `unsafe` without a `// SAFETY:` comment on the \
+                 block or directly above it",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_unsafe_everywhere_even_in_tests() {
+        let src =
+            SourceFile::parse("#[cfg(test)]\nmod tests {\n    fn f() { unsafe { g() } }\n}\n");
+        let mut out = Vec::new();
+        check("x.rs", &src, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+        assert_eq!(out[0].check, CheckId::UnsafePolicy);
+    }
+
+    #[test]
+    fn ignores_mentions_in_comments_and_strings() {
+        let src = SourceFile::parse("// unsafe in prose\nlet s = \"unsafe\";\n");
+        let mut out = Vec::new();
+        check("x.rs", &src, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Structured diagnostics: `file:line: [check-name] message`.
+
+use std::fmt;
+
+/// The checks this pass can report. The string form (used in diagnostics
+/// and in `tidy:allow(...)` suppressions) is kebab-case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CheckId {
+    /// Iteration-order hazards, wall-clock reads, ambient I/O, and
+    /// non-seeded RNG construction in simulation-critical crates.
+    Determinism,
+    /// `unsafe` outside the (currently empty) allowlist, or an allowlisted
+    /// block missing its `// SAFETY:` comment.
+    UnsafePolicy,
+    /// Missing standard lint headers on a `lib.rs`, unjustified
+    /// `#[allow(...)]`, or a crate absent from the policy table.
+    CrateHeader,
+    /// `unwrap()` / `panic!` / `todo!` / `unimplemented!` in library code.
+    PanicPolicy,
+    /// Registry or git dependencies in a `Cargo.toml`.
+    Hermeticity,
+    /// A malformed, unknown, or unused `tidy:allow` suppression.
+    Suppression,
+}
+
+impl CheckId {
+    /// The kebab-case name used in diagnostics and suppressions.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckId::Determinism => "determinism",
+            CheckId::UnsafePolicy => "unsafe-policy",
+            CheckId::CrateHeader => "crate-header",
+            CheckId::PanicPolicy => "panic-policy",
+            CheckId::Hermeticity => "hermeticity",
+            CheckId::Suppression => "suppression",
+        }
+    }
+
+    /// Resolves a suppression name back to a check. `suppression` itself
+    /// is not suppressible — meta-findings must be fixed, not silenced.
+    pub fn from_name(name: &str) -> Option<CheckId> {
+        match name {
+            "determinism" => Some(CheckId::Determinism),
+            "unsafe-policy" => Some(CheckId::UnsafePolicy),
+            "crate-header" => Some(CheckId::CrateHeader),
+            "panic-policy" => Some(CheckId::PanicPolicy),
+            "hermeticity" => Some(CheckId::Hermeticity),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CheckId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding, anchored to a workspace-relative file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line the finding anchors to.
+    pub line: usize,
+    /// The check that fired.
+    pub check: CheckId,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(file: &str, line: usize, check: CheckId, message: impl Into<String>) -> Self {
+        Diagnostic {
+            file: file.to_owned(),
+            line,
+            check,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.check, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_contract() {
+        let d = Diagnostic::new("crates/x/src/lib.rs", 7, CheckId::Determinism, "no HashMap");
+        assert_eq!(
+            d.to_string(),
+            "crates/x/src/lib.rs:7: [determinism] no HashMap"
+        );
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for check in [
+            CheckId::Determinism,
+            CheckId::UnsafePolicy,
+            CheckId::CrateHeader,
+            CheckId::PanicPolicy,
+            CheckId::Hermeticity,
+        ] {
+            assert_eq!(CheckId::from_name(check.name()), Some(check));
+        }
+        assert_eq!(CheckId::from_name("suppression"), None);
+        assert_eq!(CheckId::from_name("bogus"), None);
+    }
+}

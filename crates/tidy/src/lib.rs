@@ -1,0 +1,60 @@
+//! `eaao-tidy` — the workspace's determinism & hygiene static-analysis pass.
+//!
+//! Everything this reproduction claims rests on byte-identical determinism:
+//! the differential oracle validates the placement/reaper/spill model by
+//! byte-equal JSONL trajectories, and campaign results must be identical at
+//! any `--jobs`. Tests enforce that contract *after the fact*; this crate
+//! enforces it *at the source level*, in the style of rustc's `tidy` — a
+//! pure line/lexical pass with no parser dependencies, which is exactly
+//! what a hermetic, registry-free workspace can support.
+//!
+//! # Checks
+//!
+//! | check | what it forbids |
+//! |---|---|
+//! | `determinism` | `HashMap`/`HashSet`, `SystemTime`/`Instant`, `std::env`, `std::fs`/`std::net`/`std::process`, and non-seeded RNG construction in simulation-critical crates |
+//! | `unsafe-policy` | `unsafe` outside the allowlist (currently empty); allowlisted blocks must carry `// SAFETY:` |
+//! | `crate-header` | a `lib.rs` missing the standard lint set, or an `#[allow(...)]` without a justification comment |
+//! | `panic-policy` | `unwrap()` / `panic!` / `todo!` / `unimplemented!` in library code (`expect("invariant")` is the sanctioned form) |
+//! | `hermeticity` | registry or git dependencies in any `Cargo.toml` (workspace/`vendor/` path deps only) |
+//! | `suppression` | malformed, unknown, or unused `tidy:allow` suppressions |
+//!
+//! The per-crate policy table lives in [`policy`]; which checks apply where
+//! is data, not convention.
+//!
+//! # Suppressions
+//!
+//! A finding is silenced inline with
+//!
+//! ```text
+//! // tidy:allow(check-name) -- justification
+//! ```
+//!
+//! A trailing comment covers its own line; a comment standing alone on a
+//! line covers the next line. The justification is mandatory (a suppression
+//! without one is itself a finding), the check name must exist, and a
+//! suppression that no longer silences anything is reported as unused so
+//! stale escapes cannot accumulate.
+//!
+//! # Running
+//!
+//! ```text
+//! cargo run -p eaao-tidy          # non-zero exit on any finding
+//! ```
+//!
+//! Diagnostics are `file:line: [check-name] message`, sorted by path. See
+//! `docs/STATIC_ANALYSIS.md` for the full policy rationale.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod checks;
+pub mod diag;
+pub mod policy;
+pub mod source;
+pub mod walk;
+
+pub use diag::{CheckId, Diagnostic};
+pub use policy::{CratePolicy, FileKind, POLICIES};
+pub use source::SourceFile;
+pub use walk::run_workspace;

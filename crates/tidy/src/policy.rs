@@ -1,0 +1,131 @@
+//! The per-crate policy table: which checks apply to which crate.
+//!
+//! This table is the registry of workspace crates. A crate directory that
+//! exists under `crates/` but has no row here is itself a finding — adding
+//! a crate forces an explicit decision about which rules it lives under.
+
+/// Where a source file sits in a crate's layout. Library sources carry the
+/// full policy; test/example/bench targets are exempt from the determinism
+/// and panic checks (they are allowed to assert, collect into `HashMap`s,
+/// and measure wall-clock time) but never from the unsafe policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/**` — library (or binary) code shipped by the crate.
+    LibSrc,
+    /// `tests/**` — integration tests.
+    Tests,
+    /// `examples/**`.
+    Examples,
+    /// `benches/**`.
+    Benches,
+}
+
+/// Policy row for one workspace crate.
+#[derive(Debug, Clone, Copy)]
+pub struct CratePolicy {
+    /// Package name as in its `Cargo.toml`.
+    pub name: &'static str,
+    /// Crate directory relative to the workspace root (`""` for the root
+    /// facade crate).
+    pub dir: &'static str,
+    /// Whether the determinism check applies to this crate's library
+    /// sources. True for every crate on the simulation-critical path —
+    /// anything whose behaviour can reach an oracle trajectory or a
+    /// campaign record. False for host-side tools that legitimately read
+    /// wall clocks and touch the filesystem.
+    pub determinism: bool,
+}
+
+/// The workspace policy table.
+///
+/// Simulation-critical (`determinism: true`): `simcore`, `tsc`,
+/// `cloudsim`, `orchestrator`, `core`, `oracle`. Host tools
+/// (`determinism: false`): the root facade/CLI (`eaao`), the `campaign`
+/// runner (walls clocks for elapsed-time reporting, owns the JSONL sink),
+/// `obs` (trace files are explicit ambient I/O), `bench` (timing is its
+/// job), and this crate (a filesystem scanner by definition).
+pub const POLICIES: &[CratePolicy] = &[
+    CratePolicy {
+        name: "eaao",
+        dir: "",
+        determinism: false,
+    },
+    CratePolicy {
+        name: "eaao-simcore",
+        dir: "crates/simcore",
+        determinism: true,
+    },
+    CratePolicy {
+        name: "eaao-tsc",
+        dir: "crates/tsc",
+        determinism: true,
+    },
+    CratePolicy {
+        name: "eaao-cloudsim",
+        dir: "crates/cloudsim",
+        determinism: true,
+    },
+    CratePolicy {
+        name: "eaao-orchestrator",
+        dir: "crates/orchestrator",
+        determinism: true,
+    },
+    CratePolicy {
+        name: "eaao-core",
+        dir: "crates/core",
+        determinism: true,
+    },
+    CratePolicy {
+        name: "eaao-oracle",
+        dir: "crates/oracle",
+        determinism: true,
+    },
+    CratePolicy {
+        name: "eaao-campaign",
+        dir: "crates/campaign",
+        determinism: false,
+    },
+    CratePolicy {
+        name: "eaao-obs",
+        dir: "crates/obs",
+        determinism: false,
+    },
+    CratePolicy {
+        name: "eaao-bench",
+        dir: "crates/bench",
+        determinism: false,
+    },
+    CratePolicy {
+        name: "eaao-tidy",
+        dir: "crates/tidy",
+        determinism: false,
+    },
+];
+
+/// Files (workspace-relative, forward slashes) allowed to contain
+/// `unsafe`. Currently empty: the workspace is 100% safe Rust, and any
+/// future entry must pair with a `// SAFETY:` comment at each block.
+pub const UNSAFE_ALLOWLIST: &[&str] = &[];
+
+/// Looks up the policy row for a crate directory.
+pub fn policy_for_dir(dir: &str) -> Option<&'static CratePolicy> {
+    POLICIES.iter().find(|p| p.dir == dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_unique_and_lookup_works() {
+        for (i, a) in POLICIES.iter().enumerate() {
+            for b in &POLICIES[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate policy row");
+                assert_ne!(a.dir, b.dir, "duplicate policy dir");
+            }
+        }
+        assert!(policy_for_dir("crates/simcore").is_some_and(|p| p.determinism));
+        assert!(policy_for_dir("crates/campaign").is_some_and(|p| !p.determinism));
+        assert!(policy_for_dir("crates/unknown").is_none());
+    }
+}

@@ -1,0 +1,147 @@
+//! Workspace traversal: which files are scanned, under which policy.
+//!
+//! The walk is driven by the policy table, not by globbing: each
+//! registered crate contributes its `src/`, `tests/`, `examples/`, and
+//! `benches/` trees (with [`FileKind`] deciding which checks apply), and
+//! every manifest — root, per-crate, and the vendor stand-ins — goes
+//! through the hermeticity check. `vendor/` sources are third-party
+//! stand-ins and are not style-checked; `tests/fixtures/` subtrees are the
+//! analyzer's own known-bad corpus and are skipped by contract.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::checks;
+use crate::diag::{CheckId, Diagnostic};
+use crate::policy::{policy_for_dir, CratePolicy, FileKind, POLICIES};
+
+/// Runs every check over the workspace rooted at `root` and returns the
+/// findings sorted by file, line, and check.
+pub fn run_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for policy in POLICIES {
+        check_crate(root, policy, &mut diags);
+    }
+    check_manifests(root, &mut diags);
+    check_registration(root, &mut diags);
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.check.name()).cmp(&(b.file.as_str(), b.line, b.check.name()))
+    });
+    diags.dedup();
+    diags
+}
+
+fn check_crate(root: &Path, policy: &CratePolicy, diags: &mut Vec<Diagnostic>) {
+    const SUBDIRS: &[(&str, FileKind)] = &[
+        ("src", FileKind::LibSrc),
+        ("tests", FileKind::Tests),
+        ("examples", FileKind::Examples),
+        ("benches", FileKind::Benches),
+    ];
+    let crate_root = root.join(policy.dir);
+    for &(subdir, kind) in SUBDIRS {
+        let dir = crate_root.join(subdir);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs(&dir, &mut files);
+        files.sort();
+        for path in files {
+            let rel = rel_path(root, &path);
+            match fs::read_to_string(&path) {
+                Ok(text) => checks::check_rust_file(policy, kind, &rel, &text, diags),
+                Err(err) => diags.push(Diagnostic::new(
+                    &rel,
+                    1,
+                    CheckId::CrateHeader,
+                    format!("cannot read source file: {err}"),
+                )),
+            }
+        }
+    }
+}
+
+/// Recursively collects `.rs` files, skipping `fixtures/` subtrees (the
+/// analyzer's deliberately-bad test corpus).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn check_manifests(root: &Path, diags: &mut Vec<Diagnostic>) {
+    let mut manifests: Vec<PathBuf> = POLICIES
+        .iter()
+        .map(|p| root.join(p.dir).join("Cargo.toml"))
+        .collect();
+    if let Ok(entries) = fs::read_dir(root.join("vendor")) {
+        let mut vendor: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path().join("Cargo.toml"))
+            .filter(|p| p.is_file())
+            .collect();
+        vendor.sort();
+        manifests.extend(vendor);
+    }
+    for path in manifests {
+        let rel = rel_path(root, &path);
+        match fs::read_to_string(&path) {
+            Ok(text) => checks::hermeticity::check(&rel, &text, diags),
+            Err(err) => diags.push(Diagnostic::new(
+                &rel,
+                1,
+                CheckId::Hermeticity,
+                format!("cannot read manifest: {err}"),
+            )),
+        }
+    }
+}
+
+/// Every directory under `crates/` must have a row in the policy table —
+/// adding a crate forces an explicit decision about its rules.
+fn check_registration(root: &Path, diags: &mut Vec<Diagnostic>) {
+    let Ok(entries) = fs::read_dir(root.join("crates")) else {
+        return;
+    };
+    let mut dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    dirs.sort();
+    for dir in dirs.into_iter().filter(|d| d.is_dir()) {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if policy_for_dir(&format!("crates/{name}")).is_none() {
+            diags.push(Diagnostic::new(
+                &format!("crates/{name}/Cargo.toml"),
+                1,
+                CheckId::CrateHeader,
+                format!(
+                    "crate `{name}` is not registered in eaao-tidy's policy \
+                     table (crates/tidy/src/policy.rs); every workspace crate \
+                     must declare which checks it lives under"
+                ),
+            ));
+        }
+    }
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,11 @@
+//! Known-bad fixture: determinism violations at fixed lines.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn ambient() {
+    let _ = std::env::var("HOME");
+    let _ = std::fs::read("x");
+}

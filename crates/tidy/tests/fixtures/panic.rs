@@ -1,0 +1,9 @@
+//! Known-bad fixture: panic-policy violations.
+
+pub fn bad(x: Option<u32>) -> u32 {
+    let v = x.unwrap();
+    if v == 0 {
+        panic!("zero");
+    }
+    todo!()
+}

@@ -1,0 +1,10 @@
+//! Fixture: valid suppressions silence exactly the named check.
+
+// tidy:allow(determinism) -- fixture: keyed-only map, standalone form
+use std::collections::HashMap;
+use std::collections::HashSet; // tidy:allow(determinism) -- fixture: trailing form
+
+pub fn documented() -> u32 {
+    // tidy:allow(panic-policy) -- fixture: documented invariant
+    panic!("invariant")
+}

@@ -1,0 +1,4 @@
+//! Fixture: a suppression without a justification does not suppress.
+
+// tidy:allow(determinism)
+use std::collections::HashMap;

@@ -1,0 +1,5 @@
+//! Known-bad fixture: `unsafe` outside the allowlist.
+
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,4 @@
+//! Fixture: a suppression that silences nothing is itself a finding.
+
+// tidy:allow(determinism) -- fixture: nothing to suppress here
+pub fn clean() {}

@@ -1,0 +1,4 @@
+//! Fixture: a suppression for the wrong check silences nothing.
+
+// tidy:allow(panic-policy) -- fixture: wrong check on purpose
+use std::collections::HashMap;

@@ -1,0 +1,30 @@
+//! The repository's own gate: the workspace must scan clean.
+//!
+//! This is the same pass `cargo run -p eaao-tidy` (and the CI tidy step)
+//! performs, wired into `cargo test` so a violation cannot land through
+//! either door.
+
+use std::path::Path;
+
+use eaao_tidy::run_workspace;
+
+#[test]
+fn the_workspace_scans_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("tidy sits two levels below the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "not a workspace: {root:?}"
+    );
+    let diags = run_workspace(&root);
+    let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    assert!(
+        diags.is_empty(),
+        "eaao-tidy found {} violation(s):\n{}",
+        diags.len(),
+        rendered.join("\n")
+    );
+}

@@ -11,7 +11,7 @@
 //! repository — `#[derive(Serialize, Deserialize)]`, trait bounds, and
 //! `serde_json::{to_string, to_string_pretty, from_str}` — source-compatible.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 
 #[cfg(feature = "derive")]
@@ -393,6 +393,18 @@ impl<T: Serialize + std::cmp::Eq + std::hash::Hash> Serialize for HashSet<T> {
 }
 
 impl<T: Deserialize + std::cmp::Eq + std::hash::Hash> Deserialize for HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(v).map(|items| items.into_iter().collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
     fn from_value(v: &Value) -> Result<Self, Error> {
         Vec::<T>::from_value(v).map(|items| items.into_iter().collect())
     }
