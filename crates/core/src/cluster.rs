@@ -108,6 +108,7 @@ impl CoLocationForest {
 
     /// Extracts the clusters, each sorted by instance id, ordered by their
     /// smallest member.
+    // tidy:allow(panic-reachability) -- `i` ranges over `0..self.ids.len()`.
     pub fn clusters(&mut self) -> Vec<Vec<InstanceId>> {
         let mut by_root: BTreeMap<usize, Vec<InstanceId>> = BTreeMap::new();
         for i in 0..self.ids.len() {

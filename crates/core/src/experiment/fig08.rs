@@ -124,6 +124,12 @@ impl Fig08Result {
 
     /// Mean cumulative growth on launches where the *account changed* vs
     /// launches repeating the previous account.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owners` is shorter than the cumulative series — the two
+    /// are parallel per-launch vectors, and a hand-built result that
+    /// violates that has no meaningful contrast to report.
     pub fn step_contrast(&self) -> (f64, f64) {
         let steps = self.steps();
         let mut new_acct = Vec::new();

@@ -111,6 +111,7 @@ impl Default for Histogram {
 
 impl Histogram {
     /// Records one sample.
+    // tidy:allow(panic-reachability) -- `bucket_index` returns at most 64 and `buckets` has 65 entries (one per leading-zero class plus the zero bucket).
     pub fn record(&self, value: u64) {
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);

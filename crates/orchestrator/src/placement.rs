@@ -71,6 +71,7 @@ pub struct CloudRunPolicy<E: Engine = OptimizedEngine> {
 
 impl<E: Engine> CloudRunPolicy<E> {
     /// Builds the policy for a data center.
+    // tidy:allow(panic-reachability) -- `rank % cell_count` is always in range (`cells` has exactly `cell_count` entries and `cell_count >= 1`).
     pub fn new(dc: &DataCenter, config: PlacementConfig, dynamic: bool, mut rng: SimRng) -> Self {
         // Rank hosts by popularity (descending) and deal them into cells
         // round-robin, so every cell spans the popularity spectrum and the
@@ -112,6 +113,7 @@ impl<E: Engine> CloudRunPolicy<E> {
 
     /// The scheduling cell of each host (`map[h]` is host `h`'s cell), for
     /// building a [`CapacityIndex`] that mirrors the policy's cells.
+    // tidy:allow(panic-reachability) -- host ids are dense indices below the host count, and `map` is allocated with one entry per host.
     pub fn host_cells(&self) -> Vec<u32> {
         let mut map = vec![0u32; self.pop_fixed.len()];
         for (cell, hosts) in self.cells.iter().enumerate() {
@@ -134,6 +136,7 @@ impl<E: Engine> CloudRunPolicy<E> {
 
     /// The base hosts of an account (most popular hosts of its cell),
     /// ordered by descending popularity.
+    // tidy:allow(panic-reachability) -- `cell_of` reduces modulo `cells.len()`, and `count` is capped at `cell.len()`.
     pub fn base_hosts(&mut self, account: AccountId) -> &[HostId] {
         if !self.base_cache.contains_key(&account) {
             let cell = &self.cells[self.cell_of(account)];

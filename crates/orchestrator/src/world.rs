@@ -237,6 +237,7 @@ impl<E: Engine> World<E> {
     ///
     /// Returns a [`LaunchError`] if the request exceeds the service cap or
     /// the account quota, or if the data center cannot place all instances.
+    // tidy:allow(panic-reachability) -- `owner` comes from a registered service, and every service owner has an account entry by construction (`deploy_service`).
     pub fn launch(&mut self, service: ServiceId, count: usize) -> Result<Launch, LaunchError> {
         let mut launch_span = obs::span("world.launch");
         launch_span.u64_field("requested", count as u64);
@@ -733,6 +734,7 @@ impl<E: Engine> World<E> {
     /// # Errors
     ///
     /// Returns a [`GuestError`] if the instance is unknown or terminated.
+    // tidy:allow(panic-reachability) -- participants are validated against `self.instances` in the loop above the indexing, and `per_host` was keyed from those same instances.
     pub fn with_guest<R>(
         &mut self,
         id: InstanceId,

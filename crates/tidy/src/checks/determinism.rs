@@ -22,8 +22,9 @@ use crate::source::SourceFile;
 
 /// Banned token → remedy. Matched with identifier boundaries against
 /// masked code, so mentions in comments, docs, and string literals are
-/// fine.
-const BANNED: &[(&str, &str)] = &[
+/// fine. Public so the semantic determinism-taint pass can reuse the
+/// exact same source definition.
+pub const BANNED: &[(&str, &str)] = &[
     (
         "HashMap",
         "iteration order is layout-dependent; use BTreeMap or an index-keyed Vec",

@@ -1,15 +1,31 @@
-//! The checks, and the per-file driver that runs them and applies
-//! suppressions.
+//! The checks, and the shared per-file plumbing they all use.
+//!
+//! The lexical checks (`determinism`, `panics`, `headers`, `unsafe_code`,
+//! `hermeticity`) each scan one file; the semantic checks
+//! (`panic_reach`, `taint`, `lock_order`) run over the whole-workspace
+//! call graph. Both kinds produce *raw* findings; the driver applies
+//! inline suppressions once, centrally, via [`filter_suppressed`] and
+//! [`account_suppressions`] — per-check suppression handling is
+//! deliberately impossible to re-implement, because a sixth copy of that
+//! logic is how suppression semantics drift.
 
 pub mod determinism;
 pub mod headers;
 pub mod hermeticity;
+pub mod lock_order;
+pub mod panic_reach;
 pub mod panics;
+pub mod taint;
 pub mod unsafe_code;
 
 use crate::diag::{CheckId, Diagnostic};
 use crate::policy::{CratePolicy, FileKind};
-use crate::source::SourceFile;
+use crate::source::{Line, SourceFile};
+
+/// The check names a `tidy:allow(...)` may legally name, for the
+/// unknown-check diagnostic.
+pub const SUPPRESSIBLE_CHECKS: &str = "determinism, unsafe-policy, crate-header, panic-policy, \
+     hermeticity, panic-reachability, determinism-taint, lock-order";
 
 /// Finds `pattern` in masked code with identifier boundaries on both ends
 /// (`HashMap` does not match `FxHashMap` or `HashMaps`; `std::fs` does
@@ -36,52 +52,80 @@ pub fn find_token(code: &str, pattern: &str) -> Option<usize> {
     None
 }
 
-/// Runs every source-level check on one Rust file and appends the
-/// surviving findings to `diags`. `rel` is the workspace-relative path
-/// used in diagnostics.
-pub fn check_rust_file(
+/// Iterates the non-test lines of a file as `(1-based line number, line)`
+/// — the shared `#[cfg(test)]`-region filter every library-code check
+/// uses instead of re-implementing the skip.
+pub fn lib_code_lines(src: &SourceFile) -> impl Iterator<Item = (usize, &Line)> {
+    src.lines
+        .iter()
+        .enumerate()
+        .filter(|(_, line)| !line.in_test)
+        .map(|(idx, line)| (idx + 1, line))
+}
+
+/// Consults (and consumes) inline suppressions across the workspace.
+/// Implemented by the driver; the semantic checks use it both to honor
+/// barrier suppressions during propagation and to mark them used so the
+/// unused-suppression meta-check stays accurate.
+pub trait SuppressionOracle {
+    /// Whether `(file_idx, line)` carries a justified suppression for
+    /// `check`; a hit is recorded as *used*.
+    fn suppressed(&mut self, file_idx: usize, line: usize, check: CheckId) -> bool;
+}
+
+/// Runs the per-file lexical checks on one Rust file, appending **raw**
+/// (pre-suppression) findings to `raw`.
+pub fn lexical_checks(
     policy: &CratePolicy,
     kind: FileKind,
     rel: &str,
-    text: &str,
-    diags: &mut Vec<Diagnostic>,
+    src: &SourceFile,
+    raw: &mut Vec<Diagnostic>,
 ) {
-    let src = SourceFile::parse(text);
-    let mut raw: Vec<Diagnostic> = Vec::new();
-
     if policy.determinism && kind == FileKind::LibSrc {
-        determinism::check(rel, &src, &mut raw);
+        determinism::check(rel, src, raw);
     }
     if kind == FileKind::LibSrc {
-        panics::check(rel, &src, &mut raw);
-        headers::check_allow_attributes(rel, &src, &mut raw);
+        panics::check(rel, src, raw);
+        headers::check_allow_attributes(rel, src, raw);
     }
-    unsafe_code::check(rel, &src, &mut raw);
+    unsafe_code::check(rel, src, raw);
     if rel.ends_with("src/lib.rs") {
-        headers::check_lint_header(rel, &src, &mut raw);
+        headers::check_lint_header(rel, src, raw);
     }
+}
 
-    // Apply suppressions, tracking which ones earned their keep.
-    let mut used = vec![false; src.suppressions.len()];
+/// Applies the file's inline suppressions to `raw`, pushing the surviving
+/// findings to `out` and marking consumed suppressions in `used`.
+pub fn filter_suppressed(
+    src: &SourceFile,
+    raw: Vec<Diagnostic>,
+    used: &mut [bool],
+    out: &mut Vec<Diagnostic>,
+) {
     for d in raw {
-        if !src.is_suppressed(d.line, d.check, &mut used) {
-            diags.push(d);
+        if !src.is_suppressed(d.line, d.check, used) {
+            out.push(d);
         }
     }
-    for (s, used) in src.suppressions.iter().zip(&used) {
+}
+
+/// Reports the suppression meta-findings for one file: unknown check
+/// names, missing justifications, and suppressions that silenced nothing.
+pub fn account_suppressions(rel: &str, src: &SourceFile, used: &[bool], out: &mut Vec<Diagnostic>) {
+    for (s, used) in src.suppressions.iter().zip(used) {
         if s.check.is_none() {
-            diags.push(Diagnostic::new(
+            out.push(Diagnostic::new(
                 rel,
                 s.declared_at,
                 CheckId::Suppression,
                 format!(
-                    "unknown check `{}` in tidy:allow (known: determinism, \
-                     unsafe-policy, crate-header, panic-policy, hermeticity)",
+                    "unknown check `{}` in tidy:allow (known: {SUPPRESSIBLE_CHECKS})",
                     s.check_name
                 ),
             ));
         } else if !s.justified {
-            diags.push(Diagnostic::new(
+            out.push(Diagnostic::new(
                 rel,
                 s.declared_at,
                 CheckId::Suppression,
@@ -92,7 +136,7 @@ pub fn check_rust_file(
                 ),
             ));
         } else if !used {
-            diags.push(Diagnostic::new(
+            out.push(Diagnostic::new(
                 rel,
                 s.declared_at,
                 CheckId::Suppression,
@@ -106,6 +150,25 @@ pub fn check_rust_file(
     }
 }
 
+/// Runs every source-level check on one Rust file **with** suppression
+/// semantics applied — the single-file entry point used by the fixture
+/// tests. The workspace driver composes the same pieces itself so the
+/// semantic checks can participate in suppression accounting.
+pub fn check_rust_file(
+    policy: &CratePolicy,
+    kind: FileKind,
+    rel: &str,
+    text: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let src = SourceFile::parse(text);
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    lexical_checks(policy, kind, rel, &src, &mut raw);
+    let mut used = vec![false; src.suppressions.len()];
+    filter_suppressed(&src, raw, &mut used, diags);
+    account_suppressions(rel, &src, &used, diags);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +180,12 @@ mod tests {
         assert!(find_token("fn hashmaps()", "HashMap").is_none());
         assert!(find_token("use std::fs::File;", "std::fs").is_some());
         assert!(find_token("use mystd::fs;", "std::fs").is_none());
+    }
+
+    #[test]
+    fn lib_code_lines_skips_test_regions() {
+        let src = SourceFile::parse("use a;\n#[cfg(test)]\nmod tests {\n    use b;\n}\nuse c;");
+        let numbers: Vec<usize> = lib_code_lines(&src).map(|(n, _)| n).collect();
+        assert_eq!(numbers, vec![1, 6]);
     }
 }

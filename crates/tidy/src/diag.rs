@@ -21,6 +21,19 @@ pub enum CheckId {
     Hermeticity,
     /// A malformed, unknown, or unused `tidy:allow` suppression.
     Suppression,
+    /// A public API that can transitively reach an undocumented panic
+    /// source (call-graph check).
+    PanicReach,
+    /// A simulation-critical function calling into a host-crate function
+    /// that transitively reaches a nondeterminism source (call-graph
+    /// check).
+    DeterminismTaint,
+    /// A potential lock-order cycle, or a lock held across a call into
+    /// another lock-taking function (call-graph check).
+    LockOrder,
+    /// A stale, duplicate, unjustified, or unparsable entry in
+    /// `tidy-baseline.json`.
+    Baseline,
 }
 
 impl CheckId {
@@ -33,11 +46,16 @@ impl CheckId {
             CheckId::PanicPolicy => "panic-policy",
             CheckId::Hermeticity => "hermeticity",
             CheckId::Suppression => "suppression",
+            CheckId::PanicReach => "panic-reachability",
+            CheckId::DeterminismTaint => "determinism-taint",
+            CheckId::LockOrder => "lock-order",
+            CheckId::Baseline => "baseline",
         }
     }
 
-    /// Resolves a suppression name back to a check. `suppression` itself
-    /// is not suppressible — meta-findings must be fixed, not silenced.
+    /// Resolves a suppression name back to a check. `suppression` and
+    /// `baseline` are not suppressible — meta-findings must be fixed, not
+    /// silenced.
     pub fn from_name(name: &str) -> Option<CheckId> {
         match name {
             "determinism" => Some(CheckId::Determinism),
@@ -45,8 +63,20 @@ impl CheckId {
             "crate-header" => Some(CheckId::CrateHeader),
             "panic-policy" => Some(CheckId::PanicPolicy),
             "hermeticity" => Some(CheckId::Hermeticity),
+            "panic-reachability" => Some(CheckId::PanicReach),
+            "determinism-taint" => Some(CheckId::DeterminismTaint),
+            "lock-order" => Some(CheckId::LockOrder),
             _ => None,
         }
+    }
+
+    /// Whether the check is one of the call-graph (semantic) checks —
+    /// the only findings the baseline ratchet may carry.
+    pub fn is_semantic(self) -> bool {
+        matches!(
+            self,
+            CheckId::PanicReach | CheckId::DeterminismTaint | CheckId::LockOrder
+        )
     }
 }
 
@@ -67,17 +97,29 @@ pub struct Diagnostic {
     pub check: CheckId,
     /// What is wrong and what to do instead.
     pub message: String,
+    /// Stable symbol the finding is about (a qualified function name for
+    /// the call-graph checks, a cycle signature for lock-order). Empty
+    /// for purely lexical findings. Baseline entries match on
+    /// `(check, file, symbol)` so line churn never invalidates them.
+    pub symbol: String,
 }
 
 impl Diagnostic {
-    /// Builds a diagnostic.
+    /// Builds a diagnostic with no symbol (lexical findings).
     pub fn new(file: &str, line: usize, check: CheckId, message: impl Into<String>) -> Self {
         Diagnostic {
             file: file.to_owned(),
             line,
             check,
             message: message.into(),
+            symbol: String::new(),
         }
+    }
+
+    /// Attaches the stable symbol used for baseline matching.
+    pub fn with_symbol(mut self, symbol: impl Into<String>) -> Self {
+        self.symbol = symbol.into();
+        self
     }
 }
 
@@ -112,10 +154,23 @@ mod tests {
             CheckId::CrateHeader,
             CheckId::PanicPolicy,
             CheckId::Hermeticity,
+            CheckId::PanicReach,
+            CheckId::DeterminismTaint,
+            CheckId::LockOrder,
         ] {
             assert_eq!(CheckId::from_name(check.name()), Some(check));
         }
         assert_eq!(CheckId::from_name("suppression"), None);
+        assert_eq!(CheckId::from_name("baseline"), None);
         assert_eq!(CheckId::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn only_graph_checks_are_semantic() {
+        assert!(CheckId::PanicReach.is_semantic());
+        assert!(CheckId::DeterminismTaint.is_semantic());
+        assert!(CheckId::LockOrder.is_semantic());
+        assert!(!CheckId::Determinism.is_semantic());
+        assert!(!CheckId::Baseline.is_semantic());
     }
 }

@@ -1,0 +1,281 @@
+//! A tiny JSON reader/writer for the tidy pass.
+//!
+//! `eaao-tidy` is dependency-free by policy (it must build before anything
+//! else and can never be broken by a vendored-crate problem), so it cannot
+//! use `serde_json`. This module implements exactly the JSON subset the
+//! pass needs: objects, arrays, strings, integers, booleans, and null —
+//! with `\uXXXX` escapes on read and deterministic, sorted-nothing output
+//! on write (callers control ordering). The parser records the 1-based
+//! line each object starts on so baseline diagnostics can anchor to the
+//! offending entry.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as f64; the pass only writes integers).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array, in document order.
+    Arr(Vec<Json>),
+    /// An object: key/value pairs in document order, plus the 1-based
+    /// line its `{` appeared on.
+    Obj(Vec<(String, Json)>, usize),
+}
+
+impl Json {
+    /// The value of `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs, _) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document. On failure returns a message with a 1-based
+/// line number baked in.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        chars: text.chars().collect(),
+        i: 0,
+        line: 1,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i < p.chars.len() {
+        return Err(format!("line {}: trailing content after document", p.line));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(format!(
+                "line {}: expected `{want}`, found `{c}`",
+                self.line
+            )),
+            None => Err(format!(
+                "line {}: expected `{want}`, found end of input",
+                self.line
+            )),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('t') => self.literal("true", Json::Bool(true)),
+            Some('f') => self.literal("false", Json::Bool(false)),
+            Some('n') => self.literal("null", Json::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("line {}: unexpected `{c}`", self.line)),
+            None => Err(format!("line {}: unexpected end of input", self.line)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        for want in word.chars() {
+            match self.bump() {
+                Some(c) if c == want => {}
+                _ => return Err(format!("line {}: malformed literal", self.line)),
+            }
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || "+-.eE".contains(c))
+        {
+            self.bump();
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("line {}: malformed number `{text}`", self.line))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(format!("line {}: unterminated string", self.line)),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('b') => out.push('\u{0008}'),
+                    Some('f') => out.push('\u{000C}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump().and_then(|c| c.to_digit(16)).ok_or_else(|| {
+                                format!("line {}: malformed \\u escape", self.line)
+                            })?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err(format!("line {}: unknown escape", self.line)),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        let at = self.line;
+        self.expect('{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Json::Obj(pairs, at));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => {}
+                Some('}') => return Ok(Json::Obj(pairs, at)),
+                _ => return Err(format!("line {}: expected `,` or `}}`", self.line)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => {}
+                Some(']') => return Ok(Json::Arr(items)),
+                _ => return Err(format!("line {}: expected `,` or `]`", self.line)),
+            }
+        }
+    }
+}
+
+/// Escapes a string for embedding in JSON output (quotes included).
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_baseline_shape() {
+        let doc = "{\n  \"version\": 1,\n  \"entries\": [\n    {\n      \"check\": \"lock-order\",\n      \"file\": \"a.rs\",\n      \"symbol\": \"x -> y\",\n      \"justification\": \"historical\"\n    }\n  ]\n}\n";
+        let v = parse(doc).expect("parses");
+        assert_eq!(v.get("version"), Some(&Json::Num(1.0)));
+        let Some(Json::Arr(entries)) = v.get("entries") else {
+            panic!("entries missing");
+        };
+        assert_eq!(entries.len(), 1);
+        let Json::Obj(_, line) = &entries[0] else {
+            panic!("not an object");
+        };
+        assert_eq!(*line, 4, "entry anchors to its opening brace line");
+        assert_eq!(
+            entries[0].get("check").and_then(Json::as_str),
+            Some("lock-order")
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "a \"quoted\" \\ path\nwith\tcontrol \u{0007} bits";
+        let quoted = quote(original);
+        let parsed = parse(&quoted).expect("parses");
+        assert_eq!(parsed.as_str(), Some(original));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("{\n  \"a\": 1,\n  oops\n}").expect_err("malformed");
+        assert!(err.contains("line 3"), "{err}");
+    }
+}

@@ -5,24 +5,36 @@
 //! byte-equal JSONL trajectories, and campaign results must be identical at
 //! any `--jobs`. Tests enforce that contract *after the fact*; this crate
 //! enforces it *at the source level*, in the style of rustc's `tidy` — a
-//! pure line/lexical pass with no parser dependencies, which is exactly
-//! what a hermetic, registry-free workspace can support.
+//! dependency-free pass built on a masking lexer, which is exactly what a
+//! hermetic, registry-free workspace can support.
+//!
+//! The pass has two layers. The **lexical** checks look at one masked line
+//! at a time. The **semantic** checks parse every `src/` file into an
+//! item-level model ([`parse`]), assemble a workspace call graph
+//! ([`graph`]), and reason about what functions *reach*, not just what
+//! they spell — so a wrapper in a host crate can no longer launder
+//! `Instant::now()` into the simulation, and a `pub fn` three calls above
+//! an `unwrap()` still owes its callers a `# Panics` section.
 //!
 //! # Checks
 //!
-//! | check | what it forbids |
-//! |---|---|
-//! | `determinism` | `HashMap`/`HashSet`, `SystemTime`/`Instant`, `std::env`, `std::fs`/`std::net`/`std::process`, and non-seeded RNG construction in simulation-critical crates |
-//! | `unsafe-policy` | `unsafe` outside the allowlist (currently empty); allowlisted blocks must carry `// SAFETY:` |
-//! | `crate-header` | a `lib.rs` missing the standard lint set, or an `#[allow(...)]` without a justification comment |
-//! | `panic-policy` | `unwrap()` / `panic!` / `todo!` / `unimplemented!` in library code (`expect("invariant")` is the sanctioned form) |
-//! | `hermeticity` | registry or git dependencies in any `Cargo.toml` (workspace/`vendor/` path deps only) |
-//! | `suppression` | malformed, unknown, or unused `tidy:allow` suppressions |
+//! | check | layer | what it forbids |
+//! |---|---|---|
+//! | `determinism` | lexical | `HashMap`/`HashSet`, `SystemTime`/`Instant`, `std::env`, `std::fs`/`std::net`/`std::process`, and non-seeded RNG construction in simulation-critical crates |
+//! | `unsafe-policy` | lexical | `unsafe` outside the allowlist (currently empty); allowlisted blocks must carry `// SAFETY:` |
+//! | `crate-header` | lexical | a `lib.rs` missing the standard lint set, or an `#[allow(...)]` without a justification comment |
+//! | `panic-policy` | lexical | `unwrap()` / `panic!` / `todo!` / `unimplemented!` in library code (`expect("invariant")` is the sanctioned form) |
+//! | `hermeticity` | lexical | registry or git dependencies in any `Cargo.toml` (workspace/`vendor/` path deps only) |
+//! | `suppression` | lexical | malformed, unknown, or unused `tidy:allow` suppressions |
+//! | `panic-reachability` | semantic | a public API that transitively reaches an undocumented panic source |
+//! | `determinism-taint` | semantic | a simulation-critical function calling a host-crate function that transitively reaches a nondeterminism source |
+//! | `lock-order` | semantic | cycles in the `Mutex` acquisition-order graph; locks held across calls into lock-taking functions |
+//! | `baseline` | meta | stale, duplicate, unjustified, or malformed `tidy-baseline.json` entries |
 //!
 //! The per-crate policy table lives in [`policy`]; which checks apply where
 //! is data, not convention.
 //!
-//! # Suppressions
+//! # Suppressions and the baseline
 //!
 //! A finding is silenced inline with
 //!
@@ -34,22 +46,37 @@
 //! line covers the next line. The justification is mandatory (a suppression
 //! without one is itself a finding), the check name must exist, and a
 //! suppression that no longer silences anything is reported as unused so
-//! stale escapes cannot accumulate.
+//! stale escapes cannot accumulate. For the semantic checks a suppression
+//! on a function's signature line is also a propagation *barrier*.
+//!
+//! Semantic findings can alternatively be carried as known debt in
+//! `tidy-baseline.json` ([`baseline`]) — a one-way ratchet: new findings
+//! fail, fixed findings must be deleted, every entry needs a
+//! justification. See `docs/STATIC_ANALYSIS.md` for when to suppress
+//! inline versus baseline.
 //!
 //! # Running
 //!
 //! ```text
-//! cargo run -p eaao-tidy          # non-zero exit on any finding
+//! cargo run -p eaao-tidy                       # non-zero exit on any finding
+//! cargo run -p eaao-tidy -- --json findings.json
+//! cargo run -p eaao-tidy -- --write-baseline
 //! ```
 //!
-//! Diagnostics are `file:line: [check-name] message`, sorted by path. See
-//! `docs/STATIC_ANALYSIS.md` for the full policy rationale.
+//! Diagnostics are `file:line: [check-name] message`, sorted by path, and
+//! byte-identical across runs on the same tree. The same driver backs the
+//! root CLI's `eaao tidy` subcommand.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod baseline;
 pub mod checks;
+pub mod cli;
 pub mod diag;
+pub mod graph;
+pub mod jsonio;
+pub mod parse;
 pub mod policy;
 pub mod source;
 pub mod walk;
@@ -57,4 +84,4 @@ pub mod walk;
 pub use diag::{CheckId, Diagnostic};
 pub use policy::{CratePolicy, FileKind, POLICIES};
 pub use source::SourceFile;
-pub use walk::run_workspace;
+pub use walk::{run_workspace, scan_workspace, ScanOutcome};

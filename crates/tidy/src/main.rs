@@ -1,68 +1,16 @@
-//! `eaao-tidy` CLI: scan the workspace, print findings, exit non-zero on
-//! any.
+//! `eaao-tidy` binary: scan the workspace, print findings, exit non-zero
+//! on any.
 //!
 //! ```text
-//! cargo run -p eaao-tidy            # scan the enclosing workspace
+//! cargo run -p eaao-tidy                       # scan the enclosing workspace
 //! cargo run -p eaao-tidy -- --root PATH
+//! cargo run -p eaao-tidy -- --json findings.json
+//! cargo run -p eaao-tidy -- --write-baseline   # ratchet current semantic debt
 //! ```
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
-use eaao_tidy::run_workspace;
-
 fn main() -> ExitCode {
-    let root = match parse_root() {
-        Ok(root) => root,
-        Err(msg) => {
-            eprintln!("eaao-tidy: {msg}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let diags = run_workspace(&root);
-    for d in &diags {
-        println!("{d}");
-    }
-    if diags.is_empty() {
-        println!("eaao-tidy: clean");
-        ExitCode::SUCCESS
-    } else {
-        eprintln!(
-            "eaao-tidy: {} finding(s); see docs/STATIC_ANALYSIS.md for the \
-             policy and the `// tidy:allow(check) -- why` suppression syntax",
-            diags.len()
-        );
-        ExitCode::FAILURE
-    }
-}
-
-/// `--root PATH` if given, else the workspace that built this binary
-/// (`CARGO_MANIFEST_DIR/../..`), else the current directory.
-fn parse_root() -> Result<PathBuf, String> {
-    let mut args = std::env::args().skip(1);
-    if let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--root" => {
-                let path = args.next().ok_or("--root needs a path")?;
-                if let Some(extra) = args.next() {
-                    return Err(format!("unexpected argument `{extra}`"));
-                }
-                return Ok(PathBuf::from(path));
-            }
-            "--help" | "-h" => {
-                println!("usage: eaao-tidy [--root WORKSPACE_DIR]");
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown argument `{other}`")),
-        }
-    }
-    if let Some(manifest_dir) = std::env::var_os("CARGO_MANIFEST_DIR") {
-        let dir = PathBuf::from(manifest_dir);
-        if let Some(root) = dir.ancestors().nth(2) {
-            if root.join("Cargo.toml").is_file() {
-                return Ok(root.to_path_buf());
-            }
-        }
-    }
-    Ok(PathBuf::from("."))
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(eaao_tidy::cli::run(&args))
 }

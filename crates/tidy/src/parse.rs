@@ -1,0 +1,1164 @@
+//! Item-level Rust parsing on top of the masking lexer.
+//!
+//! [`FileModel::parse`] walks the masked lines of one source file and
+//! extracts the facts the semantic checks need: `use` imports, `fn` items
+//! (with visibility, doc-`# Panics` presence, and body span), and per-body
+//! facts — call sites, panic sources, determinism sources, and
+//! `parking_lot` lock acquisitions. It is *not* a Rust parser: it tracks
+//! brace depth on masked code and pattern-matches item keywords, exactly
+//! deep enough for a call graph over a rustfmt-formatted workspace. Known
+//! approximations (at most one item start per line, guards assumed held to
+//! the end of their binding block) are documented in
+//! `docs/STATIC_ANALYSIS.md`.
+
+use std::collections::BTreeMap;
+
+use crate::source::{Line, SourceFile};
+
+/// Visibility of an `fn` item, as far as the pass distinguishes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// `pub fn` — part of the crate's public API surface.
+    Public,
+    /// `pub(crate)` / `pub(super)` / `pub(in …)` — crate-internal.
+    Restricted,
+    /// No `pub` at all.
+    Private,
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallTarget {
+    /// `foo(…)` — a bare name.
+    Free(String),
+    /// `a::b::foo(…)` — a path; segments in order, callee last.
+    Path(Vec<String>),
+    /// `.foo(…)` — a method call on some receiver.
+    Method(String),
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// What the call names.
+    pub target: CallTarget,
+    /// 1-based line of the call.
+    pub line: usize,
+    /// Lock names (see [`LockAcquire::lock`]) held when the call is made.
+    pub holding: Vec<String>,
+}
+
+/// One `.lock()` acquisition inside a function body.
+#[derive(Debug, Clone)]
+pub struct LockAcquire {
+    /// Canonical lock name: `Type.field` for `self.field.lock()` inside an
+    /// `impl Type`, otherwise `file-stem::name` for locals and statics.
+    pub lock: String,
+    /// 1-based line of the acquisition.
+    pub line: usize,
+    /// Whether the guard is bound (`let g = m.lock();`) and therefore
+    /// assumed held until its block closes, as opposed to a transient
+    /// same-statement use (`m.lock().push(…)`).
+    pub bound: bool,
+    /// Locks already held at this acquisition (each yields an order edge).
+    pub held: Vec<String>,
+}
+
+/// A panic or determinism source found in a function body.
+#[derive(Debug, Clone)]
+pub struct SourceSite {
+    /// 1-based line.
+    pub line: usize,
+    /// Short description of the construct (`panic!`, `Instant`, `xs[i]`).
+    pub what: String,
+}
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Simple name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub type_ctx: Option<String>,
+    /// Module path inside the crate (inline `mod`s appended to the
+    /// file-derived path).
+    pub module: Vec<String>,
+    /// 1-based signature line (the line carrying the `fn` token) — the
+    /// anchor for diagnostics and inline suppressions.
+    pub line: usize,
+    /// Visibility of the `fn` token itself.
+    pub vis: Visibility,
+    /// Whether the doc comment above the item has a `# Panics` section.
+    pub has_panics_doc: bool,
+    /// Whether the item has a body (`false` for trait method signatures).
+    pub has_body: bool,
+    /// Call sites in the body.
+    pub calls: Vec<CallSite>,
+    /// Panic sources in the body (`panic!`, bare `unwrap()`, `todo!`,
+    /// `unimplemented!`, non-literal slice indexing).
+    pub panic_sources: Vec<SourceSite>,
+    /// Determinism sources in the body (banned tokens plus names imported
+    /// from banned `std` modules).
+    pub det_sources: Vec<SourceSite>,
+    /// Lock acquisitions in the body.
+    pub locks: Vec<LockAcquire>,
+}
+
+/// Everything the semantic pass knows about one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileModel {
+    /// `fn` items in source order (test-gated items excluded).
+    pub fns: Vec<FnItem>,
+    /// Import map: local name → full path segments (`use a::b::c` maps
+    /// `c → [a, b, c]`; `as` aliases and one-level groups handled).
+    pub imports: BTreeMap<String, Vec<String>>,
+    /// Glob import bases (`use a::b::*` records `[a, b]`).
+    pub globs: Vec<Vec<String>>,
+}
+
+/// Identifier characters (same definition as the lexer).
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Reserved words that can never be call targets.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "fn", "let", "mut", "ref", "move", "as", "in",
+    "impl", "dyn", "where", "unsafe", "else", "break", "continue", "struct", "enum", "union",
+    "trait", "type", "use", "mod", "pub", "crate", "super", "self", "Self", "const", "static",
+    "await", "async", "box", "yield",
+];
+
+/// Names imported from these `std` modules count as determinism sources in
+/// function bodies (`use std::fs::File` makes `File` a source token for
+/// the file). `std::time` is *not* listed: `SystemTime`/`Instant` are
+/// banned tokens in their own right while `Duration` is deterministic.
+const BANNED_IMPORT_ROOTS: &[&str] = &["std::fs", "std::net", "std::process", "std::env"];
+
+#[derive(Debug)]
+enum Ctx {
+    /// Inline `mod name {` — `depth` is the brace depth its `{` opened at.
+    Mod(String, i64),
+    /// `impl Type {` / `trait Name {`.
+    Type(String, i64),
+    /// A function body; index into `FileModel::fns`.
+    Fn(usize, i64),
+}
+
+#[derive(Debug)]
+struct PendingFn {
+    item: FnItem,
+    paren_depth: i64,
+}
+
+struct Parser<'a> {
+    lines: &'a [Line],
+    file_stem: String,
+    model: FileModel,
+    depth: i64,
+    ctx: Vec<Ctx>,
+    pending: Option<PendingFn>,
+    /// `{` still owed to a just-seen `mod`/`impl`/`trait` header.
+    pending_ctx: Option<Ctx>,
+    /// Held lock guards: (lock name, depth the binding block opened at).
+    held: Vec<(String, i64)>,
+    /// Per-file derived determinism tokens (from banned imports).
+    derived_tokens: Vec<String>,
+    /// Lines with a justified `tidy:allow(determinism)` (sources there are
+    /// trusted and do not taint) — only honored for determinism-critical
+    /// crates by the caller; the parser records them unconditionally.
+    det_suppressed: Vec<usize>,
+    /// Names `let`-bound in the current function body. A bare call through
+    /// one of these is a closure or function-pointer invocation, which the
+    /// name-based resolver must not confuse with a workspace free fn.
+    locals: std::collections::BTreeSet<String>,
+}
+
+impl FileModel {
+    /// Parses the masked `src` (as produced by [`SourceFile::parse`]) of
+    /// the file `rel` into the item-level model. Test-gated lines are
+    /// ignored except for brace tracking.
+    pub fn parse(rel: &str, src: &SourceFile) -> FileModel {
+        let file_stem = rel
+            .rsplit('/')
+            .next()
+            .unwrap_or(rel)
+            .trim_end_matches(".rs")
+            .to_owned();
+        let det_suppressed = src
+            .suppressions
+            .iter()
+            .filter(|s| s.justified && s.check_name == "determinism")
+            .map(|s| s.covers)
+            .collect();
+        let mut parser = Parser {
+            lines: &src.lines,
+            file_stem,
+            model: FileModel::default(),
+            depth: 0,
+            ctx: Vec::new(),
+            pending: None,
+            pending_ctx: None,
+            held: Vec::new(),
+            derived_tokens: Vec::new(),
+            det_suppressed,
+            locals: std::collections::BTreeSet::new(),
+        };
+        parser.parse_imports();
+        for idx in 0..src.lines.len() {
+            parser.line(idx);
+        }
+        // A pending signature at EOF (malformed file) is dropped silently.
+        parser.model
+    }
+}
+
+impl Parser<'_> {
+    /// Collects `use` items (which may span lines) into the import map.
+    fn parse_imports(&mut self) {
+        let mut i = 0;
+        while i < self.lines.len() {
+            let code = self.lines[i].code.trim();
+            let in_test = self.lines[i].in_test;
+            let after_use = code
+                .strip_prefix("pub use ")
+                .or_else(|| code.strip_prefix("pub(crate) use "))
+                .or_else(|| code.strip_prefix("use "));
+            let Some(first) = after_use else {
+                i += 1;
+                continue;
+            };
+            let mut text = first.to_owned();
+            while !text.contains(';') && i + 1 < self.lines.len() {
+                i += 1;
+                text.push(' ');
+                text.push_str(self.lines[i].code.trim());
+            }
+            if !in_test {
+                let stmt = text.split(';').next().unwrap_or("");
+                self.record_use(stmt);
+            }
+            i += 1;
+        }
+    }
+
+    /// Records one `use` statement body (without `use` / `;`).
+    fn record_use(&mut self, stmt: &str) {
+        if let Some(open) = stmt.find('{') {
+            let base: Vec<String> = stmt[..open]
+                .split("::")
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .collect();
+            let inner = stmt[open + 1..].trim_end().trim_end_matches('}');
+            for item in split_group(inner) {
+                self.record_use_leaf(&base, item.trim());
+            }
+        } else {
+            self.record_use_leaf(&[], stmt.trim());
+        }
+    }
+
+    /// Records one leaf of a `use` (possibly `path as alias`, `self`, `*`).
+    fn record_use_leaf(&mut self, base: &[String], leaf: &str) {
+        if leaf.contains('{') {
+            // Nested groups are rare in this workspace; skip them rather
+            // than guess.
+            return;
+        }
+        let (path_part, alias) = match leaf.split_once(" as ") {
+            Some((p, a)) => (p.trim(), Some(a.trim().to_owned())),
+            None => (leaf, None),
+        };
+        let mut segs: Vec<String> = base.to_vec();
+        let mut self_import = false;
+        for seg in path_part
+            .split("::")
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+        {
+            if seg == "*" {
+                self.model.globs.push(segs.clone());
+                return;
+            }
+            if seg == "self" && !segs.is_empty() {
+                self_import = true;
+                continue;
+            }
+            segs.push(seg.to_owned());
+        }
+        let _ = self_import;
+        let Some(last) = segs.last().cloned() else {
+            return;
+        };
+        let local = alias.unwrap_or(last);
+        self.model.imports.insert(local, segs);
+        self.record_banned_import(path_part, base);
+    }
+
+    /// If the import path sits under a banned `std` module, its local name
+    /// becomes a derived determinism token for this file.
+    fn record_banned_import(&mut self, path_part: &str, base: &[String]) {
+        let full = if base.is_empty() {
+            path_part.to_owned()
+        } else {
+            format!("{}::{}", base.join("::"), path_part)
+        };
+        for root in BANNED_IMPORT_ROOTS {
+            if full == *root || full.starts_with(&format!("{root}::")) {
+                if let Some(name) = full.rsplit("::").next() {
+                    if name != "self" && !name.is_empty() {
+                        self.derived_tokens.push(name.to_owned());
+                    }
+                }
+                // `use std::fs;` — the module name itself is the token.
+                if full == *root {
+                    if let Some(name) = root.rsplit("::").next() {
+                        self.derived_tokens.push(name.to_owned());
+                    }
+                }
+            }
+        }
+    }
+
+    fn module_path(&self) -> Vec<String> {
+        self.ctx
+            .iter()
+            .filter_map(|c| match c {
+                Ctx::Mod(name, _) => Some(name.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn type_ctx(&self) -> Option<String> {
+        self.ctx.iter().rev().find_map(|c| match c {
+            Ctx::Type(name, _) => Some(name.clone()),
+            _ => None,
+        })
+    }
+
+    fn in_fn(&self) -> Option<usize> {
+        self.ctx.iter().rev().find_map(|c| match c {
+            Ctx::Fn(idx, _) => Some(*idx),
+            _ => None,
+        })
+    }
+
+    /// Processes one line: item detection, body facts, brace tracking.
+    fn line(&mut self, idx: usize) {
+        let lineno = idx + 1;
+        let code = self.lines[idx].code.clone();
+        let in_test = self.lines[idx].in_test;
+
+        if let Some(pending) = &mut self.pending {
+            // Mid-signature: look for the body `{` or a `;` terminator.
+            for (pos, c) in code.char_indices() {
+                match c {
+                    '(' | '[' => pending.paren_depth += 1,
+                    ')' | ']' => pending.paren_depth -= 1,
+                    ';' if pending.paren_depth == 0 => {
+                        let mut item = self.pending.take().expect("pending fn").item;
+                        item.has_body = false;
+                        if !in_test {
+                            self.model.fns.push(item);
+                        }
+                        return self.scan_braces_only(&code);
+                    }
+                    '{' if pending.paren_depth == 0 => {
+                        let item = self.pending.take().expect("pending fn").item;
+                        let fn_idx = self.model.fns.len();
+                        if self.in_fn().is_none() {
+                            self.locals.clear();
+                        }
+                        self.model.fns.push(item);
+                        self.ctx.push(Ctx::Fn(fn_idx, self.depth));
+                        self.depth += 1;
+                        let rest: String = code[pos + c.len_utf8()..].to_owned();
+                        return self.body_line(&rest, lineno, in_test);
+                    }
+                    _ => {}
+                }
+            }
+            return;
+        }
+
+        if self.in_fn().is_some() {
+            return self.body_line(&code, lineno, in_test);
+        }
+
+        // Item position: detect at most one item start per line.
+        if !in_test {
+            if let Some(at) = crate::checks::find_token(&code, "fn") {
+                if let Some(name) = ident_after(&code, at + 2) {
+                    self.start_fn(idx, at, name);
+                    // Re-process the remainder of this line as signature.
+                    let rest = &code[at..];
+                    let mut paren = 0i64;
+                    for (pos, c) in rest.char_indices() {
+                        match c {
+                            '(' | '[' => paren += 1,
+                            ')' | ']' => paren -= 1,
+                            ';' if paren == 0 => {
+                                let mut item = self.pending.take().expect("pending fn").item;
+                                item.has_body = false;
+                                self.model.fns.push(item);
+                                return self.scan_braces_only(&code);
+                            }
+                            '{' if paren == 0 => {
+                                let item = self.pending.take().expect("pending fn").item;
+                                let fn_idx = self.model.fns.len();
+                                if self.in_fn().is_none() {
+                                    self.locals.clear();
+                                }
+                                self.model.fns.push(item);
+                                self.ctx.push(Ctx::Fn(fn_idx, self.depth));
+                                self.depth += 1;
+                                let body_rest: String = rest[pos + c.len_utf8()..].to_owned();
+                                return self.body_line(&body_rest, lineno, in_test);
+                            }
+                            _ => {}
+                        }
+                    }
+                    return; // signature continues on the next line
+                }
+            }
+            if let Some(at) = crate::checks::find_token(&code, "mod") {
+                if let Some(name) = ident_after(&code, at + 3) {
+                    if code.contains('{') || !code.trim_end().ends_with(';') {
+                        self.pending_ctx = Some(Ctx::Mod(name, 0));
+                    }
+                }
+            } else if let Some(at) = crate::checks::find_token(&code, "impl") {
+                if let Some(name) = impl_type_name(&code[at + 4..]) {
+                    self.pending_ctx = Some(Ctx::Type(name, 0));
+                }
+            } else if let Some(at) = crate::checks::find_token(&code, "trait") {
+                if let Some(name) = ident_after(&code, at + 5) {
+                    self.pending_ctx = Some(Ctx::Type(name, 0));
+                }
+            }
+        }
+        self.scan_braces_only(&code);
+    }
+
+    /// Starts a pending `fn` item from the signature line.
+    fn start_fn(&mut self, idx: usize, fn_at: usize, name: String) {
+        let code = &self.lines[idx].code;
+        let before = &code[..fn_at];
+        let vis = if let Some(pub_at) = crate::checks::find_token(before, "pub") {
+            if before[pub_at + 3..].trim_start().starts_with('(') {
+                Visibility::Restricted
+            } else {
+                Visibility::Public
+            }
+        } else {
+            Visibility::Private
+        };
+        let item = FnItem {
+            name,
+            type_ctx: self.type_ctx(),
+            module: self.module_path(),
+            line: idx + 1,
+            vis,
+            has_panics_doc: docs_have_panics(self.lines, idx),
+            has_body: true,
+            calls: Vec::new(),
+            panic_sources: Vec::new(),
+            det_sources: Vec::new(),
+            locks: Vec::new(),
+        };
+        self.pending = Some(PendingFn {
+            item,
+            paren_depth: 0,
+        });
+    }
+
+    /// Tracks braces outside function bodies, attaching pending contexts.
+    fn scan_braces_only(&mut self, code: &str) {
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if let Some(mut ctx) = self.pending_ctx.take() {
+                        match &mut ctx {
+                            Ctx::Mod(_, d) | Ctx::Type(_, d) | Ctx::Fn(_, d) => *d = self.depth,
+                        }
+                        self.ctx.push(ctx);
+                    }
+                    self.depth += 1;
+                }
+                '}' => self.close_brace(),
+                ';' => {
+                    // `mod name;` / `impl Trait for T;` never opened.
+                    self.pending_ctx = None;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn close_brace(&mut self) {
+        self.depth -= 1;
+        let close_at = self.depth;
+        let pop = matches!(
+            self.ctx.last(),
+            Some(Ctx::Mod(_, d) | Ctx::Type(_, d) | Ctx::Fn(_, d)) if *d == close_at
+        );
+        if pop {
+            self.ctx.pop();
+        }
+        self.held.retain(|(_, d)| *d <= close_at);
+    }
+
+    /// Scans one line of a function body: facts first, then braces.
+    fn body_line(&mut self, code: &str, lineno: usize, in_test: bool) {
+        if !in_test {
+            self.scan_locals(code);
+            self.scan_locks(code, lineno);
+            self.scan_calls(code, lineno);
+            self.scan_panic_sources(code, lineno);
+            self.scan_det_sources(code, lineno);
+        }
+        self.scan_braces_only(code);
+    }
+
+    fn current_fn_mut(&mut self) -> Option<&mut FnItem> {
+        let idx = self.in_fn()?;
+        self.model.fns.get_mut(idx)
+    }
+
+    fn held_names(&self) -> Vec<String> {
+        self.held.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Records names bound by `let` (with optional `mut`) on this line, so
+    /// later `name(...)` calls through closures and function pointers do
+    /// not resolve to same-named workspace functions.
+    fn scan_locals(&mut self, code: &str) {
+        let mut from = 0;
+        while let Some(at) = crate::checks::find_token(&code[from..], "let") {
+            let mut rest = code[from + at + 3..].trim_start();
+            from += at + 3;
+            if let Some(stripped) = rest.strip_prefix("mut ") {
+                rest = stripped.trim_start();
+            }
+            let name: String = rest.chars().take_while(|&c| is_ident(c)).collect();
+            if !name.is_empty() && !name.chars().next().is_some_and(char::is_numeric) {
+                self.locals.insert(name);
+            }
+        }
+    }
+
+    /// Detects `.lock()` acquisitions, derives lock names, and maintains
+    /// the held-guard set.
+    fn scan_locks(&mut self, code: &str, lineno: usize) {
+        let has_let = crate::checks::find_token(code, "let").is_some();
+        let type_ctx = self.type_ctx();
+        let mut from = 0;
+        while let Some(rel_at) = code[from..].find(".lock(") {
+            let at = from + rel_at;
+            from = at + ".lock(".len();
+            // Receiver: walk back over `ident`, `.`, `:` chains.
+            let recv: String = code[..at]
+                .chars()
+                .rev()
+                .take_while(|&c| is_ident(c) || c == '.' || c == ':')
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            let recv = recv.trim_matches(|c| c == '.' || c == ':');
+            let last = recv
+                .rsplit(['.', ':'])
+                .find(|s| !s.is_empty())
+                .unwrap_or("");
+            if last.is_empty() {
+                continue;
+            }
+            let lock = if recv.starts_with("self.") {
+                let owner = type_ctx.clone().unwrap_or_else(|| self.file_stem.clone());
+                format!("{owner}.{last}")
+            } else {
+                format!("{}::{last}", self.file_stem)
+            };
+            // Bound guard: `let g = m.lock();` (the `)` directly followed
+            // by `;`). Anything else is a transient same-statement use.
+            let tail = &code[at + ".lock(".len()..];
+            let bound = has_let && tail.trim_start().starts_with(");");
+            let held = self.held_names();
+            let bind_depth = self.depth;
+            if let Some(f) = self.current_fn_mut() {
+                f.locks.push(LockAcquire {
+                    lock: lock.clone(),
+                    line: lineno,
+                    bound,
+                    held,
+                });
+            }
+            if bound {
+                self.held.push((lock, bind_depth));
+            }
+        }
+    }
+
+    /// Detects call sites: `name(`, `a::b::name(`, `.name(` — with
+    /// optional turbofish — skipping keywords and macro invocations.
+    fn scan_calls(&mut self, code: &str, lineno: usize) {
+        let chars: Vec<char> = code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if !is_ident(chars[i]) || chars[i].is_numeric() {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < chars.len() && is_ident(chars[i]) {
+                i += 1;
+            }
+            let name: String = chars[start..i].iter().collect();
+            // Position after optional turbofish `::<…>`.
+            let mut j = i;
+            if chars.get(j) == Some(&':')
+                && chars.get(j + 1) == Some(&':')
+                && chars.get(j + 2) == Some(&'<')
+            {
+                let mut angle = 0i64;
+                let mut k = j + 2;
+                while k < chars.len() {
+                    match chars[k] {
+                        '<' => angle += 1,
+                        '>' => {
+                            angle -= 1;
+                            if angle == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if angle == 0 {
+                    j = k + 1;
+                }
+            }
+            if chars.get(j) != Some(&'(') {
+                continue;
+            }
+            if KEYWORDS.contains(&name.as_str()) {
+                continue;
+            }
+            // Macro invocation `name!(` never reaches here (the `!` breaks
+            // the adjacency test above), but `name !(` would; reject any
+            // `!` directly after the identifier.
+            if chars.get(i) == Some(&'!') {
+                continue;
+            }
+            let prev = chars[..start].iter().rev().find(|c| !c.is_whitespace());
+            let target = match prev {
+                Some('.') => {
+                    if name == "lock" {
+                        continue; // handled by scan_locks
+                    }
+                    CallTarget::Method(name)
+                }
+                Some(':') => {
+                    // Collect the full leading path `a::b::name`.
+                    let mut segs = vec![name];
+                    let mut end = start;
+                    loop {
+                        let before: String = chars[..end].iter().collect();
+                        let trimmed = before.trim_end();
+                        if !trimmed.ends_with("::") {
+                            break;
+                        }
+                        let upto = trimmed.len() - 2;
+                        let seg_chars: &str = &trimmed[..upto];
+                        let seg: String = seg_chars
+                            .chars()
+                            .rev()
+                            .take_while(|&c| is_ident(c))
+                            .collect::<String>()
+                            .chars()
+                            .rev()
+                            .collect();
+                        if seg.is_empty() {
+                            break;
+                        }
+                        segs.insert(0, seg.clone());
+                        end = seg_chars.len() - seg.len();
+                        // Only the segment directly before `::` matters for
+                        // further chaining; keep walking.
+                        let before_seg: String = seg_chars[..end].to_owned();
+                        if !before_seg.trim_end().ends_with("::") {
+                            break;
+                        }
+                        end = before_seg.len();
+                    }
+                    if segs.len() == 1 {
+                        CallTarget::Free(segs.remove(0))
+                    } else {
+                        CallTarget::Path(segs)
+                    }
+                }
+                _ => CallTarget::Free(name),
+            };
+            if matches!(&target, CallTarget::Free(n) if self.locals.contains(n)) {
+                continue;
+            }
+            let holding = self.held_names();
+            if let Some(f) = self.current_fn_mut() {
+                f.calls.push(CallSite {
+                    target,
+                    line: lineno,
+                    holding,
+                });
+            }
+        }
+    }
+
+    /// Detects panic sources: bare `unwrap()`, the panic macros, and
+    /// slice indexing with a non-literal index.
+    fn scan_panic_sources(&mut self, code: &str, lineno: usize) {
+        let mut sources: Vec<String> = Vec::new();
+        if has_bare_unwrap(code) {
+            sources.push("unwrap()".to_owned());
+        }
+        for mac in ["panic", "todo", "unimplemented"] {
+            if is_macro_call(code, mac) {
+                sources.push(format!("{mac}!"));
+            }
+        }
+        if has_non_literal_index(code) {
+            sources.push("slice indexing".to_owned());
+        }
+        if let Some(f) = self.current_fn_mut() {
+            for what in sources {
+                f.panic_sources.push(SourceSite { line: lineno, what });
+            }
+        }
+    }
+
+    /// Detects determinism sources: the banned token list plus names
+    /// imported from banned `std` modules. Lines under a justified
+    /// `tidy:allow(determinism)` are trusted and skipped.
+    fn scan_det_sources(&mut self, code: &str, lineno: usize) {
+        if self.det_suppressed.contains(&lineno) {
+            return;
+        }
+        let mut sources: Vec<String> = Vec::new();
+        for &(token, _) in crate::checks::determinism::BANNED {
+            if crate::checks::find_token(code, token).is_some() {
+                sources.push(token.to_owned());
+            }
+        }
+        for token in &self.derived_tokens {
+            if crate::checks::find_token(code, token).is_some() {
+                sources.push(format!("{token} (imported from a banned std module)"));
+            }
+        }
+        sources.sort();
+        sources.dedup();
+        if let Some(f) = self.current_fn_mut() {
+            for what in sources {
+                f.det_sources.push(SourceSite { line: lineno, what });
+            }
+        }
+    }
+}
+
+/// Splits a one-level `use` group body on top-level commas.
+fn split_group(inner: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut cur = String::new();
+    for c in inner.chars() {
+        match c {
+            '{' => {
+                depth += 1;
+                cur.push(c);
+            }
+            '}' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// The identifier starting at or after `from` (skipping whitespace), if
+/// the very next token is one.
+fn ident_after(code: &str, from: usize) -> Option<String> {
+    let rest = code.get(from..)?.trim_start();
+    let name: String = rest.chars().take_while(|&c| is_ident(c)).collect();
+    if name.is_empty() || name.chars().next().is_some_and(|c| c.is_numeric()) {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Extracts the implemented type's name from the text after `impl`:
+/// `<…> Trait for Type {` → `Type`; `Type<G> {` → `Type`.
+fn impl_type_name(rest: &str) -> Option<String> {
+    let mut rest = rest;
+    // Skip the generic parameter list, if any.
+    let trimmed = rest.trim_start();
+    if let Some(stripped) = trimmed.strip_prefix('<') {
+        let mut depth = 1i64;
+        let mut end = None;
+        for (pos, c) in stripped.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(pos);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = &stripped[end? + 1..];
+    } else {
+        rest = trimmed;
+    }
+    let head = rest.split('{').next().unwrap_or(rest);
+    let head = match crate::checks::find_token(head, "for") {
+        Some(at) => &head[at + 3..],
+        None => head,
+    };
+    // Last path segment before generics/where.
+    let head = head.split('<').next().unwrap_or(head);
+    let head = match crate::checks::find_token(head, "where") {
+        Some(at) => &head[..at],
+        None => head,
+    };
+    head.trim()
+        .rsplit("::")
+        .next()
+        .map(|s| s.trim().trim_start_matches('&').to_owned())
+        .filter(|s| !s.is_empty() && s.chars().all(is_ident))
+}
+
+/// Whether the contiguous doc/attribute block above line `idx` (0-based)
+/// contains a `# Panics` section.
+fn docs_have_panics(lines: &[Line], idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let line = &lines[i];
+        let comment = line.comment.trim_start();
+        let is_doc =
+            comment.starts_with('/') || comment.starts_with('!') || comment.starts_with('*');
+        let code = line.code.trim();
+        if is_doc && code.is_empty() {
+            if line.comment.contains("# Panics") {
+                return true;
+            }
+            continue;
+        }
+        if code.starts_with("#[")
+            || code.starts_with("#![")
+            || code.ends_with(']') && code.starts_with('#')
+        {
+            continue; // attribute
+        }
+        if code.is_empty() && !line.comment.trim().is_empty() {
+            continue; // plain comment (e.g. a tidy:allow line)
+        }
+        break;
+    }
+    false
+}
+
+/// `unwrap` immediately followed by `()` — same rule as the lexical
+/// panic check.
+fn has_bare_unwrap(code: &str) -> bool {
+    let mut rest = code;
+    while let Some(at) = crate::checks::find_token(rest, "unwrap") {
+        let tail = rest[at + "unwrap".len()..].trim_start();
+        if let Some(t) = tail.strip_prefix('(') {
+            if t.trim_start().starts_with(')') {
+                return true;
+            }
+        }
+        rest = &rest[at + "unwrap".len()..];
+    }
+    false
+}
+
+/// `name` followed directly by `!`.
+fn is_macro_call(code: &str, name: &str) -> bool {
+    let mut rest = code;
+    while let Some(at) = crate::checks::find_token(rest, name) {
+        if rest[at + name.len()..].starts_with('!') {
+            return true;
+        }
+        rest = &rest[at + name.len()..];
+    }
+    false
+}
+
+/// `expr[index]` where `index` is not a pure literal / literal range —
+/// the detectable slice-indexing panic site (`xs[i]`, `map[&k]`). Array
+/// *literals* (`[1, 2]`), attributes, and `xs[0]` / `xs[..]` forms are
+/// not matched.
+fn has_non_literal_index(code: &str) -> bool {
+    let chars: Vec<char> = code.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        let prev = chars[..i].iter().rev().find(|c| !c.is_whitespace());
+        let indexing = matches!(prev, Some(p) if is_ident(*p) || *p == ')' || *p == ']');
+        if !indexing {
+            continue;
+        }
+        // Attribute `#[…]` — the `#` is never an identifier char, so the
+        // check above already excluded it.
+        let mut depth = 1i64;
+        let mut j = i + 1;
+        let mut content = String::new();
+        while j < chars.len() && depth > 0 {
+            match chars[j] {
+                '[' => depth += 1,
+                ']' => depth -= 1,
+                _ => {}
+            }
+            if depth > 0 {
+                content.push(chars[j]);
+            }
+            j += 1;
+        }
+        let content = content.trim();
+        if content.is_empty() {
+            continue;
+        }
+        let literal_only = content
+            .chars()
+            .all(|c| c.is_numeric() || c == '.' || c == '_' || c.is_whitespace());
+        if !literal_only {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> FileModel {
+        FileModel::parse("crates/x/src/demo.rs", &SourceFile::parse(text))
+    }
+
+    #[test]
+    fn extracts_fns_with_visibility_and_docs() {
+        let m = parse(
+            "/// Does a thing.\n///\n/// # Panics\n/// On bad input.\npub fn a() {}\n\
+             pub(crate) fn b() {}\nfn c() {}\n",
+        );
+        assert_eq!(m.fns.len(), 3);
+        assert_eq!(m.fns[0].name, "a");
+        assert_eq!(m.fns[0].vis, Visibility::Public);
+        assert!(m.fns[0].has_panics_doc);
+        assert_eq!(m.fns[0].line, 5);
+        assert_eq!(m.fns[1].vis, Visibility::Restricted);
+        assert_eq!(m.fns[2].vis, Visibility::Private);
+        assert!(!m.fns[2].has_panics_doc);
+    }
+
+    #[test]
+    fn attributes_between_docs_and_fn_are_transparent() {
+        let m = parse("/// # Panics\n/// Yes.\n#[inline]\npub fn a() {}\n");
+        assert!(m.fns[0].has_panics_doc);
+    }
+
+    #[test]
+    fn impl_and_mod_contexts_qualify_items() {
+        let m = parse(
+            "pub struct W;\nimpl W {\n    pub fn go(&self) {}\n}\n\
+             impl std::fmt::Debug for W {\n    fn fmt(&self) {}\n}\n\
+             mod inner {\n    pub fn deep() {}\n}\n",
+        );
+        let names: Vec<(String, Option<String>, Vec<String>)> = m
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.type_ctx.clone(), f.module.clone()))
+            .collect();
+        assert_eq!(names[0], ("go".into(), Some("W".into()), vec![]));
+        assert_eq!(names[1], ("fmt".into(), Some("W".into()), vec![]));
+        assert_eq!(names[2], ("deep".into(), None, vec!["inner".into()]));
+    }
+
+    #[test]
+    fn generic_impls_resolve_the_type_name() {
+        let m = parse("impl<E: Engine> World<E> {\n    pub fn launch(&mut self) {}\n}\n");
+        assert_eq!(m.fns[0].type_ctx.as_deref(), Some("World"));
+    }
+
+    #[test]
+    fn trait_method_signatures_have_no_body() {
+        let m = parse(
+            "pub trait T {\n    fn must(&self) -> u32;\n    fn dflt(&self) -> u32 {\n        self.must()\n    }\n}\n",
+        );
+        assert_eq!(m.fns.len(), 2);
+        assert!(!m.fns[0].has_body);
+        assert!(m.fns[1].has_body);
+        assert_eq!(m.fns[1].calls.len(), 1);
+    }
+
+    #[test]
+    fn calls_are_extracted_with_kinds() {
+        let m = parse(
+            "fn f() {\n    helper();\n    crate::a::b();\n    Widget::new(1);\n    x.tick();\n    vec![1].len();\n}\n",
+        );
+        let f = &m.fns[0];
+        let targets: Vec<&CallTarget> = f.calls.iter().map(|c| &c.target).collect();
+        assert!(targets.contains(&&CallTarget::Free("helper".into())));
+        assert!(targets.contains(&&CallTarget::Path(vec![
+            "crate".into(),
+            "a".into(),
+            "b".into()
+        ])));
+        assert!(targets.contains(&&CallTarget::Path(vec!["Widget".into(), "new".into()])));
+        assert!(targets.contains(&&CallTarget::Method("tick".into())));
+        assert!(targets.contains(&&CallTarget::Method("len".into())));
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let m = parse("fn f() {\n    if ready(x) {\n        assert!(g());\n    }\n}\n");
+        let f = &m.fns[0];
+        let names: Vec<String> = f
+            .calls
+            .iter()
+            .map(|c| match &c.target {
+                CallTarget::Free(n) | CallTarget::Method(n) => n.clone(),
+                CallTarget::Path(p) => p.join("::"),
+            })
+            .collect();
+        assert_eq!(names, vec!["ready", "g"], "{:?}", f.calls);
+    }
+
+    #[test]
+    fn panic_sources_detected() {
+        let m = parse(
+            "fn f(xs: &[u32], i: usize) -> u32 {\n    let a = xs[i];\n    let b = xs[0];\n    x.unwrap();\n    panic!(\"no\");\n    a\n}\n",
+        );
+        let whats: Vec<&str> = m.fns[0]
+            .panic_sources
+            .iter()
+            .map(|s| s.what.as_str())
+            .collect();
+        assert!(whats.contains(&"slice indexing"));
+        assert!(whats.contains(&"unwrap()"));
+        assert!(whats.contains(&"panic!"));
+        // xs[0] (literal index) contributes nothing.
+        assert_eq!(
+            m.fns[0]
+                .panic_sources
+                .iter()
+                .filter(|s| s.what == "slice indexing")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn det_sources_include_derived_imports() {
+        let m = parse(
+            "use std::fs::File;\nuse std::time::Duration;\nfn f() {\n    let h = File::create(p);\n    let t = Instant::now();\n    let d = Duration::from_secs(1);\n}\n",
+        );
+        let whats: Vec<&str> = m.fns[0]
+            .det_sources
+            .iter()
+            .map(|s| s.what.as_str())
+            .collect();
+        assert!(whats.iter().any(|w| w.starts_with("File")), "{whats:?}");
+        assert!(whats.contains(&"Instant"));
+        assert!(!whats.iter().any(|w| w.starts_with("Duration")));
+    }
+
+    #[test]
+    fn locks_and_held_edges() {
+        let m = parse(
+            "struct S;\nimpl S {\n    fn ab(&self) {\n        let a = self.alpha.lock();\n        self.beta.lock().push(1);\n        helper();\n    }\n}\n",
+        );
+        let f = &m.fns[0];
+        assert_eq!(f.locks.len(), 2);
+        assert_eq!(f.locks[0].lock, "S.alpha");
+        assert!(f.locks[0].bound);
+        assert!(f.locks[0].held.is_empty());
+        assert_eq!(f.locks[1].lock, "S.beta");
+        assert!(!f.locks[1].bound);
+        assert_eq!(f.locks[1].held, vec!["S.alpha".to_owned()]);
+        let call = f
+            .calls
+            .iter()
+            .find(|c| matches!(&c.target, CallTarget::Free(n) if n == "helper"))
+            .expect("helper call");
+        assert_eq!(call.holding, vec!["S.alpha".to_owned()]);
+    }
+
+    #[test]
+    fn guard_released_at_block_close() {
+        let m = parse(
+            "fn f(m: &M) {\n    {\n        let g = m.lock();\n        inner1();\n    }\n    inner2();\n}\n",
+        );
+        let f = &m.fns[0];
+        let holding: Vec<(String, Vec<String>)> = f
+            .calls
+            .iter()
+            .map(|c| match &c.target {
+                CallTarget::Free(n) => (n.clone(), c.holding.clone()),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(holding[0].0, "inner1");
+        assert_eq!(holding[0].1, vec!["demo::m".to_owned()]);
+        assert_eq!(holding[1].0, "inner2");
+        assert!(holding[1].1.is_empty());
+    }
+
+    #[test]
+    fn imports_map_and_globs() {
+        let m = parse(
+            "use crate::graph::{Workspace, resolve as res};\nuse eaao_core::cluster;\nuse super::util::*;\nfn f() {}\n",
+        );
+        assert_eq!(
+            m.imports.get("Workspace"),
+            Some(&vec!["crate".into(), "graph".into(), "Workspace".into()])
+        );
+        assert_eq!(
+            m.imports.get("res"),
+            Some(&vec!["crate".into(), "graph".into(), "resolve".into()])
+        );
+        assert_eq!(
+            m.imports.get("cluster"),
+            Some(&vec!["eaao_core".into(), "cluster".into()])
+        );
+        assert_eq!(m.globs, vec![vec!["super".to_owned(), "util".to_owned()]]);
+    }
+
+    #[test]
+    fn test_gated_items_are_skipped() {
+        let m = parse(
+            "pub fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {\n        x.unwrap();\n    }\n}\n",
+        );
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].name, "real");
+    }
+}

@@ -34,6 +34,13 @@ pub struct CratePolicy {
     /// campaign record. False for host-side tools that legitimately read
     /// wall clocks and touch the filesystem.
     pub determinism: bool,
+    /// Whether the crate's library sources feed the workspace call graph
+    /// that the semantic checks (panic-reachability, determinism-taint,
+    /// lock-order) run over. True for the model and host crates whose
+    /// APIs call each other; false for the root facade binary, `bench`,
+    /// and this crate — self-analysis of the analyzer would dominate the
+    /// findings with its own parser internals.
+    pub call_graph: bool,
 }
 
 /// The workspace policy table.
@@ -49,56 +56,67 @@ pub const POLICIES: &[CratePolicy] = &[
         name: "eaao",
         dir: "",
         determinism: false,
+        call_graph: false,
     },
     CratePolicy {
         name: "eaao-simcore",
         dir: "crates/simcore",
         determinism: true,
+        call_graph: true,
     },
     CratePolicy {
         name: "eaao-tsc",
         dir: "crates/tsc",
         determinism: true,
+        call_graph: true,
     },
     CratePolicy {
         name: "eaao-cloudsim",
         dir: "crates/cloudsim",
         determinism: true,
+        call_graph: true,
     },
     CratePolicy {
         name: "eaao-orchestrator",
         dir: "crates/orchestrator",
         determinism: true,
+        call_graph: true,
     },
     CratePolicy {
         name: "eaao-core",
         dir: "crates/core",
         determinism: true,
+        call_graph: true,
     },
     CratePolicy {
         name: "eaao-oracle",
         dir: "crates/oracle",
         determinism: true,
+        call_graph: true,
     },
     CratePolicy {
         name: "eaao-campaign",
         dir: "crates/campaign",
         determinism: false,
+        call_graph: true,
     },
     CratePolicy {
         name: "eaao-obs",
         dir: "crates/obs",
         determinism: false,
+        call_graph: true,
     },
     CratePolicy {
         name: "eaao-bench",
         dir: "crates/bench",
         determinism: false,
+        call_graph: false,
     },
     CratePolicy {
         name: "eaao-tidy",
         dir: "crates/tidy",
         determinism: false,
+        call_graph: false,
     },
 ];
 

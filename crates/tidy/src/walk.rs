@@ -1,4 +1,4 @@
-//! Workspace traversal: which files are scanned, under which policy.
+//! Workspace traversal and the scan pipeline.
 //!
 //! The walk is driven by the policy table, not by globbing: each
 //! registered crate contributes its `src/`, `tests/`, `examples/`, and
@@ -7,31 +7,181 @@
 //! through the hermeticity check. `vendor/` sources are third-party
 //! stand-ins and are not style-checked; `tests/fixtures/` subtrees are the
 //! analyzer's own known-bad corpus and are skipped by contract.
+//!
+//! The scan runs in phases over files that are each read and lexed
+//! **once**:
+//!
+//! 1. lexical per-file checks collect raw findings,
+//! 2. the item models of all `src/` files feed the workspace call graph,
+//!    over which the semantic checks (panic-reachability,
+//!    determinism-taint, lock-order) run — consulting and consuming
+//!    inline suppressions through a [`SuppressionOracle`],
+//! 3. suppressions are applied and accounted centrally, and
+//! 4. surviving *semantic* findings pass through the baseline ratchet
+//!    (`tidy-baseline.json`).
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::checks;
+use crate::baseline::{self, Baseline, BASELINE_FILE};
+use crate::checks::{self, SuppressionOracle};
 use crate::diag::{CheckId, Diagnostic};
+use crate::graph::{GraphInput, Workspace};
+use crate::parse::FileModel;
 use crate::policy::{policy_for_dir, CratePolicy, FileKind, POLICIES};
+use crate::source::SourceFile;
+
+/// The result of a full workspace scan.
+#[derive(Debug, Default)]
+pub struct ScanOutcome {
+    /// Everything that fails the run: lexical findings, post-baseline
+    /// semantic findings, suppression and baseline meta-findings. Sorted
+    /// by (file, line, check) and deduplicated.
+    pub findings: Vec<Diagnostic>,
+    /// Semantic findings *before* baseline filtering (post-suppression),
+    /// in the same sorted order — the input `--write-baseline` ratchets
+    /// from.
+    pub semantic: Vec<Diagnostic>,
+}
+
+/// One scanned Rust file, read and lexed once for all phases.
+struct FileCtx {
+    rel: String,
+    policy: &'static CratePolicy,
+    kind: FileKind,
+    src: SourceFile,
+    used: Vec<bool>,
+    raw: Vec<Diagnostic>,
+}
+
+/// Adapter giving the semantic checks suppression access across files.
+struct WorkspaceSuppressions<'a> {
+    files: &'a mut [FileCtx],
+}
+
+impl SuppressionOracle for WorkspaceSuppressions<'_> {
+    fn suppressed(&mut self, file_idx: usize, line: usize, check: CheckId) -> bool {
+        let ctx = &mut self.files[file_idx];
+        ctx.src.is_suppressed(line, check, &mut ctx.used)
+    }
+}
 
 /// Runs every check over the workspace rooted at `root` and returns the
 /// findings sorted by file, line, and check.
 pub fn run_workspace(root: &Path) -> Vec<Diagnostic> {
-    let mut diags = Vec::new();
-    for policy in POLICIES {
-        check_crate(root, policy, &mut diags);
-    }
-    check_manifests(root, &mut diags);
-    check_registration(root, &mut diags);
-    diags.sort_by(|a, b| {
-        (a.file.as_str(), a.line, a.check.name()).cmp(&(b.file.as_str(), b.line, b.check.name()))
-    });
-    diags.dedup();
-    diags
+    scan_workspace(root).findings
 }
 
-fn check_crate(root: &Path, policy: &CratePolicy, diags: &mut Vec<Diagnostic>) {
+/// Runs the full scan pipeline; see the module docs for the phases.
+pub fn scan_workspace(root: &Path) -> ScanOutcome {
+    let mut findings: Vec<Diagnostic> = Vec::new();
+    let mut files: Vec<FileCtx> = Vec::new();
+
+    // Read + lex every file once.
+    for policy in POLICIES {
+        collect_crate(root, policy, &mut files, &mut findings);
+    }
+
+    // Phase 1: lexical checks, raw findings per file.
+    for ctx in &mut files {
+        checks::lexical_checks(ctx.policy, ctx.kind, &ctx.rel, &ctx.src, &mut ctx.raw);
+    }
+
+    // Phase 2: the call graph and the semantic checks. Only `src/` files
+    // of graph-participating crates contribute (tests/examples/benches
+    // are not part of any API surface; see `CratePolicy::call_graph`).
+    let models: Vec<(usize, FileModel)> = files
+        .iter()
+        .enumerate()
+        .filter(|(_, ctx)| ctx.kind == FileKind::LibSrc && ctx.policy.call_graph)
+        .map(|(idx, ctx)| (idx, FileModel::parse(&ctx.rel, &ctx.src)))
+        .collect();
+    let inputs: Vec<GraphInput<'_>> = models
+        .iter()
+        .map(|(idx, model)| GraphInput {
+            rel: &files[*idx].rel,
+            file_idx: *idx,
+            policy: files[*idx].policy,
+            model,
+        })
+        .collect();
+    let ws = Workspace::build(&inputs);
+    drop(inputs);
+    let mut semantic: Vec<Diagnostic> = Vec::new();
+    {
+        let mut oracle = WorkspaceSuppressions { files: &mut files };
+        checks::panic_reach::check(&ws, &mut oracle, &mut semantic);
+        checks::taint::check(&ws, &mut oracle, &mut semantic);
+        checks::lock_order::check(&ws, &mut oracle, &mut semantic);
+    }
+    sort_diags(&mut semantic);
+    semantic.dedup();
+
+    // Phase 3: apply + account suppressions for the lexical findings.
+    // (Semantic findings consulted the oracle when they were emitted.)
+    for ctx in &mut files {
+        let raw = std::mem::take(&mut ctx.raw);
+        checks::filter_suppressed(&ctx.src, raw, &mut ctx.used, &mut findings);
+        checks::account_suppressions(&ctx.rel, &ctx.src, &ctx.used, &mut findings);
+    }
+
+    // Phase 4: the baseline ratchet over the semantic findings.
+    let (surviving, meta) = match load_baseline(root) {
+        Ok(b) => baseline::apply(&b, semantic.clone()),
+        Err(d) => (semantic.clone(), vec![d]),
+    };
+    findings.extend(surviving);
+    findings.extend(meta);
+
+    check_manifests(root, &mut findings);
+    check_registration(root, &mut findings);
+    sort_diags(&mut findings);
+    findings.dedup();
+    ScanOutcome { findings, semantic }
+}
+
+/// Loads and parses `tidy-baseline.json`; a missing file is an empty
+/// baseline, an unreadable or malformed one is a finding.
+pub fn load_baseline(root: &Path) -> Result<Baseline, Diagnostic> {
+    let path = root.join(BASELINE_FILE);
+    if !path.is_file() {
+        return Ok(Baseline::default());
+    }
+    match fs::read_to_string(&path) {
+        Ok(text) => Baseline::parse(&text).map_err(|err| {
+            Diagnostic::new(
+                BASELINE_FILE,
+                1,
+                CheckId::Baseline,
+                format!("cannot parse baseline: {err}"),
+            )
+        }),
+        Err(err) => Err(Diagnostic::new(
+            BASELINE_FILE,
+            1,
+            CheckId::Baseline,
+            format!("cannot read baseline: {err}"),
+        )),
+    }
+}
+
+fn sort_diags(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.check.name(), a.symbol.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.check.name(),
+            b.symbol.as_str(),
+        ))
+    });
+}
+
+fn collect_crate(
+    root: &Path,
+    policy: &'static CratePolicy,
+    files: &mut Vec<FileCtx>,
+    findings: &mut Vec<Diagnostic>,
+) {
     const SUBDIRS: &[(&str, FileKind)] = &[
         ("src", FileKind::LibSrc),
         ("tests", FileKind::Tests),
@@ -44,14 +194,25 @@ fn check_crate(root: &Path, policy: &CratePolicy, diags: &mut Vec<Diagnostic>) {
         if !dir.is_dir() {
             continue;
         }
-        let mut files = Vec::new();
-        collect_rs(&dir, &mut files);
-        files.sort();
-        for path in files {
+        let mut paths = Vec::new();
+        collect_rs(&dir, &mut paths);
+        paths.sort();
+        for path in paths {
             let rel = rel_path(root, &path);
             match fs::read_to_string(&path) {
-                Ok(text) => checks::check_rust_file(policy, kind, &rel, &text, diags),
-                Err(err) => diags.push(Diagnostic::new(
+                Ok(text) => {
+                    let src = SourceFile::parse(&text);
+                    let used = vec![false; src.suppressions.len()];
+                    files.push(FileCtx {
+                        rel,
+                        policy,
+                        kind,
+                        src,
+                        used,
+                        raw: Vec::new(),
+                    });
+                }
+                Err(err) => findings.push(Diagnostic::new(
                     &rel,
                     1,
                     CheckId::CrateHeader,
@@ -82,8 +243,13 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
 }
 
 fn check_manifests(root: &Path, diags: &mut Vec<Diagnostic>) {
+    // A policy row whose crate directory is absent contributes nothing:
+    // fixture mini-workspaces legitimately materialize only a couple of
+    // the registered crates. (A *present* crate with an unreadable
+    // manifest is still a finding.)
     let mut manifests: Vec<PathBuf> = POLICIES
         .iter()
+        .filter(|p| p.dir.is_empty() || root.join(p.dir).is_dir())
         .map(|p| root.join(p.dir).join("Cargo.toml"))
         .collect();
     if let Ok(entries) = fs::read_dir(root.join("vendor")) {

@@ -1,0 +1,27 @@
+#![warn(missing_docs, missing_debug_implementations)]
+//! Fixture: two mutexes acquired in opposite orders by sibling methods.
+
+use parking_lot::Mutex;
+
+/// Two counters guarded by separate locks.
+#[derive(Debug, Default)]
+pub struct S {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl S {
+    /// Reads both counters, alpha first.
+    pub fn ab(&self) -> u64 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    /// Reads both counters, beta first.
+    pub fn ba(&self) -> u64 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        *a + *b
+    }
+}

@@ -1,0 +1,15 @@
+#![warn(missing_docs, missing_debug_implementations)]
+//! Fixture: a two-hop panic path invisible to the lexical pass.
+
+/// Entry point; the panic is two private calls away.
+pub fn api(xs: &[u32], i: usize) -> u32 {
+    mid(xs, i)
+}
+
+fn mid(xs: &[u32], i: usize) -> u32 {
+    deep(xs, i)
+}
+
+fn deep(xs: &[u32], i: usize) -> u32 {
+    xs[i]
+}

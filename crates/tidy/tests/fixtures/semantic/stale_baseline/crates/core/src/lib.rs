@@ -1,0 +1,7 @@
+#![warn(missing_docs, missing_debug_implementations)]
+//! Fixture: a clean crate under a baseline still listing fixed debt.
+
+/// Adds one.
+pub fn succ(n: u64) -> u64 {
+    n + 1
+}

@@ -1,0 +1,8 @@
+#![warn(missing_docs, missing_debug_implementations)]
+//! Fixture: host-side wrapper that reads the wall clock.
+
+/// Milliseconds of wall time spent spinning once.
+pub fn wall_ms() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis() as u64
+}

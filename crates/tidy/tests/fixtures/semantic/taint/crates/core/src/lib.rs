@@ -1,0 +1,9 @@
+#![warn(missing_docs, missing_debug_implementations)]
+//! Fixture: simulation code laundering wall time through a host crate.
+
+use eaao_campaign::wall_ms;
+
+/// Stamps a batch with "elapsed" milliseconds.
+pub fn place(n: u64) -> u64 {
+    n + wall_ms()
+}

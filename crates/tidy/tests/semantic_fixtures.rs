@@ -1,0 +1,129 @@
+//! The semantic fixture corpus: mini-workspaces under
+//! `tests/fixtures/semantic/` that each pin one call-graph finding to an
+//! exact file, line, and symbol — plus a companion proof that the lexical
+//! pass alone misses it, which is the whole reason the graph layer exists.
+
+use std::path::{Path, PathBuf};
+
+use eaao_tidy::checks;
+use eaao_tidy::cli::render_json;
+use eaao_tidy::diag::Diagnostic;
+use eaao_tidy::policy::{policy_for_dir, FileKind};
+use eaao_tidy::walk::scan_workspace;
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/semantic")
+        .join(name)
+}
+
+/// Runs the lexical layer only (exactly what `check_rust_file` applies)
+/// on one fixture file and returns its findings.
+fn lexical_only(root: &Path, dir: &str, rel: &str) -> Vec<Diagnostic> {
+    let policy = policy_for_dir(dir).expect("fixture reuses a registered crate dir");
+    let text = std::fs::read_to_string(root.join(rel)).expect("fixture file exists");
+    let mut out = Vec::new();
+    checks::check_rust_file(policy, FileKind::LibSrc, rel, &text, &mut out);
+    out
+}
+
+#[test]
+fn two_hop_panic_reachability_is_pinned_and_lexically_invisible() {
+    let root = fixture_root("panic_reach");
+    let findings = scan_workspace(&root).findings;
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let d = &findings[0];
+    assert_eq!(d.file, "crates/core/src/lib.rs");
+    assert_eq!(d.line, 5);
+    assert_eq!(d.check.name(), "panic-reachability");
+    assert_eq!(d.symbol, "eaao_core::api");
+    assert!(
+        d.message
+            .contains("`slice indexing` at crates/core/src/lib.rs:14"),
+        "{}",
+        d.message
+    );
+    assert!(
+        d.message
+            .contains("via `eaao_core::mid` -> `eaao_core::deep`"),
+        "{}",
+        d.message
+    );
+
+    // Companion proof: the same file sails through the lexical pass —
+    // non-literal indexing two private calls below a `pub fn` is exactly
+    // what the per-line checks cannot see.
+    let lexical = lexical_only(&root, "crates/core", "crates/core/src/lib.rs");
+    assert!(lexical.is_empty(), "{lexical:?}");
+}
+
+#[test]
+fn taint_laundered_through_a_host_wrapper_is_pinned_and_lexically_invisible() {
+    let root = fixture_root("taint");
+    let findings = scan_workspace(&root).findings;
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let d = &findings[0];
+    assert_eq!(d.file, "crates/core/src/lib.rs");
+    assert_eq!(d.line, 8);
+    assert_eq!(d.check.name(), "determinism-taint");
+    assert_eq!(d.symbol, "eaao_core::place -> eaao_campaign::wall_ms");
+    assert!(
+        d.message
+            .contains("`Instant` at crates/campaign/src/lib.rs:6"),
+        "{}",
+        d.message
+    );
+
+    // Companion proof: the critical crate has no banned token of its own,
+    // and the host crate is allowed to read the wall clock — both files
+    // are lexically clean. Only the cross-crate edge is the violation.
+    let core = lexical_only(&root, "crates/core", "crates/core/src/lib.rs");
+    assert!(core.is_empty(), "{core:?}");
+    let campaign = lexical_only(&root, "crates/campaign", "crates/campaign/src/lib.rs");
+    assert!(campaign.is_empty(), "{campaign:?}");
+}
+
+#[test]
+fn two_mutex_ordering_cycle_is_pinned_and_lexically_invisible() {
+    let root = fixture_root("lock_order");
+    let findings = scan_workspace(&root).findings;
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let d = &findings[0];
+    assert_eq!(d.file, "crates/obs/src/lib.rs");
+    assert_eq!(d.line, 17, "anchored at the first inverted acquisition");
+    assert_eq!(d.check.name(), "lock-order");
+    assert_eq!(d.symbol, "S.alpha -> S.beta -> S.alpha");
+    assert!(d.message.contains("lock-order cycle"), "{}", d.message);
+    assert!(
+        d.message
+            .contains("`S.beta` -> `S.alpha` (crates/obs/src/lib.rs:24)"),
+        "{}",
+        d.message
+    );
+
+    // Companion proof: no lexical check even looks at `.lock()`.
+    let lexical = lexical_only(&root, "crates/obs", "crates/obs/src/lib.rs");
+    assert!(lexical.is_empty(), "{lexical:?}");
+}
+
+#[test]
+fn stale_baseline_entries_are_findings_at_their_json_line() {
+    let root = fixture_root("stale_baseline");
+    let findings = scan_workspace(&root).findings;
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let d = &findings[0];
+    assert_eq!(d.file, "tidy-baseline.json");
+    assert_eq!(d.line, 4, "anchored at the entry's opening brace");
+    assert_eq!(d.check.name(), "baseline");
+    assert!(d.message.contains("stale entry"), "{}", d.message);
+    assert!(d.message.contains("eaao_core::gone"), "{}", d.message);
+}
+
+#[test]
+fn json_output_is_byte_identical_across_runs() {
+    let root = fixture_root("panic_reach");
+    let first = render_json(&scan_workspace(&root).findings);
+    let second = render_json(&scan_workspace(&root).findings);
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "the scan must be deterministic to the byte");
+}

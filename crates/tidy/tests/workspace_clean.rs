@@ -2,14 +2,16 @@
 //!
 //! This is the same pass `cargo run -p eaao-tidy` (and the CI tidy step)
 //! performs, wired into `cargo test` so a violation cannot land through
-//! either door.
+//! either door. "Clean" includes the semantic layer: the call-graph
+//! checks ran, and every surviving semantic finding was absorbed by a
+//! justified `tidy-baseline.json` entry — none slipped through, and none
+//! of the baseline's entries went stale.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-use eaao_tidy::run_workspace;
+use eaao_tidy::walk::{load_baseline, scan_workspace};
 
-#[test]
-fn the_workspace_scans_clean() {
+fn workspace_root() -> PathBuf {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
@@ -19,12 +21,49 @@ fn the_workspace_scans_clean() {
         root.join("Cargo.toml").is_file(),
         "not a workspace: {root:?}"
     );
-    let diags = run_workspace(&root);
-    let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    root
+}
+
+#[test]
+fn the_workspace_scans_clean() {
+    let outcome = scan_workspace(&workspace_root());
+    let rendered: Vec<String> = outcome.findings.iter().map(|d| d.to_string()).collect();
     assert!(
-        diags.is_empty(),
+        outcome.findings.is_empty(),
         "eaao-tidy found {} violation(s):\n{}",
-        diags.len(),
+        outcome.findings.len(),
         rendered.join("\n")
     );
+}
+
+#[test]
+fn the_semantic_pass_ran_and_the_baseline_is_tight() {
+    let root = workspace_root();
+    let outcome = scan_workspace(&root);
+    let baseline = load_baseline(&root).expect("baseline parses");
+
+    // Every pre-baseline semantic finding must correspond to a baseline
+    // entry (the clean gate above already proves the reverse: no entry is
+    // stale, unjustified, or duplicated).
+    for d in &outcome.semantic {
+        assert!(
+            baseline
+                .entries
+                .iter()
+                .any(|e| e.check == d.check.name() && e.file == d.file && e.symbol == d.symbol),
+            "semantic finding not covered by tidy-baseline.json: {d}"
+        );
+    }
+
+    // The ratchet stays honest by staying small: debt is the exception,
+    // carried only with a written justification.
+    for e in &baseline.entries {
+        assert!(
+            !e.justification.trim().is_empty(),
+            "baseline entry ({}, {}, {}) has no justification",
+            e.check,
+            e.file,
+            e.symbol
+        );
+    }
 }

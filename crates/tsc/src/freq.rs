@@ -106,6 +106,7 @@ impl fmt::Display for TscFrequency {
 /// assert_eq!(f.as_ghz(), 2.2);
 /// assert!(parse_base_frequency("AMD EPYC 7B12").is_none());
 /// ```
+// tidy:allow(panic-reachability) -- every slice position comes from `rfind`/`find` on the same string (`@` and the match starts are char boundaries), so the ranges are always valid; unparsable inputs return `None`, never panic.
 pub fn parse_base_frequency(model_name: &str) -> Option<TscFrequency> {
     let at = model_name.rfind('@')?;
     let tail = model_name[at + 1..].trim();

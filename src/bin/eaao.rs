@@ -7,6 +7,7 @@
 //! eaao explore     [--region R] [--seed N]
 //! eaao monitor     [--region R] [--seed N] [--windows N]
 //! eaao trace FILE
+//! eaao tidy        [--root DIR] [--json PATH|-] [--write-baseline]
 //! ```
 //!
 //! Every command is deterministic under `--seed` and runs in milliseconds
@@ -40,6 +41,11 @@ fn main() {
         };
         summarize_trace(Path::new(path));
         return;
+    }
+    if command == "tidy" {
+        // `tidy` owns its flags (--root/--json/--write-baseline); forward
+        // them untouched instead of parsing them as simulator flags.
+        std::process::exit(eaao_tidy::cli::run(&args).into());
     }
     let mut flags: HashMap<String, String> = HashMap::new();
     let mut bare_flags: Vec<String> = Vec::new();
@@ -117,6 +123,8 @@ fn usage_and_exit() -> ! {
                         --spec FILE | --experiments a,b,c [--regions r1,r2]\n\
                         [--seeds N] [--out DIR] [--jobs N] [--resume] [--quick]\n\
            trace        summarize a JSONL trace file: eaao trace FILE\n\
+           tidy         run the workspace static-analysis pass\n\
+                        [--root DIR] [--json PATH|-] [--write-baseline]\n\
          common flags: --region us-east1|us-central1|us-west1   --seed N\n\
                        --trace FILE   write structured span/metrics events as JSONL"
     );
