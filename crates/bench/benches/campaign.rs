@@ -40,6 +40,7 @@ fn bench_campaign_throughput(c: &mut Criterion) {
         ..CampaignSpec::default()
     };
     let grid = spec.expand().expect("valid spec");
+    let seed = spec.seed;
     let mut group = c.benchmark_group("campaign_throughput");
     group.sample_size(10);
     for &jobs in &[1usize, 2, 8] {
@@ -47,7 +48,7 @@ fn bench_campaign_throughput(c: &mut Criterion) {
             let executor = Executor::new(jobs);
             b.iter(|| {
                 let records =
-                    executor.run(grid.clone(), |_, run| execute(&run, black_box(spec.seed)));
+                    executor.run(grid.clone(), move |_, run| execute(&run, black_box(seed)));
                 assert!(records.iter().all(|r| r.is_ok()));
                 black_box(records)
             });

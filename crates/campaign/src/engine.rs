@@ -8,6 +8,7 @@
 //! field) at any `--jobs` value.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use eaao_obs::TraceWriter;
 use serde::{Serialize, Value};
@@ -15,7 +16,7 @@ use serde::{Serialize, Value};
 use crate::aggregate::merged_metrics;
 use crate::pool::Executor;
 use crate::runner::{execute_traced, RunRecord};
-use crate::sink::{JsonlSink, PriorRuns};
+use crate::sink::{JsonlSink, PriorRuns, RecordSink};
 use crate::spec::{CampaignSpec, RunSpec, SpecError};
 
 /// Everything that can go wrong running a campaign.
@@ -85,6 +86,8 @@ pub struct Campaign {
     resume: bool,
     limit: Option<usize>,
     trace: Option<PathBuf>,
+    executor: Option<Executor>,
+    tee: Option<Arc<dyn RecordSink>>,
 }
 
 impl Campaign {
@@ -97,12 +100,33 @@ impl Campaign {
             resume: false,
             limit: None,
             trace: None,
+            executor: None,
+            tee: None,
         }
     }
 
-    /// Sets the worker-thread count (clamped to at least 1).
+    /// Sets the worker-thread count (clamped to at least 1). Ignored when
+    /// [`Campaign::executor`] supplies a shared pool.
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Runs the campaign over an existing shared [`Executor`] instead of
+    /// spawning a private pool. This is how the service daemon
+    /// multiplexes many concurrently submitted campaigns over one set of
+    /// worker threads; determinism is unaffected (per-run seeds depend
+    /// only on the spec, never on scheduling).
+    pub fn executor(mut self, executor: Executor) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// Streams every completed record to `sink` (in completion order, on
+    /// the campaign's submitting thread) in addition to the JSONL files.
+    /// A sink error fails the campaign like any other I/O error.
+    pub fn tee(mut self, sink: Arc<dyn RecordSink>) -> Self {
+        self.tee = Some(sink);
         self
     }
 
@@ -184,20 +208,26 @@ impl Campaign {
         let executed = pending.len();
 
         let sink = JsonlSink::open(&self.out_dir)?;
-        let tracer = match &self.trace {
+        let tracer: Arc<Option<TraceWriter>> = Arc::new(match &self.trace {
             Some(path) => Some(TraceWriter::create(path)?),
             None => None,
-        };
+        });
         let master_seed = self.spec.seed;
-        let io_error = parking_lot::Mutex::new(None::<std::io::Error>);
+        let io_error = Arc::new(parking_lot::Mutex::new(None::<std::io::Error>));
+        let executor = match &self.executor {
+            Some(shared) => shared.clone(),
+            None => Executor::new(self.jobs),
+        };
         let mut done = 0usize;
-        let fresh = Executor::new(self.jobs).run_with(
+        let worker_tracer = Arc::clone(&tracer);
+        let worker_errors = Arc::clone(&io_error);
+        let fresh = executor.run_with(
             pending,
-            |_, run| {
-                let (record, events) = execute_traced(&run, master_seed, tracer.is_some());
-                if let Some(writer) = &tracer {
+            move |_, run: RunSpec| {
+                let (record, events) = execute_traced(&run, master_seed, worker_tracer.is_some());
+                if let Some(writer) = worker_tracer.as_ref() {
                     if let Err(error) = writer.write_events(&events) {
-                        io_error.lock().get_or_insert(error);
+                        worker_errors.lock().get_or_insert(error);
                     }
                 }
                 record
@@ -206,11 +236,16 @@ impl Campaign {
                 if let Err(error) = sink.record(record) {
                     io_error.lock().get_or_insert(error);
                 }
+                if let Some(tee) = &self.tee {
+                    if let Err(error) = tee.record(record) {
+                        io_error.lock().get_or_insert(error);
+                    }
+                }
                 done += 1;
                 progress(resumed + done, total, record);
             },
         );
-        if let Some(error) = io_error.into_inner() {
+        if let Some(error) = io_error.lock().take() {
             return Err(CampaignError::Io(error));
         }
 

@@ -57,6 +57,6 @@ pub mod prelude {
     pub use crate::engine::{Campaign, CampaignError, CampaignReport};
     pub use crate::pool::Executor;
     pub use crate::runner::{derive_seed, execute, execute_traced, RunRecord, WALL_FIELD};
-    pub use crate::sink::{JsonlSink, ManifestEntry, PriorRuns};
+    pub use crate::sink::{JsonlSink, ManifestEntry, PriorRuns, RecordSink};
     pub use crate::spec::{CampaignSpec, ExperimentKind, RunSpec, SpecError};
 }

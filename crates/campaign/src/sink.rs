@@ -108,6 +108,29 @@ impl PriorRuns {
     }
 }
 
+/// A streaming consumer of completed run records.
+///
+/// The engine calls [`RecordSink::record`] once per completed run, on the
+/// campaign's submitting thread, in **completion order** (grid order is
+/// only restored by finalization). [`JsonlSink`] is the durable file
+/// implementation; the `eaao-serve` daemon implements this trait to
+/// forward each record to a connected client as it lands.
+pub trait RecordSink: Send + Sync + std::fmt::Debug {
+    /// Consumes one completed record.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::Error`] if the record cannot be delivered;
+    /// the campaign surfaces the first such error and fails.
+    fn record(&self, record: &RunRecord) -> std::io::Result<()>;
+}
+
+impl RecordSink for JsonlSink {
+    fn record(&self, record: &RunRecord) -> std::io::Result<()> {
+        JsonlSink::record(self, record)
+    }
+}
+
 /// Streaming writer for a campaign directory.
 #[derive(Debug)]
 pub struct JsonlSink {

@@ -64,6 +64,7 @@
 pub mod event;
 pub mod instrument;
 pub mod metrics;
+pub mod scrape;
 pub mod trace;
 
 pub use event::{Event, EventKind, SCHEMA_VERSION};
@@ -74,6 +75,7 @@ pub use metrics::{
     bucket_bound, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
     MetricsSnapshot, HISTOGRAM_BUCKETS,
 };
+pub use scrape::{render, render_with_labels};
 pub use trace::{SpanStats, TraceSummary, TraceWriter};
 
 /// The commonly used surface in one import.
@@ -83,5 +85,6 @@ pub mod prelude {
         count, gauge, observe, point, span, with_instrument, Collector, Instrument, SpanGuard,
     };
     pub use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+    pub use crate::scrape::{render, render_with_labels};
     pub use crate::trace::{TraceSummary, TraceWriter};
 }

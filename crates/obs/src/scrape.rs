@@ -1,0 +1,220 @@
+//! Plaintext scrape rendering of [`MetricsSnapshot`]s.
+//!
+//! The `eaao-serve` daemon exposes its metrics on a scrape endpoint in
+//! the conventional `name{label="value"} value` exposition format:
+//! counters and gauges become single samples, histograms become
+//! summary-style quantile samples plus `_sum`/`_count`. Rendering is
+//! fully deterministic — snapshots store their series in `BTreeMap`s, so
+//! the same snapshot always produces byte-identical scrape text.
+//!
+//! Metric names are sanitized to `[a-zA-Z0-9_:]` (the dotted internal
+//! names like `campaign.runs_ok` become `campaign_runs_ok`) and prefixed
+//! with `eaao_` so served metrics cannot collide with a co-hosted
+//! exporter's namespace.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+
+/// Renders `snapshot` without labels.
+///
+/// Equivalent to [`render_with_labels`] with an empty label set.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    render_with_labels(snapshot, &[])
+}
+
+/// Renders `snapshot` with `labels` attached to every sample.
+///
+/// Labels are rendered in the order given; the daemon uses this to tag
+/// each campaign's merged snapshot with its server-assigned id, e.g.
+/// `eaao_campaign_runs_ok{campaign="c0001"} 12`.
+pub fn render_with_labels(snapshot: &MetricsSnapshot, labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        sample(&mut out, name, labels, &[], &format_u64(*value));
+    }
+    for (name, value) in &snapshot.gauges {
+        sample(&mut out, name, labels, &[], &format_f64(*value));
+    }
+    for (name, histogram) in &snapshot.histograms {
+        render_histogram(&mut out, name, labels, histogram);
+    }
+    out
+}
+
+/// Wraps already-rendered scrape `body` text in a minimal HTTP/1.1
+/// response, the whole answer the daemon's scrape listener writes to any
+/// connection before closing it.
+pub fn http_response(body: &str) -> String {
+    format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(&str, &str)],
+    histogram: &HistogramSnapshot,
+) {
+    for (quantile, value) in [
+        ("0.5", histogram.p50),
+        ("0.95", histogram.p95),
+        ("0.99", histogram.p99),
+    ] {
+        sample(
+            out,
+            name,
+            labels,
+            &[("quantile", quantile)],
+            &format_u64(value),
+        );
+    }
+    let base = sanitize(name);
+    line(
+        out,
+        &format!("{base}_sum"),
+        labels,
+        &format_u64(histogram.sum),
+    );
+    line(
+        out,
+        &format!("{base}_count"),
+        labels,
+        &format_u64(histogram.count),
+    );
+}
+
+/// One sample whose name still needs sanitizing.
+fn sample(
+    out: &mut String,
+    name: &str,
+    labels: &[(&str, &str)],
+    extra: &[(&str, &str)],
+    value: &str,
+) {
+    let sanitized = sanitize(name);
+    let mut all: Vec<(&str, &str)> = labels.to_vec();
+    all.extend_from_slice(extra);
+    line_with(out, &sanitized, &all, value);
+}
+
+/// One sample with an already-sanitized name.
+fn line(out: &mut String, sanitized: &str, labels: &[(&str, &str)], value: &str) {
+    line_with(out, sanitized, labels, value);
+}
+
+fn line_with(out: &mut String, sanitized: &str, labels: &[(&str, &str)], value: &str) {
+    out.push_str(sanitized);
+    if !labels.is_empty() {
+        out.push('{');
+        for (idx, (key, val)) in labels.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{key}=\"{}\"", escape_label(val));
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Maps an internal dotted metric name onto the exposition charset and
+/// prefixes the `eaao_` namespace.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("eaao_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes `\`, `"`, and newlines inside a label value.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn format_u64(value: u64) -> String {
+    value.to_string()
+}
+
+/// `f64` rendering that keeps integral values short (`3` not `3.0`) and
+/// is stable across platforms (Rust's `Display` for `f64` is shortest
+/// round-trip, which is deterministic).
+fn format_f64(value: f64) -> String {
+    if value == value.trunc() && value.is_finite() && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn snapshot() -> MetricsSnapshot {
+        let registry = MetricsRegistry::new();
+        registry.counter("campaign.runs_ok").add(12);
+        registry.gauge("serve.active_clients").set(3.0);
+        let h = registry.histogram("probe.sim_ns");
+        h.record(100);
+        h.record(200);
+        registry.snapshot()
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_histograms_deterministically() {
+        let snap = snapshot();
+        let text = render(&snap);
+        assert!(text.contains("eaao_campaign_runs_ok 12\n"));
+        assert!(text.contains("eaao_serve_active_clients 3\n"));
+        assert!(text.contains("eaao_probe_sim_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("eaao_probe_sim_ns_sum 300\n"));
+        assert!(text.contains("eaao_probe_sim_ns_count 2\n"));
+        assert_eq!(text, render(&snap), "rendering is deterministic");
+    }
+
+    #[test]
+    fn labels_are_attached_and_escaped() {
+        let snap = snapshot();
+        let text = render_with_labels(&snap, &[("campaign", "c0001\"x\\y")]);
+        assert!(text.contains("eaao_campaign_runs_ok{campaign=\"c0001\\\"x\\\\y\"} 12\n"));
+        assert!(text.contains("{campaign=\"c0001\\\"x\\\\y\",quantile=\"0.5\"}"));
+    }
+
+    #[test]
+    fn http_response_wraps_body_with_content_length() {
+        let response = http_response("a 1\n");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(response.contains("Content-Length: 4\r\n"));
+        assert!(response.ends_with("\r\n\r\na 1\n"));
+    }
+
+    #[test]
+    fn fractional_gauges_keep_their_fraction() {
+        let registry = MetricsRegistry::new();
+        registry.gauge("serve.load").set(0.5);
+        let text = render(&registry.snapshot());
+        assert!(text.contains("eaao_serve_load 0.5\n"));
+    }
+}

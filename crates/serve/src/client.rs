@@ -1,0 +1,232 @@
+//! The client side of the wire protocol: connect, handshake, submit,
+//! stream records, request shutdown.
+//!
+//! [`Client`] is the library behind `eaao submit` and `eaao shutdown`,
+//! and the primary programmatic interface for driving a daemon from
+//! tests or future adaptive-attacker loops. A connection is single-shot:
+//! after [`Client::submit`] returns (or [`Client::shutdown`] is
+//! acknowledged) the server closes the socket, so a new [`Client`] is
+//! connected per operation.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{
+    read_frame, write_frame, ClientFrame, FrameError, ServerFrame, PROTOCOL_VERSION,
+};
+
+/// Everything that can go wrong on the client side.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting the socket failed.
+    Connect(std::io::Error),
+    /// A frame could not be read or written.
+    Frame(FrameError),
+    /// The server refused the handshake or submission.
+    Rejected {
+        /// Machine-readable category (see [`ServerFrame::Rejected`]).
+        reason: String,
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// The server's admission queue was full.
+    Busy {
+        /// Campaigns queued at rejection time.
+        queued: u64,
+        /// The queue's capacity.
+        capacity: u64,
+    },
+    /// The campaign failed server-side after being accepted.
+    Server(String),
+    /// The server sent a frame that violates the protocol state machine.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(error) => write!(f, "could not connect: {error}"),
+            ClientError::Frame(error) => write!(f, "protocol transport failed: {error}"),
+            ClientError::Rejected { reason, detail } => {
+                write!(f, "server rejected the request ({reason}): {detail}")
+            }
+            ClientError::Busy { queued, capacity } => {
+                write!(f, "server busy: {queued}/{capacity} campaigns queued")
+            }
+            ClientError::Server(detail) => write!(f, "campaign failed server-side: {detail}"),
+            ClientError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(error: FrameError) -> Self {
+        ClientError::Frame(error)
+    }
+}
+
+/// One record streamed back during [`Client::submit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedRecord {
+    /// The server-assigned campaign id.
+    pub campaign: String,
+    /// Records delivered so far, this one included.
+    pub done: u64,
+    /// Total grid cells.
+    pub total: u64,
+    /// The record's exact batch-path serialization.
+    pub json: String,
+}
+
+/// What a completed submission did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitOutcome {
+    /// The server-assigned campaign id.
+    pub campaign: String,
+    /// Total grid cells in the spec.
+    pub total: u64,
+    /// Cells executed.
+    pub executed: u64,
+    /// Cells that ended `"failed"`.
+    pub failed: u64,
+    /// Whether every cell now has a record.
+    pub complete: bool,
+}
+
+/// A connected, handshaken protocol client.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr` and performs the version handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Connect`] if the socket cannot be opened,
+    /// [`ClientError::Rejected`] on a version mismatch, and
+    /// [`ClientError::Frame`]/[`ClientError::Protocol`] on transport or
+    /// state-machine violations.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ClientError::Connect)?;
+        let read_half = stream.try_clone().map_err(ClientError::Connect)?;
+        let mut client = Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        };
+        write_frame(
+            &mut client.writer,
+            &ClientFrame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )?;
+        match client.expect_frame("Welcome")? {
+            ServerFrame::Welcome { .. } => Ok(client),
+            ServerFrame::Rejected { reason, detail } => {
+                Err(ClientError::Rejected { reason, detail })
+            }
+            other => Err(Client::unexpected("Welcome", &other)),
+        }
+    }
+
+    /// Submits `spec_json` and streams every completed record to
+    /// `on_record` until the campaign finishes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] / [`ClientError::Busy`] if the
+    /// submission is refused, [`ClientError::Server`] if the campaign
+    /// aborts server-side, and transport errors as
+    /// [`ClientError::Frame`].
+    pub fn submit(
+        mut self,
+        spec_json: &str,
+        out: Option<&str>,
+        mut on_record: impl FnMut(StreamedRecord),
+    ) -> Result<SubmitOutcome, ClientError> {
+        write_frame(
+            &mut self.writer,
+            &ClientFrame::Submit {
+                spec: spec_json.to_owned(),
+                out: out.map(str::to_owned),
+            },
+        )?;
+        let (campaign, total) = match self.expect_frame("Accepted")? {
+            ServerFrame::Accepted { campaign, total } => (campaign, total),
+            ServerFrame::Rejected { reason, detail } => {
+                return Err(ClientError::Rejected { reason, detail })
+            }
+            ServerFrame::Busy { queued, capacity } => {
+                return Err(ClientError::Busy { queued, capacity })
+            }
+            other => return Err(Client::unexpected("Accepted", &other)),
+        };
+        loop {
+            match self.expect_frame("Record or Done")? {
+                ServerFrame::Record {
+                    campaign,
+                    done,
+                    total,
+                    json,
+                } => on_record(StreamedRecord {
+                    campaign,
+                    done,
+                    total,
+                    json,
+                }),
+                ServerFrame::Done {
+                    campaign: done_campaign,
+                    executed,
+                    failed,
+                    complete,
+                } => {
+                    if done_campaign != campaign {
+                        return Err(ClientError::Protocol(format!(
+                            "Done for campaign {done_campaign}, expected {campaign}"
+                        )));
+                    }
+                    return Ok(SubmitOutcome {
+                        campaign,
+                        total,
+                        executed,
+                        failed,
+                        complete,
+                    });
+                }
+                ServerFrame::Error { detail } => return Err(ClientError::Server(detail)),
+                other => return Err(Client::unexpected("Record or Done", &other)),
+            }
+        }
+    }
+
+    /// Asks the daemon to drain and exit; returns once acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Frame`] on transport failure and
+    /// [`ClientError::Protocol`] if the acknowledgement never arrives.
+    pub fn shutdown(mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, &ClientFrame::Shutdown)?;
+        match self.expect_frame("ShuttingDown")? {
+            ServerFrame::ShuttingDown => Ok(()),
+            other => Err(Client::unexpected("ShuttingDown", &other)),
+        }
+    }
+
+    fn expect_frame(&mut self, wanted: &str) -> Result<ServerFrame, ClientError> {
+        match read_frame(&mut self.reader)? {
+            Some(frame) => Ok(frame),
+            None => Err(ClientError::Protocol(format!(
+                "server closed the connection while {wanted} was expected"
+            ))),
+        }
+    }
+
+    fn unexpected(wanted: &str, got: &ServerFrame) -> ClientError {
+        ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the wire codec: every frame the protocol can
+//! express survives a write → read roundtrip, alone and in sequences.
+
+use std::io::Cursor;
+
+use eaao_serve::proto::{read_frame, write_frame, ClientFrame, ServerFrame};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Printable-ASCII strings, including `"` and `\` so JSON escaping is
+/// exercised.
+fn text() -> BoxedStrategy<String> {
+    vec(' '..'\u{7f}', 0..40)
+        .prop_map(|chars| chars.into_iter().collect())
+        .boxed()
+}
+
+fn client_frame() -> BoxedStrategy<ClientFrame> {
+    prop_oneof![
+        (0u32..16).prop_map(|version| ClientFrame::Hello { version }),
+        (text(), 0u32..2, text()).prop_map(|(spec, tag, out)| ClientFrame::Submit {
+            spec,
+            out: (tag == 1).then_some(out),
+        }),
+        Just(ClientFrame::Shutdown),
+    ]
+    .boxed()
+}
+
+fn server_frame() -> BoxedStrategy<ServerFrame> {
+    prop_oneof![
+        (0u32..16, text()).prop_map(|(version, server)| ServerFrame::Welcome { version, server }),
+        (text(), 0u64..1_000)
+            .prop_map(|(campaign, total)| ServerFrame::Accepted { campaign, total }),
+        (text(), text()).prop_map(|(reason, detail)| ServerFrame::Rejected { reason, detail }),
+        (0u64..64, 0u64..64).prop_map(|(queued, capacity)| ServerFrame::Busy { queued, capacity }),
+        (text(), 0u64..1_000, 0u64..1_000, text()).prop_map(|(campaign, done, total, json)| {
+            ServerFrame::Record {
+                campaign,
+                done,
+                total,
+                json,
+            }
+        }),
+        (text(), 0u64..1_000, 0u64..1_000, false).prop_map(
+            |(campaign, executed, failed, complete)| ServerFrame::Done {
+                campaign,
+                executed,
+                failed,
+                complete,
+            }
+        ),
+        Just(ServerFrame::ShuttingDown),
+        text().prop_map(|detail| ServerFrame::Error { detail }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn client_frames_roundtrip(frame in client_frame()) {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame).expect("writes");
+        let back: ClientFrame = read_frame(&mut Cursor::new(bytes))
+            .expect("reads")
+            .expect("one frame");
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn server_frames_roundtrip(frame in server_frame()) {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame).expect("writes");
+        let back: ServerFrame = read_frame(&mut Cursor::new(bytes))
+            .expect("reads")
+            .expect("one frame");
+        prop_assert_eq!(back, frame);
+    }
+
+    /// Frames written back-to-back read out in order with a clean EOF
+    /// at the end — the property the streaming path depends on.
+    #[test]
+    fn frame_sequences_roundtrip(frames in vec(server_frame(), 0..8)) {
+        let mut bytes = Vec::new();
+        for frame in &frames {
+            write_frame(&mut bytes, frame).expect("writes");
+        }
+        let mut cursor = Cursor::new(bytes);
+        let mut back = Vec::new();
+        while let Some(frame) = read_frame::<ServerFrame>(&mut cursor).expect("reads") {
+            back.push(frame);
+        }
+        prop_assert_eq!(back, frames);
+    }
+
+    /// Any truncation of a valid frame is a `Truncated` error, never a
+    /// partial decode or a hang.
+    #[test]
+    fn truncated_frames_are_typed_errors(frame in server_frame(), fraction in 0u64..100) {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame).expect("writes");
+        let cut = (bytes.len() as u64 * fraction / 100) as usize;
+        if cut < bytes.len() {
+            let result = read_frame::<ServerFrame>(&mut Cursor::new(bytes[..cut].to_vec()));
+            if cut == 0 {
+                prop_assert!(matches!(result, Ok(None)));
+            } else {
+                prop_assert!(matches!(
+                    result,
+                    Err(eaao_serve::proto::FrameError::Truncated)
+                ));
+            }
+        }
+    }
+}

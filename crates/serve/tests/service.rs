@@ -1,0 +1,351 @@
+//! End-to-end daemon tests: concurrent submissions over one shared
+//! executor, byte-identity with the batch path, typed rejections,
+//! backpressure, the scrape endpoint, and graceful drain.
+
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use eaao_campaign::engine::Campaign;
+use eaao_campaign::runner::RunRecord;
+use eaao_campaign::spec::CampaignSpec;
+use eaao_serve::client::{Client, ClientError};
+use eaao_serve::proto::{read_frame, write_frame, ClientFrame, ServerFrame};
+use eaao_serve::server::{ServeConfig, Server};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("eaao-serve-tests").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(root: &Path) -> ServeConfig {
+    ServeConfig {
+        out_root: root.join("serve"),
+        metrics_addr: Some("127.0.0.1:0".to_owned()),
+        jobs: 4,
+        ..ServeConfig::default()
+    }
+}
+
+/// `key → content_hash` for every line of a `results.jsonl`.
+fn hashes_on_disk(dir: &Path) -> BTreeMap<String, u64> {
+    std::fs::read_to_string(dir.join("results.jsonl"))
+        .expect("batch results exist")
+        .lines()
+        .map(|line| {
+            let record: RunRecord = serde_json::from_str(line).expect("record parses");
+            (record.key.clone(), record.content_hash())
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_submissions_match_the_batch_path_byte_for_byte() {
+    let root = scratch("identity");
+    let server = Server::start(config(&root)).expect("server starts");
+    let addr = server.addr();
+    let specs = [
+        r#"{"name":"alpha","experiments":["fig6"],"regions":["us-west1"],"seeds":3,"quick":true}"#,
+        r#"{"name":"beta","experiments":["attack-naive"],"regions":["us-east1"],"seeds":3,"seed":7,"quick":true}"#,
+    ];
+
+    // Two clients submit concurrently; their runs multiplex over the
+    // daemon's one shared executor.
+    let workers: Vec<_> = specs
+        .iter()
+        .map(|spec| {
+            let spec = (*spec).to_owned();
+            std::thread::spawn(move || {
+                let client = Client::connect(addr).expect("client connects");
+                let mut streamed = Vec::new();
+                let outcome = client
+                    .submit(&spec, None, |record| streamed.push(record))
+                    .expect("submission succeeds");
+                (outcome, streamed)
+            })
+        })
+        .collect();
+    let results: Vec<_> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread"))
+        .collect();
+
+    for (spec_json, (outcome, streamed)) in specs.iter().zip(&results) {
+        assert!(outcome.complete, "campaign incomplete: {outcome:?}");
+        assert_eq!(streamed.len() as u64, outcome.total);
+        // Batch reference run of the identical spec.
+        let spec = CampaignSpec::from_json(spec_json).expect("spec parses");
+        let batch_dir = root.join("batch").join(spec.name.clone());
+        Campaign::new(spec, &batch_dir)
+            .jobs(2)
+            .run()
+            .expect("batch run");
+        let batch = hashes_on_disk(&batch_dir);
+        let served: BTreeMap<String, u64> = streamed
+            .iter()
+            .map(|record| {
+                let parsed: RunRecord =
+                    serde_json::from_str(&record.json).expect("streamed record parses");
+                (parsed.key.clone(), parsed.content_hash())
+            })
+            .collect();
+        // content_hash covers every field except wall_ms — this is
+        // byte-identity modulo the one sanctioned nondeterminism.
+        assert_eq!(served, batch, "served records diverge from batch");
+    }
+
+    // The scrape endpoint serves both service counters and the merged
+    // per-campaign metrics.
+    let metrics_addr = server.metrics_addr().expect("metrics enabled");
+    let mut scrape = String::new();
+    TcpStream::connect(metrics_addr)
+        .expect("scrape connects")
+        .read_to_string(&mut scrape)
+        .expect("scrape reads");
+    assert!(scrape.starts_with("HTTP/1.1 200 OK"), "scrape: {scrape}");
+    let streamed: u64 = results.iter().map(|(outcome, _)| outcome.total).sum();
+    assert!(scrape.contains("eaao_serve_campaigns_completed 2"));
+    assert!(
+        scrape.contains(&format!("eaao_serve_records_streamed {streamed}")),
+        "scrape: {scrape}"
+    );
+    assert!(scrape.contains("campaign=\"c0001\""));
+
+    Client::connect(addr)
+        .expect("shutdown client connects")
+        .shutdown()
+        .expect("shutdown acknowledged");
+    server.wait().expect("drain completes");
+}
+
+#[test]
+fn a_version_mismatch_is_rejected_in_the_handshake() {
+    let root = scratch("version");
+    let server = Server::start(config(&root)).expect("server starts");
+    let mut stream = TcpStream::connect(server.addr()).expect("connects");
+    write_frame(&mut stream, &ClientFrame::Hello { version: 999 }).expect("writes");
+    let reply: ServerFrame = read_frame(&mut stream).expect("reads").expect("one frame");
+    match reply {
+        ServerFrame::Rejected { reason, detail } => {
+            assert_eq!(reason, "version");
+            assert!(detail.contains("999"), "detail: {detail}");
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    server.shutdown();
+    server.wait().expect("drain completes");
+}
+
+#[test]
+fn a_full_admission_queue_answers_busy() {
+    let root = scratch("busy");
+    let server = Server::start(ServeConfig {
+        max_pending: 0,
+        ..config(&root)
+    })
+    .expect("server starts");
+    let client = Client::connect(server.addr()).expect("connects");
+    let spec = r#"{"name":"x","experiments":["fig6"],"quick":true}"#;
+    let error = client
+        .submit(spec, None, |_| {})
+        .expect_err("queue is full");
+    match error {
+        ClientError::Busy { queued, capacity } => {
+            assert_eq!((queued, capacity), (0, 0));
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    server.shutdown();
+    server.wait().expect("drain completes");
+}
+
+#[test]
+fn a_bad_spec_and_a_bad_out_name_are_typed_rejections() {
+    let root = scratch("rejects");
+    let server = Server::start(config(&root)).expect("server starts");
+    let cases = [
+        (
+            r#"{"name":"x","experiments":["figNaN"],"quick":true}"#,
+            None,
+            "spec",
+        ),
+        ("{not json", None, "spec"),
+        (
+            r#"{"name":"x","experiments":["fig6"],"quick":true}"#,
+            Some("../escape"),
+            "spec",
+        ),
+    ];
+    for (spec, out, want) in cases {
+        let client = Client::connect(server.addr()).expect("connects");
+        let error = client.submit(spec, out, |_| {}).expect_err("rejected");
+        match error {
+            ClientError::Rejected { reason, .. } => assert_eq!(reason, want, "spec: {spec}"),
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+    }
+    server.shutdown();
+    server.wait().expect("drain completes");
+}
+
+#[test]
+fn a_directory_with_a_live_writer_rejects_new_submissions() {
+    let root = scratch("dir-busy");
+    // One dispatcher: the first (larger) campaign occupies it while the
+    // second sits queued, holding its output directory's live-writer
+    // slot; a third submission naming the same directory must bounce.
+    let server = Server::start(ServeConfig {
+        dispatchers: 1,
+        jobs: 2,
+        ..config(&root)
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    let filler = r#"{"name":"filler","experiments":["fig6"],"seeds":32,"quick":true}"#;
+    let holder = r#"{"name":"holder","experiments":["fig6"],"seeds":1,"quick":true}"#;
+
+    let filler_thread = {
+        let filler = filler.to_owned();
+        std::thread::spawn(move || {
+            Client::connect(addr)
+                .expect("connects")
+                .submit(&filler, None, |_| {})
+                .expect("filler completes")
+        })
+    };
+    // Queue the holder behind the filler, pinning the "shared" dir.
+    let holder_thread = {
+        let holder = holder.to_owned();
+        std::thread::spawn(move || {
+            Client::connect(addr)
+                .expect("connects")
+                .submit(&holder, Some("shared"), |_| {})
+                .expect("holder completes")
+        })
+    };
+    // Give the holder's Submit frame time to be admitted.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let error = loop {
+        let client = Client::connect(addr).expect("connects");
+        match client.submit(holder, Some("shared"), |_| {}) {
+            Err(error) => break error,
+            Ok(_) => {
+                // The holder was not admitted yet and we won the race;
+                // retry until we collide with a live writer or time out.
+                assert!(
+                    Instant::now() < deadline,
+                    "never collided with the live writer"
+                );
+            }
+        }
+    };
+    match error {
+        ClientError::Rejected { reason, .. } => assert_eq!(reason, "dir-busy"),
+        other => panic!("expected Rejected(dir-busy), got {other:?}"),
+    }
+    assert!(filler_thread.join().expect("filler thread").complete);
+    assert!(holder_thread.join().expect("holder thread").complete);
+    server.shutdown();
+    server.wait().expect("drain completes");
+}
+
+#[test]
+fn an_abandoned_client_does_not_stall_its_campaign() {
+    let root = scratch("abandoned");
+    let server = Server::start(ServeConfig {
+        outbound_capacity: 1,
+        slow_consumer_ms: 100,
+        ..config(&root)
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    let spec = r#"{"name":"ghost","experiments":["fig6"],"seeds":4,"quick":true}"#;
+    let campaign_dir = {
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        write_frame(&mut stream, &ClientFrame::Hello { version: 1 }).expect("hello");
+        let _welcome: ServerFrame = read_frame(&mut stream).expect("reads").expect("welcome");
+        write_frame(
+            &mut stream,
+            &ClientFrame::Submit {
+                spec: spec.to_owned(),
+                out: None,
+            },
+        )
+        .expect("submit");
+        let accepted: ServerFrame = read_frame(&mut stream).expect("reads").expect("accepted");
+        let ServerFrame::Accepted { campaign, .. } = accepted else {
+            panic!("expected Accepted, got {accepted:?}");
+        };
+        root.join("serve").join(format!("{campaign}-ghost"))
+        // The stream drops here: the client vanishes mid-campaign.
+    };
+    // The campaign must still run to completion on disk.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !campaign_dir.join("campaign.json").exists() {
+        assert!(
+            Instant::now() < deadline,
+            "campaign never finalized after its client vanished"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(hashes_on_disk(&campaign_dir).len(), 4);
+    server.shutdown();
+    server.wait().expect("drain completes");
+}
+
+#[test]
+fn shutdown_drains_in_flight_campaigns_and_rejects_new_ones() {
+    let root = scratch("drain");
+    let server = Server::start(config(&root)).expect("server starts");
+    let addr = server.addr();
+    let spec = r#"{"name":"inflight","experiments":["fig6"],"seeds":8,"quick":true}"#;
+
+    // Submit by hand so the shutdown can land between Accepted and the
+    // record stream — the campaign is then provably in flight.
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    write_frame(&mut stream, &ClientFrame::Hello { version: 1 }).expect("hello");
+    let _welcome: ServerFrame = read_frame(&mut stream).expect("reads").expect("welcome");
+    write_frame(
+        &mut stream,
+        &ClientFrame::Submit {
+            spec: spec.to_owned(),
+            out: None,
+        },
+    )
+    .expect("submit");
+    let accepted: ServerFrame = read_frame(&mut stream).expect("reads").expect("accepted");
+    let ServerFrame::Accepted { total, .. } = accepted else {
+        panic!("expected Accepted, got {accepted:?}");
+    };
+
+    Client::connect(addr)
+        .expect("shutdown client connects")
+        .shutdown()
+        .expect("shutdown acknowledged");
+
+    // New submissions are refused while draining.
+    let late = Client::connect(addr).expect("late client connects");
+    match late.submit(spec, None, |_| {}).expect_err("draining") {
+        ClientError::Rejected { reason, .. } => assert_eq!(reason, "draining"),
+        other => panic!("expected Rejected(draining), got {other:?}"),
+    }
+
+    // The in-flight campaign still streams every record and finishes.
+    let mut records = 0u64;
+    loop {
+        let frame: ServerFrame = read_frame(&mut stream).expect("reads").expect("frame");
+        match frame {
+            ServerFrame::Record { .. } => records += 1,
+            ServerFrame::Done { complete, .. } => {
+                assert!(complete);
+                break;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(records, total);
+    server.wait().expect("drain completes");
+}

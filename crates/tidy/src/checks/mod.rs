@@ -13,6 +13,7 @@ pub mod determinism;
 pub mod headers;
 pub mod hermeticity;
 pub mod lock_order;
+pub mod net;
 pub mod panic_reach;
 pub mod panics;
 pub mod taint;
@@ -25,7 +26,7 @@ use crate::source::{Line, SourceFile};
 /// The check names a `tidy:allow(...)` may legally name, for the
 /// unknown-check diagnostic.
 pub const SUPPRESSIBLE_CHECKS: &str = "determinism, unsafe-policy, crate-header, panic-policy, \
-     hermeticity, panic-reachability, determinism-taint, lock-order";
+     net-policy, hermeticity, panic-reachability, determinism-taint, lock-order";
 
 /// Finds `pattern` in masked code with identifier boundaries on both ends
 /// (`HashMap` does not match `FxHashMap` or `HashMaps`; `std::fs` does
@@ -84,6 +85,12 @@ pub fn lexical_checks(
 ) {
     if policy.determinism && kind == FileKind::LibSrc {
         determinism::check(rel, src, raw);
+    }
+    if !policy.net && !policy.determinism && kind == FileKind::LibSrc {
+        // Simulation-critical crates already ban `std::net` through the
+        // determinism check; re-running the net check there would double-
+        // report the same line under two names.
+        net::check(rel, src, raw);
     }
     if kind == FileKind::LibSrc {
         panics::check(rel, src, raw);

@@ -1,0 +1,93 @@
+//! The net-policy check: network I/O stays in the service crate.
+//!
+//! `eaao-serve` exists so that exactly one crate owns the socket surface —
+//! its policy row carries `net: true` and nothing else does. Everywhere
+//! else, a `std::net` import (or a bare socket type smuggled in through a
+//! `use` rename) means the service boundary leaked: simulation crates
+//! would stop being deterministic, and host tools would grow an ambient
+//! network dependency nobody audits. The simulation crates already ban
+//! `std::net` through the determinism check; this check extends the ban
+//! to the host-tool crates (`campaign`, `obs`, `bench`, `tidy`, the root
+//! facade) whose policy rows have `determinism: false`.
+
+use crate::checks::find_token;
+use crate::diag::{CheckId, Diagnostic};
+use crate::source::SourceFile;
+
+/// Banned token → remedy. Matched with identifier boundaries against
+/// masked code, so mentions in comments, docs, and string literals are
+/// fine. The bare type names catch `use std::net::TcpStream` call sites
+/// even when the import itself sits in another file.
+pub const BANNED: &[(&str, &str)] = &[
+    (
+        "std::net",
+        "network I/O lives in eaao-serve; route socket work through the service crate",
+    ),
+    (
+        "TcpListener",
+        "socket type outside the service crate; accept loops belong in eaao-serve",
+    ),
+    (
+        "TcpStream",
+        "socket type outside the service crate; connections belong in eaao-serve",
+    ),
+    (
+        "UdpSocket",
+        "socket type outside the service crate; sockets belong in eaao-serve",
+    ),
+];
+
+/// Scans non-test library code of a `net: false` crate for socket tokens.
+pub fn check(rel: &str, src: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in src.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for &(token, remedy) in BANNED {
+            if find_token(&line.code, token).is_some() {
+                out.push(Diagnostic::new(
+                    rel,
+                    idx + 1,
+                    CheckId::NetPolicy,
+                    format!("`{token}` in a crate not sanctioned for network I/O: {remedy}"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(text: &str) -> Vec<Diagnostic> {
+        let src = SourceFile::parse(text);
+        let mut out = Vec::new();
+        check("x.rs", &src, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_imports_and_bare_types() {
+        let d = run(
+            "use std::net::TcpListener;\nfn dial(s: TcpStream) {}\nlet u = UdpSocket::bind(a);\n",
+        );
+        let lines: Vec<usize> = d.iter().map(|d| d.line).collect();
+        // Line 1 carries both the `std::net` path and the `TcpListener` type.
+        assert_eq!(lines, vec![1, 1, 2, 3]);
+        assert!(d.iter().all(|d| d.check == CheckId::NetPolicy));
+    }
+
+    #[test]
+    fn ignores_tests_comments_and_strings() {
+        assert!(run(
+            "// a TcpStream in prose\nlet s = \"std::net\";\n#[cfg(test)]\nmod tests {\n    use std::net::TcpStream;\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn ignores_lookalike_identifiers() {
+        assert!(run("struct MyTcpStreamWrapper;\nfn tcp_stream() {}\n").is_empty());
+    }
+}

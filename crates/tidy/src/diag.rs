@@ -17,6 +17,9 @@ pub enum CheckId {
     CrateHeader,
     /// `unwrap()` / `panic!` / `todo!` / `unimplemented!` in library code.
     PanicPolicy,
+    /// Socket types (`std::net`) in a crate whose policy row does not
+    /// sanction network I/O — the service boundary lives in one crate.
+    NetPolicy,
     /// Registry or git dependencies in a `Cargo.toml`.
     Hermeticity,
     /// A malformed, unknown, or unused `tidy:allow` suppression.
@@ -44,6 +47,7 @@ impl CheckId {
             CheckId::UnsafePolicy => "unsafe-policy",
             CheckId::CrateHeader => "crate-header",
             CheckId::PanicPolicy => "panic-policy",
+            CheckId::NetPolicy => "net-policy",
             CheckId::Hermeticity => "hermeticity",
             CheckId::Suppression => "suppression",
             CheckId::PanicReach => "panic-reachability",
@@ -62,6 +66,7 @@ impl CheckId {
             "unsafe-policy" => Some(CheckId::UnsafePolicy),
             "crate-header" => Some(CheckId::CrateHeader),
             "panic-policy" => Some(CheckId::PanicPolicy),
+            "net-policy" => Some(CheckId::NetPolicy),
             "hermeticity" => Some(CheckId::Hermeticity),
             "panic-reachability" => Some(CheckId::PanicReach),
             "determinism-taint" => Some(CheckId::DeterminismTaint),
@@ -153,6 +158,7 @@ mod tests {
             CheckId::UnsafePolicy,
             CheckId::CrateHeader,
             CheckId::PanicPolicy,
+            CheckId::NetPolicy,
             CheckId::Hermeticity,
             CheckId::PanicReach,
             CheckId::DeterminismTaint,

@@ -24,6 +24,7 @@
 //! | `unsafe-policy` | lexical | `unsafe` outside the allowlist (currently empty); allowlisted blocks must carry `// SAFETY:` |
 //! | `crate-header` | lexical | a `lib.rs` missing the standard lint set, or an `#[allow(...)]` without a justification comment |
 //! | `panic-policy` | lexical | `unwrap()` / `panic!` / `todo!` / `unimplemented!` in library code (`expect("invariant")` is the sanctioned form) |
+//! | `net-policy` | lexical | `std::net` imports and socket types in any crate whose policy row lacks the `net` allowance (only `eaao-serve` has it) |
 //! | `hermeticity` | lexical | registry or git dependencies in any `Cargo.toml` (workspace/`vendor/` path deps only) |
 //! | `suppression` | lexical | malformed, unknown, or unused `tidy:allow` suppressions |
 //! | `panic-reachability` | semantic | a public API that transitively reaches an undocumented panic source |

@@ -41,6 +41,11 @@ pub struct CratePolicy {
     /// and this crate — self-analysis of the analyzer would dominate the
     /// findings with its own parser internals.
     pub call_graph: bool,
+    /// Whether the crate is sanctioned to open sockets (`std::net`).
+    /// True only for `eaao-serve`, whose entire purpose is the wire
+    /// protocol; everywhere else the `net-policy` check keeps network
+    /// I/O out, so the service boundary stays in exactly one crate.
+    pub net: bool,
 }
 
 /// The workspace policy table.
@@ -50,73 +55,92 @@ pub struct CratePolicy {
 /// (`determinism: false`): the root facade/CLI (`eaao`), the `campaign`
 /// runner (walls clocks for elapsed-time reporting, owns the JSONL sink),
 /// `obs` (trace files are explicit ambient I/O), `bench` (timing is its
-/// job), and this crate (a filesystem scanner by definition).
+/// job), `serve` (the only crate sanctioned to open sockets), and this
+/// crate (a filesystem scanner by definition).
 pub const POLICIES: &[CratePolicy] = &[
     CratePolicy {
         name: "eaao",
         dir: "",
         determinism: false,
         call_graph: false,
+        net: false,
     },
     CratePolicy {
         name: "eaao-simcore",
         dir: "crates/simcore",
         determinism: true,
         call_graph: true,
+        net: false,
     },
     CratePolicy {
         name: "eaao-tsc",
         dir: "crates/tsc",
         determinism: true,
         call_graph: true,
+        net: false,
     },
     CratePolicy {
         name: "eaao-cloudsim",
         dir: "crates/cloudsim",
         determinism: true,
         call_graph: true,
+        net: false,
     },
     CratePolicy {
         name: "eaao-orchestrator",
         dir: "crates/orchestrator",
         determinism: true,
         call_graph: true,
+        net: false,
     },
     CratePolicy {
         name: "eaao-core",
         dir: "crates/core",
         determinism: true,
         call_graph: true,
+        net: false,
     },
     CratePolicy {
         name: "eaao-oracle",
         dir: "crates/oracle",
         determinism: true,
         call_graph: true,
+        net: false,
     },
     CratePolicy {
         name: "eaao-campaign",
         dir: "crates/campaign",
         determinism: false,
         call_graph: true,
+        net: false,
     },
     CratePolicy {
         name: "eaao-obs",
         dir: "crates/obs",
         determinism: false,
         call_graph: true,
+        net: false,
     },
     CratePolicy {
         name: "eaao-bench",
         dir: "crates/bench",
         determinism: false,
         call_graph: false,
+        net: false,
     },
     CratePolicy {
         name: "eaao-tidy",
         dir: "crates/tidy",
         determinism: false,
         call_graph: false,
+        net: false,
+    },
+    CratePolicy {
+        name: "eaao-serve",
+        dir: "crates/serve",
+        determinism: false,
+        call_graph: false,
+        net: true,
     },
 ];
 
@@ -145,5 +169,17 @@ mod tests {
         assert!(policy_for_dir("crates/simcore").is_some_and(|p| p.determinism));
         assert!(policy_for_dir("crates/campaign").is_some_and(|p| !p.determinism));
         assert!(policy_for_dir("crates/unknown").is_none());
+    }
+
+    #[test]
+    fn only_the_service_crate_may_open_sockets() {
+        for p in POLICIES {
+            assert_eq!(
+                p.net,
+                p.name == "eaao-serve",
+                "net allowance drifted for {}",
+                p.name
+            );
+        }
     }
 }

@@ -1,0 +1,12 @@
+//! Known-bad fixture: socket tokens at fixed lines in a crate whose
+//! policy row does not sanction network I/O.
+
+pub fn listen() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0");
+    drop(listener);
+}
+
+pub fn dial(stream: TcpStream) {
+    let _ = UdpSocket::bind("127.0.0.1:0");
+    drop(stream);
+}

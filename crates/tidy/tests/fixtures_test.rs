@@ -119,6 +119,46 @@ fn panic_fixture_fires_at_exact_lines() {
 }
 
 #[test]
+fn net_fixture_fires_at_exact_lines_for_unsanctioned_crates() {
+    let text = include_str!("fixtures/net.rs");
+    let d = run(
+        host_policy(),
+        FileKind::LibSrc,
+        "crates/campaign/src/bad.rs",
+        text,
+    );
+    // Line 5 carries both the `std::net` path and the `TcpListener` type.
+    assert_eq!(lines_of(&d, CheckId::NetPolicy), vec![5, 5, 9, 10], "{d:?}");
+    assert_eq!(d.len(), 4, "only net-policy findings expected: {d:?}");
+}
+
+#[test]
+fn net_fixture_is_exempt_for_the_service_crate_and_tests() {
+    let text = include_str!("fixtures/net.rs");
+    let serve = policy_for_dir("crates/serve").expect("serve is registered");
+    assert!(serve.net, "serve's socket allowance is pinned here");
+    let d = run(serve, FileKind::LibSrc, "crates/serve/src/ok.rs", text);
+    assert!(d.is_empty(), "{d:?}");
+    let tests = run(
+        host_policy(),
+        FileKind::Tests,
+        "crates/campaign/tests/t.rs",
+        text,
+    );
+    assert!(tests.is_empty(), "{tests:?}");
+    // Simulation-critical crates report the same line under the
+    // determinism check instead — never twice.
+    let sim = run(
+        sim_policy(),
+        FileKind::LibSrc,
+        "crates/core/src/bad.rs",
+        text,
+    );
+    assert_eq!(lines_of(&sim, CheckId::Determinism), vec![5], "{sim:?}");
+    assert!(lines_of(&sim, CheckId::NetPolicy).is_empty(), "{sim:?}");
+}
+
+#[test]
 fn hermeticity_fixture_flags_registry_and_git_deps() {
     let text = include_str!("fixtures/bad_manifest.toml");
     let mut d = Vec::new();

@@ -80,6 +80,9 @@ fn main() {
         "explore" => run_traced(trace, || explore(&common)),
         "monitor" => run_traced(trace, || monitor(&common, &flags)),
         "campaign" => campaign(&common, &flags, &bare_flags, trace),
+        "serve" => serve(&flags),
+        "submit" => submit(&common, &flags, &bare_flags),
+        "shutdown" => shutdown(&flags),
         "help" | "--help" | "-h" => usage_and_exit(),
         other => die(&format!("unknown command {other:?}")),
     }
@@ -122,6 +125,13 @@ fn usage_and_exit() -> ! {
            campaign     run a batch experiment grid in parallel, streaming JSONL\n\
                         --spec FILE | --experiments a,b,c [--regions r1,r2]\n\
                         [--seeds N] [--out DIR] [--jobs N] [--resume] [--quick]\n\
+           serve        run the streaming campaign daemon (docs/SERVICE.md)\n\
+                        [--addr A] [--metrics-addr A] [--jobs N] [--out DIR]\n\
+                        [--max-pending N] [--dispatchers N]\n\
+           submit       submit a campaign to a daemon, streaming records to stdout\n\
+                        --addr A (--spec FILE | --experiments a,b,c)\n\
+                        [--out NAME] [--seeds N] [--quick] [--quiet]\n\
+           shutdown     ask a daemon to drain and exit: eaao shutdown --addr A\n\
            trace        summarize a JSONL trace file: eaao trace FILE\n\
            tidy         run the workspace static-analysis pass\n\
                         [--root DIR] [--json PATH|-] [--write-baseline]\n\
@@ -375,6 +385,112 @@ fn campaign(
     if !report.all_ok() {
         std::process::exit(1);
     }
+}
+
+/// Default protocol address shared by `serve`, `submit`, and `shutdown`.
+const DEFAULT_ADDR: &str = "127.0.0.1:4780";
+
+fn serve(flags: &HashMap<String, String>) {
+    let config = ServeConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| DEFAULT_ADDR.to_owned()),
+        metrics_addr: flags.get("metrics-addr").cloned(),
+        jobs: parse_or(flags, "jobs", 2usize),
+        out_root: PathBuf::from(
+            flags
+                .get("out")
+                .cloned()
+                .unwrap_or_else(|| "serve-out".to_owned()),
+        ),
+        max_pending: parse_or(flags, "max-pending", 8usize),
+        dispatchers: parse_or(flags, "dispatchers", 2usize),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config).unwrap_or_else(|e| die(&format!("cannot start: {e}")));
+    println!("eaao-serve listening on {}", server.addr());
+    if let Some(addr) = server.metrics_addr() {
+        println!("metrics scrape endpoint on {addr}");
+    }
+    server
+        .wait()
+        .unwrap_or_else(|e| die(&format!("daemon failed: {e}")));
+    println!("eaao-serve drained and stopped");
+}
+
+fn submit(common: &Common, flags: &HashMap<String, String>, bare: &[String]) {
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_ADDR.to_owned());
+    let mut spec = if let Some(path) = flags.get("spec") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read spec {path:?}: {e}")));
+        CampaignSpec::from_json(&text).unwrap_or_else(|e| die(&format!("bad spec {path:?}: {e}")))
+    } else {
+        let Some(experiments) = flags.get("experiments") else {
+            die("submit needs --spec FILE or --experiments a,b,c");
+        };
+        CampaignSpec {
+            experiments: split_list(experiments),
+            ..CampaignSpec::default()
+        }
+    };
+    if let Some(regions) = flags.get("regions") {
+        spec.regions = split_list(regions);
+    } else if flags.contains_key("region") {
+        spec.regions = vec![common.region.clone()];
+    }
+    spec.seeds = parse_or(flags, "seeds", spec.seeds);
+    if flags.contains_key("seed") {
+        spec.seed = common.seed;
+    }
+    if bare.iter().any(|f| f == "quick") {
+        spec.quick = true;
+    }
+    let spec_json =
+        serde_json::to_string(&spec).unwrap_or_else(|e| die(&format!("spec serialization: {e}")));
+    let quiet = bare.iter().any(|f| f == "quiet");
+    let client =
+        Client::connect(&addr).unwrap_or_else(|e| die(&format!("cannot reach {addr}: {e}")));
+    let outcome = client
+        .submit(&spec_json, flags.get("out").map(String::as_str), |record| {
+            // One record per line, exactly as the daemon streamed it —
+            // the same bytes the batch path writes to results.jsonl.
+            println!("{}", record.json);
+            if !quiet {
+                eprintln!("[{}/{}] {}", record.done, record.total, record.campaign);
+            }
+        })
+        .unwrap_or_else(|e| die(&format!("submission failed: {e}")));
+    eprintln!(
+        "{}: {} runs ({} executed, {} failed){}",
+        outcome.campaign,
+        outcome.total,
+        outcome.executed,
+        outcome.failed,
+        if outcome.complete {
+            ""
+        } else {
+            " [incomplete]"
+        }
+    );
+    if outcome.failed > 0 || !outcome.complete {
+        std::process::exit(1);
+    }
+}
+
+fn shutdown(flags: &HashMap<String, String>) {
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_ADDR.to_owned());
+    Client::connect(&addr)
+        .unwrap_or_else(|e| die(&format!("cannot reach {addr}: {e}")))
+        .shutdown()
+        .unwrap_or_else(|e| die(&format!("shutdown failed: {e}")));
+    println!("daemon at {addr} is draining");
 }
 
 fn split_list(csv: &str) -> Vec<String> {

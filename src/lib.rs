@@ -20,6 +20,10 @@
 //! * [`campaign`] — the batch campaign engine: declarative experiment
 //!   grids run on a work-stealing pool, streamed to resumable JSONL with
 //!   seeds derived so results are identical at any parallelism.
+//! * [`serve`] — the streaming campaign service: a daemon multiplexing
+//!   concurrent client submissions over one shared executor, speaking a
+//!   dependency-free length-prefixed wire protocol (see
+//!   `docs/SERVICE.md`).
 //! * [`obs`] — the structured observability layer: span tracing, a
 //!   deterministic metrics registry, and JSONL trace files (see
 //!   `docs/OBSERVABILITY.md`).
@@ -53,6 +57,7 @@ pub use eaao_cloudsim as cloudsim;
 pub use eaao_core as core;
 pub use eaao_obs as obs;
 pub use eaao_orchestrator as orchestrator;
+pub use eaao_serve as serve;
 pub use eaao_simcore as simcore;
 pub use eaao_tsc as tsc;
 
@@ -63,6 +68,7 @@ pub mod prelude {
     pub use eaao_core::prelude::*;
     pub use eaao_obs::prelude::*;
     pub use eaao_orchestrator::prelude::*;
+    pub use eaao_serve::prelude::*;
     pub use eaao_simcore::prelude::*;
     pub use eaao_tsc::prelude::*;
 }
