@@ -58,8 +58,10 @@ pub enum ClientFrame {
         /// by `eaao campaign --spec`).
         spec: String,
         /// Optional output-directory name under the server's output
-        /// root. The server namespaces it by campaign id; omit to let
-        /// the server pick one.
+        /// root, used verbatim; omit to let the server derive one from
+        /// the campaign id and spec name. Refused while another live
+        /// campaign is writing it (`dir-busy`) or when it already holds
+        /// campaign output on disk (`dir-exists`).
         out: Option<String>,
     },
     /// Asks the daemon to drain and exit (finish queued and in-flight
@@ -88,7 +90,7 @@ pub enum ServerFrame {
     /// after this frame.
     Rejected {
         /// Machine-readable category: `"version"`, `"spec"`,
-        /// `"dir-busy"`, or `"draining"`.
+        /// `"dir-busy"`, `"dir-exists"`, or `"draining"`.
         reason: String,
         /// Human-readable explanation.
         detail: String,

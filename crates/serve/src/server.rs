@@ -40,6 +40,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -96,6 +97,25 @@ impl Default for ServeConfig {
             slow_consumer_ms: 5_000,
             handshake_timeout_ms: 10_000,
         }
+    }
+}
+
+/// Completed-campaign metrics snapshots retained for the scrape page.
+/// The oldest entries are evicted past this bound so a long-running
+/// daemon's memory stays flat no matter how many campaigns it serves.
+const MAX_CAMPAIGN_SNAPSHOTS: usize = 512;
+
+/// Inserts a campaign's merged metrics, evicting the oldest snapshots
+/// once the map exceeds `cap`.
+fn insert_bounded(
+    campaigns: &mut BTreeMap<String, MetricsSnapshot>,
+    id: String,
+    snapshot: MetricsSnapshot,
+    cap: usize,
+) {
+    campaigns.insert(id, snapshot);
+    while campaigns.len() > cap {
+        campaigns.pop_first();
     }
 }
 
@@ -447,6 +467,10 @@ fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        // Reap exited connection threads as new ones arrive, so a
+        // long-lived daemon does not hold one JoinHandle per connection
+        // it ever served.
+        connections.retain(|handle| !handle.is_finished());
         let inner = Arc::clone(inner);
         connections.push(std::thread::spawn(move || {
             handle_connection(&inner, stream)
@@ -483,7 +507,22 @@ fn dispatcher_loop(inner: &Arc<Inner>) {
                 inner.dispatch.wait(&mut state);
             }
         };
-        run_submission(inner, submission);
+        // A panic escaping the campaign (Executor::run_with re-raises
+        // worker panics on the submitting thread — this one) must not
+        // kill the dispatcher: the client would block forever on a
+        // never-finished stream, the live-dir pin would leak, and the
+        // daemon would lose a dispatcher slot for the rest of its life.
+        let id = submission.id.clone();
+        let dir = submission.dir.clone();
+        let queue = Arc::clone(&submission.queue);
+        if catch_unwind(AssertUnwindSafe(|| run_submission(inner, submission))).is_err() {
+            inner.metrics.counter("serve.campaigns_failed").add(1);
+            inner.live_dirs.lock().remove(&dir);
+            queue.push(ServerFrame::Error {
+                detail: format!("campaign {id} panicked server-side"),
+            });
+            queue.finish();
+        }
         inner.state.lock().active -= 1;
     }
 }
@@ -512,7 +551,12 @@ fn run_submission(inner: &Arc<Inner>, submission: Submission) {
     let result = campaign.run_with_progress(|_, _, record| {
         merged.merge(&record.metrics);
     });
-    inner.campaigns.lock().insert(id.clone(), merged);
+    insert_bounded(
+        &mut inner.campaigns.lock(),
+        id.clone(),
+        merged,
+        MAX_CAMPAIGN_SNAPSHOTS,
+    );
     inner.live_dirs.lock().remove(&dir);
     match result {
         Ok(report) => {
@@ -676,6 +720,22 @@ fn handle_submit(
         );
         return;
     }
+    // Refuse to clobber a prior campaign's on-disk output: the engine
+    // starts every non-resumed campaign clean, which would silently
+    // delete the existing results. Checked after the live-writer insert
+    // so a concurrent writer reports `dir-busy`, not `dir-exists`.
+    if ["campaign.json", "results.jsonl", "manifest.jsonl"]
+        .iter()
+        .any(|name| dir.join(name).exists())
+    {
+        inner.live_dirs.lock().remove(&dir);
+        reject(
+            writer,
+            "dir-exists",
+            format!("{} already holds campaign output", dir.display()),
+        );
+        return;
+    }
     let queue = Arc::new(OutboundQueue::new(
         inner.config.outbound_capacity,
         Duration::from_millis(inner.config.slow_consumer_ms.max(1)),
@@ -757,6 +817,21 @@ mod tests {
         queue.finish();
         assert!(queue.pop().is_some());
         assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn campaign_snapshots_evict_oldest_past_the_bound() {
+        let mut campaigns = BTreeMap::new();
+        for seq in 1..=5u64 {
+            insert_bounded(
+                &mut campaigns,
+                format!("c{seq:04}"),
+                MetricsSnapshot::default(),
+                3,
+            );
+        }
+        let kept: Vec<&String> = campaigns.keys().collect();
+        assert_eq!(kept, ["c0003", "c0004", "c0005"]);
     }
 
     #[test]

@@ -194,60 +194,84 @@ fn a_bad_spec_and_a_bad_out_name_are_typed_rejections() {
 #[test]
 fn a_directory_with_a_live_writer_rejects_new_submissions() {
     let root = scratch("dir-busy");
-    // One dispatcher: the first (larger) campaign occupies it while the
-    // second sits queued, holding its output directory's live-writer
-    // slot; a third submission naming the same directory must bounce.
-    let server = Server::start(ServeConfig {
-        dispatchers: 1,
-        jobs: 2,
-        ..config(&root)
-    })
-    .expect("server starts");
+    let server = Server::start(config(&root)).expect("server starts");
     let addr = server.addr();
-    let filler = r#"{"name":"filler","experiments":["fig6"],"seeds":32,"quick":true}"#;
-    let holder = r#"{"name":"holder","experiments":["fig6"],"seeds":1,"quick":true}"#;
+    // The holder submits by raw frames so its admission is awaited, not
+    // raced: once Accepted is read, the "shared" directory is pinned in
+    // the live-writer registry and stays pinned until the whole 128-run
+    // campaign completes — orders of magnitude longer than the prober's
+    // loopback connect + submit below.
+    let holder = r#"{"name":"holder","experiments":["fig6"],"seeds":128,"quick":true}"#;
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    write_frame(&mut stream, &ClientFrame::Hello { version: 1 }).expect("hello");
+    let _welcome: ServerFrame = read_frame(&mut stream).expect("reads").expect("welcome");
+    write_frame(
+        &mut stream,
+        &ClientFrame::Submit {
+            spec: holder.to_owned(),
+            out: Some("shared".to_owned()),
+        },
+    )
+    .expect("submit");
+    let accepted: ServerFrame = read_frame(&mut stream).expect("reads").expect("accepted");
+    let ServerFrame::Accepted { total, .. } = accepted else {
+        panic!("expected Accepted, got {accepted:?}");
+    };
 
-    let filler_thread = {
-        let filler = filler.to_owned();
-        std::thread::spawn(move || {
-            Client::connect(addr)
-                .expect("connects")
-                .submit(&filler, None, |_| {})
-                .expect("filler completes")
-        })
-    };
-    // Queue the holder behind the filler, pinning the "shared" dir.
-    let holder_thread = {
-        let holder = holder.to_owned();
-        std::thread::spawn(move || {
-            Client::connect(addr)
-                .expect("connects")
-                .submit(&holder, Some("shared"), |_| {})
-                .expect("holder completes")
-        })
-    };
-    // Give the holder's Submit frame time to be admitted.
-    let deadline = Instant::now() + Duration::from_secs(5);
-    let error = loop {
-        let client = Client::connect(addr).expect("connects");
-        match client.submit(holder, Some("shared"), |_| {}) {
-            Err(error) => break error,
-            Ok(_) => {
-                // The holder was not admitted yet and we won the race;
-                // retry until we collide with a live writer or time out.
-                assert!(
-                    Instant::now() < deadline,
-                    "never collided with the live writer"
-                );
-            }
-        }
-    };
-    match error {
+    // Collide with the live writer.
+    let prober = Client::connect(addr).expect("connects");
+    match prober
+        .submit(holder, Some("shared"), |_| {})
+        .expect_err("dir is busy")
+    {
         ClientError::Rejected { reason, .. } => assert_eq!(reason, "dir-busy"),
         other => panic!("expected Rejected(dir-busy), got {other:?}"),
     }
-    assert!(filler_thread.join().expect("filler thread").complete);
-    assert!(holder_thread.join().expect("holder thread").complete);
+
+    // The rejection did not disturb the holder: its stream still
+    // delivers every record and a complete Done.
+    let mut records = 0u64;
+    loop {
+        let frame: ServerFrame = read_frame(&mut stream).expect("reads").expect("frame");
+        match frame {
+            ServerFrame::Record { .. } => records += 1,
+            ServerFrame::Done { complete, .. } => {
+                assert!(complete);
+                break;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(records, total);
+    server.shutdown();
+    server.wait().expect("drain completes");
+}
+
+#[test]
+fn a_completed_directory_is_not_silently_destroyed_by_reuse() {
+    let root = scratch("dir-exists");
+    let server = Server::start(config(&root)).expect("server starts");
+    let addr = server.addr();
+    let spec = r#"{"name":"keep","experiments":["fig6"],"seeds":2,"quick":true}"#;
+    let first = Client::connect(addr)
+        .expect("connects")
+        .submit(spec, Some("keep"), |_| {})
+        .expect("first submission completes");
+    assert!(first.complete);
+    let dir = root.join("serve").join("keep");
+    let before = hashes_on_disk(&dir);
+
+    // Reusing the name would have the engine wipe the directory and
+    // start clean; the server must refuse instead.
+    let error = Client::connect(addr)
+        .expect("connects")
+        .submit(spec, Some("keep"), |_| {})
+        .expect_err("reuse is refused");
+    match error {
+        ClientError::Rejected { reason, .. } => assert_eq!(reason, "dir-exists"),
+        other => panic!("expected Rejected(dir-exists), got {other:?}"),
+    }
+    assert_eq!(hashes_on_disk(&dir), before, "prior output was disturbed");
     server.shutdown();
     server.wait().expect("drain completes");
 }
