@@ -84,9 +84,10 @@ fn mean_over_cells(payload: &Value, extract: impl Fn(&Value) -> Option<f64>) -> 
     }
 }
 
-/// Groups records by `(experiment, region, generation, mitigation)` and
-/// estimates the co-location probability of each group across its seeds.
-/// Groups whose experiment has no co-location notion are omitted.
+/// Groups records by `(experiment, region, generation, mitigation,
+/// platform, verifier)` and estimates the co-location probability of each
+/// group across its seeds. Groups whose experiment has no co-location
+/// notion are omitted.
 pub fn colocation_by_group(records: &[RunRecord]) -> Vec<(String, Estimate)> {
     let mut groups: Vec<(String, Vec<f64>)> = Vec::new();
     for record in records {
@@ -94,8 +95,13 @@ pub fn colocation_by_group(records: &[RunRecord]) -> Vec<(String, Estimate)> {
             continue;
         };
         let label = format!(
-            "{}/{}/{}/{}",
-            record.experiment, record.region, record.generation, record.mitigation
+            "{}/{}/{}/{}/{}/{}",
+            record.experiment,
+            record.region,
+            record.generation,
+            record.mitigation,
+            record.platform,
+            record.verifier
         );
         match groups.iter_mut().find(|(key, _)| *key == label) {
             Some((_, samples)) => samples.push(sample),

@@ -1,8 +1,9 @@
 //! Batch campaign engine for the EAAO reproduction.
 //!
 //! A *campaign* is a declarative grid — experiments × regions × seeds ×
-//! (where supported) host generations × TSC mitigations — executed as a
-//! batch of independent simulation runs and streamed to JSONL. The engine
+//! (where supported) host generations × TSC mitigations × placement
+//! platforms × verification channels — executed as a batch of independent
+//! simulation runs and streamed to JSONL. The engine
 //! exists so the paper's headline numbers can be estimated with real
 //! statistical weight (many seeds, confidence intervals) instead of one
 //! run per figure, without giving up reproducibility:

@@ -8,12 +8,14 @@ use eaao_cloudsim::mitigation::TscMitigation;
 use eaao_cloudsim::service::Generation;
 use eaao_core::coverage::measure_coverage;
 use eaao_core::experiment::{
-    fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12, opt52, other_factors, sec42,
-    sec43, sec45, sec52, sec6,
+    calib, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12, opt52, other_factors,
+    sec42, sec43, sec45, sec52, sec6,
 };
 use eaao_core::scenario::Scenario;
 use eaao_core::strategy::{NaiveLaunch, OptimizedLaunch};
+use eaao_core::verify::{ctest_via, CTestConfig, VerifierChannel};
 use eaao_obs::{Collector, Event, MetricsSnapshot};
+use eaao_orchestrator::platform::PlatformKind;
 use eaao_simcore::rng::SimRng;
 use rand::RngCore;
 use serde::{Deserialize, Serialize, Value};
@@ -40,6 +42,10 @@ pub struct RunRecord {
     pub generation: String,
     /// Mitigation axis value (`"-"` when collapsed).
     pub mitigation: String,
+    /// Platform axis value (`"-"` when collapsed).
+    pub platform: String,
+    /// Verifier axis value (`"-"` when collapsed).
+    pub verifier: String,
     /// Seed index within the campaign.
     pub seed_index: u32,
     /// The derived per-run seed actually passed to the driver.
@@ -180,6 +186,8 @@ pub fn execute_traced(
                 TscMitigation::OffsetAndScale => "offset-and-scale",
             })
             .to_owned(),
+        platform: run.platform.map_or("-", PlatformKind::name).to_owned(),
+        verifier: run.verifier.map_or("-", VerifierChannel::name).to_owned(),
         seed_index: run.seed_index,
         seed,
         status,
@@ -308,6 +316,14 @@ fn dispatch(run: &RunSpec, seed: u64) -> (Option<f64>, Value) {
             (None, val(&config.run(seed)))
         }
         ExperimentKind::AttackNaive | ExperimentKind::AttackOptimized => attack_trial(run, seed),
+        ExperimentKind::Calibration => {
+            let mut config = pick(run, calib::CalibConfig::quick, calib::CalibConfig::default);
+            config.region = region;
+            config.platform = run.platform.unwrap_or(PlatformKind::CloudRun);
+            config.channel = run.verifier.unwrap_or(VerifierChannel::MembusLockCheck);
+            let result = config.run(seed);
+            (Some(result.wall_s), val(&result))
+        }
     }
 }
 
@@ -326,8 +342,8 @@ fn pick<C>(run: &RunSpec, quick: impl Fn() -> C, full: impl Fn() -> C) -> C {
 
 /// The campaign-native experiment: one full co-location attack against a
 /// fresh victim, on every axis the campaign sweeps (region × generation ×
-/// mitigation). This is the cell behind strategy/region sweeps like
-/// `examples/campaign_sweep.rs`.
+/// mitigation × platform × verifier). This is the cell behind
+/// strategy/region sweeps like `examples/campaign_sweep.rs`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AttackTrial {
     /// Victim instances deployed.
@@ -346,16 +362,27 @@ pub struct AttackTrial {
     pub attacker_host_coverage: f64,
     /// Total billed cost of the attack.
     pub cost_usd: f64,
+    /// Platform the trial ran on (canonical grid-axis name).
+    pub platform: String,
+    /// Channel the confirmation test ran over (canonical grid-axis name).
+    pub verifier: String,
+    /// Verdict of one covert-channel test over a ground-truth co-located
+    /// attacker–victim pair — the verified counterpart of
+    /// `at_least_one`. `None` when no such pair exists.
+    pub verified_at_least_one: Option<bool>,
 }
 
 fn attack_trial(run: &RunSpec, seed: u64) -> (Option<f64>, Value) {
     let quick = run.quick;
+    let platform = run.platform.unwrap_or(PlatformKind::CloudRun);
+    let channel = run.verifier.unwrap_or(VerifierChannel::RngCtest);
     let mut scenario = Scenario::in_region(&run.region);
     scenario
         .seed(seed)
         .victims(if quick { 40 } else { 100 })
         .generation(run.generation.unwrap_or(Generation::Gen1))
-        .tsc_mitigation(run.mitigation.unwrap_or(TscMitigation::None));
+        .tsc_mitigation(run.mitigation.unwrap_or(TscMitigation::None))
+        .platform(platform);
     let mut arena = scenario.build();
     let report = match run.experiment {
         ExperimentKind::AttackNaive => {
@@ -386,6 +413,24 @@ fn attack_trial(run: &RunSpec, seed: u64) -> (Option<f64>, Value) {
     }
     .expect("attack fleet fits the region");
     let coverage = measure_coverage(&arena.world, &report.live_instances, &arena.victims);
+    // Confirm one ground-truth co-located attacker–victim pair over the
+    // run's verification channel: the fingerprint pipeline only *suspects*
+    // co-location, the covert channel proves it (§4.3).
+    let verified_at_least_one = report
+        .live_instances
+        .iter()
+        .find_map(|&attacker| {
+            arena
+                .victims
+                .iter()
+                .find(|&&victim| arena.world.host_of(attacker) == arena.world.host_of(victim))
+                .map(|&victim| [attacker, victim])
+        })
+        .map(|pair| {
+            let verdicts = ctest_via(&mut arena.world, &pair, &CTestConfig::default(), channel)
+                .expect("pair instances are alive");
+            verdicts.iter().all(|&v| v)
+        });
     let trial = AttackTrial {
         victims: arena.victims.len() as u64,
         attacker_instances: report.live_instances.len() as u64,
@@ -395,6 +440,9 @@ fn attack_trial(run: &RunSpec, seed: u64) -> (Option<f64>, Value) {
         at_least_one: coverage.at_least_one(),
         attacker_host_coverage: coverage.attacker_host_coverage(),
         cost_usd: report.cost.as_usd(),
+        platform: platform.name().to_owned(),
+        verifier: channel.name().to_owned(),
+        verified_at_least_one,
     };
     let virtual_s = arena.world.now().as_secs_f64();
     (Some(virtual_s), val(&trial))
@@ -417,10 +465,10 @@ mod tests {
 
     #[test]
     fn derived_seeds_depend_only_on_master_and_key() {
-        let a = derive_seed(7, "fig6/us-west1/-/-/s0");
-        assert_eq!(a, derive_seed(7, "fig6/us-west1/-/-/s0"));
-        assert_ne!(a, derive_seed(8, "fig6/us-west1/-/-/s0"));
-        assert_ne!(a, derive_seed(7, "fig6/us-west1/-/-/s1"));
+        let a = derive_seed(7, "fig6/us-west1/-/-/-/-/s0");
+        assert_eq!(a, derive_seed(7, "fig6/us-west1/-/-/-/-/s0"));
+        assert_ne!(a, derive_seed(8, "fig6/us-west1/-/-/-/-/s0"));
+        assert_ne!(a, derive_seed(7, "fig6/us-west1/-/-/-/-/s1"));
     }
 
     #[test]
@@ -439,12 +487,46 @@ mod tests {
         assert!(record.is_ok(), "error: {:?}", record.error);
         assert_eq!(record.generation, "gen1");
         assert_eq!(record.mitigation, "none");
+        assert_eq!(record.platform, "cloudrun");
+        assert_eq!(record.verifier, "rng-ctest");
         let payload = record.payload.expect("payload");
         let coverage = payload
             .get("victim_instance_coverage")
             .and_then(Value::as_f64)
             .expect("coverage field");
         assert!((0.0..=1.0).contains(&coverage));
+        // The covert-channel confirmation agrees with the ground truth.
+        let at_least_one = matches!(payload.get("at_least_one"), Some(Value::Bool(true)));
+        let verified = matches!(
+            payload.get("verified_at_least_one"),
+            Some(Value::Bool(true))
+        );
+        assert_eq!(at_least_one, verified);
+    }
+
+    #[test]
+    fn calibration_cells_execute_on_every_platform() {
+        let spec = CampaignSpec {
+            experiments: vec!["calibration".to_owned()],
+            regions: vec!["us-west1".to_owned()],
+            platforms: vec!["cloudrun".to_owned(), "azure-like".to_owned()],
+            verifiers: vec!["membus-lockcheck".to_owned()],
+            quick: true,
+            ..CampaignSpec::default()
+        };
+        let runs = spec.expand().expect("valid");
+        assert_eq!(runs.len(), 2);
+        for run in &runs {
+            let record = execute(run, 11);
+            assert!(record.is_ok(), "error: {:?}", record.error);
+            assert_eq!(record.verifier, "membus-lockcheck");
+            let payload = record.payload.expect("payload");
+            assert_eq!(
+                payload.get("platform").and_then(Value::as_str),
+                Some(record.platform.as_str())
+            );
+            assert!(payload.get("chosen_min_positive_rounds").is_some());
+        }
     }
 
     #[test]

@@ -1,14 +1,17 @@
 //! Declarative campaign specifications and their expansion into run grids.
 //!
 //! A [`CampaignSpec`] names the experiments to run and the axes to sweep
-//! (region × generation × mitigation × seed). [`CampaignSpec::expand`]
-//! turns it into a flat, deterministically ordered list of [`RunSpec`]s —
-//! the unit of work the executor schedules.
+//! (region × generation × mitigation × platform × verifier × seed).
+//! [`CampaignSpec::expand`] turns it into a flat, deterministically
+//! ordered list of [`RunSpec`]s — the unit of work the executor
+//! schedules.
 
 use std::fmt;
 
 use eaao_cloudsim::mitigation::TscMitigation;
 use eaao_cloudsim::service::Generation;
+use eaao_core::verify::VerifierChannel;
+use eaao_orchestrator::platform::PlatformKind;
 use serde::{Serialize, Value};
 
 /// The paper regions a campaign may sweep.
@@ -19,6 +22,14 @@ pub const KNOWN_GENERATIONS: [&str; 2] = ["gen1", "gen2"];
 
 /// Accepted names for the mitigation axis.
 pub const KNOWN_MITIGATIONS: [&str; 3] = ["none", "trap-and-emulate", "offset-and-scale"];
+
+/// Accepted names for the platform axis (see
+/// [`PlatformKind`] and `docs/PLATFORMS.md`).
+pub const KNOWN_PLATFORMS: [&str; 3] = ["cloudrun", "lambda-like", "azure-like"];
+
+/// Accepted names for the verifier axis (see
+/// [`VerifierChannel`]).
+pub const KNOWN_VERIFIERS: [&str; 2] = ["rng-ctest", "membus-lockcheck"];
 
 /// Every experiment a campaign can schedule: the `repro` binary's drivers
 /// plus the campaign-native co-location attack trials.
@@ -64,11 +75,14 @@ pub enum ExperimentKind {
     AttackNaive,
     /// Campaign-native single co-location attack trial, optimized strategy.
     AttackOptimized,
+    /// Verifier-channel threshold calibration (ROC sweep) for the run's
+    /// platform × verifier cell.
+    Calibration,
 }
 
 impl ExperimentKind {
     /// All kinds, in canonical order.
-    pub const ALL: [ExperimentKind; 20] = [
+    pub const ALL: [ExperimentKind; 21] = [
         ExperimentKind::Fig4,
         ExperimentKind::Fig5,
         ExperimentKind::Fig6,
@@ -89,6 +103,7 @@ impl ExperimentKind {
         ExperimentKind::Factors,
         ExperimentKind::AttackNaive,
         ExperimentKind::AttackOptimized,
+        ExperimentKind::Calibration,
     ];
 
     /// The spec-file / CLI name (matches the `repro` binary's names).
@@ -114,6 +129,7 @@ impl ExperimentKind {
             ExperimentKind::Factors => "factors",
             ExperimentKind::AttackNaive => "attack-naive",
             ExperimentKind::AttackOptimized => "attack-optimized",
+            ExperimentKind::Calibration => "calibration",
         }
     }
 
@@ -142,6 +158,29 @@ impl ExperimentKind {
             ExperimentKind::AttackNaive | ExperimentKind::AttackOptimized
         )
     }
+
+    /// Whether the experiment is parameterized by a placement-policy
+    /// platform. The figure/section drivers pin Cloud Run — they
+    /// reproduce measurements *of* Cloud Run — so only the
+    /// campaign-native trials and the calibration sweep take the axis.
+    pub fn supports_platform(self) -> bool {
+        matches!(
+            self,
+            ExperimentKind::AttackNaive
+                | ExperimentKind::AttackOptimized
+                | ExperimentKind::Calibration
+        )
+    }
+
+    /// Whether the experiment is parameterized by a verification channel.
+    pub fn supports_verifier(self) -> bool {
+        matches!(
+            self,
+            ExperimentKind::AttackNaive
+                | ExperimentKind::AttackOptimized
+                | ExperimentKind::Calibration
+        )
+    }
 }
 
 impl fmt::Display for ExperimentKind {
@@ -151,7 +190,7 @@ impl fmt::Display for ExperimentKind {
 }
 
 /// A declarative campaign: experiments × regions × generations ×
-/// mitigations × seeds.
+/// mitigations × platforms × verifiers × seeds.
 ///
 /// Axes an experiment is not parameterized by are collapsed rather than
 /// multiplied, so the grid never contains two runs that would compute the
@@ -172,6 +211,10 @@ pub struct CampaignSpec {
     pub generations: Vec<String>,
     /// Platform TSC mitigations to sweep.
     pub mitigations: Vec<String>,
+    /// Placement-policy platforms to sweep (see [`KNOWN_PLATFORMS`]).
+    pub platforms: Vec<String>,
+    /// Verification channels to sweep (see [`KNOWN_VERIFIERS`]).
+    pub verifiers: Vec<String>,
     /// Use the scaled-down `quick()` experiment configurations.
     pub quick: bool,
 }
@@ -186,6 +229,8 @@ impl Default for CampaignSpec {
             seed: 2_024,
             generations: vec!["gen1".to_owned()],
             mitigations: vec!["none".to_owned()],
+            platforms: vec!["cloudrun".to_owned()],
+            verifiers: vec!["rng-ctest".to_owned()],
             quick: false,
         }
     }
@@ -202,6 +247,10 @@ pub enum SpecError {
     UnknownGeneration(String),
     /// A mitigation name is not one of [`KNOWN_MITIGATIONS`].
     UnknownMitigation(String),
+    /// A platform name is not one of [`KNOWN_PLATFORMS`].
+    UnknownPlatform(String),
+    /// A verifier name is not one of [`KNOWN_VERIFIERS`].
+    UnknownVerifier(String),
     /// A sweep axis is empty (no experiments, regions, seeds, ...).
     EmptyAxis(&'static str),
     /// Two grid cells collapsed to the same run key (duplicate axis
@@ -243,6 +292,20 @@ impl fmt::Display for SpecError {
                     KNOWN_MITIGATIONS.join(" ")
                 )
             }
+            SpecError::UnknownPlatform(name) => {
+                write!(
+                    f,
+                    "unknown platform {name:?}; known platforms: {}",
+                    KNOWN_PLATFORMS.join(" ")
+                )
+            }
+            SpecError::UnknownVerifier(name) => {
+                write!(
+                    f,
+                    "unknown verifier {name:?}; known verifiers: {}",
+                    KNOWN_VERIFIERS.join(" ")
+                )
+            }
             SpecError::EmptyAxis(axis) => write!(f, "campaign sweeps no {axis}"),
             SpecError::DuplicateRun(key) => {
                 write!(f, "duplicate run {key:?}; remove repeated axis entries")
@@ -269,6 +332,14 @@ fn parse_mitigation(name: &str) -> Result<TscMitigation, SpecError> {
         "offset-and-scale" => Ok(TscMitigation::OffsetAndScale),
         other => Err(SpecError::UnknownMitigation(other.to_owned())),
     }
+}
+
+fn parse_platform(name: &str) -> Result<PlatformKind, SpecError> {
+    PlatformKind::parse(name).ok_or_else(|| SpecError::UnknownPlatform(name.to_owned()))
+}
+
+fn parse_verifier(name: &str) -> Result<VerifierChannel, SpecError> {
+    VerifierChannel::parse(name).ok_or_else(|| SpecError::UnknownVerifier(name.to_owned()))
 }
 
 impl CampaignSpec {
@@ -307,6 +378,12 @@ impl CampaignSpec {
         }
         if let Some(v) = value.get("mitigations") {
             spec.mitigations = string_list(v, "mitigations")?;
+        }
+        if let Some(v) = value.get("platforms") {
+            spec.platforms = string_list(v, "platforms")?;
+        }
+        if let Some(v) = value.get("verifiers") {
+            spec.verifiers = string_list(v, "verifiers")?;
         }
         if let Some(v) = value.get("seeds") {
             spec.seeds = v
@@ -347,6 +424,12 @@ impl CampaignSpec {
         if self.mitigations.is_empty() {
             return Err(SpecError::EmptyAxis("mitigations"));
         }
+        if self.platforms.is_empty() {
+            return Err(SpecError::EmptyAxis("platforms"));
+        }
+        if self.verifiers.is_empty() {
+            return Err(SpecError::EmptyAxis("verifiers"));
+        }
         if self.seeds == 0 {
             return Err(SpecError::EmptyAxis("seeds"));
         }
@@ -365,6 +448,16 @@ impl CampaignSpec {
             .iter()
             .map(|m| parse_mitigation(m))
             .collect::<Result<_, _>>()?;
+        let platforms: Vec<PlatformKind> = self
+            .platforms
+            .iter()
+            .map(|p| parse_platform(p))
+            .collect::<Result<_, _>>()?;
+        let verifiers: Vec<VerifierChannel> = self
+            .verifiers
+            .iter()
+            .map(|v| parse_verifier(v))
+            .collect::<Result<_, _>>()?;
         let mut runs = Vec::new();
         let mut seen = std::collections::BTreeSet::new();
         for name in &self.experiments {
@@ -382,23 +475,39 @@ impl CampaignSpec {
             } else {
                 vec![None]
             };
+            let plats: Vec<Option<PlatformKind>> = if kind.supports_platform() {
+                platforms.iter().copied().map(Some).collect()
+            } else {
+                vec![None]
+            };
+            let vers: Vec<Option<VerifierChannel>> = if kind.supports_verifier() {
+                verifiers.iter().copied().map(Some).collect()
+            } else {
+                vec![None]
+            };
             for region in &self.regions {
                 for &generation in &gens {
                     for &mitigation in &mits {
-                        for seed_index in 0..self.seeds {
-                            let run = RunSpec {
-                                index: runs.len(),
-                                experiment: kind,
-                                region: region.clone(),
-                                generation,
-                                mitigation,
-                                seed_index,
-                                quick: self.quick,
-                            };
-                            if !seen.insert(run.key()) {
-                                return Err(SpecError::DuplicateRun(run.key()));
+                        for &platform in &plats {
+                            for &verifier in &vers {
+                                for seed_index in 0..self.seeds {
+                                    let run = RunSpec {
+                                        index: runs.len(),
+                                        experiment: kind,
+                                        region: region.clone(),
+                                        generation,
+                                        mitigation,
+                                        platform,
+                                        verifier,
+                                        seed_index,
+                                        quick: self.quick,
+                                    };
+                                    if !seen.insert(run.key()) {
+                                        return Err(SpecError::DuplicateRun(run.key()));
+                                    }
+                                    runs.push(run);
+                                }
                             }
-                            runs.push(run);
                         }
                     }
                 }
@@ -421,6 +530,10 @@ pub struct RunSpec {
     pub generation: Option<Generation>,
     /// Mitigation override, when the experiment supports one.
     pub mitigation: Option<TscMitigation>,
+    /// Placement-policy platform, when the experiment supports one.
+    pub platform: Option<PlatformKind>,
+    /// Verification channel, when the experiment supports one.
+    pub verifier: Option<VerifierChannel>,
     /// Which of the campaign's seeds this run uses.
     pub seed_index: u32,
     /// Use the scaled-down configuration.
@@ -433,7 +546,7 @@ impl RunSpec {
     /// or extend the grid.
     pub fn key(&self) -> String {
         format!(
-            "{}/{}/{}/{}/s{}{}",
+            "{}/{}/{}/{}/{}/{}/s{}{}",
             self.experiment,
             self.region,
             self.generation.map_or("-", |g| match g {
@@ -445,6 +558,8 @@ impl RunSpec {
                 TscMitigation::TrapAndEmulate => "trap-and-emulate",
                 TscMitigation::OffsetAndScale => "offset-and-scale",
             }),
+            self.platform.map_or("-", PlatformKind::name),
+            self.verifier.map_or("-", VerifierChannel::name),
             self.seed_index,
             if self.quick { "/quick" } else { "" }
         )
@@ -475,17 +590,65 @@ mod tests {
     #[test]
     fn expansion_is_a_cross_product_with_collapsed_axes() {
         let runs = base_spec().expand().expect("valid spec");
-        // fig6 ignores generation/mitigation: 2 regions x 3 seeds = 6.
-        // attack-optimized sweeps both: 2 x 1 x 1 x 3 = 6.
+        // fig6 ignores generation/mitigation/platform/verifier:
+        // 2 regions x 3 seeds = 6. attack-optimized sweeps all four:
+        // 2 x 1 x 1 x 1 x 1 x 3 = 6.
         assert_eq!(runs.len(), 12);
         let keys: Vec<String> = runs.iter().map(RunSpec::key).collect();
         let mut deduped = keys.clone();
         deduped.dedup();
         assert_eq!(keys, deduped);
-        assert!(keys[0].starts_with("fig6/us-west1/-/-/s0"));
+        assert!(keys[0].starts_with("fig6/us-west1/-/-/-/-/s0"));
         assert!(keys
             .iter()
-            .any(|k| k == "attack-optimized/us-east1/gen1/none/s2"));
+            .any(|k| k == "attack-optimized/us-east1/gen1/none/cloudrun/rng-ctest/s2"));
+    }
+
+    #[test]
+    fn platform_and_verifier_axes_multiply_only_supporting_experiments() {
+        let mut spec = base_spec();
+        spec.platforms = KNOWN_PLATFORMS.iter().map(|&p| p.to_owned()).collect();
+        spec.verifiers = KNOWN_VERIFIERS.iter().map(|&v| v.to_owned()).collect();
+        spec.experiments.push("calibration".to_owned());
+        let runs = spec.expand().expect("valid spec");
+        // fig6 still collapses: 2 regions x 3 seeds = 6.
+        // attack-optimized: 2 x 1 x 1 x 3 plat x 2 ver x 3 seeds = 36.
+        // calibration (no gen/mitigation): 2 x 3 x 2 x 3 = 36.
+        assert_eq!(runs.len(), 6 + 36 + 36);
+        let keys: Vec<String> = runs.iter().map(RunSpec::key).collect();
+        assert!(keys
+            .iter()
+            .any(|k| k == "calibration/us-west1/-/-/azure-like/membus-lockcheck/s1"));
+        assert!(keys
+            .iter()
+            .any(|k| k == "attack-optimized/us-east1/gen1/none/lambda-like/rng-ctest/s0"));
+    }
+
+    #[test]
+    fn known_axis_names_match_the_canonical_enums() {
+        assert_eq!(
+            KNOWN_PLATFORMS.to_vec(),
+            PlatformKind::ALL.map(PlatformKind::name).to_vec()
+        );
+        assert_eq!(
+            KNOWN_VERIFIERS.to_vec(),
+            VerifierChannel::ALL.map(VerifierChannel::name).to_vec()
+        );
+    }
+
+    #[test]
+    fn unknown_platform_and_verifier_are_rejected() {
+        let mut spec = base_spec();
+        spec.platforms = vec!["borg".to_owned()];
+        let err = spec.expand().unwrap_err();
+        assert_eq!(err, SpecError::UnknownPlatform("borg".to_owned()));
+        assert!(err.to_string().contains("lambda-like"));
+
+        let mut spec = base_spec();
+        spec.verifiers = vec!["prime-probe".to_owned()];
+        let err = spec.expand().unwrap_err();
+        assert_eq!(err, SpecError::UnknownVerifier("prime-probe".to_owned()));
+        assert!(err.to_string().contains("membus-lockcheck"));
     }
 
     #[test]
@@ -524,8 +687,35 @@ mod tests {
         assert!(spec.quick);
         assert_eq!(spec.regions, vec!["us-east1".to_owned()]);
         assert_eq!(spec.seed, 2_024);
+        assert_eq!(spec.platforms, vec!["cloudrun".to_owned()]);
+        assert_eq!(spec.verifiers, vec!["rng-ctest".to_owned()]);
 
         assert!(CampaignSpec::from_json("not json").is_err());
         assert!(CampaignSpec::from_json(r#"{"experiments": "fig6"}"#).is_err());
+    }
+
+    #[test]
+    fn json_platform_and_verifier_fields_parse() {
+        let spec = CampaignSpec::from_json(
+            r#"{"experiments": ["calibration"],
+                "platforms": ["azure-like", "cloudrun"],
+                "verifiers": ["membus-lockcheck"]}"#,
+        )
+        .expect("parses");
+        assert_eq!(
+            spec.platforms,
+            vec!["azure-like".to_owned(), "cloudrun".to_owned()]
+        );
+        assert_eq!(spec.verifiers, vec!["membus-lockcheck".to_owned()]);
+        // Unknown names are caught at validation, same as the other axes.
+        let bad = CampaignSpec {
+            experiments: vec!["calibration".to_owned()],
+            platforms: vec!["gke".to_owned()],
+            ..CampaignSpec::default()
+        };
+        assert!(matches!(
+            bad.validate().unwrap_err(),
+            SpecError::UnknownPlatform(_)
+        ));
     }
 }

@@ -65,7 +65,7 @@ pub mod prelude {
     pub use crate::host::{Host, HostGenConfig};
     pub use crate::ids::{AccountId, HostId, InstanceId, ServiceId};
     pub use crate::instance::{ContainerInstance, InstanceState};
-    pub use crate::membus::MemoryBus;
+    pub use crate::membus::{LockCheckProfile, MemoryBus};
     pub use crate::mitigation::{TimerWorkload, TscMitigation};
     pub use crate::network::{network_heuristic_verdict, VpcAddress, VpcFabric};
     pub use crate::pricing::{BillingMeter, Cost, Rates};

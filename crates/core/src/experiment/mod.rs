@@ -23,7 +23,9 @@
 //! | [`sec6`] | §6 — mitigations: fingerprint kill rate, overheads, scheduler defense |
 //! | [`opt52`] | §5.2 — attack optimizations: multi-account, repeated attacks |
 //! | [`other_factors`] | §5.1 "Other factors" — time-of-day, sizes, generations |
+//! | [`calib`] | related work — `/lock`–`/check` threshold calibration (ROC sweep) |
 
+pub mod calib;
 pub mod fig04;
 pub mod fig05;
 pub mod fig06;

@@ -8,7 +8,7 @@
 //! | [`probe`] | §4.1 — the in-container payload gathering `cpuid`, `rdtsc`, wall-clock pairs, and `tsc_khz` |
 //! | [`fingerprint`] | §4.1 (Gen 1: model + rounded boot time), §4.5 (Gen 2: refined TSC frequency) |
 //! | [`expiry`] | §4.2 — drift tracking and fingerprint expiration estimation (Figure 5) |
-//! | [`verify`] | §4.3–4.4 — scalable co-location verification ([`verify::hierarchical`]), plus the pairwise and SIE baselines |
+//! | [`verify`] | §4.3–4.4 — scalable co-location verification ([`verify::hierarchical`]) over pluggable channels ([`verify::VerifierChannel`]: the RNG unit, or the Close Talker `/lock`–`/check` bus — PAPERS.md, arxiv 2512.10361), plus the pairwise and SIE baselines |
 //! | [`cluster`] | §4.4 — co-location cluster bookkeeping |
 //! | [`metrics`] | §4.1 — precision / recall / Fowlkes–Mallows accuracy over instance pairs (Figure 4) |
 //! | [`coverage`] | §5.2 — victim instance coverage measurement (Figure 11) |
@@ -60,7 +60,7 @@ pub mod prelude {
         RepeatAttackOutcome, RepeatedAttack, StrategyReport, VictimHostRecord,
     };
     pub use crate::verify::{
-        ctest, pair_count, pairwise_verify, single_instance_elimination, CTestConfig,
-        HierarchicalVerifier, PairwiseChannel, VerificationOutcome, VerifierStats,
+        ctest, ctest_via, pair_count, pairwise_verify, single_instance_elimination, CTestConfig,
+        HierarchicalVerifier, PairwiseChannel, VerificationOutcome, VerifierChannel, VerifierStats,
     };
 }

@@ -34,6 +34,7 @@ use eaao_cloudsim::ids::{AccountId, InstanceId, ServiceId};
 use eaao_cloudsim::mitigation::TscMitigation;
 use eaao_cloudsim::service::{ContainerSize, Generation, ServiceSpec};
 use eaao_orchestrator::config::RegionConfig;
+use eaao_orchestrator::platform::PlatformKind;
 use eaao_orchestrator::world::World;
 
 use crate::experiment::fig04::region_config;
@@ -108,6 +109,13 @@ impl Scenario {
     /// Deploys a platform-side TSC mitigation (Section 6).
     pub fn tsc_mitigation(&mut self, mitigation: TscMitigation) -> &mut Self {
         self.region = self.region.clone().with_tsc_mitigation(mitigation);
+        self
+    }
+
+    /// Runs the scenario on a different placement-policy family (the
+    /// campaign `platform` axis; default CloudRun).
+    pub fn platform(&mut self, platform: PlatformKind) -> &mut Self {
+        self.region = self.region.clone().with_platform(platform);
         self
     }
 
@@ -196,6 +204,17 @@ mod tests {
         .expect("fits");
         let coverage = measure_coverage(&arena.world, &report.live_instances, &arena.victims);
         assert!(coverage.victim_instances == 30);
+    }
+
+    #[test]
+    fn platform_axis_builds() {
+        let arena = Scenario::in_region("us-west1")
+            .platform(PlatformKind::LambdaLike)
+            .victims(10)
+            .hosts(60)
+            .build();
+        assert_eq!(arena.world.region().platform, PlatformKind::LambdaLike);
+        assert_eq!(arena.victims.len(), 10);
     }
 
     #[test]

@@ -10,6 +10,14 @@
 //! least `m` co-located participants for any of them to test positive; if
 //! between `m` and `2m−1` participants test positive, they are verified to
 //! share a single host in one test.
+//!
+//! The test protocol is channel-agnostic: [`VerifierChannel`] selects the
+//! physical medium the contention runs over — the paper's RNG unit, or the
+//! Close Talker `/lock`–`/check` memory-bus channel (PAPERS.md, arxiv
+//! 2512.10361), whose per-platform noise floors the `calib` experiment
+//! sweeps. Campaign grids expose this as the `verifier` axis.
+
+use std::fmt;
 
 use eaao_cloudsim::ids::InstanceId;
 use eaao_cloudsim::rng_unit::is_positive;
@@ -63,6 +71,64 @@ impl CTestConfig {
     }
 }
 
+/// The physical covert channel a multi-party co-location test runs over.
+///
+/// Both channels produce the same observation shape (contention units per
+/// round), so the threshold decision and every verifier built on
+/// [`ctest`] work unchanged over either; what differs is the noise floor
+/// (per-platform for the bus channel) and the wall-clock cost per round
+/// (microseconds vs milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum VerifierChannel {
+    /// The paper's RNG-unit contention channel (§4.3) — the default.
+    RngCtest,
+    /// The Close Talker `/lock`–`/check` memory-bus channel.
+    MembusLockCheck,
+}
+
+// Serialized as the canonical grid-axis name, by hand — the vendored
+// serde derive has no `#[serde(rename)]`.
+impl Serialize for VerifierChannel {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.name().to_owned())
+    }
+}
+
+impl Deserialize for VerifierChannel {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let text = v.as_str().ok_or_else(|| {
+            serde::Error::custom(format!("expected verifier name, got {}", v.kind()))
+        })?;
+        VerifierChannel::parse(text)
+            .ok_or_else(|| serde::Error::custom(format!("unknown verifier {text:?}")))
+    }
+}
+
+impl VerifierChannel {
+    /// Every channel, in canonical grid order.
+    pub const ALL: [VerifierChannel; 2] =
+        [VerifierChannel::RngCtest, VerifierChannel::MembusLockCheck];
+
+    /// The canonical grid-axis name (`rng-ctest`, `membus-lockcheck`).
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifierChannel::RngCtest => "rng-ctest",
+            VerifierChannel::MembusLockCheck => "membus-lockcheck",
+        }
+    }
+
+    /// Parses a canonical name; `None` for anything unknown.
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+impl fmt::Display for VerifierChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Runs one `CTest` over `participants`, returning each participant's
 /// verdict.
 ///
@@ -80,10 +146,37 @@ pub fn ctest(
     participants: &[InstanceId],
     config: &CTestConfig,
 ) -> Result<Vec<bool>, GuestError> {
+    ctest_via(world, participants, config, VerifierChannel::RngCtest)
+}
+
+/// Runs one multi-party co-location test over an explicit channel — the
+/// generalization of [`ctest`] behind the campaign `verifier` axis.
+///
+/// Advances the simulation clock by the test duration (channel-dependent:
+/// the bus channel's rounds are ~150× slower).
+///
+/// # Errors
+///
+/// Returns a [`GuestError`] if any participant is unknown or dead.
+///
+/// # Panics
+///
+/// Panics on an invalid `config` (see [`CTestConfig::validate`]).
+pub fn ctest_via(
+    world: &mut World,
+    participants: &[InstanceId],
+    config: &CTestConfig,
+    channel: VerifierChannel,
+) -> Result<Vec<bool>, GuestError> {
     config.validate();
     eaao_obs::count("verify.ctests", 1);
     eaao_obs::count("verify.ctest_participants", participants.len() as u64);
-    let observations = world.rng_covert_observations(participants, config.rounds)?;
+    let observations = match channel {
+        VerifierChannel::RngCtest => world.rng_covert_observations(participants, config.rounds)?,
+        VerifierChannel::MembusLockCheck => {
+            world.membus_lock_observations(participants, config.rounds)?
+        }
+    };
     Ok(observations
         .iter()
         .map(|obs| {
@@ -201,5 +294,62 @@ mod tests {
         let service = world.instance(ids[0]).service();
         world.kill_all(service);
         assert!(ctest(&mut world, &ids, &CTestConfig::default()).is_err());
+    }
+
+    #[test]
+    fn channel_names_roundtrip() {
+        for channel in VerifierChannel::ALL {
+            assert_eq!(VerifierChannel::parse(channel.name()), Some(channel));
+            assert_eq!(channel.to_string(), channel.name());
+        }
+        assert_eq!(VerifierChannel::parse("prime-probe"), None);
+    }
+
+    #[test]
+    fn lockcheck_channel_agrees_with_ground_truth() {
+        let (mut world, ids) = world_with_instances(7, 60);
+        let hosts = by_host(&world, &ids);
+        let pair = hosts.values().find(|v| v.len() >= 2).expect("pair");
+        let verdicts = ctest_via(
+            &mut world,
+            &pair[..2],
+            &CTestConfig::default(),
+            VerifierChannel::MembusLockCheck,
+        )
+        .expect("alive");
+        assert_eq!(verdicts, vec![true, true]);
+        let solo = ids
+            .iter()
+            .copied()
+            .find(|&i| world.host_of(i) != world.host_of(pair[0]))
+            .expect("solo");
+        let verdicts = ctest_via(
+            &mut world,
+            &[pair[0], solo],
+            &CTestConfig::default(),
+            VerifierChannel::MembusLockCheck,
+        )
+        .expect("alive");
+        assert_eq!(verdicts, vec![false, false]);
+    }
+
+    #[test]
+    fn lockcheck_channel_is_slower() {
+        // 60 bus rounds at 250 ms ≫ 60 RNG rounds at 1.67 ms: the cost
+        // asymmetry the calibration experiment reports.
+        let (mut world, ids) = world_with_instances(8, 4);
+        let t0 = world.now();
+        ctest(&mut world, &ids[..2], &CTestConfig::default()).expect("alive");
+        let rng_cost = world.now() - t0;
+        let t1 = world.now();
+        ctest_via(
+            &mut world,
+            &ids[..2],
+            &CTestConfig::default(),
+            VerifierChannel::MembusLockCheck,
+        )
+        .expect("alive");
+        let bus_cost = world.now() - t1;
+        assert!(bus_cost.as_nanos() > rng_cost.as_nanos() * 100);
     }
 }

@@ -24,7 +24,7 @@ use eaao_simcore::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
 use crate::cluster::CoLocationForest;
-use crate::verify::ctest::{ctest, CTestConfig};
+use crate::verify::ctest::{ctest_via, CTestConfig, VerifierChannel};
 
 /// Accounting for one verification campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -73,6 +73,9 @@ impl VerificationOutcome {
 #[derive(Debug, Clone, Copy)]
 pub struct HierarchicalVerifier {
     config: CTestConfig,
+    /// The physical channel every test runs over (default: the paper's
+    /// RNG unit; the campaign `verifier` axis selects the bus channel).
+    channel: VerifierChannel,
     /// Skip the false-negative sweep (valid for Gen 2 fingerprints, which
     /// cannot split one host across fingerprints).
     skip_false_negative_sweep: bool,
@@ -80,10 +83,11 @@ pub struct HierarchicalVerifier {
 
 impl HierarchicalVerifier {
     /// Creates a verifier with the paper's default test parameters
-    /// (`m = 2`, 30-of-60 rounds).
+    /// (`m = 2`, 30-of-60 rounds, RNG channel).
     pub fn new() -> Self {
         HierarchicalVerifier {
             config: CTestConfig::default(),
+            channel: VerifierChannel::RngCtest,
             skip_false_negative_sweep: false,
         }
     }
@@ -92,6 +96,12 @@ impl HierarchicalVerifier {
     pub fn with_config(mut self, config: CTestConfig) -> Self {
         config.validate();
         self.config = config;
+        self
+    }
+
+    /// Runs every test over an explicit [`VerifierChannel`].
+    pub fn with_channel(mut self, channel: VerifierChannel) -> Self {
+        self.channel = channel;
         self
     }
 
@@ -194,7 +204,7 @@ impl HierarchicalVerifier {
                 if forest.same_cluster(reps[i], reps[j]) {
                     continue;
                 }
-                let verdicts = ctest(world, &[reps[i], reps[j]], &self.config)?;
+                let verdicts = ctest_via(world, &[reps[i], reps[j]], &self.config, self.channel)?;
                 stats.pairwise_fallback_tests += 1;
                 if verdicts[0] && verdicts[1] {
                     forest.merge(reps[i], reps[j]);
@@ -214,7 +224,7 @@ impl HierarchicalVerifier {
         stats: &mut VerifierStats,
     ) -> Result<bool, GuestError> {
         debug_assert!(participants.len() <= self.config.max_unambiguous_group());
-        let verdicts = ctest(world, participants, &self.config)?;
+        let verdicts = ctest_via(world, participants, &self.config, self.channel)?;
         stats.ctests += 1;
         let positives: Vec<InstanceId> = participants
             .iter()
@@ -262,7 +272,7 @@ impl HierarchicalVerifier {
         if reps.len() < 2 {
             return Ok(());
         }
-        let verdicts = ctest(world, &reps, &self.config)?;
+        let verdicts = ctest_via(world, &reps, &self.config, self.channel)?;
         stats.ctests += 1;
         let positives: Vec<InstanceId> = reps
             .iter()
@@ -275,7 +285,12 @@ impl HierarchicalVerifier {
                 if forest.same_cluster(positives[i], positives[j]) {
                     continue;
                 }
-                let verdicts = ctest(world, &[positives[i], positives[j]], &self.config)?;
+                let verdicts = ctest_via(
+                    world,
+                    &[positives[i], positives[j]],
+                    &self.config,
+                    self.channel,
+                )?;
                 stats.ctests += 1;
                 if verdicts[0] && verdicts[1] {
                     forest.merge(positives[i], positives[j]);

@@ -1,7 +1,8 @@
 //! Instance co-location verification (Section 4.3).
 //!
 //! * [`ctest`](mod@self::ctest) — the multi-party covert-channel test
-//!   primitive.
+//!   primitive, generic over the physical [`VerifierChannel`] (the
+//!   paper's RNG unit or the Close Talker `/lock`–`/check` memory bus).
 //! * [`hierarchical`] — the paper's scalable O(hosts) methodology.
 //! * [`pairwise`] — the conventional O(N²) baseline.
 //! * [`sie`] — Single Instance Elimination, the prior speed-up that fails
@@ -12,7 +13,7 @@ pub mod hierarchical;
 pub mod pairwise;
 pub mod sie;
 
-pub use ctest::{ctest, CTestConfig};
+pub use ctest::{ctest, ctest_via, CTestConfig, VerifierChannel};
 pub use hierarchical::{HierarchicalVerifier, VerificationOutcome, VerifierStats};
 pub use pairwise::{pair_count, pairwise_verify, PairwiseChannel, PairwiseOutcome, PairwiseStats};
 pub use sie::{single_instance_elimination, SieOutcome};

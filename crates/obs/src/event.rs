@@ -139,7 +139,7 @@ mod tests {
     #[test]
     fn events_round_trip_through_jsonl() {
         let mut event = Event::new(EventKind::SpanEnd, "world.launch", 42);
-        event.run = Some("fig6/us-west1/-/-/s0".to_owned());
+        event.run = Some("fig6/us-west1/-/-/-/-/s0".to_owned());
         event.span = Some(3);
         event.parent = Some(1);
         event.dur_ns = Some(17);

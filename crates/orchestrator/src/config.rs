@@ -15,6 +15,8 @@ use eaao_cloudsim::mitigation::TscMitigation;
 use eaao_cloudsim::pricing::Rates;
 use eaao_simcore::time::SimDuration;
 
+use crate::platform::PlatformKind;
+
 /// Description of a simulated region (data center).
 #[derive(Debug, Clone)]
 pub struct RegionConfig {
@@ -37,6 +39,10 @@ pub struct RegionConfig {
     pub tsc_mitigation: TscMitigation,
     /// Placement tunables.
     pub placement: PlacementConfig,
+    /// Which platform's placement policy the default `World` builds
+    /// (see [`crate::platform`]). The paper's regions are all Cloud Run;
+    /// campaign grids override this to sweep the platform axis.
+    pub platform: PlatformKind,
 }
 
 impl RegionConfig {
@@ -86,6 +92,7 @@ impl RegionConfig {
             rates: Rates::us_tier1(),
             tsc_mitigation: TscMitigation::None,
             placement: PlacementConfig::default(),
+            platform: PlatformKind::CloudRun,
         }
     }
 
@@ -111,6 +118,13 @@ impl RegionConfig {
     /// (Section 6).
     pub fn with_tsc_mitigation(mut self, mitigation: TscMitigation) -> Self {
         self.tsc_mitigation = mitigation;
+        self
+    }
+
+    /// Returns the config with a different placement-policy platform
+    /// (see [`crate::platform`]).
+    pub fn with_platform(mut self, platform: PlatformKind) -> Self {
+        self.platform = platform;
         self
     }
 }

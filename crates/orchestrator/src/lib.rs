@@ -12,14 +12,21 @@
 //!   engine keeps an incremental free-capacity index and Fenwick samplers.
 //! * [`placement`] — base hosts per account (scheduling cells), helper-host
 //!   exploration under load, near-uniform spreading, dynamic placement.
+//! * [`platform`] — the pluggable [`PlatformPolicy`] axis: the CloudRun
+//!   policy plus Lambda-like (partitioned bin-packing) and Azure-like
+//!   (reuse-biased, long keep-alive) schedulers, swept as the campaign
+//!   `platform` axis (see `docs/PLATFORMS.md`).
 //! * [`world`] — accounts, services, launches, the idle reaper (Figure 6),
 //!   covert-channel plumbing, billing, and churn.
 //! * [`error`] — launch and guest error types.
 //!
 //! Paper-section map: [`placement`] encodes §5.1 Observations 1–6 (base
 //! hosts, helper hosts, spreading), [`autoscaler`] and [`demand`] the §2.2
-//! scaling behaviour, and [`world`] the end-to-end platform the §5.2
-//! strategies attack.
+//! scaling behaviour, [`world`] the end-to-end platform the §5.2
+//! strategies attack and the §4.3 verification channels (plus the Close
+//! Talker `/lock`–`/check` channel — PAPERS.md, arxiv 2512.10361), and
+//! [`platform`] the cross-platform policy families of the related work
+//! (Close Talker's Lambda/Azure sections; Placement Vulnerability Study).
 //!
 //! The [`World`] is instrumented with `eaao-obs`: launches, autoscaler
 //! decisions, churn, covert-channel tests, and billed spend surface as
@@ -36,11 +43,15 @@ pub mod demand;
 pub mod engine;
 pub mod error;
 pub mod placement;
+pub mod platform;
 pub mod world;
 
 pub use config::{PlacementConfig, RegionConfig};
 pub use engine::{CapacityIndex, Engine, OptimizedEngine};
 pub use error::{GuestError, LaunchError};
+pub use platform::{
+    AnyPlatformPolicy, AzureLikePolicy, KeepAlive, LambdaLikePolicy, PlatformKind, PlatformPolicy,
+};
 pub use world::{Launch, World};
 
 /// Convenient glob import of the orchestrator types.
@@ -51,5 +62,9 @@ pub mod prelude {
     pub use crate::engine::{CapacityIndex, Engine, OptimizedEngine};
     pub use crate::error::{GuestError, LaunchError};
     pub use crate::placement::CloudRunPolicy;
+    pub use crate::platform::{
+        AnyPlatformPolicy, AzureLikePolicy, KeepAlive, LambdaLikePolicy, PlatformKind,
+        PlatformPolicy,
+    };
     pub use crate::world::{Launch, World, CTEST_ROUND_DURATION};
 }

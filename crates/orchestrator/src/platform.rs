@@ -1,0 +1,809 @@
+//! Pluggable placement-policy axis: CloudRun, Lambda-like, Azure-like.
+//!
+//! The paper reverse-engineers exactly one orchestrator (Cloud Run,
+//! Section 5.1), but the attack pipeline — launch many, fingerprint,
+//! verify — is platform-agnostic: "Bit of a Close Talker" runs the same
+//! shape against AWS Lambda and Azure Functions, and the Placement
+//! Vulnerability Study treats the placement policy itself as the variable
+//! under attack. This module makes the policy a second trait axis next to
+//! [`Engine`]: the [`PlatformPolicy`] trait abstracts what
+//! [`World`](crate::world::World) needs from a scheduler, and three
+//! implementations model the three
+//! policy families the literature measures:
+//!
+//! * [`CloudRunPolicy`] — the paper's base-host / helper-host policy,
+//!   unchanged (the trait impl delegates to the existing inherent
+//!   methods, draw for draw — the `eaao-oracle` differential suite pins
+//!   its trajectories byte-identical across the refactor).
+//! * [`LambdaLikePolicy`] — bin-packing with per-account sandbox
+//!   partitioning and **no** helper-host spill: AWS places a customer's
+//!   Firecracker microVMs densely on hosts claimed for that account and
+//!   never co-schedules two accounts on one claimed host (the Close
+//!   Talker paper's Lambda sections; cross-*account* co-location is not
+//!   part of this policy's attack surface, cross-*function* within an
+//!   account very much is).
+//! * [`AzureLikePolicy`] — aggressive instance reuse: per-service host
+//!   affinity packs repeat launches back onto warm hosts, and the idle
+//!   keep-alive window is far longer than Cloud Run's 15-minute contract
+//!   (the Close Talker paper's Azure sections report instances surviving
+//!   idle far past the other platforms).
+//!
+//! [`AnyPlatformPolicy`] is the value-level dispatcher the default
+//! `World` uses: it builds whichever policy [`RegionConfig::platform`]
+//! names, so campaign grids can sweep platforms without monomorphizing a
+//! `World` per platform.
+//!
+//! Paper-section map: the trait surface corresponds to the §4 attack
+//! pipeline's platform assumptions (launch → place → idle-reap), the
+//! CloudRun impl to §5.1 Observations 1–6, and the Lambda/Azure impls to
+//! the Close Talker paper's AWS and Azure placement findings
+//! (PAPERS.md, arxiv 2512.10361).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use eaao_cloudsim::datacenter::DataCenter;
+use eaao_cloudsim::ids::{AccountId, HostId, ServiceId};
+use eaao_cloudsim::membus::LockCheckProfile;
+use eaao_simcore::rng::SimRng;
+use eaao_simcore::time::SimDuration;
+use eaao_simcore::wsample::{fixed_weight, sample_distinct, IndexSampler};
+
+use crate::config::{PlacementConfig, RegionConfig};
+use crate::engine::{CapacityIndex, Engine, OptimizedEngine};
+use crate::placement::{CloudRunPolicy, PlacementPlan};
+
+/// The platform families a region can model, by name.
+///
+/// `cloudrun` is the paper's subject; `lambda-like` and `azure-like`
+/// follow the Close Talker measurements of AWS Lambda and Azure
+/// Functions. Campaign grids sweep this as the `platform` axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PlatformKind {
+    /// Cloud Run: base hosts per account, helper-host spill under load,
+    /// 15-minute idle contract (the paper's §5.1 policy).
+    CloudRun,
+    /// AWS-Lambda-like: per-account sandbox partitioning, bin-packing,
+    /// no helper spill.
+    LambdaLike,
+    /// Azure-Functions-like: reuse-biased scheduling with per-service
+    /// host affinity and a much longer idle keep-alive.
+    AzureLike,
+}
+
+// Serialized as the canonical grid-axis name, by hand — the vendored
+// serde derive has no `#[serde(rename)]`.
+impl serde::Serialize for PlatformKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.name().to_owned())
+    }
+}
+
+impl serde::Deserialize for PlatformKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let text = v.as_str().ok_or_else(|| {
+            serde::Error::custom(format!("expected platform name, got {}", v.kind()))
+        })?;
+        PlatformKind::parse(text)
+            .ok_or_else(|| serde::Error::custom(format!("unknown platform {text:?}")))
+    }
+}
+
+impl PlatformKind {
+    /// Every platform, in canonical grid order.
+    pub const ALL: [PlatformKind; 3] = [
+        PlatformKind::CloudRun,
+        PlatformKind::LambdaLike,
+        PlatformKind::AzureLike,
+    ];
+
+    /// The canonical grid-axis name (`cloudrun`, `lambda-like`,
+    /// `azure-like`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PlatformKind::CloudRun => "cloudrun",
+            PlatformKind::LambdaLike => "lambda-like",
+            PlatformKind::AzureLike => "azure-like",
+        }
+    }
+
+    /// Parses a canonical name; `None` for anything unknown.
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// The `/lock`–`/check` memory-bus channel noise profile of this
+    /// platform (per-platform background traffic; see
+    /// [`LockCheckProfile`] and `docs/PLATFORMS.md`).
+    pub fn lockcheck_profile(self) -> LockCheckProfile {
+        match self {
+            PlatformKind::CloudRun => LockCheckProfile::cloudrun(),
+            PlatformKind::LambdaLike => LockCheckProfile::lambda_like(),
+            PlatformKind::AzureLike => LockCheckProfile::azure_like(),
+        }
+    }
+}
+
+impl fmt::Display for PlatformKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The idle-lifecycle parameters a policy hands the reaper: how long an
+/// idle instance survives before gradual termination.
+///
+/// [`PlatformPolicy::keep_alive`] defaults to a passthrough of the
+/// region's [`PlacementConfig`] (Cloud Run's Figure 6 timings); the
+/// Azure-like policy stretches them, which is what makes its warm-reuse
+/// rate observably higher under the same workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeepAlive {
+    /// Grace period before any idle termination.
+    pub idle_grace: SimDuration,
+    /// Spread of the gradual termination after the grace period.
+    pub idle_termination_spread: SimDuration,
+    /// Hard cap on total idle survival.
+    pub idle_hard_cap: SimDuration,
+}
+
+impl KeepAlive {
+    /// The passthrough mapping from a region's placement config.
+    pub fn from_config(config: &PlacementConfig) -> Self {
+        KeepAlive {
+            idle_grace: config.idle_grace,
+            idle_termination_spread: config.idle_termination_spread,
+            idle_hard_cap: config.idle_hard_cap,
+        }
+    }
+}
+
+/// What [`World`](crate::world::World) needs from a placement policy —
+/// the second trait axis next to [`Engine`].
+///
+/// Implementations must be deterministic: every random decision draws
+/// from the `SimRng` handed to [`build`](PlatformPolicy::build), in an
+/// order that depends only on the call sequence. The engine contract
+/// carries over: the same policy on two different engines must consume
+/// identical RNG streams (the differential-oracle surface).
+pub trait PlatformPolicy<E: Engine>: fmt::Debug + Sized {
+    /// Builds the policy for a data center. `rng` is the policy's
+    /// private stream, pre-forked by the world (label `"policy"`).
+    fn build(dc: &DataCenter, region: &RegionConfig, rng: SimRng) -> Self;
+
+    /// Number of scheduling cells (capacity-index granularity).
+    fn cell_count(&self) -> usize;
+
+    /// The scheduling cell of each host (`map[h]` is host `h`'s cell).
+    fn host_cells(&self) -> Vec<u32>;
+
+    /// The hosts this policy prefers for an account (base hosts on
+    /// CloudRun, claimed sandbox hosts on Lambda-like, seen hosts on
+    /// Azure-like) — simulation-side introspection for placement
+    /// analyses.
+    fn base_hosts(&mut self, account: AccountId) -> &[HostId];
+
+    /// Plans placement of `need_new` new instances against `capacity`'s
+    /// planning overlay (tentative only; committing is the caller's
+    /// job). `pressure` is the service's demand pressure; policies
+    /// without a load balancer ignore it.
+    fn plan(
+        &mut self,
+        dc: &DataCenter,
+        capacity: &mut E::Capacity,
+        service: ServiceId,
+        account: AccountId,
+        need_new: usize,
+        pressure: usize,
+    ) -> PlacementPlan;
+
+    /// The idle-lifecycle parameters the reaper should use. Defaults to
+    /// the region's configured (Cloud Run) timings.
+    fn keep_alive(&self, config: &PlacementConfig) -> KeepAlive {
+        KeepAlive::from_config(config)
+    }
+}
+
+impl<E: Engine> PlatformPolicy<E> for CloudRunPolicy<E> {
+    fn build(dc: &DataCenter, region: &RegionConfig, rng: SimRng) -> Self {
+        // Exactly the pre-trait construction path: same arguments, same
+        // single salt draw, so trajectories stay byte-identical.
+        CloudRunPolicy::new(dc, region.placement, region.dynamic_placement, rng)
+    }
+
+    fn cell_count(&self) -> usize {
+        self.cell_count()
+    }
+
+    fn host_cells(&self) -> Vec<u32> {
+        self.host_cells()
+    }
+
+    fn base_hosts(&mut self, account: AccountId) -> &[HostId] {
+        self.base_hosts(account)
+    }
+
+    fn plan(
+        &mut self,
+        dc: &DataCenter,
+        capacity: &mut E::Capacity,
+        service: ServiceId,
+        account: AccountId,
+        need_new: usize,
+        pressure: usize,
+    ) -> PlacementPlan {
+        self.plan(dc, capacity, service, account, need_new, pressure)
+    }
+}
+
+/// AWS-Lambda-like placement: per-account sandbox partitioning with
+/// bin-packing and no helper-host spill.
+///
+/// Lambda runs customer code in per-account Firecracker sandboxes: a
+/// host claimed for one account serves only that account, and the
+/// scheduler packs an account's instances densely onto its claimed
+/// hosts before claiming fresh ones. Consequences the divergence tests
+/// pin down: two accounts never share a host (the cross-account attack
+/// of the paper is structurally impossible), a single account's fleet
+/// occupies *few* hosts (density ≈ host capacity, not
+/// `target_density`), and demand pressure causes no helper-host
+/// exploration.
+pub struct LambdaLikePolicy<E: Engine = OptimizedEngine> {
+    rng: SimRng,
+    /// Fixed-point popularity weight per host (constant after build).
+    pop_fixed: Vec<u64>,
+    /// Popularity sampler over the pool; a claimed host's weight is
+    /// zeroed permanently (claims are never released).
+    pop_sampler: E::Sampler,
+    /// Per-account claimed hosts, in claim (bin-packing fill) order.
+    claims: BTreeMap<AccountId, Vec<HostId>>,
+    /// Every claimed host, across all accounts.
+    owned: BTreeSet<HostId>,
+}
+
+impl<E: Engine> fmt::Debug for LambdaLikePolicy<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LambdaLikePolicy")
+            .field("accounts", &self.claims.len())
+            .field("owned_hosts", &self.owned.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E: Engine> LambdaLikePolicy<E> {
+    /// The hosts claimed for an account so far, in claim order.
+    pub fn claimed_hosts(&self, account: AccountId) -> &[HostId] {
+        self.claims.get(&account).map_or(&[], Vec::as_slice)
+    }
+
+    /// Claims the most attractive unclaimed host (popularity-weighted),
+    /// or `None` when every host is claimed.
+    fn claim_fresh(&mut self, account: AccountId) -> Option<HostId> {
+        // `sample_distinct` zeroes the picked weight; leaving it zeroed
+        // is exactly the claim semantics (never sampled again).
+        let picks = sample_distinct(&mut self.pop_sampler, 1, &mut self.rng);
+        let &i = picks.first()?;
+        let host = HostId::from_raw(i as u32);
+        self.owned.insert(host);
+        self.claims.entry(account).or_default().push(host);
+        Some(host)
+    }
+}
+
+impl<E: Engine> PlatformPolicy<E> for LambdaLikePolicy<E> {
+    fn build(dc: &DataCenter, _region: &RegionConfig, rng: SimRng) -> Self {
+        let pop_fixed: Vec<u64> = dc.hosts().map(|h| fixed_weight(h.popularity())).collect();
+        let pop_sampler = E::Sampler::from_weights(pop_fixed.clone());
+        LambdaLikePolicy {
+            rng,
+            pop_fixed,
+            pop_sampler,
+            claims: BTreeMap::new(),
+            owned: BTreeSet::new(),
+        }
+    }
+
+    fn cell_count(&self) -> usize {
+        // No scheduling cells: the account partition is the only
+        // structure, and it is dynamic (claims grow over time).
+        1
+    }
+
+    fn host_cells(&self) -> Vec<u32> {
+        vec![0; self.pop_fixed.len()]
+    }
+
+    fn base_hosts(&mut self, account: AccountId) -> &[HostId] {
+        self.claims.entry(account).or_default();
+        self.claimed_hosts(account)
+    }
+
+    fn plan(
+        &mut self,
+        dc: &DataCenter,
+        capacity: &mut E::Capacity,
+        _service: ServiceId,
+        account: AccountId,
+        need_new: usize,
+        _pressure: usize,
+    ) -> PlacementPlan {
+        if need_new == 0 {
+            return Vec::new();
+        }
+        eaao_obs::count("placement.plans", 1);
+        eaao_obs::observe("placement.plan_size", need_new as u64);
+        capacity.begin_plan();
+        let mut plan = Vec::with_capacity(need_new);
+        // Bin-pack the account's claimed hosts first, in claim order.
+        let claimed = self.claims.entry(account).or_default().clone();
+        'packed: for host in claimed {
+            while capacity.plan_take(host, dc) {
+                plan.push(host);
+                if plan.len() == need_new {
+                    break 'packed;
+                }
+            }
+        }
+        // Claim fresh (unclaimed-by-anyone) hosts for the remainder. A
+        // short plan means the *partition* is exhausted, not the pool:
+        // another account's free slots are out of bounds by design.
+        while plan.len() < need_new {
+            let Some(host) = self.claim_fresh(account) else {
+                break;
+            };
+            while capacity.plan_take(host, dc) {
+                plan.push(host);
+                if plan.len() == need_new {
+                    break;
+                }
+            }
+        }
+        capacity.end_plan();
+        plan
+    }
+}
+
+/// Azure-Functions-like placement: reuse-biased scheduling with
+/// per-service host affinity and a stretched idle keep-alive.
+///
+/// Azure keeps function instances warm far longer than Cloud Run's
+/// 15-minute contract and routes repeat invocations back onto hosts the
+/// function already occupies. Modeled as: fill the service's affinity
+/// hosts to capacity first, claim popularity-weighted fresh hosts for
+/// any remainder (remembering them for next time), and stretch every
+/// idle-reaper timing via [`PlatformPolicy::keep_alive`]. The
+/// divergence tests pin the consequence: after an idle gap that kills a
+/// Cloud Run fleet entirely, an Azure-like fleet still reuses warm
+/// instances.
+pub struct AzureLikePolicy<E: Engine = OptimizedEngine> {
+    rng: SimRng,
+    /// Fixed-point popularity weight per host (constant after build).
+    pop_fixed: Vec<u64>,
+    /// Popularity sampler; weights are suppressed and restored around
+    /// exclusion-aware draws (same discipline as `CloudRunPolicy`).
+    pop_sampler: E::Sampler,
+    /// Per-service affinity hosts, in first-use order.
+    affinity: BTreeMap<ServiceId, Vec<HostId>>,
+    /// Hosts each account has ever been placed on (introspection).
+    seen: BTreeMap<AccountId, Vec<HostId>>,
+}
+
+impl<E: Engine> fmt::Debug for AzureLikePolicy<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AzureLikePolicy")
+            .field("services", &self.affinity.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Idle keep-alive stretch factors of the Azure-like policy relative to
+/// the region's Cloud-Run-calibrated timings (grace ×4, spread ×2, hard
+/// cap ×4 ⇒ a 15-minute contract becomes an hour).
+pub const AZURE_KEEP_ALIVE_FACTORS: (i64, i64, i64) = (4, 2, 4);
+
+impl<E: Engine> AzureLikePolicy<E> {
+    /// The affinity hosts a service has accumulated, in first-use order.
+    pub fn affinity_hosts(&self, service: ServiceId) -> &[HostId] {
+        self.affinity.get(&service).map_or(&[], Vec::as_slice)
+    }
+
+    /// One popularity-weighted pick outside `exclude`, or `None` when
+    /// everything is excluded or weightless.
+    fn sample_fresh(&mut self, exclude: &[HostId]) -> Option<HostId> {
+        for &h in exclude {
+            self.pop_sampler.set_weight(h.as_usize(), 0);
+        }
+        let picks = sample_distinct(&mut self.pop_sampler, 1, &mut self.rng);
+        for &h in exclude {
+            let i = h.as_usize();
+            self.pop_sampler.set_weight(i, self.pop_fixed[i]);
+        }
+        for &i in &picks {
+            self.pop_sampler.set_weight(i, self.pop_fixed[i]);
+        }
+        picks.first().map(|&i| HostId::from_raw(i as u32))
+    }
+}
+
+impl<E: Engine> PlatformPolicy<E> for AzureLikePolicy<E> {
+    fn build(dc: &DataCenter, _region: &RegionConfig, rng: SimRng) -> Self {
+        let pop_fixed: Vec<u64> = dc.hosts().map(|h| fixed_weight(h.popularity())).collect();
+        let pop_sampler = E::Sampler::from_weights(pop_fixed.clone());
+        AzureLikePolicy {
+            rng,
+            pop_fixed,
+            pop_sampler,
+            affinity: BTreeMap::new(),
+            seen: BTreeMap::new(),
+        }
+    }
+
+    fn cell_count(&self) -> usize {
+        1
+    }
+
+    fn host_cells(&self) -> Vec<u32> {
+        vec![0; self.pop_fixed.len()]
+    }
+
+    fn base_hosts(&mut self, account: AccountId) -> &[HostId] {
+        self.seen.entry(account).or_default();
+        self.seen.get(&account).map_or(&[], Vec::as_slice)
+    }
+
+    fn plan(
+        &mut self,
+        dc: &DataCenter,
+        capacity: &mut E::Capacity,
+        service: ServiceId,
+        account: AccountId,
+        need_new: usize,
+        _pressure: usize,
+    ) -> PlacementPlan {
+        if need_new == 0 {
+            return Vec::new();
+        }
+        eaao_obs::count("placement.plans", 1);
+        eaao_obs::observe("placement.plan_size", need_new as u64);
+        capacity.begin_plan();
+        let mut plan = Vec::with_capacity(need_new);
+        // Reuse bias: pack the service's warm affinity hosts to capacity
+        // first, in first-use order.
+        let affine = self.affinity.entry(service).or_default().clone();
+        'packed: for host in affine {
+            while capacity.plan_take(host, dc) {
+                plan.push(host);
+                if plan.len() == need_new {
+                    break 'packed;
+                }
+            }
+        }
+        // Claim fresh hosts for the remainder, one at a time, and
+        // remember them: next launch packs onto them again.
+        while plan.len() < need_new {
+            let exclude = self.affinity.get(&service).cloned().unwrap_or_default();
+            let Some(host) = self.sample_fresh(&exclude) else {
+                break;
+            };
+            self.affinity.entry(service).or_default().push(host);
+            while capacity.plan_take(host, dc) {
+                plan.push(host);
+                if plan.len() == need_new {
+                    break;
+                }
+            }
+        }
+        // Spill: every host carries affinity but the pool may still have
+        // slots elsewhere (another service's hosts are fair game here —
+        // no account partition on this platform).
+        while plan.len() < need_new {
+            match capacity.plan_spill_pick(dc, &mut self.rng) {
+                Some(host) => plan.push(host),
+                None => break,
+            }
+        }
+        capacity.end_plan();
+        let seen = self.seen.entry(account).or_default();
+        for &host in &plan {
+            if !seen.contains(&host) {
+                seen.push(host);
+            }
+        }
+        plan
+    }
+
+    fn keep_alive(&self, config: &PlacementConfig) -> KeepAlive {
+        let (grace, spread, cap) = AZURE_KEEP_ALIVE_FACTORS;
+        KeepAlive {
+            idle_grace: config.idle_grace * grace,
+            idle_termination_spread: config.idle_termination_spread * spread,
+            idle_hard_cap: config.idle_hard_cap * cap,
+        }
+    }
+}
+
+/// Value-level platform dispatch: builds whichever policy
+/// [`RegionConfig::platform`] names. This is the default `P` of
+/// [`World`](crate::world::World), so one monomorphized world serves
+/// every platform a campaign grid sweeps.
+#[derive(Debug)]
+pub enum AnyPlatformPolicy<E: Engine = OptimizedEngine> {
+    /// The paper's Cloud Run policy.
+    CloudRun(CloudRunPolicy<E>),
+    /// The Lambda-like partitioned bin-packer.
+    LambdaLike(LambdaLikePolicy<E>),
+    /// The Azure-like reuse-biased scheduler.
+    AzureLike(AzureLikePolicy<E>),
+}
+
+impl<E: Engine> AnyPlatformPolicy<E> {
+    /// The concrete CloudRun policy, if that is what this is (placement
+    /// analyses that need helper-host introspection).
+    pub fn as_cloudrun(&self) -> Option<&CloudRunPolicy<E>> {
+        match self {
+            AnyPlatformPolicy::CloudRun(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl<E: Engine> PlatformPolicy<E> for AnyPlatformPolicy<E> {
+    fn build(dc: &DataCenter, region: &RegionConfig, rng: SimRng) -> Self {
+        match region.platform {
+            // The CloudRun arm hands `rng` through untouched, so the
+            // default world's RNG stream is identical to the pre-trait
+            // `CloudRunPolicy::new` path (oracle byte-identity).
+            PlatformKind::CloudRun => {
+                AnyPlatformPolicy::CloudRun(PlatformPolicy::<E>::build(dc, region, rng))
+            }
+            PlatformKind::LambdaLike => {
+                AnyPlatformPolicy::LambdaLike(PlatformPolicy::<E>::build(dc, region, rng))
+            }
+            PlatformKind::AzureLike => {
+                AnyPlatformPolicy::AzureLike(PlatformPolicy::<E>::build(dc, region, rng))
+            }
+        }
+    }
+
+    fn cell_count(&self) -> usize {
+        match self {
+            AnyPlatformPolicy::CloudRun(p) => PlatformPolicy::<E>::cell_count(p),
+            AnyPlatformPolicy::LambdaLike(p) => p.cell_count(),
+            AnyPlatformPolicy::AzureLike(p) => p.cell_count(),
+        }
+    }
+
+    fn host_cells(&self) -> Vec<u32> {
+        match self {
+            AnyPlatformPolicy::CloudRun(p) => PlatformPolicy::<E>::host_cells(p),
+            AnyPlatformPolicy::LambdaLike(p) => p.host_cells(),
+            AnyPlatformPolicy::AzureLike(p) => p.host_cells(),
+        }
+    }
+
+    fn base_hosts(&mut self, account: AccountId) -> &[HostId] {
+        match self {
+            AnyPlatformPolicy::CloudRun(p) => PlatformPolicy::<E>::base_hosts(p, account),
+            AnyPlatformPolicy::LambdaLike(p) => p.base_hosts(account),
+            AnyPlatformPolicy::AzureLike(p) => p.base_hosts(account),
+        }
+    }
+
+    fn plan(
+        &mut self,
+        dc: &DataCenter,
+        capacity: &mut E::Capacity,
+        service: ServiceId,
+        account: AccountId,
+        need_new: usize,
+        pressure: usize,
+    ) -> PlacementPlan {
+        match self {
+            AnyPlatformPolicy::CloudRun(p) => {
+                PlatformPolicy::<E>::plan(p, dc, capacity, service, account, need_new, pressure)
+            }
+            AnyPlatformPolicy::LambdaLike(p) => {
+                p.plan(dc, capacity, service, account, need_new, pressure)
+            }
+            AnyPlatformPolicy::AzureLike(p) => {
+                p.plan(dc, capacity, service, account, need_new, pressure)
+            }
+        }
+    }
+
+    fn keep_alive(&self, config: &PlacementConfig) -> KeepAlive {
+        match self {
+            AnyPlatformPolicy::CloudRun(p) => PlatformPolicy::<E>::keep_alive(p, config),
+            AnyPlatformPolicy::LambdaLike(p) => PlatformPolicy::<E>::keep_alive(p, config),
+            AnyPlatformPolicy::AzureLike(p) => p.keep_alive(config),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    use super::*;
+    use crate::engine::IncrementalCapacity;
+    use eaao_cloudsim::host::HostGenConfig;
+
+    fn dc(seed: u64, hosts: usize) -> DataCenter {
+        let mut rng = SimRng::seed_from(seed);
+        DataCenter::generate("test", hosts, &HostGenConfig::default(), 0.9, &mut rng)
+    }
+
+    fn region(hosts: usize, platform: PlatformKind) -> RegionConfig {
+        RegionConfig::us_west1()
+            .with_hosts(hosts)
+            .with_platform(platform)
+    }
+
+    fn build<P: PlatformPolicy<OptimizedEngine>>(
+        dc: &DataCenter,
+        region: &RegionConfig,
+        seed: u64,
+    ) -> (P, IncrementalCapacity) {
+        let p = P::build(dc, region, SimRng::seed_from(seed));
+        let cap = IncrementalCapacity::new(dc, p.host_cells(), p.cell_count());
+        (p, cap)
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for kind in PlatformKind::ALL {
+            assert_eq!(PlatformKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(PlatformKind::parse("gcp"), None);
+    }
+
+    #[test]
+    fn lambda_partitions_accounts_onto_disjoint_hosts() {
+        let dc = dc(1, 60);
+        let region = region(60, PlatformKind::LambdaLike);
+        let (mut p, mut cap) = build::<LambdaLikePolicy<OptimizedEngine>>(&dc, &region, 2);
+        let plan_a = p.plan(
+            &dc,
+            &mut cap,
+            ServiceId::from_raw(1),
+            AccountId::from_raw(1),
+            50,
+            0,
+        );
+        let plan_b = p.plan(
+            &dc,
+            &mut cap,
+            ServiceId::from_raw(2),
+            AccountId::from_raw(2),
+            50,
+            0,
+        );
+        let hosts_a: HashSet<HostId> = plan_a.into_iter().collect();
+        let hosts_b: HashSet<HostId> = plan_b.into_iter().collect();
+        assert_eq!(hosts_a.intersection(&hosts_b).count(), 0);
+    }
+
+    #[test]
+    fn lambda_bin_packs_densely() {
+        let dc = dc(3, 60);
+        let region = region(60, PlatformKind::LambdaLike);
+        let (mut p, mut cap) = build::<LambdaLikePolicy<OptimizedEngine>>(&dc, &region, 4);
+        let plan = p.plan(
+            &dc,
+            &mut cap,
+            ServiceId::from_raw(1),
+            AccountId::from_raw(1),
+            100,
+            0,
+        );
+        assert_eq!(plan.len(), 100);
+        let hosts: HashSet<HostId> = plan.iter().copied().collect();
+        // Bin-packing: far fewer hosts than CloudRun's target-density
+        // spread (100 / 10.7 ≈ 10 hosts there).
+        assert!(hosts.len() < 8, "used {} hosts", hosts.len());
+        assert_eq!(p.claimed_hosts(AccountId::from_raw(1)).len(), hosts.len());
+    }
+
+    #[test]
+    fn lambda_pressure_never_grows_the_footprint() {
+        let dc = dc(5, 60);
+        let region = region(60, PlatformKind::LambdaLike);
+        let (mut p, mut cap) = build::<LambdaLikePolicy<OptimizedEngine>>(&dc, &region, 6);
+        let svc = ServiceId::from_raw(1);
+        let acct = AccountId::from_raw(1);
+        let cold: HashSet<HostId> = p
+            .plan(&dc, &mut cap, svc, acct, 40, 0)
+            .into_iter()
+            .collect();
+        let hot: HashSet<HostId> = p
+            .plan(&dc, &mut cap, svc, acct, 40, 5)
+            .into_iter()
+            .collect();
+        // No helper exploration: hot launches stay inside the claimed
+        // partition (which only grows when capacity demands it).
+        assert!(hot.is_subset(&cold.union(&hot).copied().collect()));
+        assert!(
+            p.claimed_hosts(acct).len() <= cold.len() + hot.len(),
+            "pressure must not claim speculative hosts"
+        );
+    }
+
+    #[test]
+    fn azure_reuses_affinity_hosts_across_launches() {
+        let dc = dc(7, 60);
+        let region = region(60, PlatformKind::AzureLike);
+        let (mut p, mut cap) = build::<AzureLikePolicy<OptimizedEngine>>(&dc, &region, 8);
+        let svc = ServiceId::from_raw(1);
+        let acct = AccountId::from_raw(1);
+        let first: HashSet<HostId> = p
+            .plan(&dc, &mut cap, svc, acct, 60, 0)
+            .into_iter()
+            .collect();
+        let second: HashSet<HostId> = p
+            .plan(&dc, &mut cap, svc, acct, 60, 0)
+            .into_iter()
+            .collect();
+        // The overlay never commits, so the capacity freed between plans
+        // means the second launch packs onto the exact same hosts.
+        assert_eq!(first, second, "affinity reuse");
+        assert_eq!(
+            p.affinity_hosts(svc).len(),
+            first.len(),
+            "affinity records the footprint"
+        );
+    }
+
+    #[test]
+    fn azure_keep_alive_is_stretched() {
+        let dc = dc(9, 30);
+        let region = region(30, PlatformKind::AzureLike);
+        let (p, _cap) = build::<AzureLikePolicy<OptimizedEngine>>(&dc, &region, 10);
+        let base = PlacementConfig::default();
+        let ka = p.keep_alive(&base);
+        assert_eq!(ka.idle_grace, base.idle_grace * 4);
+        assert_eq!(ka.idle_hard_cap, base.idle_hard_cap * 4);
+        assert!(ka.idle_hard_cap >= SimDuration::from_mins(60));
+        // CloudRun stays on the contract.
+        let dc2 = dc_for_cloudrun();
+        let cr: CloudRunPolicy<OptimizedEngine> = PlatformPolicy::build(
+            &dc2,
+            &RegionConfig::us_west1().with_hosts(30),
+            SimRng::seed_from(11),
+        );
+        assert_eq!(
+            PlatformPolicy::<OptimizedEngine>::keep_alive(&cr, &base),
+            KeepAlive::from_config(&base)
+        );
+    }
+
+    fn dc_for_cloudrun() -> DataCenter {
+        let mut rng = SimRng::seed_from(12);
+        DataCenter::generate("test", 30, &HostGenConfig::default(), 0.9, &mut rng)
+    }
+
+    #[test]
+    fn any_policy_dispatches_on_region_platform() {
+        let dc = dc(13, 60);
+        for kind in PlatformKind::ALL {
+            let region = region(60, kind);
+            let p: AnyPlatformPolicy<OptimizedEngine> =
+                PlatformPolicy::build(&dc, &region, SimRng::seed_from(14));
+            match (kind, &p) {
+                (PlatformKind::CloudRun, AnyPlatformPolicy::CloudRun(_)) => {}
+                (PlatformKind::LambdaLike, AnyPlatformPolicy::LambdaLike(_)) => {}
+                (PlatformKind::AzureLike, AnyPlatformPolicy::AzureLike(_)) => {}
+                _ => panic!("{kind} built the wrong policy: {p:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lockcheck_profiles_order_by_bus_noise() {
+        let cr = PlatformKind::CloudRun.lockcheck_profile();
+        let lam = PlatformKind::LambdaLike.lockcheck_profile();
+        let az = PlatformKind::AzureLike.lockcheck_profile();
+        assert!(cr.background_probability() < lam.background_probability());
+        assert!(lam.background_probability() < az.background_probability());
+    }
+}

@@ -30,7 +30,8 @@ use crate::config::RegionConfig;
 use crate::demand::DemandWindow;
 use crate::engine::{CapacityIndex, Engine, OptimizedEngine};
 use crate::error::{GuestError, LaunchError};
-use crate::placement::{CloudRunPolicy, PlacementPlan};
+use crate::placement::PlacementPlan;
+use crate::platform::{AnyPlatformPolicy, PlatformPolicy};
 
 /// Wall time one round of the RNG covert-channel test occupies. 60 rounds
 /// ≈ 100 ms, matching the paper's "optimistic 100 ms per test".
@@ -80,16 +81,21 @@ enum WorldEvent {
 
 /// One simulated region with its orchestrator.
 ///
-/// Generic over the placement [`Engine`]; the default is the production
-/// [`OptimizedEngine`]. The `eaao-oracle` crate instantiates the same
+/// Generic over two trait axes. The placement [`Engine`] picks the
+/// sampling/capacity backends; the default is the production
+/// [`OptimizedEngine`], and the `eaao-oracle` crate instantiates the same
 /// `World` with its naive reference engine and asserts both trajectories
-/// are identical.
+/// are identical. The [`PlatformPolicy`] picks the scheduler family; the
+/// default [`AnyPlatformPolicy`] dispatches on
+/// [`RegionConfig::platform`], so the paper's Cloud Run policy, the
+/// Lambda-like partitioned bin-packer, and the Azure-like reuse-biased
+/// scheduler all run through one `World` type (see [`crate::platform`]).
 #[derive(Debug)]
-pub struct World<E: Engine = OptimizedEngine> {
+pub struct World<E: Engine = OptimizedEngine, P: PlatformPolicy<E> = AnyPlatformPolicy<E>> {
     region: RegionConfig,
     clock: SimClock,
     dc: DataCenter,
-    policy: CloudRunPolicy<E>,
+    policy: P,
     /// Free-capacity index mirroring `dc` residency; maintained on every
     /// instance create/terminate and host reboot.
     capacity: E::Capacity,
@@ -122,11 +128,14 @@ impl World {
     }
 }
 
-impl<E: Engine> World<E> {
-    /// Builds a world for `region` on engine `E`, deterministic under
-    /// `seed`. Two worlds built from the same `(region, seed)` on
-    /// different engines consume identical RNG streams and must follow
-    /// identical trajectories (the differential-oracle contract).
+impl<E: Engine, P: PlatformPolicy<E>> World<E, P> {
+    /// Builds a world for `region` on engine `E` and policy `P`,
+    /// deterministic under `seed`. Two worlds built from the same
+    /// `(region, seed)` on different engines consume identical RNG
+    /// streams and must follow identical trajectories (the
+    /// differential-oracle contract). Note that an explicitly chosen `P`
+    /// wins over [`RegionConfig::platform`] — only the default
+    /// [`AnyPlatformPolicy`] consults that field.
     pub fn with_engine(region: RegionConfig, seed: u64) -> Self {
         let mut build_span = obs::span("world.build");
         build_span.str_field("region", &region.name);
@@ -140,12 +149,7 @@ impl<E: Engine> World<E> {
             region.popularity_exponent,
             &mut dc_rng,
         );
-        let policy = CloudRunPolicy::new(
-            &dc,
-            region.placement,
-            region.dynamic_placement,
-            rng.fork_labeled("policy"),
-        );
+        let policy = P::build(&dc, &region, rng.fork_labeled("policy"));
         let capacity = E::Capacity::new(&dc, policy.host_cells(), policy.cell_count());
         let billing = BillingMeter::new(region.rates);
         World {
@@ -498,15 +502,18 @@ impl<E: Engine> World<E> {
             .insert((Reverse(now), id));
         // Gradual termination: preserved through the grace period, then
         // reaped at a uniformly random point across the spread, capped by
-        // the 15-minute contract.
-        let p = &self.region.placement;
+        // the platform's idle contract (15 minutes on Cloud Run; the
+        // Azure-like policy stretches all three via its keep-alive hook —
+        // same single RNG draw either way, so CloudRun trajectories stay
+        // byte-identical across the PlatformPolicy refactor).
+        let ka = self.policy.keep_alive(&self.region.placement);
         let extra = SimDuration::from_secs_f64(
             self.rng
-                .range_f64(0.0, p.idle_termination_spread.as_secs_f64()),
+                .range_f64(0.0, ka.idle_termination_spread.as_secs_f64()),
         );
-        let mut due = now + p.idle_grace + extra;
-        if due > now + p.idle_hard_cap {
-            due = now + p.idle_hard_cap;
+        let mut due = now + ka.idle_grace + extra;
+        if due > now + ka.idle_hard_cap {
+            due = now + ka.idle_hard_cap;
         }
         self.events.schedule(
             due,
@@ -843,6 +850,61 @@ impl<E: Engine> World<E> {
                 .rng_unit()
                 .observe_rounds(co_active, rounds, &mut self.rng);
         self.advance(CTEST_ROUND_DURATION * rounds as i64);
+        Ok(observations)
+    }
+
+    /// Runs the `/lock`–`/check` memory-bus verification channel: all
+    /// `participants` pin bus locks for `rounds` rounds while timing
+    /// their own locked operations; returns each participant's per-round
+    /// contention observations (same shape as
+    /// [`rng_covert_observations`](World::rng_covert_observations), so
+    /// the threshold decision is shared). The noise profile comes from
+    /// the region's platform ([`PlatformKind::lockcheck_profile`]).
+    ///
+    /// Advances the clock by the test duration — orders of magnitude
+    /// longer than the RNG channel's, which is the cost the calibration
+    /// experiment quantifies.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GuestError`] if any participant is unknown or dead.
+    ///
+    /// [`PlatformKind::lockcheck_profile`]: crate::platform::PlatformKind::lockcheck_profile
+    // tidy:allow(panic-reachability) -- participants are validated against `self.instances` in the loop above the indexing, and `per_host` was keyed from those same instances.
+    pub fn membus_lock_observations(
+        &mut self,
+        participants: &[InstanceId],
+        rounds: usize,
+    ) -> Result<Vec<Vec<u32>>, GuestError> {
+        let mut span = obs::span("world.lockcheck");
+        span.u64_field("participants", participants.len() as u64);
+        span.u64_field("rounds", rounds as u64);
+        obs::count("world.lockcheck_tests", 1);
+        let profile = self.region.platform.lockcheck_profile();
+        obs::observe(
+            "world.lockcheck_sim_ns",
+            (profile.round_duration() * rounds as i64).as_nanos() as u64,
+        );
+        let mut per_host: BTreeMap<HostId, usize> = BTreeMap::new();
+        for &id in participants {
+            let instance = self
+                .instances
+                .get(&id)
+                .ok_or(GuestError::UnknownInstance(id))?;
+            if !instance.is_alive() {
+                return Err(GuestError::Terminated(id));
+            }
+            *per_host.entry(instance.host()).or_default() += 1;
+        }
+        let observations = participants
+            .iter()
+            .map(|&id| {
+                let host = self.instances[&id].host();
+                let others = per_host[&host] - 1;
+                profile.observe_lock_rounds(others, rounds, &mut self.rng)
+            })
+            .collect();
+        self.advance(profile.round_duration() * rounds as i64);
         Ok(observations)
     }
 

@@ -1,7 +1,12 @@
-//! A 40-run attack campaign: strategy × region × 10 seeds, executed in
-//! parallel on the campaign engine and reduced to co-location probability
-//! estimates with 95% confidence intervals — the statistical view behind
-//! the paper's "100% of attacks co-located" headline.
+//! An 80-run attack campaign: strategy × region × placement platform ×
+//! 10 seeds, executed in parallel on the campaign engine and reduced to
+//! co-location probability estimates with 95% confidence intervals —
+//! the statistical view behind the paper's "100% of attacks co-located"
+//! headline, plus the docs/PLATFORMS.md contrast (the same strategy
+//! against an Azure-like reuse-biased scheduler). The grid has six axes
+//! in total — experiments × regions × generations × mitigations ×
+//! platforms × verifiers — and the ones a spec leaves at their defaults
+//! collapse to `-` in each run's key.
 //!
 //! ```text
 //! cargo run --release --example campaign_sweep [--jobs N] [--resume] [seed]
@@ -32,13 +37,16 @@ fn main() {
         }
     }
 
-    // 2 strategies × 2 regions × 10 seeds = 40 runs. The two regions
-    // contrast static placement (us-west1) with dynamic placement
-    // (us-central1), where the paper reports lower coverage.
+    // 2 strategies × 2 regions × 2 platforms × 10 seeds = 80 runs. The
+    // two regions contrast static placement (us-west1) with dynamic
+    // placement (us-central1), where the paper reports lower coverage;
+    // the two platforms contrast the paper's Cloud Run policy with an
+    // Azure-like reuse-biased scheduler.
     let spec = CampaignSpec {
         name: "strategy-sweep".to_owned(),
         experiments: vec!["attack-naive".to_owned(), "attack-optimized".to_owned()],
         regions: vec!["us-west1".to_owned(), "us-central1".to_owned()],
+        platforms: vec!["cloudrun".to_owned(), "azure-like".to_owned()],
         seeds: 10,
         seed,
         quick: true,
@@ -79,6 +87,6 @@ fn main() {
         10
     );
     for (group, estimate) in colocation_by_group(&records) {
-        println!("  {group:<40} {}  (n={})", estimate.display(), estimate.n);
+        println!("  {group:<56} {}  (n={})", estimate.display(), estimate.n);
     }
 }

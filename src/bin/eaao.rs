@@ -124,12 +124,15 @@ fn usage_and_exit() -> ! {
            monitor      detect victim activity from a co-located instance [--windows N]\n\
            campaign     run a batch experiment grid in parallel, streaming JSONL\n\
                         --spec FILE | --experiments a,b,c [--regions r1,r2]\n\
+                        [--platforms cloudrun,lambda-like,azure-like]\n\
+                        [--verifiers rng-ctest,membus-lockcheck]\n\
                         [--seeds N] [--out DIR] [--jobs N] [--resume] [--quick]\n\
            serve        run the streaming campaign daemon (docs/SERVICE.md)\n\
                         [--addr A] [--metrics-addr A] [--jobs N] [--out DIR]\n\
                         [--max-pending N] [--dispatchers N]\n\
            submit       submit a campaign to a daemon, streaming records to stdout\n\
                         --addr A (--spec FILE | --experiments a,b,c)\n\
+                        [--platforms p1,p2] [--verifiers v1,v2]\n\
                         [--out NAME] [--seeds N] [--quick] [--quiet]\n\
            shutdown     ask a daemon to drain and exit: eaao shutdown --addr A\n\
            trace        summarize a JSONL trace file: eaao trace FILE\n\
@@ -353,6 +356,12 @@ fn campaign(
     } else if flags.contains_key("region") {
         spec.regions = vec![common.region.clone()];
     }
+    if let Some(platforms) = flags.get("platforms") {
+        spec.platforms = split_list(platforms);
+    }
+    if let Some(verifiers) = flags.get("verifiers") {
+        spec.verifiers = split_list(verifiers);
+    }
     spec.seeds = parse_or(flags, "seeds", spec.seeds);
     if flags.contains_key("seed") {
         spec.seed = common.seed;
@@ -441,6 +450,12 @@ fn submit(common: &Common, flags: &HashMap<String, String>, bare: &[String]) {
         spec.regions = split_list(regions);
     } else if flags.contains_key("region") {
         spec.regions = vec![common.region.clone()];
+    }
+    if let Some(platforms) = flags.get("platforms") {
+        spec.platforms = split_list(platforms);
+    }
+    if let Some(verifiers) = flags.get("verifiers") {
+        spec.verifiers = split_list(verifiers);
     }
     spec.seeds = parse_or(flags, "seeds", spec.seeds);
     if flags.contains_key("seed") {

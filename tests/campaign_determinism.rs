@@ -36,6 +36,8 @@ fn sweep_spec() -> CampaignSpec {
         seed: 77,
         generations: vec!["gen1".to_owned()],
         mitigations: vec!["none".to_owned(), "offset-and-scale".to_owned()],
+        platforms: vec!["cloudrun".to_owned()],
+        verifiers: vec!["rng-ctest".to_owned()],
         quick: true,
     }
 }

@@ -118,7 +118,7 @@ fn campaign_manifest_entries_round_trip_byte_stable() {
     // re-serialized records, so the wire format must be byte-stable.
     for (status, hash) in [("ok", 0u64), ("failed", u64::MAX), ("ok", 0xdead_beef)] {
         let entry = ManifestEntry {
-            key: "fig06/us-west1/-/-/s3".to_owned(),
+            key: "fig06/us-west1/-/-/-/-/s3".to_owned(),
             status: status.to_owned(),
             hash,
         };
@@ -142,7 +142,7 @@ fn trace_events_round_trip_byte_stable() {
         assert_eq!(stable_roundtrip(&bare), bare);
     }
     let mut full = Event::new(EventKind::SpanEnd, "campaign.run", 9_999);
-    full.run = Some("fig06/us-west1/-/-/s0".to_owned());
+    full.run = Some("fig06/us-west1/-/-/-/-/s0".to_owned());
     full.span = Some(7);
     full.parent = Some(3);
     full.dur_ns = Some(1_000_000);
