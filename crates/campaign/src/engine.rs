@@ -15,7 +15,7 @@ use serde::{Serialize, Value};
 
 use crate::aggregate::merged_metrics;
 use crate::pool::Executor;
-use crate::runner::{execute_traced, RunRecord};
+use crate::runner::{execute_traced_cached, RunRecord, WorldCache};
 use crate::sink::{JsonlSink, PriorRuns, RecordSink};
 use crate::spec::{CampaignSpec, RunSpec, SpecError};
 
@@ -221,10 +221,20 @@ impl Campaign {
         let mut done = 0usize;
         let worker_tracer = Arc::clone(&tracer);
         let worker_errors = Arc::clone(&io_error);
+        // One world store for the whole grid: attack-trial cells sharing
+        // a (region, generation, mitigation, platform, seed, quick) world
+        // key draw copy-on-write branches of one built world instead of
+        // rebuilding it per cell.
+        let world_cache = Arc::new(WorldCache::new());
         let fresh = executor.run_with(
             pending,
             move |_, run: RunSpec| {
-                let (record, events) = execute_traced(&run, master_seed, worker_tracer.is_some());
+                let (record, events) = execute_traced_cached(
+                    &run,
+                    master_seed,
+                    worker_tracer.is_some(),
+                    Some(&world_cache),
+                );
                 if let Some(writer) = worker_tracer.as_ref() {
                     if let Err(error) = writer.write_events(&events) {
                         worker_errors.lock().get_or_insert(error);

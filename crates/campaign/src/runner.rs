@@ -1,8 +1,11 @@
 //! Executes one grid cell: derives the run's seed, dispatches to the
 //! experiment driver, catches panics, and packages a [`RunRecord`].
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
+
+use parking_lot::Mutex;
 
 use eaao_cloudsim::mitigation::TscMitigation;
 use eaao_cloudsim::service::Generation;
@@ -11,7 +14,7 @@ use eaao_core::experiment::{
     calib, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12, opt52, other_factors,
     sec42, sec43, sec45, sec52, sec6,
 };
-use eaao_core::scenario::Scenario;
+use eaao_core::scenario::{Arena, Scenario};
 use eaao_core::strategy::{NaiveLaunch, OptimizedLaunch};
 use eaao_core::verify::{ctest_via, CTestConfig, VerifierChannel};
 use eaao_obs::{Collector, Event, MetricsSnapshot};
@@ -105,6 +108,57 @@ pub fn derive_seed(master: u64, key: &str) -> u64 {
     SimRng::seed_from(master).fork_labeled(key).next_u64()
 }
 
+/// A campaign-wide store of built attack arenas, keyed by
+/// [`RunSpec::world_key`].
+///
+/// Attack-trial cells sharing a world key (same region, generation,
+/// mitigation, platform, seed index, and quick flag — e.g. the naive and
+/// optimized strategies on one axis point, or the same trial over
+/// different verifier channels) build byte-identical worlds. The cache
+/// builds each such world once and hands every cell a copy-on-write
+/// [`Arena::branch`]: unmaterialized shards stay shared, and the branch
+/// replays exactly as a fresh build would. Thread-safe, so the grid
+/// executor shares one cache across its workers at any `--jobs` value.
+#[derive(Debug, Default)]
+pub struct WorldCache {
+    arenas: Mutex<BTreeMap<String, Arena>>,
+}
+
+impl WorldCache {
+    /// An empty cache.
+    pub fn new() -> WorldCache {
+        WorldCache::default()
+    }
+
+    /// Returns a fresh branch of the arena cached under `key`, building
+    /// and caching the master copy with `build` on first use.
+    ///
+    /// Holding the lock across `build` (and the cheap `branch`) is
+    /// deliberate: concurrent workers asking for the *same* key would
+    /// otherwise race to duplicate the expensive world build the cache
+    /// exists to avoid — and the master arena's lazily materialized
+    /// internals are single-threaded, so reads of it are serialized too.
+    ///
+    /// `build` runs under a detached metrics collector: under a shared
+    /// cache, *which* record triggers a build depends on execution
+    /// order, so letting build-time metrics land in that record would
+    /// break the byte-identical-across-`--jobs` contract.
+    // tidy:allow(determinism-taint) -- the detached Collector stamps build spans with wall-clock Instants, but it is dropped with the build and its events land in no record, so cache-hit order cannot reach campaign bytes.
+    pub fn branch(&self, key: &str, build: impl FnOnce() -> Arena) -> Arena {
+        let mut arenas = self.arenas.lock();
+        let master = arenas
+            .entry(key.to_owned())
+            .or_insert_with(|| eaao_obs::with_instrument(Collector::new(), build));
+        // tidy:allow(lock-order) -- `Arena::branch` never touches a `WorldCache`; the name-based resolver pins `.branch` to this method itself.
+        master.branch()
+    }
+
+    /// Number of distinct worlds built so far.
+    pub fn worlds_built(&self) -> usize {
+        self.arenas.lock().len()
+    }
+}
+
 /// Runs one grid cell to completion, never panicking: driver panics are
 /// caught and reported as failed records.
 pub fn execute(run: &RunSpec, master_seed: u64) -> RunRecord {
@@ -122,6 +176,20 @@ pub fn execute_traced(
     master_seed: u64,
     collect_events: bool,
 ) -> (RunRecord, Vec<Event>) {
+    execute_traced_cached(run, master_seed, collect_events, None)
+}
+
+/// Like [`execute_traced`], with an optional shared [`WorldCache`] the
+/// attack-trial cells draw copy-on-write world branches from. Records
+/// are byte-identical with and without a cache (attack-trial worlds are
+/// seeded from [`RunSpec::world_key`] either way); the cache only
+/// removes redundant world builds.
+pub fn execute_traced_cached(
+    run: &RunSpec,
+    master_seed: u64,
+    collect_events: bool,
+    cache: Option<&WorldCache>,
+) -> (RunRecord, Vec<Event>) {
     let key = run.key();
     let seed = derive_seed(master_seed, &key);
     let collector = if collect_events {
@@ -134,7 +202,7 @@ pub fn execute_traced(
         let mut run_span = eaao_obs::span("campaign.run");
         run_span.str_field("key", &key);
         run_span.str_field("experiment", run.experiment.name());
-        let outcome = catch_unwind(AssertUnwindSafe(|| dispatch(run, seed)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| dispatch(run, seed, master_seed, cache)));
         run_span.bool_field("ok", outcome.is_ok());
         match &outcome {
             Ok((virtual_s, _)) => {
@@ -202,7 +270,12 @@ pub fn execute_traced(
 
 /// Dispatches to the experiment driver, returning the virtual horizon (if
 /// the experiment has a natural one) and the serialized result.
-fn dispatch(run: &RunSpec, seed: u64) -> (Option<f64>, Value) {
+fn dispatch(
+    run: &RunSpec,
+    seed: u64,
+    master_seed: u64,
+    cache: Option<&WorldCache>,
+) -> (Option<f64>, Value) {
     let mut dispatch_span = eaao_obs::span("experiment.dispatch");
     dispatch_span.str_field("experiment", run.experiment.name());
     let region = run.region.clone();
@@ -315,7 +388,9 @@ fn dispatch(run: &RunSpec, seed: u64) -> (Option<f64>, Value) {
             config.region = region;
             (None, val(&config.run(seed)))
         }
-        ExperimentKind::AttackNaive | ExperimentKind::AttackOptimized => attack_trial(run, seed),
+        ExperimentKind::AttackNaive | ExperimentKind::AttackOptimized => {
+            attack_trial(run, master_seed, cache)
+        }
         ExperimentKind::Calibration => {
             let mut config = pick(run, calib::CalibConfig::quick, calib::CalibConfig::default);
             config.region = region;
@@ -372,18 +447,44 @@ pub struct AttackTrial {
     pub verified_at_least_one: Option<bool>,
 }
 
-fn attack_trial(run: &RunSpec, seed: u64) -> (Option<f64>, Value) {
+/// Builds the attack arena for a run's world axes.
+///
+/// Seeded from the run's [`world_key`] (not its full key), so every grid
+/// cell sharing those axes — naive vs optimized strategy, different
+/// verifier channels — builds the *same* world and can share one cached
+/// copy, while seeds still derive purely from (master seed, key) and
+/// records stay byte-identical at every `--jobs` value.
+///
+/// [`world_key`]: RunSpec::world_key
+fn build_attack_arena(run: &RunSpec, master_seed: u64) -> Arena {
+    let mut scenario = Scenario::in_region(&run.region);
+    scenario
+        .seed(derive_seed(master_seed, &run.world_key()))
+        .victims(if run.quick { 40 } else { 100 })
+        .generation(run.generation.unwrap_or(Generation::Gen1))
+        .tsc_mitigation(run.mitigation.unwrap_or(TscMitigation::None))
+        .platform(run.platform.unwrap_or(PlatformKind::CloudRun));
+    scenario.build()
+}
+
+fn attack_trial(
+    run: &RunSpec,
+    master_seed: u64,
+    cache: Option<&WorldCache>,
+) -> (Option<f64>, Value) {
     let quick = run.quick;
     let platform = run.platform.unwrap_or(PlatformKind::CloudRun);
     let channel = run.verifier.unwrap_or(VerifierChannel::RngCtest);
-    let mut scenario = Scenario::in_region(&run.region);
-    scenario
-        .seed(seed)
-        .victims(if quick { 40 } else { 100 })
-        .generation(run.generation.unwrap_or(Generation::Gen1))
-        .tsc_mitigation(run.mitigation.unwrap_or(TscMitigation::None))
-        .platform(platform);
-    let mut arena = scenario.build();
+    // Both paths hand the trial a *branch* of a detached-collector build,
+    // so a record's metrics block is identical whether its world came
+    // from the cache or was built on the spot.
+    let mut arena = match cache {
+        Some(cache) => cache.branch(&run.world_key(), || build_attack_arena(run, master_seed)),
+        None => {
+            eaao_obs::with_instrument(Collector::new(), || build_attack_arena(run, master_seed))
+                .branch()
+        }
+    };
     let report = match run.experiment {
         ExperimentKind::AttackNaive => {
             let strategy = if quick {
@@ -527,6 +628,52 @@ mod tests {
             );
             assert!(payload.get("chosen_min_positive_rounds").is_some());
         }
+    }
+
+    #[test]
+    fn cached_and_uncached_attack_trials_are_byte_identical() {
+        let run = quick_run("attack-naive");
+        let cache = WorldCache::new();
+        let mut cached = execute_traced_cached(&run, 11, false, Some(&cache)).0;
+        let mut fresh = execute(&run, 11);
+        cached.wall_ms = 0.0;
+        fresh.wall_ms = 0.0;
+        assert_eq!(cached, fresh);
+        assert_eq!(cache.worlds_built(), 1);
+        // A second cell with the same world key reuses the built world.
+        let again = execute_traced_cached(&run, 11, false, Some(&cache)).0;
+        assert_eq!(again.content_hash(), fresh.content_hash());
+        assert_eq!(cache.worlds_built(), 1);
+    }
+
+    #[test]
+    fn strategies_share_one_world_per_key() {
+        // attack-naive and attack-optimized collapse to the same world
+        // key (the experiment segment is dropped), so a grid sweeping
+        // both builds one world — and both trials see identical victims.
+        let spec = CampaignSpec {
+            experiments: vec!["attack-naive".to_owned(), "attack-optimized".to_owned()],
+            regions: vec!["us-west1".to_owned()],
+            quick: true,
+            ..CampaignSpec::default()
+        };
+        let runs = spec.expand().expect("valid");
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].world_key(), runs[1].world_key());
+        let cache = WorldCache::new();
+        let records: Vec<RunRecord> = runs
+            .iter()
+            .map(|run| execute_traced_cached(run, 11, false, Some(&cache)).0)
+            .collect();
+        assert_eq!(cache.worlds_built(), 1);
+        for record in &records {
+            assert!(record.is_ok(), "error: {:?}", record.error);
+        }
+        // Branch isolation: the records still key their *seeds* off the
+        // full run key, and the strategies diverge after the shared
+        // world prefix.
+        assert_ne!(records[0].seed, records[1].seed);
+        assert_ne!(records[0].payload, records[1].payload);
     }
 
     #[test]

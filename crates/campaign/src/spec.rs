@@ -564,6 +564,38 @@ impl RunSpec {
             if self.quick { "/quick" } else { "" }
         )
     }
+
+    /// The run's *world* identity: the [`key`] segments that determine
+    /// how the simulated world is built — region, generation, mitigation,
+    /// platform, seed index, and the quick flag — with the experiment and
+    /// verifier segments (which only affect what runs *inside* the world)
+    /// dropped.
+    ///
+    /// Grid cells with equal world keys construct byte-identical worlds,
+    /// so the executor builds the world once per key and hands each cell
+    /// a copy-on-write [`branch`] (see `WorldCache`): the 10M-host
+    /// regime makes rebuilding per cell the dominant grid cost.
+    ///
+    /// [`key`]: RunSpec::key
+    /// [`branch`]: eaao_orchestrator::world::World::branch
+    pub fn world_key(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/s{}{}",
+            self.region,
+            self.generation.map_or("-", |g| match g {
+                Generation::Gen1 => "gen1",
+                Generation::Gen2 => "gen2",
+            }),
+            self.mitigation.map_or("-", |m| match m {
+                TscMitigation::None => "none",
+                TscMitigation::TrapAndEmulate => "trap-and-emulate",
+                TscMitigation::OffsetAndScale => "offset-and-scale",
+            }),
+            self.platform.map_or("-", PlatformKind::name),
+            self.seed_index,
+            if self.quick { "/quick" } else { "" }
+        )
+    }
 }
 
 #[cfg(test)]

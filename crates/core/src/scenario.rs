@@ -152,7 +152,7 @@ impl Scenario {
 }
 
 /// A built scenario: the world plus its cast.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Arena {
     /// The simulated region.
     pub world: World,
@@ -164,6 +164,27 @@ pub struct Arena {
     pub victim_service: ServiceId,
     /// The victim's connected instances.
     pub victims: Vec<InstanceId>,
+}
+
+impl Arena {
+    /// Forks the arena copy-on-write: the returned arena shares the
+    /// built world's materialized state with this one until either side
+    /// writes (see [`World::branch`]), and replays exactly as this arena
+    /// would from here. The cast handles (accounts, services, victims)
+    /// are valid in both worlds — ids are stable across a branch.
+    ///
+    /// This is what lets an experiment grid pay the world build + victim
+    /// launch once per distinct scenario and hand every trial its own
+    /// isolated fork.
+    pub fn branch(&self) -> Arena {
+        Arena {
+            world: self.world.branch(),
+            attacker: self.attacker,
+            victim_account: self.victim_account,
+            victim_service: self.victim_service,
+            victims: self.victims.clone(),
+        }
+    }
 }
 
 #[cfg(test)]

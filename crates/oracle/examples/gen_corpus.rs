@@ -24,6 +24,7 @@ pub fn corpus() -> Vec<(&'static str, Schedule)> {
                 hosts: 25,
                 host_capacity: 0,
                 services: 2,
+                accounts: 1,
                 dynamic: false,
                 instance_churn: false,
                 host_churn_mins: None,
@@ -53,6 +54,7 @@ pub fn corpus() -> Vec<(&'static str, Schedule)> {
                 hosts: 20,
                 host_capacity: 0,
                 services: 2,
+                accounts: 1,
                 dynamic: false,
                 instance_churn: false,
                 host_churn_mins: None,
@@ -81,6 +83,7 @@ pub fn corpus() -> Vec<(&'static str, Schedule)> {
                 hosts: 15,
                 host_capacity: 0,
                 services: 2,
+                accounts: 1,
                 dynamic: false,
                 instance_churn: true,
                 host_churn_mins: Some(30),
@@ -110,6 +113,7 @@ pub fn corpus() -> Vec<(&'static str, Schedule)> {
                 hosts: 8,
                 host_capacity: 4,
                 services: 2,
+                accounts: 1,
                 dynamic: false,
                 instance_churn: false,
                 host_churn_mins: None,
@@ -137,6 +141,7 @@ pub fn corpus() -> Vec<(&'static str, Schedule)> {
                 hosts: 30,
                 host_capacity: 0,
                 services: 2,
+                accounts: 1,
                 dynamic: true,
                 instance_churn: false,
                 host_churn_mins: None,
@@ -165,6 +170,7 @@ pub fn corpus() -> Vec<(&'static str, Schedule)> {
                 hosts: 6,
                 host_capacity: 3,
                 services: 1,
+                accounts: 1,
                 dynamic: false,
                 instance_churn: false,
                 host_churn_mins: None,
@@ -188,6 +194,40 @@ pub fn corpus() -> Vec<(&'static str, Schedule)> {
                     Op::Launch {
                         service: 0,
                         count: 100,
+                    },
+                    Op::Advance { seconds: 1_200 },
+                ],
+            },
+        ),
+        (
+            // Lazy-materialization regime (PR 8): a multi-cell pool where
+            // the warm-up touches only account 0's cell and the closing
+            // burst launches into an account whose cell no op has touched
+            // — first-touch shard materialization deep into the run.
+            "cold-cells",
+            Schedule {
+                seed: 4_242,
+                hosts: 380,
+                host_capacity: 0,
+                services: 4,
+                accounts: 4,
+                dynamic: false,
+                instance_churn: false,
+                host_churn_mins: None,
+                ops: vec![
+                    Op::Launch {
+                        service: 0,
+                        count: 70,
+                    },
+                    Op::SetLoad {
+                        service: 0,
+                        demand: 30,
+                    },
+                    Op::DisconnectAll { service: 0 },
+                    Op::Advance { seconds: 900 },
+                    Op::Launch {
+                        service: 3,
+                        count: 80,
                     },
                     Op::Advance { seconds: 1_200 },
                 ],

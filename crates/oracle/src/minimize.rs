@@ -111,6 +111,11 @@ fn shrink_world(best: &mut Schedule, fails: &impl Fn(&Schedule) -> bool) -> bool
         c.services = 1;
         changed |= try_candidate(best, c);
     }
+    if best.accounts > 1 {
+        let mut c = best.clone();
+        c.accounts = 1;
+        changed |= try_candidate(best, c);
+    }
     while best.hosts > 4 {
         let mut c = best.clone();
         c.hosts = (best.hosts / 2).max(4);
@@ -152,6 +157,7 @@ mod tests {
             hosts: 64,
             host_capacity: 9,
             services: 3,
+            accounts: 3,
             dynamic: true,
             instance_churn: true,
             host_churn_mins: Some(120),
@@ -180,6 +186,7 @@ mod tests {
         let min = minimize(bloated(), fails);
         assert_eq!(min.ops, vec![Op::KillAll { service: 2 }]);
         assert_eq!(min.services, 1);
+        assert_eq!(min.accounts, 1);
         assert_eq!(min.hosts, 4);
         assert_eq!(min.host_capacity, 0);
         assert!(!min.dynamic && !min.instance_churn);

@@ -23,6 +23,19 @@ pub struct ReferenceEngine;
 impl Engine for ReferenceEngine {
     type Sampler = LinearSampler;
     type Capacity = ScanCapacity;
+
+    // The oracle baseline keeps the pre-lazy eager path: every cell is
+    // materialized up front at world build, so a lazy-path bug in the
+    // optimized engine (e.g. a host generated from the wrong keyed
+    // stream on first touch) diverges from this engine immediately.
+    const EAGER_BUILD: bool = true;
+
+    fn materialize_cell(dc: &DataCenter, hosts: &[HostId]) {
+        for &h in hosts {
+            // Touching a host materializes its shard (and SoA lanes).
+            let _ = dc.host(h);
+        }
+    }
 }
 
 /// O(n)-per-pick weighted sampler: [`locate`](IndexSampler::locate) walks
@@ -87,7 +100,7 @@ impl IndexSampler for LinearSampler {
 /// the popularity-weighted spill pick rebuilds a [`LinearSampler`] over
 /// the overlayed availability on every single pick — the O(hosts) cost
 /// per placed instance the incremental index exists to avoid.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ScanCapacity {
     cell_of_host: Vec<u32>,
     cell_count: usize,

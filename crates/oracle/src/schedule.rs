@@ -65,8 +65,13 @@ pub struct Schedule {
     pub hosts: usize,
     /// Per-host slot capacity override; `0` keeps the region preset.
     pub host_capacity: usize,
-    /// Number of services deployed under one account.
+    /// Number of services deployed.
     pub services: usize,
+    /// Number of accounts the services round-robin over (service `i`
+    /// belongs to account `i % accounts`); `0` behaves as 1. Distinct
+    /// accounts hash to distinct scheduling cells, which is how a
+    /// schedule reaches cold (never-materialized) cells late in a run.
+    pub accounts: usize,
     /// Use the dynamic-placement region preset (us-central1-style).
     pub dynamic: bool,
     /// Enable platform instance churn before the ops run.
@@ -146,27 +151,61 @@ impl Trajectory {
     }
 }
 
-/// Runs a schedule on engine `E` and records its trajectory.
-pub fn run<E: Engine>(schedule: &Schedule) -> Trajectory {
-    let mut world: World<E> = World::with_engine(schedule.region(), schedule.seed);
-    let account = world.create_account();
-    let services: Vec<ServiceId> = (0..schedule.services.max(1))
-        .map(|_| world.deploy_service(account, ServiceSpec::default().with_max_instances(150)))
-        .collect();
-    if schedule.instance_churn {
-        world.enable_instance_churn(true);
+/// A schedule mid-run: the world plus its deployed services, with the
+/// step-record logic of [`run`] factored out so callers can pause at any
+/// op boundary, [`branch`](Session::branch) the world, and replay the
+/// remainder on both sides — the snapshot/branch differential surface.
+#[derive(Debug)]
+pub struct Session<E: Engine> {
+    world: World<E>,
+    services: Vec<ServiceId>,
+}
+
+// Manual impl: `derive(Clone)` would demand `E: Clone`.
+impl<E: Engine> Clone for Session<E> {
+    fn clone(&self) -> Self {
+        Session {
+            world: self.world.clone(),
+            services: self.services.clone(),
+        }
     }
-    if let Some(mins) = schedule.host_churn_mins {
-        world.enable_host_churn(SimDuration::from_mins(mins.max(1)));
+}
+
+impl<E: Engine> Session<E> {
+    /// Builds the schedule's world, accounts, and services; enables the
+    /// churn switches. No op has run yet.
+    // tidy:allow(panic-reachability) -- `accounts` holds `max(1)` entries, and the service loop indexes it modulo its length.
+    pub fn new(schedule: &Schedule) -> Self {
+        let mut world: World<E> = World::with_engine(schedule.region(), schedule.seed);
+        let accounts: Vec<_> = (0..schedule.accounts.max(1))
+            .map(|_| world.create_account())
+            .collect();
+        let services: Vec<ServiceId> = (0..schedule.services.max(1))
+            .map(|i| {
+                world.deploy_service(
+                    accounts[i % accounts.len()],
+                    ServiceSpec::default().with_max_instances(150),
+                )
+            })
+            .collect();
+        if schedule.instance_churn {
+            world.enable_instance_churn(true);
+        }
+        if let Some(mins) = schedule.host_churn_mins {
+            world.enable_host_churn(SimDuration::from_mins(mins.max(1)));
+        }
+        Session { world, services }
     }
 
-    let mut lines = Vec::with_capacity(schedule.ops.len());
-    for (step, &op) in schedule.ops.iter().enumerate() {
-        let (outcome, placements) = apply(&mut world, &services, op);
-        let alive: Vec<Vec<u32>> = services
+    /// Applies op number `step` and returns its serialized
+    /// [`StepRecord`] line.
+    pub fn apply_step(&mut self, step: usize, op: Op) -> String {
+        let (outcome, placements) = apply(&mut self.world, &self.services, op);
+        let alive: Vec<Vec<u32>> = self
+            .services
             .iter()
             .map(|&s| {
-                world
+                self.world
                     .alive_instances_of(s)
                     .into_iter()
                     .map(|id| id.as_raw())
@@ -175,16 +214,53 @@ pub fn run<E: Engine>(schedule: &Schedule) -> Trajectory {
             .collect();
         let record = StepRecord {
             step,
-            now_ns: world.now().as_nanos(),
+            now_ns: self.world.now().as_nanos(),
             outcome,
             placements,
             alive,
-            resident: world.data_center().resident_instances(),
-            free_slots: world.free_slots(),
-            billed_bits: world.billed().as_usd().to_bits(),
+            resident: self.world.data_center().resident_instances(),
+            free_slots: self.world.free_slots(),
+            billed_bits: self.world.billed().as_usd().to_bits(),
         };
-        lines.push(serde_json::to_string(&record).expect("record serializes"));
+        serde_json::to_string(&record).expect("record serializes")
     }
+
+    /// Forks an independent session from the current state (the world is
+    /// [`World::branch`]ed; the service handles are copied).
+    pub fn branch(&self) -> Self {
+        Session {
+            world: self.world.branch(),
+            services: self.services.clone(),
+        }
+    }
+
+    /// The services the schedule deployed, in deployment order (op
+    /// service indices index into this slice).
+    pub fn services(&self) -> &[ServiceId] {
+        &self.services
+    }
+
+    /// The world under the session (read-only introspection).
+    pub fn world(&self) -> &World<E> {
+        &self.world
+    }
+
+    /// The world under the session (mutable — for tests that perturb a
+    /// branch outside the schedule's op vocabulary).
+    pub fn world_mut(&mut self) -> &mut World<E> {
+        &mut self.world
+    }
+}
+
+/// Runs a schedule on engine `E` and records its trajectory.
+pub fn run<E: Engine>(schedule: &Schedule) -> Trajectory {
+    let mut session = Session::<E>::new(schedule);
+    let lines = schedule
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(step, &op)| session.apply_step(step, op))
+        .collect();
     Trajectory { lines }
 }
 
@@ -292,6 +368,7 @@ mod tests {
             hosts: 20,
             host_capacity: 0,
             services: 2,
+            accounts: 1,
             dynamic: false,
             instance_churn: false,
             host_churn_mins: None,

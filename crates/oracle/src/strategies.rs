@@ -41,19 +41,20 @@ pub fn schedule() -> BoxedStrategy<Schedule> {
             1usize..4,
             prop_oneof![Just(0usize), Just(4), Just(12)],
         ),
-        (bool_any(), bool_any(), churn_mins()),
+        (bool_any(), bool_any(), churn_mins(), 1usize..4),
         vec(op(3), 1..24),
     )
         .prop_map(
             |(
                 (seed, hosts, services, host_capacity),
-                (dynamic, instance_churn, host_churn_mins),
+                (dynamic, instance_churn, host_churn_mins, accounts),
                 ops,
             )| Schedule {
                 seed,
                 hosts,
                 host_capacity,
                 services,
+                accounts,
                 dynamic,
                 instance_churn,
                 host_churn_mins,
@@ -77,6 +78,7 @@ pub fn reap_heavy_schedule() -> BoxedStrategy<Schedule> {
             hosts,
             host_capacity: 0,
             services: 2,
+            accounts: 1,
             dynamic: false,
             instance_churn: false,
             host_churn_mins: None,
@@ -99,6 +101,7 @@ pub fn churn_heavy_schedule() -> BoxedStrategy<Schedule> {
             hosts,
             host_capacity: 0,
             services: 2,
+            accounts: 1,
             dynamic: false,
             instance_churn: true,
             host_churn_mins: Some(churn_mins),
@@ -121,6 +124,7 @@ pub fn spill_heavy_schedule() -> BoxedStrategy<Schedule> {
             hosts,
             host_capacity: 4,
             services: 2,
+            accounts: 1,
             dynamic: false,
             instance_churn: false,
             host_churn_mins: None,
@@ -137,10 +141,58 @@ pub fn dynamic_schedule() -> BoxedStrategy<Schedule> {
             hosts,
             host_capacity: 0,
             services: 2,
+            accounts: 1,
             dynamic: true,
             instance_churn: false,
             host_churn_mins: None,
             ops,
+        })
+        .boxed()
+}
+
+/// Schedules whose final op is a launch burst into a *cold* scheduling
+/// cell — a service whose account no earlier op has touched.
+///
+/// This closes the latent generator gap: the other generators spread
+/// their ops over every service from step one, so by the time a run is a
+/// few ops old, every reachable cell is materialized and lazy
+/// construction is never stressed mid-run. Here the pool is large enough
+/// for several cells (us-west1 cells hold 110 hosts), every service
+/// belongs to its own account, the warm-up ops drive *only* service 0,
+/// and the closing burst lands on the last service — with high
+/// probability a cell no op has touched, forcing first-touch
+/// materialization deep into the run on the optimized engine while the
+/// eager reference engine materialized it at build.
+pub fn cold_cell_burst_schedule() -> BoxedStrategy<Schedule> {
+    let warm_op = prop_oneof![
+        (1usize..100).prop_map(|count| Op::Launch { service: 0, count }),
+        (0usize..100).prop_map(|demand| Op::SetLoad { service: 0, demand }),
+        Just(Op::DisconnectAll { service: 0 }),
+        (30i64..1_200).prop_map(|seconds| Op::Advance { seconds }),
+    ];
+    (
+        (0u64..1_000_000, 240usize..520, 2usize..6),
+        vec(warm_op, 2..12),
+        40usize..120,
+    )
+        .prop_map(|((seed, hosts, accounts), mut ops, burst)| {
+            // The burst targets the last service: owned by the last
+            // account, untouched by every warm-up op above.
+            ops.push(Op::Launch {
+                service: accounts - 1,
+                count: burst,
+            });
+            Schedule {
+                seed,
+                hosts,
+                host_capacity: 0,
+                services: accounts,
+                accounts,
+                dynamic: false,
+                instance_churn: false,
+                host_churn_mins: None,
+                ops,
+            }
         })
         .boxed()
 }
@@ -176,12 +228,42 @@ mod tests {
             churn_heavy_schedule(),
             spill_heavy_schedule(),
             dynamic_schedule(),
+            cold_cell_burst_schedule(),
         ] {
             for _ in 0..20 {
                 let s = variant.sample(&mut rng);
                 assert!(s.hosts >= 4, "pool too small: {s:?}");
                 assert!(s.services >= 1 && !s.ops.is_empty(), "degenerate: {s:?}");
+                assert!(s.accounts >= 1, "degenerate accounts: {s:?}");
             }
+        }
+    }
+
+    #[test]
+    fn cold_cell_bursts_end_on_an_untouched_service() {
+        let mut rng = TestRng::new(7);
+        let variant = cold_cell_burst_schedule();
+        for _ in 0..40 {
+            let s = variant.sample(&mut rng);
+            assert!(s.accounts >= 2 && s.services == s.accounts);
+            // Multiple cells exist (us-west1 cell_size is 110)...
+            assert!(s.hosts >= 240, "single-cell pool: {s:?}");
+            // ...the warm-up drives only service 0...
+            let (warmup, burst) = s.ops.split_at(s.ops.len() - 1);
+            for op in warmup {
+                match op {
+                    Op::Launch { service, .. }
+                    | Op::SetLoad { service, .. }
+                    | Op::DisconnectAll { service }
+                    | Op::KillAll { service } => assert_eq!(*service, 0, "warm-up strays: {s:?}"),
+                    Op::Advance { .. } => {}
+                }
+            }
+            // ...and the burst lands on the last (cold) service.
+            assert!(
+                matches!(burst[0], Op::Launch { service, count } if service == s.accounts - 1 && count > 0),
+                "missing cold burst: {s:?}"
+            );
         }
     }
 }

@@ -17,6 +17,7 @@ const CORPUS: &[(&str, &str)] = &[
     ("spill", include_str!("../corpus/spill.json")),
     ("dynamic", include_str!("../corpus/dynamic.json")),
     ("errors", include_str!("../corpus/errors.json")),
+    ("cold-cells", include_str!("../corpus/cold-cells.json")),
 ];
 
 #[test]

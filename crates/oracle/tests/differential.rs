@@ -10,10 +10,26 @@
 use proptest::prelude::*;
 
 use eaao_oracle::minimize::minimize;
-use eaao_oracle::schedule::{check, run, Schedule};
+use eaao_oracle::schedule::{check, run, Schedule, Session, Trajectory};
 use eaao_oracle::strategies;
 use eaao_oracle::ReferenceEngine;
 use eaao_orchestrator::engine::OptimizedEngine;
+
+/// Runs a schedule on the optimized engine with every shard force-
+/// materialized at build — the lazy path's own eager twin. Unlike the
+/// reference engine (a different sampler/capacity implementation), this
+/// isolates exactly one variable: *when* hosts materialize.
+fn run_prematerialized(schedule: &Schedule) -> Trajectory {
+    let mut session = Session::<OptimizedEngine>::new(schedule);
+    session.world().data_center().materialize_all();
+    let lines = schedule
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(step, &op)| session.apply_step(step, op))
+        .collect();
+    Trajectory { lines }
+}
 
 /// Checks the schedule on both engines; on divergence, shrinks it and
 /// fails with the minimized reproducer.
@@ -87,5 +103,42 @@ proptest! {
             prop_assert_eq!(ra.billed_bits, rb.billed_bits, "billing bits at step {}", ra.step);
             prop_assert_eq!(ra.free_slots, rb.free_slots, "free slots at step {}", ra.step);
         }
+    }
+
+    /// Property 7: cold-cell bursts — the closing launch lands in a
+    /// scheduling cell no earlier op touched, so the optimized engine
+    /// materializes its shards mid-run while the eager reference engine
+    /// materialized them at build. Both transcripts must still match
+    /// byte for byte (lazy-vs-eager world equality, cross-engine).
+    #[test]
+    fn cold_cell_bursts_identical_across_engines(s in strategies::cold_cell_burst_schedule()) {
+        assert_engines_agree(&s)?;
+    }
+
+    /// Property 8: materialization *order* is unobservable — the same
+    /// optimized engine run twice, once lazy and once with every shard
+    /// force-materialized at build, produces identical transcripts. This
+    /// isolates the keyed-RNG-stream contract ([`SimRng::keyed`]: host
+    /// `i`'s stream is a pure function of the genesis base and `i`) from
+    /// every other engine difference.
+    #[test]
+    fn lazy_and_prematerialized_transcripts_identical(s in strategies::schedule()) {
+        let lazy = run::<OptimizedEngine>(&s);
+        let eager = run_prematerialized(&s);
+        prop_assert_eq!(
+            lazy.transcript(),
+            eager.transcript(),
+            "materialization order leaked into the trajectory"
+        );
+    }
+
+    /// Property 8, cold-cell flavored: the regime where lazy and eager
+    /// construction differ the most (most shards still unmaterialized
+    /// when the burst fires).
+    #[test]
+    fn lazy_and_prematerialized_agree_on_cold_cells(s in strategies::cold_cell_burst_schedule()) {
+        let lazy = run::<OptimizedEngine>(&s);
+        let eager = run_prematerialized(&s);
+        prop_assert_eq!(lazy.transcript(), eager.transcript());
     }
 }

@@ -1,0 +1,296 @@
+//! Snapshot/branch differential properties and lifecycle regressions.
+//!
+//! The copy-on-write forking contract of `World::snapshot`/`World::branch`
+//! (PR 8): a branch taken at any op boundary must replay the remainder of
+//! a schedule *byte-identically* to the un-branched original — and
+//! mutating either side must never perturb the other. The properties here
+//! drive that through randomized schedules and split points; the plain
+//! `#[test]`s pin the lifecycle edge cases (branch-of-branch, snapshots
+//! mid-reboot-sweep, branching with most shards still unmaterialized,
+//! and parent-dropped-before-child).
+
+use proptest::prelude::*;
+
+use eaao_oracle::schedule::{run, Op, Schedule, Session};
+use eaao_oracle::strategies;
+use eaao_orchestrator::engine::OptimizedEngine;
+
+/// Runs `session` over `ops[from..]`, returning the transcript lines.
+fn finish(session: &mut Session<OptimizedEngine>, ops: &[Op], from: usize) -> Vec<String> {
+    ops.iter()
+        .enumerate()
+        .skip(from)
+        .map(|(step, &op)| session.apply_step(step, op))
+        .collect()
+}
+
+/// Applies off-schedule perturbation ops to a session (used to mutate a
+/// branch before checking its parent never noticed).
+fn perturb(session: &mut Session<OptimizedEngine>) {
+    for op in [
+        Op::Launch {
+            service: 0,
+            count: 9,
+        },
+        Op::Advance { seconds: 777 },
+        Op::SetLoad {
+            service: 0,
+            demand: 3,
+        },
+        Op::KillAll { service: 0 },
+    ] {
+        // Step index is irrelevant here; the lines are discarded.
+        let _ = session.apply_step(usize::MAX, op);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// Property: branch-vs-rebuild trajectory equality. At a random op
+    /// boundary, fork the world; the branch's remaining transcript must
+    /// equal the suffix of an uninterrupted full run — and so must the
+    /// parent's, after the branch already ran to completion (replay
+    /// independence in both directions).
+    #[test]
+    fn branch_replays_identically_to_rebuild(
+        s in strategies::schedule(),
+        frac in 0.0f64..1.0,
+    ) {
+        let split = ((s.ops.len() as f64) * frac) as usize;
+        let full = run::<OptimizedEngine>(&s).lines;
+        let mut parent = Session::<OptimizedEngine>::new(&s);
+        let prefix: Vec<String> = (0..split).map(|i| parent.apply_step(i, s.ops[i])).collect();
+        prop_assert_eq!(&prefix[..], &full[..split], "prefix before the fork diverged");
+        let mut branch = parent.branch();
+        let branch_suffix = finish(&mut branch, &s.ops, split);
+        prop_assert_eq!(&branch_suffix[..], &full[split..], "branch suffix diverged");
+        let parent_suffix = finish(&mut parent, &s.ops, split);
+        prop_assert_eq!(&parent_suffix[..], &full[split..], "parent suffix diverged after branching");
+    }
+
+    /// Property: branch isolation. Mutating a branch (off-schedule
+    /// launches, advances, kills) must never perturb the parent's
+    /// subsequent trajectory — and symmetrically, finishing the parent
+    /// first must not perturb a later-replayed branch.
+    #[test]
+    fn mutating_a_branch_never_perturbs_the_parent(
+        s in strategies::schedule(),
+        frac in 0.0f64..1.0,
+    ) {
+        let split = ((s.ops.len() as f64) * frac) as usize;
+        let full = run::<OptimizedEngine>(&s).lines;
+        let mut parent = Session::<OptimizedEngine>::new(&s);
+        for i in 0..split {
+            parent.apply_step(i, s.ops[i]);
+        }
+        let mut scratch = parent.branch();
+        perturb(&mut scratch);
+        let parent_suffix = finish(&mut parent, &s.ops, split);
+        prop_assert_eq!(&parent_suffix[..], &full[split..], "perturbed branch leaked into parent");
+        // The scratch branch stays live and independent afterwards, too.
+        let mut replay = scratch.branch();
+        let a = finish(&mut replay, &s.ops, split);
+        let b = finish(&mut scratch, &s.ops, split);
+        prop_assert_eq!(a, b, "branch-of-perturbed-branch diverged from its source");
+    }
+
+    /// Property: branching under the lazy regime. Cold-cell schedules
+    /// fork right before the cold burst, so the branch and the parent
+    /// both materialize the cold cell *after* the fork — independently,
+    /// from shared genesis — and must still agree with the full run.
+    #[test]
+    fn branches_materialize_cold_cells_independently(
+        s in strategies::cold_cell_burst_schedule(),
+    ) {
+        let split = s.ops.len() - 1; // fork right before the cold burst
+        let full = run::<OptimizedEngine>(&s).lines;
+        let mut parent = Session::<OptimizedEngine>::new(&s);
+        for i in 0..split {
+            parent.apply_step(i, s.ops[i]);
+        }
+        let mut branch = parent.branch();
+        prop_assert_eq!(
+            finish(&mut branch, &s.ops, split),
+            full[split..].to_vec(),
+            "branch cold-burst diverged"
+        );
+        prop_assert_eq!(
+            finish(&mut parent, &s.ops, split),
+            full[split..].to_vec(),
+            "parent cold-burst diverged"
+        );
+    }
+}
+
+/// A pinned schedule with host churn on, whose third op is an `Advance`
+/// long enough for reboot sweeps to fire before the split.
+fn churn_schedule() -> Schedule {
+    Schedule {
+        seed: 77,
+        hosts: 18,
+        host_capacity: 0,
+        services: 2,
+        accounts: 1,
+        dynamic: false,
+        instance_churn: true,
+        host_churn_mins: Some(45),
+        ops: vec![
+            Op::Launch {
+                service: 0,
+                count: 50,
+            },
+            Op::SetLoad {
+                service: 1,
+                demand: 25,
+            },
+            Op::Advance { seconds: 30_000 },
+            Op::Launch {
+                service: 0,
+                count: 20,
+            },
+            Op::Advance { seconds: 30_000 },
+            Op::DisconnectAll { service: 0 },
+            Op::Advance { seconds: 30_000 },
+        ],
+    }
+}
+
+#[test]
+fn branch_of_branch_replays_identically() {
+    let s = churn_schedule();
+    let full = run::<OptimizedEngine>(&s).lines;
+    let mut parent = Session::<OptimizedEngine>::new(&s);
+    for i in 0..2 {
+        parent.apply_step(i, s.ops[i]);
+    }
+    let mut child = parent.branch();
+    for i in 2..4 {
+        child.apply_step(i, s.ops[i]);
+    }
+    let mut grandchild = child.branch();
+    assert_eq!(
+        finish(&mut grandchild, &s.ops, 4),
+        full[4..].to_vec(),
+        "grandchild diverged"
+    );
+    // Every generation still finishes correctly after the deeper forks.
+    assert_eq!(finish(&mut child, &s.ops, 4), full[4..].to_vec());
+    assert_eq!(finish(&mut parent, &s.ops, 2), full[2..].to_vec());
+}
+
+#[test]
+fn snapshot_taken_mid_reboot_sweep_replays_identically() {
+    // Split right after a long Advance: reboot sweeps fired before the
+    // snapshot, and the pending next-sweep event (plus the RNG position
+    // that schedules it) must be captured so both sides keep rebooting
+    // the same hosts at the same times.
+    let s = churn_schedule();
+    let full = run::<OptimizedEngine>(&s).lines;
+    let mut parent = Session::<OptimizedEngine>::new(&s);
+    for i in 0..3 {
+        parent.apply_step(i, s.ops[i]);
+    }
+    let snap = parent.world().snapshot();
+    assert_eq!(snap.taken_at(), parent.world().now());
+    // Two branches of one snapshot replay identically to the original.
+    for _ in 0..2 {
+        let mut branch = Session::<OptimizedEngine>::new(&s);
+        for i in 0..3 {
+            branch.apply_step(i, s.ops[i]);
+        }
+        // (Rebuilt prefix only to obtain matching service handles; the
+        // world itself comes from the snapshot.)
+        *branch.world_mut() = snap.branch();
+        assert_eq!(finish(&mut branch, &s.ops, 3), full[3..].to_vec());
+    }
+    assert_eq!(finish(&mut parent, &s.ops, 3), full[3..].to_vec());
+}
+
+#[test]
+fn branching_after_partial_materialization_stays_lazy_and_correct() {
+    // Multi-cell pool, warm-up touches only account 0's cell: at the
+    // fork most shards are still unmaterialized, and the fork must keep
+    // them that way (laziness survives cloning) while both sides agree
+    // on the cold burst.
+    let s = Schedule {
+        seed: 9_001,
+        hosts: 300,
+        host_capacity: 0,
+        services: 3,
+        accounts: 3,
+        dynamic: false,
+        instance_churn: false,
+        host_churn_mins: None,
+        ops: vec![
+            Op::Launch {
+                service: 0,
+                count: 60,
+            },
+            Op::DisconnectAll { service: 0 },
+            Op::Advance { seconds: 600 },
+            Op::Launch {
+                service: 2,
+                count: 70,
+            },
+            Op::Advance { seconds: 1_200 },
+        ],
+    };
+    let full = run::<OptimizedEngine>(&s).lines;
+    let mut parent = Session::<OptimizedEngine>::new(&s);
+    for i in 0..3 {
+        parent.apply_step(i, s.ops[i]);
+    }
+    let before = parent.world().data_center().materialized_hosts();
+    assert!(
+        before < s.hosts,
+        "warm-up materialized the whole pool ({before}/{})",
+        s.hosts
+    );
+    let mut branch = parent.branch();
+    assert_eq!(
+        branch.world().data_center().materialized_hosts(),
+        before,
+        "branching changed materialization"
+    );
+    assert_eq!(finish(&mut branch, &s.ops, 3), full[3..].to_vec());
+    assert!(
+        branch.world().data_center().materialized_hosts() > before,
+        "cold burst materialized nothing"
+    );
+    // The branch's first-touch materialization is invisible to the parent.
+    assert_eq!(finish(&mut parent, &s.ops, 3), full[3..].to_vec());
+}
+
+#[test]
+fn dropping_the_parent_before_the_child_is_safe() {
+    let s = churn_schedule();
+    let full = run::<OptimizedEngine>(&s).lines;
+    let mut child = {
+        let mut parent = Session::<OptimizedEngine>::new(&s);
+        for i in 0..4 {
+            parent.apply_step(i, s.ops[i]);
+        }
+        let child = parent.branch();
+        drop(parent); // parent (and its shard references) die first
+        child
+    };
+    assert_eq!(finish(&mut child, &s.ops, 4), full[4..].to_vec());
+    // Same for the snapshot wrapper: branches outlive their snapshot.
+    let mut branch = {
+        let mut parent = Session::<OptimizedEngine>::new(&s);
+        for i in 0..4 {
+            parent.apply_step(i, s.ops[i]);
+        }
+        let snap = parent.world().snapshot();
+        drop(parent);
+        let mut replay = Session::<OptimizedEngine>::new(&s);
+        for i in 0..4 {
+            replay.apply_step(i, s.ops[i]);
+        }
+        *replay.world_mut() = snap.branch();
+        drop(snap);
+        replay
+    };
+    assert_eq!(finish(&mut branch, &s.ops, 4), full[4..].to_vec());
+}

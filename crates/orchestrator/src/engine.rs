@@ -24,19 +24,55 @@
 // tidy:allow(determinism) -- only `IncrementalCapacity::plan_taken`, a keyed-only overlay (see below)
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use eaao_cloudsim::datacenter::DataCenter;
 use eaao_cloudsim::ids::HostId;
 use eaao_simcore::rng::SimRng;
-use eaao_simcore::wsample::{fixed_weight, FenwickSampler, IndexSampler};
+use eaao_simcore::wsample::{FenwickSampler, IndexSampler};
 
 /// A placement/launch backend: the sampler and capacity index types the
 /// generic `World`/`CloudRunPolicy` machinery instantiates.
+///
+/// The `Clone` bounds on both associated types are what make
+/// `World::branch` (copy-on-write snapshots) possible for every engine.
 pub trait Engine: fmt::Debug + 'static {
     /// Weighted host sampler (see [`IndexSampler`]).
-    type Sampler: IndexSampler;
+    type Sampler: IndexSampler + Clone;
     /// Free-capacity index (see [`CapacityIndex`]).
-    type Capacity: CapacityIndex;
+    type Capacity: CapacityIndex + Clone;
+
+    /// Whether worlds built on this engine materialize the full host pool
+    /// at construction time.
+    ///
+    /// The optimized engine leaves this `false`: its indices are built
+    /// from genesis parameters (uniform capacity, closed-form popularity)
+    /// and hosts materialize per shard on first touch. The reference
+    /// engine overrides it to `true` — the naive eager build is the
+    /// baseline the differential oracle compares the lazy path against.
+    const EAGER_BUILD: bool = false;
+
+    /// Materializes the hosts of one scheduling cell.
+    ///
+    /// `World` invokes this per cell at build time when
+    /// [`EAGER_BUILD`](Engine::EAGER_BUILD) is set; lazy engines never pay
+    /// it and instead let [`DataCenter`] materialize shards transparently
+    /// on first touch. The hook exists so an eager backend can pin the
+    /// all-hosts-up-front construction order as an oracle baseline.
+    fn materialize_cell(_dc: &DataCenter, _hosts: &[HostId]) {}
+
+    /// Builds the popularity-weighted sampler over `dc`'s whole pool.
+    ///
+    /// The default copies the genesis weight lane — O(n) per sampler,
+    /// which is what the naive reference baseline should pay. The
+    /// optimized engine overrides this to share the data center's cached
+    /// weight lane and Fenwick tree, so the pool-sized popularity index
+    /// is built once per data center no matter how many policies and
+    /// capacity indices sit on top of it. Both constructions hold the
+    /// same weights, so they sample identically draw for draw.
+    fn popularity_sampler(dc: &DataCenter) -> Self::Sampler {
+        Self::Sampler::from_weights(dc.popularity_weights().as_ref().clone())
+    }
 }
 
 /// The production engine: Fenwick sampling + incremental capacity index.
@@ -46,6 +82,12 @@ pub struct OptimizedEngine;
 impl Engine for OptimizedEngine {
     type Sampler = FenwickSampler;
     type Capacity = IncrementalCapacity;
+
+    fn popularity_sampler(dc: &DataCenter) -> Self::Sampler {
+        // O(1): shares the data center's cached weight lane and Fenwick
+        // tree; the sampler unshares copy-on-write on first update.
+        FenwickSampler::from_shared(dc.popularity_weights(), dc.popularity_fenwick_tree())
+    }
 }
 
 /// Free-capacity bookkeeping for one data center.
@@ -71,6 +113,10 @@ impl Engine for OptimizedEngine {
 pub trait CapacityIndex: fmt::Debug {
     /// Builds the index for `dc`. `cell_of_host[h]` is the scheduling cell
     /// of host `h`; `cell_count` the number of cells.
+    ///
+    /// The pool is untouched at build time (every host empty), so an
+    /// implementation may derive initial free counts from genesis
+    /// parameters without materializing hosts.
     fn new(dc: &DataCenter, cell_of_host: Vec<u32>, cell_count: usize) -> Self
     where
         Self: Sized;
@@ -123,17 +169,21 @@ pub trait CapacityIndex: fmt::Debug {
 /// / O(log n) on each residency change. Planning sessions overlay
 /// tentative consumption with a small per-plan ledger touching only the
 /// hosts the plan uses, so a launch never scans the pool.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IncrementalCapacity {
-    /// Committed free slots per host.
-    free: Vec<u32>,
+    /// Committed free slots per host. Copy-on-write: branches share the
+    /// lane until the first residency change after a clone.
+    free: Arc<Vec<u32>>,
     /// Committed free slots, summed.
     total_free: u64,
     /// Committed free slots per scheduling cell.
     cell_free: Vec<u64>,
-    cell_of_host: Vec<u32>,
-    /// Fixed-point popularity of each host (constant after construction).
-    pop_fixed: Vec<u64>,
+    /// Scheduling cell of each host (immutable after build, so branches
+    /// alias it).
+    cell_of_host: Arc<Vec<u32>>,
+    /// Fixed-point popularity of each host (constant after construction;
+    /// the data center's shared genesis lane, so branches alias it).
+    pop_fixed: Arc<Vec<u64>>,
     /// Sampler with weight `pop_fixed[h]` iff the *overlayed* free count
     /// of `h` is positive (committed free outside a planning session).
     avail: FenwickSampler,
@@ -168,25 +218,33 @@ impl IncrementalCapacity {
 impl CapacityIndex for IncrementalCapacity {
     fn new(dc: &DataCenter, cell_of_host: Vec<u32>, cell_count: usize) -> Self {
         assert_eq!(cell_of_host.len(), dc.len(), "cell map covers every host");
-        let free: Vec<u32> = dc.hosts().map(|h| h.free_slots() as u32).collect();
-        let pop_fixed: Vec<u64> = dc.hosts().map(|h| fixed_weight(h.popularity())).collect();
-        let total_free = free.iter().map(|&f| u64::from(f)).sum();
+        // Built over an untouched pool: every host starts empty, so free
+        // slots are the uniform genesis capacity and the whole index comes
+        // from genesis lanes — no host is materialized here.
+        debug_assert_eq!(dc.resident_instances(), 0, "index built over a fresh pool");
+        let capacity = dc.host_capacity() as u32;
+        let free = Arc::new(vec![capacity; dc.len()]);
+        let pop_fixed = dc.popularity_weights();
+        let total_free = dc.len() as u64 * u64::from(capacity);
         let mut cell_free = vec![0u64; cell_count];
-        for (h, &cell) in cell_of_host.iter().enumerate() {
-            cell_free[cell as usize] += u64::from(free[h]);
+        for &cell in &cell_of_host {
+            cell_free[cell as usize] += u64::from(capacity);
         }
-        let weights: Vec<u64> = free
-            .iter()
-            .zip(&pop_fixed)
-            .map(|(&f, &p)| if f > 0 { p } else { 0 })
-            .collect();
+        // Every host starts with free slots, so the availability sampler
+        // starts as the popularity sampler itself: share the data
+        // center's cached lane and tree instead of rebuilding them.
+        let avail = if capacity > 0 {
+            FenwickSampler::from_shared(Arc::clone(&pop_fixed), dc.popularity_fenwick_tree())
+        } else {
+            FenwickSampler::from_weights(vec![0; dc.len()])
+        };
         IncrementalCapacity {
             free,
             total_free,
             cell_free,
-            cell_of_host,
+            cell_of_host: Arc::new(cell_of_host),
             pop_fixed,
-            avail: FenwickSampler::from_weights(weights),
+            avail,
             // tidy:allow(determinism) -- keyed-only overlay, see field doc
             plan_taken: HashMap::new(),
             plan_suppressed: Vec::new(),
@@ -200,7 +258,7 @@ impl CapacityIndex for IncrementalCapacity {
             self.free[h] >= n32,
             "admitting past capacity on host {host}"
         );
-        self.free[h] -= n32;
+        Arc::make_mut(&mut self.free)[h] -= n32;
         self.total_free -= n as u64;
         self.cell_free[self.cell_of_host[h] as usize] -= n as u64;
         if self.free[h] == 0 {
@@ -210,7 +268,7 @@ impl CapacityIndex for IncrementalCapacity {
 
     fn on_evict(&mut self, host: HostId, _dc: &DataCenter) {
         let h = host.as_usize();
-        self.free[h] += 1;
+        Arc::make_mut(&mut self.free)[h] += 1;
         self.total_free += 1;
         self.cell_free[self.cell_of_host[h] as usize] += 1;
         if self.free[h] == 1 {
@@ -222,7 +280,7 @@ impl CapacityIndex for IncrementalCapacity {
         let h = host.as_usize();
         debug_assert_eq!(dc.host(host).resident_count(), 0, "reboot empties the host");
         let was_free = self.free[h];
-        self.free[h] = dc.host(host).capacity() as u32;
+        Arc::make_mut(&mut self.free)[h] = dc.host(host).capacity() as u32;
         debug_assert_eq!(u64::from(self.free[h] - was_free), displaced as u64);
         self.total_free += displaced as u64;
         self.cell_free[self.cell_of_host[h] as usize] += displaced as u64;

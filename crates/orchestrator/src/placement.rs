@@ -33,11 +33,12 @@
 //! engine in `eaao-oracle` must reproduce it draw for draw.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use eaao_cloudsim::datacenter::DataCenter;
 use eaao_cloudsim::ids::{AccountId, HostId, ServiceId};
 use eaao_simcore::rng::SimRng;
-use eaao_simcore::wsample::{fixed_weight, sample_distinct, IndexSampler};
+use eaao_simcore::wsample::{sample_distinct, IndexSampler};
 
 use crate::config::PlacementConfig;
 use crate::engine::{CapacityIndex, Engine, OptimizedEngine};
@@ -50,8 +51,15 @@ pub type PlacementPlan = Vec<HostId>;
 pub struct CloudRunPolicy<E: Engine = OptimizedEngine> {
     config: PlacementConfig,
     dynamic: bool,
-    /// Per-cell host lists, each ordered by descending popularity.
-    cells: Vec<Vec<HostId>>,
+    /// Number of scheduling cells. Hosts are dealt into cells
+    /// round-robin by popularity rank, so membership is closed-form
+    /// over `by_rank` — cell `c` holds `by_rank[c]`,
+    /// `by_rank[c + cell_count]`, … (see [`CloudRunPolicy::cell_hosts`])
+    /// and no per-cell lists are materialized.
+    cell_count: usize,
+    /// Hosts in popularity order (the data center's shared genesis lane,
+    /// so branches alias it).
+    by_rank: Arc<Vec<HostId>>,
     /// Cached base-host assignments.
     base_cache: BTreeMap<AccountId, Vec<HostId>>,
     /// Accumulated helper hosts per service, in acquisition order.
@@ -59,8 +67,9 @@ pub struct CloudRunPolicy<E: Engine = OptimizedEngine> {
     /// Salt mixed into the account→cell hash.
     cell_salt: u64,
     rng: SimRng,
-    /// Fixed-point popularity weight per host (constant after build).
-    pop_fixed: Vec<u64>,
+    /// Fixed-point popularity weight per host (constant after build; the
+    /// data center's shared genesis lane, so branches alias it).
+    pop_fixed: Arc<Vec<u64>>,
     /// Popularity sampler over the whole pool; weights are suppressed and
     /// restored around exclusion-aware draws.
     pop_sampler: E::Sampler,
@@ -69,33 +78,50 @@ pub struct CloudRunPolicy<E: Engine = OptimizedEngine> {
     uniform: Option<E::Sampler>,
 }
 
+// Manual impl: `derive(Clone)` would demand `E: Clone`, but only the
+// engine's *sampler* lives in the policy. Needed by `World::branch`.
+impl<E: Engine> Clone for CloudRunPolicy<E> {
+    fn clone(&self) -> Self {
+        CloudRunPolicy {
+            config: self.config,
+            dynamic: self.dynamic,
+            cell_count: self.cell_count,
+            by_rank: Arc::clone(&self.by_rank),
+            base_cache: self.base_cache.clone(),
+            helpers: self.helpers.clone(),
+            cell_salt: self.cell_salt,
+            rng: self.rng.clone(),
+            pop_fixed: Arc::clone(&self.pop_fixed),
+            pop_sampler: self.pop_sampler.clone(),
+            uniform: self.uniform.clone(),
+        }
+    }
+}
+
 impl<E: Engine> CloudRunPolicy<E> {
     /// Builds the policy for a data center.
-    // tidy:allow(panic-reachability) -- `rank % cell_count` is always in range (`cells` has exactly `cell_count` entries and `cell_count >= 1`).
+    ///
+    /// Construction reads only genesis parameters (the rank permutation
+    /// and the closed-form popularity lane) — no host is materialized,
+    /// and the shared lanes make the build O(1) beyond the data center's
+    /// own once-per-pool caches.
     pub fn new(dc: &DataCenter, config: PlacementConfig, dynamic: bool, mut rng: SimRng) -> Self {
-        // Rank hosts by popularity (descending) and deal them into cells
-        // round-robin, so every cell spans the popularity spectrum and the
-        // cells partition the pool.
-        let mut ranked: Vec<HostId> = dc.host_ids().collect();
-        ranked.sort_by(|&a, &b| {
-            dc.host(b)
-                .popularity()
-                .partial_cmp(&dc.host(a).popularity())
-                .expect("popularity is finite")
-                .then(a.cmp(&b))
-        });
+        // Hosts are dealt into cells round-robin by popularity rank, so
+        // every cell spans the popularity spectrum and the cells
+        // partition the pool. `hosts_by_popularity` is the inverse rank
+        // permutation — exactly the popularity-descending order a sort
+        // would produce, without touching a single host — and the deal
+        // is closed-form over it (`cell_hosts`), so nothing is stored.
         let cell_count = dc.len().div_ceil(config.cell_size).max(1);
-        let mut cells = vec![Vec::new(); cell_count];
-        for (rank, host) in ranked.into_iter().enumerate() {
-            cells[rank % cell_count].push(host);
-        }
+        let by_rank = dc.hosts_by_popularity();
         let cell_salt = rng.next_u64_salt();
-        let pop_fixed: Vec<u64> = dc.hosts().map(|h| fixed_weight(h.popularity())).collect();
-        let pop_sampler = E::Sampler::from_weights(pop_fixed.clone());
+        let pop_fixed = dc.popularity_weights();
+        let pop_sampler = E::popularity_sampler(dc);
         CloudRunPolicy {
             config,
             dynamic,
-            cells,
+            cell_count,
+            by_rank,
             base_cache: BTreeMap::new(),
             helpers: BTreeMap::new(),
             cell_salt,
@@ -108,18 +134,32 @@ impl<E: Engine> CloudRunPolicy<E> {
 
     /// Number of scheduling cells.
     pub fn cell_count(&self) -> usize {
-        self.cells.len()
+        self.cell_count
+    }
+
+    /// The hosts of one scheduling cell in descending popularity order:
+    /// the round-robin deal puts ranks `cell`, `cell + cell_count`, …
+    /// into cell `cell`, so the list is a strided view of the rank
+    /// permutation and is never materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell >= cell_count()`.
+    pub fn cell_hosts(&self, cell: usize) -> impl Iterator<Item = HostId> + '_ {
+        assert!(cell < self.cell_count, "cell {cell} out of range");
+        self.by_rank[cell..]
+            .iter()
+            .step_by(self.cell_count)
+            .copied()
     }
 
     /// The scheduling cell of each host (`map[h]` is host `h`'s cell), for
     /// building a [`CapacityIndex`] that mirrors the policy's cells.
     // tidy:allow(panic-reachability) -- host ids are dense indices below the host count, and `map` is allocated with one entry per host.
     pub fn host_cells(&self) -> Vec<u32> {
-        let mut map = vec![0u32; self.pop_fixed.len()];
-        for (cell, hosts) in self.cells.iter().enumerate() {
-            for &h in hosts {
-                map[h.as_usize()] = cell as u32;
-            }
+        let mut map = vec![0u32; self.by_rank.len()];
+        for (rank, &h) in self.by_rank.iter().enumerate() {
+            map[h.as_usize()] = (rank % self.cell_count) as u32;
         }
         map
     }
@@ -131,17 +171,19 @@ impl<E: Engine> CloudRunPolicy<E> {
         x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         x ^= x >> 31;
-        (x % self.cells.len() as u64) as usize
+        (x % self.cell_count as u64) as usize
     }
 
     /// The base hosts of an account (most popular hosts of its cell),
     /// ordered by descending popularity.
-    // tidy:allow(panic-reachability) -- `cell_of` reduces modulo `cells.len()`, and `count` is capped at `cell.len()`.
+    // tidy:allow(panic-reachability) -- the entry is inserted just above, and `cell_of` reduces modulo `cell_count`.
     pub fn base_hosts(&mut self, account: AccountId) -> &[HostId] {
         if !self.base_cache.contains_key(&account) {
-            let cell = &self.cells[self.cell_of(account)];
-            let count = self.config.base_hosts_per_account.min(cell.len());
-            self.base_cache.insert(account, cell[..count].to_vec());
+            let hosts: Vec<HostId> = self
+                .cell_hosts(self.cell_of(account))
+                .take(self.config.base_hosts_per_account)
+                .collect();
+            self.base_cache.insert(account, hosts);
         }
         &self.base_cache[&account]
     }
@@ -400,7 +442,7 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         let mut total = 0;
         for c in 0..p.cell_count() {
-            for &h in &p.cells[c] {
+            for h in p.cell_hosts(c) {
                 assert!(seen.insert(h), "host {h} in two cells");
                 total += 1;
             }
@@ -409,8 +451,15 @@ mod tests {
         // The host→cell map inverts the cell lists.
         let map = p.host_cells();
         for c in 0..p.cell_count() {
-            for &h in &p.cells[c] {
+            for h in p.cell_hosts(c) {
                 assert_eq!(map[h.as_usize()] as usize, c);
+            }
+        }
+        // Cells list hosts in descending popularity.
+        for c in 0..p.cell_count() {
+            let pops: Vec<f64> = p.cell_hosts(c).map(|h| dc.popularity_of(h)).collect();
+            for pair in pops.windows(2) {
+                assert!(pair[0] > pair[1], "cell {c} not popularity-sorted");
             }
         }
     }
@@ -424,8 +473,8 @@ mod tests {
         let second: Vec<HostId> = p.base_hosts(a).to_vec();
         assert_eq!(first, second, "base hosts must be sticky");
         assert_eq!(first.len(), 90);
-        let cell = p.cell_of(a);
-        assert!(first.iter().all(|h| p.cells[cell].contains(h)));
+        let cell: Vec<HostId> = p.cell_hosts(p.cell_of(a)).collect();
+        assert!(first.iter().all(|h| cell.contains(h)));
     }
 
     #[test]

@@ -41,13 +41,14 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 use eaao_cloudsim::datacenter::DataCenter;
 use eaao_cloudsim::ids::{AccountId, HostId, ServiceId};
 use eaao_cloudsim::membus::LockCheckProfile;
 use eaao_simcore::rng::SimRng;
 use eaao_simcore::time::SimDuration;
-use eaao_simcore::wsample::{fixed_weight, sample_distinct, IndexSampler};
+use eaao_simcore::wsample::{sample_distinct, IndexSampler};
 
 use crate::config::{PlacementConfig, RegionConfig};
 use crate::engine::{CapacityIndex, Engine, OptimizedEngine};
@@ -166,7 +167,12 @@ impl KeepAlive {
 /// order that depends only on the call sequence. The engine contract
 /// carries over: the same policy on two different engines must consume
 /// identical RNG streams (the differential-oracle surface).
-pub trait PlatformPolicy<E: Engine>: fmt::Debug + Sized {
+///
+/// Policies are `Clone` so [`World::branch`](crate::world::World::branch)
+/// can fork a world mid-run: a clone must capture the full policy state
+/// (caches, claims, affinity, RNG position) so the branch and an
+/// un-branched original replay identically.
+pub trait PlatformPolicy<E: Engine>: fmt::Debug + Clone + Sized {
     /// Builds the policy for a data center. `rng` is the policy's
     /// private stream, pre-forked by the world (label `"policy"`).
     fn build(dc: &DataCenter, region: &RegionConfig, rng: SimRng) -> Self;
@@ -250,8 +256,9 @@ impl<E: Engine> PlatformPolicy<E> for CloudRunPolicy<E> {
 /// exploration.
 pub struct LambdaLikePolicy<E: Engine = OptimizedEngine> {
     rng: SimRng,
-    /// Fixed-point popularity weight per host (constant after build).
-    pop_fixed: Vec<u64>,
+    /// Fixed-point popularity weight per host (constant after build; the
+    /// data center's shared genesis lane, so branches alias it).
+    pop_fixed: Arc<Vec<u64>>,
     /// Popularity sampler over the pool; a claimed host's weight is
     /// zeroed permanently (claims are never released).
     pop_sampler: E::Sampler,
@@ -259,6 +266,19 @@ pub struct LambdaLikePolicy<E: Engine = OptimizedEngine> {
     claims: BTreeMap<AccountId, Vec<HostId>>,
     /// Every claimed host, across all accounts.
     owned: BTreeSet<HostId>,
+}
+
+// Manual impl: `derive(Clone)` would demand `E: Clone`.
+impl<E: Engine> Clone for LambdaLikePolicy<E> {
+    fn clone(&self) -> Self {
+        LambdaLikePolicy {
+            rng: self.rng.clone(),
+            pop_fixed: Arc::clone(&self.pop_fixed),
+            pop_sampler: self.pop_sampler.clone(),
+            claims: self.claims.clone(),
+            owned: self.owned.clone(),
+        }
+    }
 }
 
 impl<E: Engine> fmt::Debug for LambdaLikePolicy<E> {
@@ -292,8 +312,10 @@ impl<E: Engine> LambdaLikePolicy<E> {
 
 impl<E: Engine> PlatformPolicy<E> for LambdaLikePolicy<E> {
     fn build(dc: &DataCenter, _region: &RegionConfig, rng: SimRng) -> Self {
-        let pop_fixed: Vec<u64> = dc.hosts().map(|h| fixed_weight(h.popularity())).collect();
-        let pop_sampler = E::Sampler::from_weights(pop_fixed.clone());
+        // Closed-form genesis lane: no host is materialized here, and
+        // the optimized engine shares the pool's cached sampler lanes.
+        let pop_fixed = dc.popularity_weights();
+        let pop_sampler = E::popularity_sampler(dc);
         LambdaLikePolicy {
             rng,
             pop_fixed,
@@ -377,8 +399,9 @@ impl<E: Engine> PlatformPolicy<E> for LambdaLikePolicy<E> {
 /// instances.
 pub struct AzureLikePolicy<E: Engine = OptimizedEngine> {
     rng: SimRng,
-    /// Fixed-point popularity weight per host (constant after build).
-    pop_fixed: Vec<u64>,
+    /// Fixed-point popularity weight per host (constant after build; the
+    /// data center's shared genesis lane, so branches alias it).
+    pop_fixed: Arc<Vec<u64>>,
     /// Popularity sampler; weights are suppressed and restored around
     /// exclusion-aware draws (same discipline as `CloudRunPolicy`).
     pop_sampler: E::Sampler,
@@ -386,6 +409,19 @@ pub struct AzureLikePolicy<E: Engine = OptimizedEngine> {
     affinity: BTreeMap<ServiceId, Vec<HostId>>,
     /// Hosts each account has ever been placed on (introspection).
     seen: BTreeMap<AccountId, Vec<HostId>>,
+}
+
+// Manual impl: `derive(Clone)` would demand `E: Clone`.
+impl<E: Engine> Clone for AzureLikePolicy<E> {
+    fn clone(&self) -> Self {
+        AzureLikePolicy {
+            rng: self.rng.clone(),
+            pop_fixed: Arc::clone(&self.pop_fixed),
+            pop_sampler: self.pop_sampler.clone(),
+            affinity: self.affinity.clone(),
+            seen: self.seen.clone(),
+        }
+    }
 }
 
 impl<E: Engine> fmt::Debug for AzureLikePolicy<E> {
@@ -427,8 +463,10 @@ impl<E: Engine> AzureLikePolicy<E> {
 
 impl<E: Engine> PlatformPolicy<E> for AzureLikePolicy<E> {
     fn build(dc: &DataCenter, _region: &RegionConfig, rng: SimRng) -> Self {
-        let pop_fixed: Vec<u64> = dc.hosts().map(|h| fixed_weight(h.popularity())).collect();
-        let pop_sampler = E::Sampler::from_weights(pop_fixed.clone());
+        // Closed-form genesis lane: no host is materialized here, and
+        // the optimized engine shares the pool's cached sampler lanes.
+        let pop_fixed = dc.popularity_weights();
+        let pop_sampler = E::popularity_sampler(dc);
         AzureLikePolicy {
             rng,
             pop_fixed,
@@ -534,6 +572,17 @@ pub enum AnyPlatformPolicy<E: Engine = OptimizedEngine> {
     LambdaLike(LambdaLikePolicy<E>),
     /// The Azure-like reuse-biased scheduler.
     AzureLike(AzureLikePolicy<E>),
+}
+
+// Manual impl: `derive(Clone)` would demand `E: Clone`.
+impl<E: Engine> Clone for AnyPlatformPolicy<E> {
+    fn clone(&self) -> Self {
+        match self {
+            AnyPlatformPolicy::CloudRun(p) => AnyPlatformPolicy::CloudRun(p.clone()),
+            AnyPlatformPolicy::LambdaLike(p) => AnyPlatformPolicy::LambdaLike(p.clone()),
+            AnyPlatformPolicy::AzureLike(p) => AnyPlatformPolicy::AzureLike(p.clone()),
+        }
+    }
 }
 
 impl<E: Engine> AnyPlatformPolicy<E> {

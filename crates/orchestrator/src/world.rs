@@ -120,6 +120,80 @@ pub struct World<E: Engine = OptimizedEngine, P: PlatformPolicy<E> = AnyPlatform
     host_churn_mean: Option<SimDuration>,
 }
 
+// Manual impl: `derive(Clone)` would demand `E: Clone`, but the world
+// only holds the engine's *associated types* (`E::Capacity`), which the
+// `Engine` trait already bounds `Clone`. Cloning is the copy-on-write
+// fork primitive behind [`World::snapshot`] and [`World::branch`]:
+// unmaterialized data-center shards stay unmaterialized, materialized
+// shards are shared `Arc`s that unshare on first write, and everything
+// else (indices, instances, event queue, RNG position) is copied so the
+// two worlds replay independently but identically from the fork point.
+impl<E: Engine, P: PlatformPolicy<E>> Clone for World<E, P> {
+    fn clone(&self) -> Self {
+        World {
+            region: self.region.clone(),
+            // `SimClock::clone` shares time (the intra-world contract);
+            // a branched world must keep its own.
+            clock: self.clock.fork(),
+            dc: self.dc.clone(),
+            policy: self.policy.clone(),
+            capacity: self.capacity.clone(),
+            accounts: self.accounts.clone(),
+            services: self.services.clone(),
+            demand: self.demand.clone(),
+            instances: self.instances.clone(),
+            idle_index: self.idle_index.clone(),
+            active_index: self.active_index.clone(),
+            events: self.events.clone(),
+            billing: self.billing,
+            rng: self.rng.clone(),
+            next_account: self.next_account,
+            next_service: self.next_service,
+            next_instance: self.next_instance,
+            instance_churn: self.instance_churn,
+            host_churn_mean: self.host_churn_mean,
+        }
+    }
+}
+
+/// A frozen copy-on-write snapshot of a [`World`], taken by
+/// [`World::snapshot`].
+///
+/// The snapshot is immutable: it can only be [`branch`]ed into fresh
+/// mutable worlds, any number of times. Each branch resumes from the
+/// captured state and replays exactly as the original world would have
+/// — and mutating a branch never perturbs the snapshot or its other
+/// branches (per-shard copy-on-write in the data center; plain copies
+/// everywhere else). Dropping the snapshot (or the world it came from)
+/// leaves live branches fully intact.
+///
+/// [`branch`]: WorldSnapshot::branch
+#[derive(Debug)]
+pub struct WorldSnapshot<E: Engine = OptimizedEngine, P: PlatformPolicy<E> = AnyPlatformPolicy<E>> {
+    frozen: World<E, P>,
+}
+
+// Manual impl: `derive(Clone)` would demand `E: Clone`.
+impl<E: Engine, P: PlatformPolicy<E>> Clone for WorldSnapshot<E, P> {
+    fn clone(&self) -> Self {
+        WorldSnapshot {
+            frozen: self.frozen.clone(),
+        }
+    }
+}
+
+impl<E: Engine, P: PlatformPolicy<E>> WorldSnapshot<E, P> {
+    /// The simulation time the snapshot was taken at.
+    pub fn taken_at(&self) -> SimTime {
+        self.frozen.now()
+    }
+
+    /// Forks a fresh mutable world resuming from the captured state.
+    pub fn branch(&self) -> World<E, P> {
+        self.frozen.clone()
+    }
+}
+
 impl World {
     /// Builds a world for `region` on the production engine,
     /// deterministic under `seed`.
@@ -136,6 +210,7 @@ impl<E: Engine, P: PlatformPolicy<E>> World<E, P> {
     /// differential-oracle contract). Note that an explicitly chosen `P`
     /// wins over [`RegionConfig::platform`] — only the default
     /// [`AnyPlatformPolicy`] consults that field.
+    // tidy:allow(panic-reachability) -- the eager-build block indexes `cells` (allocated with `cell_count` entries) by `host_cells` values, which are reduced modulo the cell count by every policy.
     pub fn with_engine(region: RegionConfig, seed: u64) -> Self {
         let mut build_span = obs::span("world.build");
         build_span.str_field("region", &region.name);
@@ -150,6 +225,22 @@ impl<E: Engine, P: PlatformPolicy<E>> World<E, P> {
             &mut dc_rng,
         );
         let policy = P::build(&dc, &region, rng.fork_labeled("policy"));
+        if E::EAGER_BUILD {
+            // The oracle baseline: materialize every scheduling cell up
+            // front, in ascending cell order (hosts ascending within a
+            // cell), before any index is built. The optimized engine
+            // skips this and lets cells materialize on first touch —
+            // byte-identity between the two paths is exactly what the
+            // differential oracle asserts.
+            let host_cells = policy.host_cells();
+            let mut cells: Vec<Vec<HostId>> = vec![Vec::new(); policy.cell_count()];
+            for (h, &cell) in host_cells.iter().enumerate() {
+                cells[cell as usize].push(HostId::from_raw(h as u32));
+            }
+            for hosts in &cells {
+                E::materialize_cell(&dc, hosts);
+            }
+        }
         let capacity = E::Capacity::new(&dc, policy.host_cells(), policy.cell_count());
         let billing = BillingMeter::new(region.rates);
         World {
@@ -1050,6 +1141,38 @@ impl<E: Engine, P: PlatformPolicy<E>> World<E, P> {
     /// introspection for placement analyses).
     pub fn base_hosts_of(&mut self, account: AccountId) -> Vec<HostId> {
         self.policy.base_hosts(account).to_vec()
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots & branches (copy-on-write forking)
+    // ------------------------------------------------------------------
+
+    /// Takes a frozen copy-on-write snapshot of the current state.
+    ///
+    /// Snapshots are cheap in proportion to what has actually
+    /// materialized and mutated: untouched data-center shards cost
+    /// nothing, touched shards share an `Arc` until one side writes.
+    /// The snapshot can be [`branch`](WorldSnapshot::branch)ed any
+    /// number of times; every branch replays from this exact state.
+    pub fn snapshot(&self) -> WorldSnapshot<E, P> {
+        obs::count("world.snapshots", 1);
+        WorldSnapshot {
+            frozen: self.clone(),
+        }
+    }
+
+    /// Forks a fresh mutable world from the current state — equivalent
+    /// to `self.snapshot().branch()` without keeping the snapshot.
+    ///
+    /// The branch and `self` replay independently but identically from
+    /// the fork point: both resume from the same RNG position, event
+    /// queue, and indices, and mutating either never perturbs the
+    /// other's subsequent trajectory (the oracle's branch-isolation
+    /// property). Drop order is irrelevant — a branch outlives its
+    /// parent without borrowing from it.
+    pub fn branch(&self) -> Self {
+        obs::count("world.branches", 1);
+        self.clone()
     }
 }
 

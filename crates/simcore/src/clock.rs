@@ -64,6 +64,17 @@ impl SimClock {
         *now
     }
 
+    /// Forks the clock: a new, independent clock starting at this
+    /// clock's current time.
+    ///
+    /// Where [`Clone`] shares the underlying time (all clones of one
+    /// clock tick together — the intra-world contract), `fork` detaches
+    /// it: advancing either side leaves the other untouched. This is the
+    /// clock half of a world's copy-on-write branch primitive.
+    pub fn fork(&self) -> SimClock {
+        SimClock::starting_at(self.now())
+    }
+
     /// Moves the clock forward to `target` and returns the new time.
     ///
     /// A `target` at or before the current time leaves the clock unchanged
@@ -101,6 +112,17 @@ mod tests {
         assert_eq!(b.now(), SimTime::from_secs(5));
         b.advance(SimDuration::from_secs(5));
         assert_eq!(a.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn forks_detach_time() {
+        let a = SimClock::starting_at(SimTime::from_secs(7));
+        let b = a.fork();
+        assert_eq!(b.now(), SimTime::from_secs(7));
+        a.advance(SimDuration::from_secs(5));
+        b.advance(SimDuration::from_secs(11));
+        assert_eq!(a.now(), SimTime::from_secs(12));
+        assert_eq!(b.now(), SimTime::from_secs(18));
     }
 
     #[test]

@@ -186,13 +186,24 @@ impl Zipf {
         let mut cumulative = Vec::with_capacity(n);
         let mut total = 0.0;
         for k in 0..n {
-            total += 1.0 / ((k + 1) as f64).powf(s);
+            total += Zipf::weight_of(k, s);
             cumulative.push(total);
         }
         Zipf {
             cumulative,
             exponent: s,
         }
+    }
+
+    /// The (unnormalized) weight of rank `k` under exponent `s`, as a pure
+    /// closed form — `1 / (k + 1)^s`.
+    ///
+    /// This is the formula [`Zipf::weight`] evaluates; it is exposed
+    /// standalone so lazily materialized populations can compute a single
+    /// rank's weight bit-identically without building the O(n) cumulative
+    /// table.
+    pub fn weight_of(k: usize, s: f64) -> f64 {
+        1.0 / ((k + 1) as f64).powf(s)
     }
 
     /// Number of items.
@@ -212,12 +223,8 @@ impl Zipf {
     }
 
     /// The (unnormalized) weight of rank `k`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `k` is out of range.
     pub fn weight(&self, k: usize) -> f64 {
-        1.0 / ((k + 1) as f64).powf(self.exponent)
+        Zipf::weight_of(k, self.exponent)
     }
 
     /// Draws a rank in `[0, n)` proportionally to the weights.

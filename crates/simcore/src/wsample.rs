@@ -22,6 +22,8 @@
 //! scheduler would keep. The O(n)-per-pick linear reference lives in the
 //! oracle crate.
 
+use std::sync::Arc;
+
 use crate::rng::SimRng;
 
 /// Fixed-point scale for [`fixed_weight`]: weights are quantized to
@@ -129,38 +131,76 @@ pub fn sample_distinct<S: IndexSampler>(
     picks
 }
 
+/// Builds the 1-indexed Fenwick (binary indexed) tree over `weights`:
+/// `tree[i]` covers `i - lowbit(i) .. i`. O(n) bottom-up construction.
+///
+/// Exposed so a tree built once over an immutable weight lane (e.g. a
+/// data center's popularity weights) can be cached and shared by every
+/// [`FenwickSampler::from_shared`] over that lane.
+///
+/// # Panics
+///
+/// Panics if the weights sum past `u64::MAX`.
+pub fn fenwick_tree(weights: &[u64]) -> Vec<u64> {
+    let n = weights.len();
+    let mut tree = vec![0u64; n + 1];
+    tree[1..].copy_from_slice(weights);
+    // O(n) bottom-up construction: fold each node into its parent.
+    for i in 1..=n {
+        let parent = i + (i & i.wrapping_neg());
+        if parent <= n {
+            tree[parent] = tree[parent]
+                .checked_add(tree[i])
+                .expect("total weight overflows u64");
+        }
+    }
+    tree
+}
+
 /// The production sampler: a Fenwick (binary indexed) tree over the
 /// weights, giving O(log n) [`set_weight`](IndexSampler::set_weight) and
 /// O(log n) [`locate`](IndexSampler::locate) by binary descent, with the
 /// total maintained incrementally.
+///
+/// The tree and weight lanes are `Arc`-backed copy-on-write: `Clone` is
+/// O(1) and shares both lanes; the first [`set_weight`] after a clone
+/// unshares them (one O(n) copy). This is what makes branching a world
+/// holding pool-sized samplers cheap.
+///
+/// [`set_weight`]: IndexSampler::set_weight
 #[derive(Debug, Clone)]
 pub struct FenwickSampler {
     /// 1-indexed Fenwick tree; `tree[i]` covers `i - lowbit(i) .. i`.
-    tree: Vec<u64>,
-    weights: Vec<u64>,
+    tree: Arc<Vec<u64>>,
+    weights: Arc<Vec<u64>>,
     total: u64,
     /// Largest power of two ≤ len, the starting stride of the descent.
     top: usize,
 }
 
-impl IndexSampler for FenwickSampler {
-    fn from_weights(weights: Vec<u64>) -> Self {
+impl FenwickSampler {
+    /// Builds a sampler sharing pre-built weight and tree lanes — O(1),
+    /// no per-sampler copy. `tree` must be [`fenwick_tree`]`(&weights)`;
+    /// the caller typically caches both `Arc`s next to the immutable
+    /// weight lane they derive from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tree` is not shaped like a Fenwick tree over `weights`
+    /// (length mismatch), or if the weights sum past `u64::MAX`.
+    pub fn from_shared(weights: Arc<Vec<u64>>, tree: Arc<Vec<u64>>) -> Self {
         let n = weights.len();
-        let mut tree = vec![0u64; n + 1];
-        tree[1..].copy_from_slice(&weights);
-        // O(n) bottom-up construction: fold each node into its parent.
-        for i in 1..=n {
-            let parent = i + (i & i.wrapping_neg());
-            if parent <= n {
-                tree[parent] = tree[parent]
-                    .checked_add(tree[i])
-                    .expect("total weight overflows u64");
-            }
+        assert_eq!(tree.len(), n + 1, "tree does not match weights");
+        // The total is the prefix sum of the full range: O(log n) from
+        // the tree, no weight scan.
+        let mut total = 0u64;
+        let mut i = n;
+        while i > 0 {
+            total = total
+                .checked_add(tree[i])
+                .expect("total weight overflows u64");
+            i -= i & i.wrapping_neg();
         }
-        let total = weights
-            .iter()
-            .try_fold(0u64, |acc, &w| acc.checked_add(w))
-            .expect("total weight overflows u64");
         let top = if n == 0 { 0 } else { usize::pow(2, n.ilog2()) };
         FenwickSampler {
             tree,
@@ -168,6 +208,13 @@ impl IndexSampler for FenwickSampler {
             total,
             top,
         }
+    }
+}
+
+impl IndexSampler for FenwickSampler {
+    fn from_weights(weights: Vec<u64>) -> Self {
+        let tree = fenwick_tree(&weights);
+        FenwickSampler::from_shared(Arc::new(weights), Arc::new(tree))
     }
 
     fn len(&self) -> usize {
@@ -187,20 +234,23 @@ impl IndexSampler for FenwickSampler {
         if old == weight {
             return;
         }
-        self.weights[index] = weight;
+        // First write after a clone: unshare the copy-on-write lanes.
+        let weights = Arc::make_mut(&mut self.weights);
+        let tree = Arc::make_mut(&mut self.tree);
+        weights[index] = weight;
         let mut i = index + 1;
         if weight > old {
             let delta = weight - old;
             self.total = self.total.checked_add(delta).expect("total overflow");
-            while i < self.tree.len() {
-                self.tree[i] += delta;
+            while i < tree.len() {
+                tree[i] += delta;
                 i += i & i.wrapping_neg();
             }
         } else {
             let delta = old - weight;
             self.total -= delta;
-            while i < self.tree.len() {
-                self.tree[i] -= delta;
+            while i < tree.len() {
+                tree[i] -= delta;
                 i += i & i.wrapping_neg();
             }
         }
@@ -337,6 +387,49 @@ mod tests {
         }
         assert!(counts[0] > 8_500, "heavy index under-sampled: {counts:?}");
         assert!(counts[3] < 100, "light index over-sampled: {counts:?}");
+    }
+
+    #[test]
+    fn from_shared_matches_from_weights() {
+        let weights = vec![3u64, 0, 5, 1, 0, 0, 7, 2, 4, 0, 6];
+        let owned = FenwickSampler::from_weights(weights.clone());
+        let lane = Arc::new(weights);
+        let tree = Arc::new(fenwick_tree(&lane));
+        let shared = FenwickSampler::from_shared(Arc::clone(&lane), tree);
+        assert_eq!(shared.total(), owned.total());
+        assert_eq!(shared.len(), owned.len());
+        for target in 0..shared.total() {
+            assert_eq!(shared.locate(target), owned.locate(target));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tree does not match weights")]
+    fn from_shared_rejects_mismatched_tree() {
+        let lane = Arc::new(vec![1u64, 2, 3]);
+        let tree = Arc::new(fenwick_tree(&[1u64, 2]));
+        let _ = FenwickSampler::from_shared(lane, tree);
+    }
+
+    #[test]
+    fn clones_are_copy_on_write() {
+        let weights = vec![3u64, 5, 7, 2];
+        let parent = FenwickSampler::from_weights(weights.clone());
+        let mut child = parent.clone();
+        // A write to the clone never perturbs the original...
+        child.set_weight(1, 0);
+        assert_eq!(child.weight(1), 0);
+        assert_eq!(child.total(), 12);
+        assert_eq!(parent.weight(1), 5);
+        assert_eq!(parent.total(), 17);
+        // ...and both stay internally consistent afterwards.
+        for target in 0..parent.total() {
+            assert_eq!(parent.locate(target), linear_locate(&weights, target));
+        }
+        let edited = vec![3u64, 0, 7, 2];
+        for target in 0..child.total() {
+            assert_eq!(child.locate(target), linear_locate(&edited, target));
+        }
     }
 
     #[test]

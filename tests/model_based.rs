@@ -12,8 +12,9 @@ mod common;
 use proptest::prelude::*;
 
 use common::strategies;
+use eaao::orchestrator::engine::OptimizedEngine;
 use eaao::prelude::*;
-use eaao_oracle::schedule::apply;
+use eaao_oracle::schedule::{apply, Session};
 
 fn check_invariants(world: &World, services: &[ServiceId]) -> Result<(), TestCaseError> {
     // 1. The host-side residency mirror matches the instance registry.
@@ -84,6 +85,37 @@ proptest! {
         }
         world.advance(SimDuration::from_mins(20));
         prop_assert_eq!(world.data_center().resident_instances(), 0);
+    }
+
+    /// Cold-cell bursts: the pool is big enough for several scheduling
+    /// cells, the warm-up ops drive only service 0, and the closing
+    /// burst lands on a service whose cell has (with high probability)
+    /// never been touched — so the lazily built world materializes
+    /// shared genesis lanes deep into the run. The global invariants
+    /// must hold through that mid-run first touch exactly as they do
+    /// from a warm start.
+    #[test]
+    fn world_invariants_hold_through_cold_cell_bursts(
+        s in strategies::cold_cell_burst_schedule(),
+    ) {
+        let mut session = Session::<OptimizedEngine>::new(&s);
+        for (step, op) in s.ops.iter().enumerate() {
+            session.apply_step(step, *op);
+            check_invariants(session.world(), session.services())?;
+        }
+        // The burst's placements are live state, not a planning ghost:
+        // if the closing launch succeeded, its instances are resident.
+        let cold = *session.services().last().expect("at least one service");
+        let world = session.world();
+        for id in world.alive_instances_of(cold) {
+            let host = world.host_of(id);
+            prop_assert!(
+                world.data_center().host(host).hosts_instance(id),
+                "burst instance {} missing from host {}",
+                id,
+                host
+            );
+        }
     }
 
     #[test]

@@ -29,6 +29,21 @@ proptest! {
             run::<OptimizedEngine>(&s).transcript()
         );
     }
+
+    /// The same property under the cold-cell burst shape: the closing
+    /// burst forces a never-touched scheduling cell to materialize deep
+    /// into the run, and the order in which cells were materialized (or
+    /// whether the copy-on-write genesis lanes were ever unshared) must
+    /// not leak into placements, reap times, or billing bits.
+    #[test]
+    fn cold_cell_materialization_order_cannot_reach_the_trajectory(
+        s in strategies::cold_cell_burst_schedule(),
+    ) {
+        prop_assert_eq!(
+            run::<OptimizedEngine>(&s).transcript(),
+            run::<OptimizedEngine>(&s).transcript()
+        );
+    }
 }
 
 #[test]
