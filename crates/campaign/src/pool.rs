@@ -240,6 +240,7 @@ impl Executor {
     ///
     /// A panic inside `work` is caught on the worker (so the shared pool
     /// survives) and re-raised here, on the calling thread.
+    // tidy:allow(panic-reachability) -- `index` enumerates the submitted tasks and `slots` was sized to that same count.
     pub fn run_with<T, R>(
         &self,
         tasks: Vec<T>,

@@ -112,20 +112,38 @@ struct Shard {
 }
 
 /// A population of physical hosts sharing a region.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DataCenter {
     name: String,
     catalog: Vec<CpuModel>,
     genesis: Arc<Genesis>,
-    shards: Vec<OnceCell<Arc<Shard>>>,
+    shards: Vec<OnceCell<Arc<Shard>>>, // tidy:allow(cow-aliasing) -- genesis lane: each cell fills exactly once with data derived purely from the construction seed, so every branch that races to fill it computes the same shard.
     /// Cached fixed-point popularity lane for the whole pool (sampler
     /// weights), computed from ranks alone — no host materialization.
-    pop_fixed: OnceCell<Arc<Vec<u64>>>,
+    pop_fixed: OnceCell<Arc<Vec<u64>>>, // tidy:allow(cow-aliasing) -- genesis lane: fills once from the rank permutation fixed at construction; identical in every branch.
     /// Cached inverse rank permutation (hosts in popularity order).
-    by_rank: OnceCell<Arc<Vec<HostId>>>,
+    by_rank: OnceCell<Arc<Vec<HostId>>>, // tidy:allow(cow-aliasing) -- genesis lane: fills once from the rank permutation fixed at construction; identical in every branch.
     /// Cached Fenwick tree over `pop_fixed`, shared by every
     /// popularity-weighted sampler built over this pool.
-    pop_tree: OnceCell<Arc<Vec<u64>>>,
+    pop_tree: OnceCell<Arc<Vec<u64>>>, // tidy:allow(cow-aliasing) -- genesis lane: a pure function of `pop_fixed`, which is itself fixed at construction; identical in every branch.
+}
+
+impl Clone for DataCenter {
+    // Written by hand so the share-vs-detach decision per field is explicit
+    // (the fork-coverage contract): every lane here is genesis data —
+    // immutable once filled and derived purely from the construction seed —
+    // so branches share the backing Arcs rather than detaching.
+    fn clone(&self) -> Self {
+        DataCenter {
+            name: self.name.clone(),
+            catalog: self.catalog.clone(),
+            genesis: Arc::clone(&self.genesis),
+            shards: self.shards.clone(),
+            pop_fixed: self.pop_fixed.clone(),
+            by_rank: self.by_rank.clone(),
+            pop_tree: self.pop_tree.clone(),
+        }
+    }
 }
 
 impl DataCenter {
@@ -212,6 +230,7 @@ impl DataCenter {
         (i / SHARD_SIZE, i % SHARD_SIZE)
     }
 
+    // tidy:allow(panic-reachability) -- `index` comes from shard_of on ids below `len`, and `shards` was sized to cover the whole pool at construction.
     fn shard(&self, index: usize) -> &Arc<Shard> {
         self.shards[index].get_or_init(|| {
             let lo = index * SHARD_SIZE;

@@ -146,6 +146,7 @@ impl Fig11Config {
         cells
     }
 
+    // tidy:allow(panic-reachability) -- the only non-literal index is `victim.min(1)` into a 2-element array, always in bounds.
     fn run_cell(
         &self,
         region: &str,

@@ -73,6 +73,7 @@ impl IndexSampler for LinearSampler {
         self.weights[index]
     }
 
+    // tidy:allow(panic-reachability) -- `index` is a slot previously returned by pick/locate, which only yield indices below the fixed construction-time length.
     fn set_weight(&mut self, index: usize, weight: u64) {
         self.weights[index] = weight;
         // Deliberately naive: recompute instead of applying the delta.

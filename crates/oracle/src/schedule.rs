@@ -267,6 +267,11 @@ pub fn run<E: Engine>(schedule: &Schedule) -> Trajectory {
 /// Applies one op, returning its outcome line and any new placements.
 /// Shared by the differential runner and the model-based root tests so
 /// both drive the world through the same surface.
+///
+/// # Panics
+///
+/// Panics if `services` is empty: ops address services modulo the
+/// roster, so there must be at least one.
 pub fn apply<E: Engine>(
     world: &mut World<E>,
     services: &[ServiceId],

@@ -169,7 +169,7 @@ pub trait CapacityIndex: fmt::Debug {
 /// / O(log n) on each residency change. Planning sessions overlay
 /// tentative consumption with a small per-plan ledger touching only the
 /// hosts the plan uses, so a launch never scans the pool.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct IncrementalCapacity {
     /// Committed free slots per host. Copy-on-write: branches share the
     /// lane until the first residency change after a clone.
@@ -194,6 +194,28 @@ pub struct IncrementalCapacity {
     plan_taken: HashMap<usize, u32>,
     /// Hosts whose `avail` weight was zeroed by the overlay only.
     plan_suppressed: Vec<usize>,
+}
+
+impl Clone for IncrementalCapacity {
+    // Written by hand so the share-vs-detach decision per field is
+    // explicit (the fork-coverage contract): the three Arc lanes are
+    // shared — `free` is copy-on-write (the first residency change after
+    // a clone unshares it), `cell_of_host` and `pop_fixed` are immutable
+    // after build — the sampler's own manual Clone spells out its lanes,
+    // and the per-plan overlay is copied by value (it is empty between
+    // planning sessions).
+    fn clone(&self) -> Self {
+        IncrementalCapacity {
+            free: Arc::clone(&self.free),
+            total_free: self.total_free,
+            cell_free: self.cell_free.clone(),
+            cell_of_host: Arc::clone(&self.cell_of_host),
+            pop_fixed: Arc::clone(&self.pop_fixed),
+            avail: self.avail.clone(),
+            plan_taken: self.plan_taken.clone(),
+            plan_suppressed: self.plan_suppressed.clone(),
+        }
+    }
 }
 
 impl IncrementalCapacity {
@@ -266,6 +288,7 @@ impl CapacityIndex for IncrementalCapacity {
         }
     }
 
+    // tidy:allow(panic-reachability) -- `h` and its cell come from a HostId previously admitted into these lanes, which were sized to the fleet at construction.
     fn on_evict(&mut self, host: HostId, _dc: &DataCenter) {
         let h = host.as_usize();
         Arc::make_mut(&mut self.free)[h] += 1;
@@ -276,6 +299,7 @@ impl CapacityIndex for IncrementalCapacity {
         }
     }
 
+    // tidy:allow(panic-reachability) -- `h` and its cell come from a HostId of the same fleet these lanes were sized to at construction.
     fn on_host_reboot(&mut self, host: HostId, displaced: usize, dc: &DataCenter) {
         let h = host.as_usize();
         debug_assert_eq!(dc.host(host).resident_count(), 0, "reboot empties the host");
@@ -320,6 +344,7 @@ impl CapacityIndex for IncrementalCapacity {
         Some(HostId::from_raw(h as u32))
     }
 
+    // tidy:allow(panic-reachability) -- `plan_suppressed` holds indices previously admitted into these fleet-sized lanes by plan_take/plan_spill_pick.
     fn end_plan(&mut self) {
         for h in std::mem::take(&mut self.plan_suppressed) {
             // Suppressed by the overlay only: the committed view still has

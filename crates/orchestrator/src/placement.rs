@@ -307,6 +307,7 @@ impl<E: Engine> CloudRunPolicy<E> {
     }
 
     /// A popularity-weighted subset of `candidates` of size `want`.
+    // tidy:allow(panic-reachability) -- `pop_fixed` is fleet-sized, `candidates` are fleet HostIds, and sample_distinct returns indices below the sampler length, which equals `candidates.len()`.
     fn weighted_subset(&mut self, candidates: &[HostId], want: usize) -> Vec<HostId> {
         let weights: Vec<u64> = candidates
             .iter()
@@ -322,6 +323,7 @@ impl<E: Engine> CloudRunPolicy<E> {
     /// Near-uniform spread of `count` instances over `targets`, allocating
     /// against the capacity overlay and spilling popularity-weighted onto
     /// the rest of the pool when the targets fill up.
+    // tidy:allow(panic-reachability) -- the loop guard `exhausted < order.len()` keeps the body unreachable when `order` is empty, and `cursor % order.len()` is below the length by construction.
     fn spread(
         &mut self,
         dc: &DataCenter,
@@ -356,6 +358,7 @@ impl<E: Engine> CloudRunPolicy<E> {
     }
 
     /// Popularity-weighted sample of `count` hosts, excluding `exclude`.
+    // tidy:allow(panic-reachability) -- `pop_fixed` and the sampler are sized to the fleet at construction, and every indexed id is a HostId of that same fleet.
     fn sample_hosts(&mut self, count: usize, exclude: &[HostId]) -> Vec<HostId> {
         for &h in exclude {
             self.pop_sampler.set_weight(h.as_usize(), 0);
@@ -376,6 +379,7 @@ impl<E: Engine> CloudRunPolicy<E> {
 
     /// The first `want` of `ordered`, with mild stochastic swaps from the
     /// tail so repeated launches differ slightly.
+    // tidy:allow(panic-reachability) -- `want` is clamped to `ordered.len()` first, and `from`/`to` are drawn below `want` and `tail.len()` respectively.
     fn jittered_prefix(&mut self, ordered: &[HostId], want: usize) -> Vec<HostId> {
         let want = want.min(ordered.len());
         let mut picked: Vec<HostId> = ordered[..want].to_vec();

@@ -832,7 +832,6 @@ impl<E: Engine, P: PlatformPolicy<E>> World<E, P> {
     /// # Errors
     ///
     /// Returns a [`GuestError`] if the instance is unknown or terminated.
-    // tidy:allow(panic-reachability) -- participants are validated against `self.instances` in the loop above the indexing, and `per_host` was keyed from those same instances.
     pub fn with_guest<R>(
         &mut self,
         id: InstanceId,
@@ -858,6 +857,7 @@ impl<E: Engine, P: PlatformPolicy<E>> World<E, P> {
     /// # Errors
     ///
     /// Returns a [`GuestError`] if any participant is unknown or dead.
+    // tidy:allow(panic-reachability) -- participants are validated against `self.instances` in the loop above the indexing, and `per_host` was keyed from those same instances.
     pub fn rng_covert_observations(
         &mut self,
         participants: &[InstanceId],
@@ -1006,6 +1006,7 @@ impl<E: Engine, P: PlatformPolicy<E>> World<E, P> {
     /// # Errors
     ///
     /// Returns a [`GuestError`] if either instance is unknown or dead.
+    // tidy:allow(panic-reachability) -- both ids are validated against `self.instances` in the loop above the indexing.
     pub fn membus_pairwise_test(
         &mut self,
         a: InstanceId,
@@ -1060,6 +1061,10 @@ impl<E: Engine, P: PlatformPolicy<E>> World<E, P> {
 
     /// **Ground truth**: the host an instance runs (or ran) on. Real
     /// attackers cannot call this; it exists to validate fingerprints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
     pub fn host_of(&self, id: InstanceId) -> HostId {
         self.instances[&id].host()
     }

@@ -18,6 +18,28 @@ use crate::time::{SimDuration, SimTime};
 ///
 /// Time only moves when an owner explicitly advances it; readers never block.
 ///
+/// # Invariants
+///
+/// The clock has two distinct duplication operations with opposite
+/// sharing semantics, and every caller must pick the right one:
+///
+/// * **`Clone` shares.** All clones of one clock read and advance the
+///   same underlying instant — the intra-world contract: every host,
+///   guest, and orchestrator component of a single world ticks together.
+/// * **`fork` detaches.** [`SimClock::fork`] starts an independent clock
+///   at the current time; advancing either side leaves the other
+///   untouched — the branch contract: a copy-on-write world branch must
+///   not drag its parent's time forward.
+///
+/// Consequently any type that owns a `SimClock` *and* participates in
+/// world branching must route its fork path through `fork()`, never
+/// through `Clone` (`World`'s manual `Clone` does exactly this with
+/// `clock: self.clock.fork()`). Getting this wrong is silent: both
+/// worlds keep running, but their timelines alias. The field-level
+/// `fork-coverage` and `cow-aliasing` tidy checks exist to force this
+/// decision to be written down, and `tests/clock_contract.rs` pins the
+/// runtime behavior of both halves.
+///
 /// # Examples
 ///
 /// ```
@@ -31,7 +53,7 @@ use crate::time::{SimDuration, SimTime};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SimClock {
-    now: Arc<Mutex<SimTime>>,
+    now: Arc<Mutex<SimTime>>, // tidy:allow(fork-coverage) -- Clone SHARES this handle by contract (every component of one world reads the same instant); only `fork` detaches. tidy:allow(cow-aliasing) -- sharing is the contract: see the Invariants section above; World's manual Clone calls `self.clock.fork()` to detach at branch points.
 }
 
 impl SimClock {

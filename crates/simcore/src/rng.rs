@@ -52,7 +52,7 @@ fn mix_label(label: &str) -> u64 {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    s: [u64; 4],
+    s: [u64; 4], // tidy:allow(fork-coverage) -- `fork` detaches by reseeding through `seed_from(self.next_u64())`; it never copies `s`, so no per-field mention exists to find.
 }
 
 impl SimRng {

@@ -98,6 +98,7 @@ pub trait IndexSampler: std::fmt::Debug {
     /// One weighted pick: a single `rng.below(total)` draw mapped through
     /// [`locate`](IndexSampler::locate). `None` when every weight is zero
     /// (consuming no randomness).
+    // tidy:allow(panic-reachability) -- `locate` receives `rng.below(total)`, which is below `total` by the rng contract, so the sampler's out-of-range panic is unreachable from here.
     fn pick(&self, rng: &mut SimRng) -> Option<usize> {
         let total = self.total();
         if total == 0 {
@@ -168,7 +169,7 @@ pub fn fenwick_tree(weights: &[u64]) -> Vec<u64> {
 /// holding pool-sized samplers cheap.
 ///
 /// [`set_weight`]: IndexSampler::set_weight
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FenwickSampler {
     /// 1-indexed Fenwick tree; `tree[i]` covers `i - lowbit(i) .. i`.
     tree: Arc<Vec<u64>>,
@@ -176,6 +177,23 @@ pub struct FenwickSampler {
     total: u64,
     /// Largest power of two ≤ len, the starting stride of the descent.
     top: usize,
+}
+
+impl Clone for FenwickSampler {
+    // Written by hand so the share-vs-detach decision per field is
+    // explicit (the fork-coverage contract): both lanes are
+    // copy-on-write — branches share the Arcs until the first
+    // `set_weight` after the clone unshares them through
+    // `Arc::make_mut` — and the two scalars are plain copies describing
+    // the shared lanes.
+    fn clone(&self) -> Self {
+        FenwickSampler {
+            tree: Arc::clone(&self.tree),
+            weights: Arc::clone(&self.weights),
+            total: self.total,
+            top: self.top,
+        }
+    }
 }
 
 impl FenwickSampler {
@@ -229,6 +247,7 @@ impl IndexSampler for FenwickSampler {
         self.weights[index]
     }
 
+    // tidy:allow(panic-reachability) -- `index` is a slot previously returned by pick/locate, which only yield indices below the fixed construction-time length.
     fn set_weight(&mut self, index: usize, weight: u64) {
         let old = self.weights[index];
         if old == weight {
@@ -256,6 +275,7 @@ impl IndexSampler for FenwickSampler {
         }
     }
 
+    // tidy:allow(panic-reachability) -- every `tree[next]` access is guarded by `next < self.tree.len()` on the same line.
     fn locate(&self, target: u64) -> usize {
         debug_assert!(
             target < self.total,

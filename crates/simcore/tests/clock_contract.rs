@@ -1,0 +1,70 @@
+//! Regression pin for [`SimClock`]'s Clone-shares / fork-detaches
+//! contract (the type's "Invariants" rustdoc section).
+//!
+//! This is the runtime half of what the field-level tidy checks enforce
+//! statically: `Clone` aliases the timeline by design, `fork` is the only
+//! detach point, and a branch taken through the wrong one silently drags
+//! two worlds' clocks together — the bug class the paper's deterministic
+//! replay cannot tolerate.
+
+use eaao_simcore::clock::SimClock;
+use eaao_simcore::time::{SimDuration, SimTime};
+
+#[test]
+fn clones_alias_one_timeline_transitively() {
+    let root = SimClock::new();
+    let reader = root.clone();
+    let second_reader = reader.clone();
+
+    root.advance(SimDuration::from_secs(30));
+    assert_eq!(reader.now(), SimTime::from_secs(30));
+    assert_eq!(second_reader.now(), SimTime::from_secs(30));
+
+    // Sharing is symmetric: any handle may advance for all of them.
+    second_reader.advance(SimDuration::from_secs(15));
+    assert_eq!(root.now(), SimTime::from_secs(45));
+    assert_eq!(reader.now(), SimTime::from_secs(45));
+}
+
+#[test]
+fn forks_start_aligned_then_diverge() {
+    let parent = SimClock::starting_at(SimTime::from_secs(100));
+    let branch = parent.fork();
+    assert_eq!(
+        branch.now(),
+        parent.now(),
+        "a fork starts at the branch point"
+    );
+
+    parent.advance(SimDuration::from_secs(7));
+    assert_eq!(
+        branch.now(),
+        SimTime::from_secs(100),
+        "parent advance must not leak"
+    );
+
+    branch.advance(SimDuration::from_secs(99));
+    assert_eq!(
+        parent.now(),
+        SimTime::from_secs(107),
+        "branch advance must not leak"
+    );
+}
+
+#[test]
+fn clones_taken_before_a_fork_stay_with_their_side() {
+    // The World-branch scenario: components hold clones of the parent
+    // clock; branching forks the clock; the parent's components must keep
+    // following the parent, and the branch's components the branch.
+    let parent = SimClock::new();
+    let parent_component = parent.clone();
+
+    let branch = parent.fork();
+    let branch_component = branch.clone();
+
+    parent.advance(SimDuration::from_secs(10));
+    branch.advance(SimDuration::from_secs(20));
+
+    assert_eq!(parent_component.now(), SimTime::from_secs(10));
+    assert_eq!(branch_component.now(), SimTime::from_secs(20));
+}

@@ -9,7 +9,10 @@
 //! deliberately impossible to re-implement, because a sixth copy of that
 //! logic is how suppression semantics drift.
 
+pub mod cow;
 pub mod determinism;
+pub mod float_det;
+pub mod fork_cov;
 pub mod headers;
 pub mod hermeticity;
 pub mod lock_order;
@@ -26,7 +29,8 @@ use crate::source::{Line, SourceFile};
 /// The check names a `tidy:allow(...)` may legally name, for the
 /// unknown-check diagnostic.
 pub const SUPPRESSIBLE_CHECKS: &str = "determinism, unsafe-policy, crate-header, panic-policy, \
-     net-policy, hermeticity, panic-reachability, determinism-taint, lock-order";
+     net-policy, hermeticity, panic-reachability, determinism-taint, lock-order, \
+     fork-coverage, cow-aliasing, float-determinism";
 
 /// Finds `pattern` in masked code with identifier boundaries on both ends
 /// (`HashMap` does not match `FxHashMap` or `HashMaps`; `std::fs` does

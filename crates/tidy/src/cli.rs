@@ -2,7 +2,7 @@
 //! and the root `eaao tidy` subcommand.
 //!
 //! ```text
-//! eaao-tidy [--root DIR] [--json PATH] [--write-baseline]
+//! eaao-tidy [--root DIR] [--json PATH] [--write-baseline] [--list-checks]
 //! ```
 //!
 //! * `--json PATH` additionally writes the findings as a machine-readable
@@ -13,12 +13,15 @@
 //!   justifications for keys that already had them. New entries get an
 //!   empty justification, which is itself a finding until a human fills
 //!   it in — accepting debt takes two deliberate steps.
+//! * `--list-checks` prints every registered check with its one-line
+//!   contract and policy scope, straight from the registry the scanner
+//!   runs — the listing cannot drift from the implementation.
 
 use std::fs;
 use std::path::PathBuf;
 
 use crate::baseline::{self, BASELINE_FILE};
-use crate::diag::Diagnostic;
+use crate::diag::{Diagnostic, CHECK_REGISTRY};
 use crate::jsonio;
 use crate::walk;
 
@@ -28,9 +31,11 @@ struct Options {
     root: Option<PathBuf>,
     json: Option<String>,
     write_baseline: bool,
+    list_checks: bool,
 }
 
-const USAGE: &str = "usage: eaao-tidy [--root WORKSPACE_DIR] [--json PATH|-] [--write-baseline]";
+const USAGE: &str =
+    "usage: eaao-tidy [--root WORKSPACE_DIR] [--json PATH|-] [--write-baseline] [--list-checks]";
 
 /// Runs the CLI on already-split arguments (exclusive of the program
 /// name). Returns the process exit code: 0 clean, 1 findings, 2 usage
@@ -49,12 +54,17 @@ pub fn run(args: &[String]) -> u8 {
                 None => return usage_error("--json needs a path (or `-` for stdout)"),
             },
             "--write-baseline" => opts.write_baseline = true,
+            "--list-checks" => opts.list_checks = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return 0;
             }
             other => return usage_error(&format!("unknown argument `{other}`")),
         }
+    }
+    if opts.list_checks {
+        print!("{}", render_check_list());
+        return 0;
     }
     let root = opts.root.unwrap_or_else(default_root);
 
@@ -105,6 +115,28 @@ pub fn run(args: &[String]) -> u8 {
         );
         1
     }
+}
+
+/// Renders the `--list-checks` table: one line per registered check with
+/// its layer, contract, and policy scope, straight from [`CHECK_REGISTRY`].
+pub fn render_check_list() -> String {
+    let width = CHECK_REGISTRY
+        .iter()
+        .map(|info| info.check.name().len())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for info in CHECK_REGISTRY {
+        out.push_str(&format!(
+            "{:width$}  [{}] {}\n{:width$}  scope: {}\n",
+            info.check.name(),
+            info.layer,
+            info.contract,
+            "",
+            info.scope,
+        ));
+    }
+    out
 }
 
 /// Renders the findings document: a stable, versioned JSON array sorted
@@ -180,6 +212,37 @@ mod tests {
             Some("x -> y -> x")
         );
         assert_eq!(render_json(&findings), doc, "byte-stable");
+    }
+
+    #[test]
+    fn check_list_names_every_registered_check_once() {
+        let listing = render_check_list();
+        for info in CHECK_REGISTRY {
+            let headers = listing
+                .lines()
+                .filter(|l| {
+                    l.starts_with(&format!("{} ", info.check.name()))
+                        && l.contains(&format!("[{}]", info.layer))
+                })
+                .count();
+            assert_eq!(
+                headers,
+                1,
+                "check `{}` must appear exactly once in --list-checks",
+                info.check.name()
+            );
+            assert!(
+                listing.contains(info.contract),
+                "contract for `{}` missing from --list-checks",
+                info.check.name()
+            );
+            assert!(
+                listing.contains(info.scope),
+                "scope for `{}` missing from --list-checks",
+                info.check.name()
+            );
+        }
+        assert_eq!(render_check_list(), listing, "byte-stable");
     }
 
     #[test]

@@ -34,6 +34,18 @@ pub enum CheckId {
     /// A potential lock-order cycle, or a lock held across a call into
     /// another lock-taking function (call-graph check).
     LockOrder,
+    /// A fork-surface type whose fork-path impl (`clone`/`fork`/
+    /// `branch`/`snapshot`) does not mention every field, so a new field's
+    /// share-vs-detach behavior was never decided (field-level check).
+    ForkCoverage,
+    /// An `Arc` field of a fork-surface type written around
+    /// `Arc::make_mut`, or interior mutability visible through a sharing
+    /// clone (field-level check).
+    CowAliasing,
+    /// Unordered float reduction, float `==`/`!=` comparison, or
+    /// truncating `as` cast on a float in a simulation-critical crate
+    /// (field-level check).
+    FloatDeterminism,
     /// A stale, duplicate, unjustified, or unparsable entry in
     /// `tidy-baseline.json`.
     Baseline,
@@ -53,6 +65,9 @@ impl CheckId {
             CheckId::PanicReach => "panic-reachability",
             CheckId::DeterminismTaint => "determinism-taint",
             CheckId::LockOrder => "lock-order",
+            CheckId::ForkCoverage => "fork-coverage",
+            CheckId::CowAliasing => "cow-aliasing",
+            CheckId::FloatDeterminism => "float-determinism",
             CheckId::Baseline => "baseline",
         }
     }
@@ -71,16 +86,25 @@ impl CheckId {
             "panic-reachability" => Some(CheckId::PanicReach),
             "determinism-taint" => Some(CheckId::DeterminismTaint),
             "lock-order" => Some(CheckId::LockOrder),
+            "fork-coverage" => Some(CheckId::ForkCoverage),
+            "cow-aliasing" => Some(CheckId::CowAliasing),
+            "float-determinism" => Some(CheckId::FloatDeterminism),
             _ => None,
         }
     }
 
-    /// Whether the check is one of the call-graph (semantic) checks —
-    /// the only findings the baseline ratchet may carry.
+    /// Whether the check is one of the workspace-model (semantic) checks
+    /// — call-graph or field-level — the only findings the baseline
+    /// ratchet may carry.
     pub fn is_semantic(self) -> bool {
         matches!(
             self,
-            CheckId::PanicReach | CheckId::DeterminismTaint | CheckId::LockOrder
+            CheckId::PanicReach
+                | CheckId::DeterminismTaint
+                | CheckId::LockOrder
+                | CheckId::ForkCoverage
+                | CheckId::CowAliasing
+                | CheckId::FloatDeterminism
         )
     }
 }
@@ -90,6 +114,112 @@ impl fmt::Display for CheckId {
         f.write_str(self.name())
     }
 }
+
+/// One row of the check registry: what `--list-checks` prints, and what
+/// the drift test holds against the policy table and the docs.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckInfo {
+    /// The check.
+    pub check: CheckId,
+    /// Analysis layer: `lexical` (per-line), `call-graph` (workspace
+    /// function graph), `field-level` (struct/field model), or `meta`
+    /// (findings about the tool's own inputs).
+    pub layer: &'static str,
+    /// One-line contract: what a finding means.
+    pub contract: &'static str,
+    /// Which crates the check scans, in terms of the policy table.
+    pub scope: &'static str,
+}
+
+/// Every registered check, in `CheckId` order. `--list-checks` renders
+/// this table; tests assert it stays in sync with [`CheckId`], the
+/// suppressible-check list, and `docs/STATIC_ANALYSIS.md`.
+pub const CHECK_REGISTRY: &[CheckInfo] = &[
+    CheckInfo {
+        check: CheckId::Determinism,
+        layer: "lexical",
+        contract: "no iteration-order, wall-clock, ambient-I/O, or unseeded-RNG hazards",
+        scope: "library sources of crates with policy determinism=true",
+    },
+    CheckInfo {
+        check: CheckId::UnsafePolicy,
+        layer: "lexical",
+        contract: "no `unsafe` outside the allowlist; allowlisted blocks carry // SAFETY:",
+        scope: "every Rust file in the workspace",
+    },
+    CheckInfo {
+        check: CheckId::CrateHeader,
+        layer: "lexical",
+        contract: "lib.rs lint headers present; #[allow] justified; crate has a policy row",
+        scope: "every workspace crate",
+    },
+    CheckInfo {
+        check: CheckId::PanicPolicy,
+        layer: "lexical",
+        contract: "no unwrap/panic!/todo!/unimplemented! in library code",
+        scope: "library sources of every crate",
+    },
+    CheckInfo {
+        check: CheckId::NetPolicy,
+        layer: "lexical",
+        contract: "socket types only in crates with policy net=true",
+        scope: "library sources of crates with policy net=false",
+    },
+    CheckInfo {
+        check: CheckId::Hermeticity,
+        layer: "lexical",
+        contract: "no registry or git dependencies in any Cargo.toml",
+        scope: "every manifest in the workspace",
+    },
+    CheckInfo {
+        check: CheckId::Suppression,
+        layer: "meta",
+        contract: "every tidy:allow is well-formed, known, justified, and used",
+        scope: "every Rust file in the workspace",
+    },
+    CheckInfo {
+        check: CheckId::PanicReach,
+        layer: "call-graph",
+        contract: "no public API transitively reaches an undocumented panic source",
+        scope: "library sources of crates with policy call_graph=true",
+    },
+    CheckInfo {
+        check: CheckId::DeterminismTaint,
+        layer: "call-graph",
+        contract: "no simulation-critical function reaches a nondeterminism source",
+        scope: "crates with policy determinism=true, through call_graph=true callees",
+    },
+    CheckInfo {
+        check: CheckId::LockOrder,
+        layer: "call-graph",
+        contract: "no lock-order cycles; no lock held across a lock-taking call",
+        scope: "library sources of crates with policy call_graph=true",
+    },
+    CheckInfo {
+        check: CheckId::ForkCoverage,
+        layer: "field-level",
+        contract: "fork-surface types mention every field in each fork-path impl",
+        scope: "library sources of crates with policy fork_surface=true",
+    },
+    CheckInfo {
+        check: CheckId::CowAliasing,
+        layer: "field-level",
+        contract: "Arc fields of fork-surface types written only through Arc::make_mut; no interior mutability visible through a sharing clone",
+        scope: "library sources of crates with policy fork_surface=true",
+    },
+    CheckInfo {
+        check: CheckId::FloatDeterminism,
+        layer: "field-level",
+        contract: "no unordered float reductions, float ==/!=, or truncating float casts",
+        scope: "library sources of crates with policy float_det=true",
+    },
+    CheckInfo {
+        check: CheckId::Baseline,
+        layer: "meta",
+        contract: "every tidy-baseline.json entry is live, unique, and justified",
+        scope: "tidy-baseline.json at the workspace root",
+    },
+];
 
 /// One finding, anchored to a workspace-relative file and 1-based line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -163,6 +293,9 @@ mod tests {
             CheckId::PanicReach,
             CheckId::DeterminismTaint,
             CheckId::LockOrder,
+            CheckId::ForkCoverage,
+            CheckId::CowAliasing,
+            CheckId::FloatDeterminism,
         ] {
             assert_eq!(CheckId::from_name(check.name()), Some(check));
         }
@@ -172,11 +305,47 @@ mod tests {
     }
 
     #[test]
-    fn only_graph_checks_are_semantic() {
+    fn only_workspace_model_checks_are_semantic() {
         assert!(CheckId::PanicReach.is_semantic());
         assert!(CheckId::DeterminismTaint.is_semantic());
         assert!(CheckId::LockOrder.is_semantic());
+        assert!(CheckId::ForkCoverage.is_semantic());
+        assert!(CheckId::CowAliasing.is_semantic());
+        assert!(CheckId::FloatDeterminism.is_semantic());
         assert!(!CheckId::Determinism.is_semantic());
         assert!(!CheckId::Baseline.is_semantic());
+    }
+
+    #[test]
+    fn the_registry_covers_every_check_exactly_once() {
+        // CHECK_REGISTRY is in CheckId order and total: strictly
+        // ascending ids, one per variant, with the name round-trip
+        // confirming each entry is a real check.
+        for pair in CHECK_REGISTRY.windows(2) {
+            assert!(pair[0].check < pair[1].check, "registry out of order");
+        }
+        assert_eq!(CHECK_REGISTRY.len(), 14, "new CheckId? register it here");
+        for info in CHECK_REGISTRY {
+            assert_eq!(
+                CheckId::from_name(info.check.name()).is_some(),
+                info.check != CheckId::Suppression && info.check != CheckId::Baseline,
+                "suppressibility drifted for {}",
+                info.check
+            );
+            assert!(!info.contract.is_empty() && !info.scope.is_empty());
+            assert!(matches!(
+                info.layer,
+                "lexical" | "call-graph" | "field-level" | "meta"
+            ));
+        }
+        // Semantic checks are exactly the call-graph + field-level layers.
+        for info in CHECK_REGISTRY {
+            assert_eq!(
+                info.check.is_semantic(),
+                info.layer == "call-graph" || info.layer == "field-level",
+                "layer/semantic drift for {}",
+                info.check
+            );
+        }
     }
 }

@@ -8,13 +8,18 @@
 //! dependency-free pass built on a masking lexer, which is exactly what a
 //! hermetic, registry-free workspace can support.
 //!
-//! The pass has two layers. The **lexical** checks look at one masked line
-//! at a time. The **semantic** checks parse every `src/` file into an
+//! The pass has three layers. The **lexical** checks look at one masked
+//! line at a time. The **semantic** checks parse every `src/` file into an
 //! item-level model ([`parse`]), assemble a workspace call graph
 //! ([`graph`]), and reason about what functions *reach*, not just what
 //! they spell — so a wrapper in a host crate can no longer launder
 //! `Instant::now()` into the simulation, and a `pub fn` three calls above
-//! an `unwrap()` still owes its callers a `# Panics` section.
+//! an `unwrap()` still owes its callers a `# Panics` section. The
+//! **field-level** checks ([`fields`]) model the snapshot/branch fork
+//! surface — which types flow through `clone`/`fork`/`branch`/`snapshot`,
+//! and what each of their fields is made of — so a fork path that forgets
+//! a field, an `Arc` lane written around `Arc::make_mut`, or a float
+//! reduction outside the fixed-point lanes is a finding.
 //!
 //! # Checks
 //!
@@ -30,6 +35,9 @@
 //! | `panic-reachability` | semantic | a public API that transitively reaches an undocumented panic source |
 //! | `determinism-taint` | semantic | a simulation-critical function calling a host-crate function that transitively reaches a nondeterminism source |
 //! | `lock-order` | semantic | cycles in the `Mutex` acquisition-order graph; locks held across calls into lock-taking functions |
+//! | `fork-coverage` | field-level | a fork-surface type whose fork path does not decide every field's share-vs-detach fate (a `derive(Clone)` sharing an `Arc` field, or a fork body that never names a field) |
+//! | `cow-aliasing` | field-level | writes to fork-surface `Arc` lanes that dodge `Arc::make_mut`; interior mutability inside a shared `Arc` or on a `Clone` fork-surface type |
+//! | `float-determinism` | field-level | unordered float reductions, float `==`/`!=`, and truncating `as`-casts from floats in `float_det` crates |
 //! | `baseline` | meta | stale, duplicate, unjustified, or malformed `tidy-baseline.json` entries |
 //!
 //! The per-crate policy table lives in [`policy`]; which checks apply where
@@ -62,6 +70,7 @@
 //! cargo run -p eaao-tidy                       # non-zero exit on any finding
 //! cargo run -p eaao-tidy -- --json findings.json
 //! cargo run -p eaao-tidy -- --write-baseline
+//! cargo run -p eaao-tidy -- --list-checks      # registry: contract + scope per check
 //! ```
 //!
 //! Diagnostics are `file:line: [check-name] message`, sorted by path, and
@@ -75,6 +84,7 @@ pub mod baseline;
 pub mod checks;
 pub mod cli;
 pub mod diag;
+pub mod fields;
 pub mod graph;
 pub mod jsonio;
 pub mod parse;

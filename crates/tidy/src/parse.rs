@@ -86,8 +86,14 @@ pub struct FnItem {
     /// 1-based signature line (the line carrying the `fn` token) — the
     /// anchor for diagnostics and inline suppressions.
     pub line: usize,
+    /// 1-based line of the body's closing `}` (the signature line while
+    /// the body is still open, or for bodyless signatures).
+    pub end_line: usize,
     /// Visibility of the `fn` token itself.
     pub vis: Visibility,
+    /// Return type text after `->` (empty for `()`), with any `where`
+    /// clause stripped. Token-matched, never resolved.
+    pub ret: String,
     /// Whether the doc comment above the item has a `# Panics` section.
     pub has_panics_doc: bool,
     /// Whether the item has a body (`false` for trait method signatures).
@@ -102,6 +108,69 @@ pub struct FnItem {
     pub det_sources: Vec<SourceSite>,
     /// Lock acquisitions in the body.
     pub locks: Vec<LockAcquire>,
+    /// Every identifier token appearing in the body — the raw material of
+    /// the per-field mention tracking behind the `fork-coverage` check.
+    pub body_idents: std::collections::BTreeSet<String>,
+}
+
+/// Whether a type definition is a `struct` or an `enum`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeDefKind {
+    /// `struct Name { … }` (or unit/tuple struct).
+    Struct,
+    /// `enum Name { … }` — variants are recorded as [`FieldItem`]s, the
+    /// variant payload text standing in for a field type.
+    Enum,
+}
+
+/// One named field of a struct, or one variant of an enum.
+#[derive(Debug, Clone)]
+pub struct FieldItem {
+    /// Field (or variant) name.
+    pub name: String,
+    /// Declared type text for a field; payload text (`(CloudRunPolicy<E>)`)
+    /// for an enum variant. First physical line only.
+    pub ty: String,
+    /// 1-based declaration line — the anchor for field-level diagnostics
+    /// and inline suppressions.
+    pub line: usize,
+}
+
+/// One associated-type binding (`type Name = Ty;`) inside an `impl` or
+/// `trait` block — the edge that lets the fork-surface closure follow
+/// `impl Engine for OptimizedEngine { type Sampler = FenwickSampler; }`
+/// from the engine to the sampler it plugs in.
+#[derive(Debug, Clone)]
+pub struct AssocTypeItem {
+    /// The enclosing block's type name (for `impl Trait for T`, `T`).
+    pub owner: String,
+    /// Associated-type name.
+    pub name: String,
+    /// Bound type text after `=`, up to `;`. First physical line only.
+    pub ty: String,
+    /// 1-based line of the binding.
+    pub line: usize,
+}
+
+/// One parsed `struct`/`enum` definition.
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// Type name.
+    pub name: String,
+    /// Whether this is a struct or an enum.
+    pub kind: TypeDefKind,
+    /// Module path inside the crate.
+    pub module: Vec<String>,
+    /// 1-based line of the `struct`/`enum` keyword.
+    pub line: usize,
+    /// Declaration-header text after the name (generic parameters with
+    /// their defaults, tuple-struct payload) up to `{`/`;`.
+    pub header: String,
+    /// Traits named in `#[derive(...)]` attributes directly above.
+    pub derives: Vec<String>,
+    /// Named fields (structs) or variants (enums), in source order.
+    /// Tuple structs record none.
+    pub fields: Vec<FieldItem>,
 }
 
 /// Everything the semantic pass knows about one file.
@@ -109,6 +178,10 @@ pub struct FnItem {
 pub struct FileModel {
     /// `fn` items in source order (test-gated items excluded).
     pub fns: Vec<FnItem>,
+    /// `struct`/`enum` definitions in source order (test-gated excluded).
+    pub structs: Vec<StructItem>,
+    /// Associated-type bindings in source order (test-gated excluded).
+    pub assoc_types: Vec<AssocTypeItem>,
     /// Import map: local name → full path segments (`use a::b::c` maps
     /// `c → [a, b, c]`; `as` aliases and one-level groups handled).
     pub imports: BTreeMap<String, Vec<String>>,
@@ -143,12 +216,16 @@ enum Ctx {
     Type(String, i64),
     /// A function body; index into `FileModel::fns`.
     Fn(usize, i64),
+    /// A `struct`/`enum` body; index into `FileModel::structs`.
+    Struct(usize, i64),
 }
 
 #[derive(Debug)]
 struct PendingFn {
     item: FnItem,
     paren_depth: i64,
+    /// Signature text accumulated so far (for return-type extraction).
+    sig: String,
 }
 
 struct Parser<'a> {
@@ -172,6 +249,8 @@ struct Parser<'a> {
     /// one of these is a closure or function-pointer invocation, which the
     /// name-based resolver must not confuse with a workspace free fn.
     locals: std::collections::BTreeSet<String>,
+    /// 1-based line currently being processed (for `FnItem::end_line`).
+    cur_line: usize,
 }
 
 impl FileModel {
@@ -203,6 +282,7 @@ impl FileModel {
             derived_tokens: Vec::new(),
             det_suppressed,
             locals: std::collections::BTreeSet::new(),
+            cur_line: 0,
         };
         parser.parse_imports();
         for idx in 0..src.lines.len() {
@@ -349,6 +429,7 @@ impl Parser<'_> {
     /// Processes one line: item detection, body facts, brace tracking.
     fn line(&mut self, idx: usize) {
         let lineno = idx + 1;
+        self.cur_line = lineno;
         let code = self.lines[idx].code.clone();
         let in_test = self.lines[idx].in_test;
 
@@ -359,15 +440,19 @@ impl Parser<'_> {
                     '(' | '[' => pending.paren_depth += 1,
                     ')' | ']' => pending.paren_depth -= 1,
                     ';' if pending.paren_depth == 0 => {
-                        let mut item = self.pending.take().expect("pending fn").item;
+                        let pend = self.pending.take().expect("pending fn");
+                        let mut item = pend.item;
                         item.has_body = false;
+                        item.ret = ret_from_sig(&pend.sig);
                         if !in_test {
                             self.model.fns.push(item);
                         }
                         return self.scan_braces_only(&code);
                     }
                     '{' if pending.paren_depth == 0 => {
-                        let item = self.pending.take().expect("pending fn").item;
+                        let pend = self.pending.take().expect("pending fn");
+                        let mut item = pend.item;
+                        item.ret = ret_from_sig(&pend.sig);
                         let fn_idx = self.model.fns.len();
                         if self.in_fn().is_none() {
                             self.locals.clear();
@@ -378,14 +463,27 @@ impl Parser<'_> {
                         let rest: String = code[pos + c.len_utf8()..].to_owned();
                         return self.body_line(&rest, lineno, in_test);
                     }
-                    _ => {}
+                    _ => pending.sig.push(c),
                 }
+            }
+            if let Some(pending) = &mut self.pending {
+                pending.sig.push(' ');
             }
             return;
         }
 
         if self.in_fn().is_some() {
             return self.body_line(&code, lineno, in_test);
+        }
+
+        // Inside a struct/enum body at its own depth: field/variant lines.
+        if let Some(&Ctx::Struct(s_idx, open_depth)) = self.ctx.last() {
+            if self.depth == open_depth + 1 {
+                if !in_test {
+                    self.struct_body_line(s_idx, &code, lineno);
+                }
+                return self.scan_braces_only(&code);
+            }
         }
 
         // Item position: detect at most one item start per line.
@@ -401,13 +499,17 @@ impl Parser<'_> {
                             '(' | '[' => paren += 1,
                             ')' | ']' => paren -= 1,
                             ';' if paren == 0 => {
-                                let mut item = self.pending.take().expect("pending fn").item;
+                                let pend = self.pending.take().expect("pending fn");
+                                let mut item = pend.item;
                                 item.has_body = false;
+                                item.ret = ret_from_sig(&pend.sig);
                                 self.model.fns.push(item);
                                 return self.scan_braces_only(&code);
                             }
                             '{' if paren == 0 => {
-                                let item = self.pending.take().expect("pending fn").item;
+                                let pend = self.pending.take().expect("pending fn");
+                                let mut item = pend.item;
+                                item.ret = ret_from_sig(&pend.sig);
                                 let fn_idx = self.model.fns.len();
                                 if self.in_fn().is_none() {
                                     self.locals.clear();
@@ -418,10 +520,20 @@ impl Parser<'_> {
                                 let body_rest: String = rest[pos + c.len_utf8()..].to_owned();
                                 return self.body_line(&body_rest, lineno, in_test);
                             }
-                            _ => {}
+                            c => {
+                                if let Some(p) = &mut self.pending {
+                                    p.sig.push(c);
+                                }
+                            }
                         }
                     }
-                    return; // signature continues on the next line
+                    // Signature continues on the next line: carry the
+                    // bracket depth over so the body `{` is still found.
+                    if let Some(p) = &mut self.pending {
+                        p.paren_depth = paren;
+                        p.sig.push(' ');
+                    }
+                    return;
                 }
             }
             if let Some(at) = crate::checks::find_token(&code, "mod") {
@@ -438,9 +550,133 @@ impl Parser<'_> {
                 if let Some(name) = ident_after(&code, at + 5) {
                     self.pending_ctx = Some(Ctx::Type(name, 0));
                 }
+            } else if let Some((at, kind)) = struct_or_enum_at(&code) {
+                let kw_len = match kind {
+                    TypeDefKind::Struct => "struct".len(),
+                    TypeDefKind::Enum => "enum".len(),
+                };
+                if let Some(name) = ident_after(&code, at + kw_len) {
+                    self.start_struct(idx, at + kw_len, name, kind);
+                }
+            } else if let Some(at) = crate::checks::find_token(&code, "type") {
+                // Associated-type binding inside an impl/trait block:
+                // `type Name = Ty;` (a bare declaration has no `=`).
+                if let Some(owner) = self.type_ctx() {
+                    if let Some(name) = ident_after(&code, at + 4) {
+                        let rest = &code[at + 4..];
+                        if let (Some(eq), Some(semi)) = (rest.find('='), rest.find(';')) {
+                            if eq < semi {
+                                self.model.assoc_types.push(AssocTypeItem {
+                                    owner,
+                                    name,
+                                    ty: rest[eq + 1..semi].trim().to_owned(),
+                                    line: lineno,
+                                });
+                            }
+                        }
+                    }
+                }
             }
         }
         self.scan_braces_only(&code);
+    }
+
+    /// Records a `struct`/`enum` definition starting on line `idx` and, if
+    /// it has a braced body, queues the struct context for its `{`.
+    fn start_struct(&mut self, idx: usize, after_kw: usize, name: String, kind: TypeDefKind) {
+        let code = self.lines[idx].code.clone();
+        let header_end = code
+            .find('{')
+            .or_else(|| code.find(';'))
+            .unwrap_or(code.len());
+        let after_name = code[after_kw..header_end]
+            .find(&name)
+            .map_or(header_end, |p| after_kw + p + name.len());
+        let header = code[after_name..header_end].trim().to_owned();
+        let item = StructItem {
+            name,
+            kind,
+            module: self.module_path(),
+            line: idx + 1,
+            header,
+            derives: derives_above(self.lines, idx),
+            fields: Vec::new(),
+        };
+        let s_idx = self.model.structs.len();
+        self.model.structs.push(item);
+        // `;` before `{` means a unit/tuple struct: no body to track. A
+        // header continuing onto the next line queues the context; a later
+        // `;` cancels it in `scan_braces_only` if no `{` ever opens.
+        let has_body = match (code.find('{'), code.find(';')) {
+            (Some(b), Some(s)) => b < s,
+            (Some(_), None) | (None, None) => true,
+            (None, Some(_)) => false,
+        };
+        if has_body {
+            self.pending_ctx = Some(Ctx::Struct(s_idx, 0));
+        }
+    }
+
+    /// Parses one line of a struct/enum body at field depth.
+    fn struct_body_line(&mut self, s_idx: usize, code: &str, lineno: usize) {
+        let Some(item) = self.model.structs.get_mut(s_idx) else {
+            return;
+        };
+        let trimmed = code.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('}') {
+            return;
+        }
+        match item.kind {
+            TypeDefKind::Struct => {
+                // `pub name: Type,` — strip visibility, split on the first
+                // `:` (a `::` in the type never comes first).
+                let mut rest = trimmed;
+                if let Some(at) = crate::checks::find_token(rest, "pub") {
+                    if at == 0 {
+                        rest = rest[3..].trim_start();
+                        if rest.starts_with('(') {
+                            if let Some(close) = rest.find(')') {
+                                rest = rest[close + 1..].trim_start();
+                            }
+                        }
+                    }
+                }
+                let name: String = rest.chars().take_while(|&c| is_ident(c)).collect();
+                if name.is_empty() || name.chars().next().is_some_and(char::is_numeric) {
+                    return;
+                }
+                let after = rest[name.len()..].trim_start();
+                let Some(ty_text) = after.strip_prefix(':') else {
+                    return;
+                };
+                if after.starts_with("::") {
+                    return;
+                }
+                let ty = ty_text.trim().trim_end_matches(',').trim().to_owned();
+                item.fields.push(FieldItem {
+                    name,
+                    ty,
+                    line: lineno,
+                });
+            }
+            TypeDefKind::Enum => {
+                // `Name`, `Name(Payload)`, or `Name { … }`.
+                let name: String = trimmed.chars().take_while(|&c| is_ident(c)).collect();
+                if name.is_empty() || !name.chars().next().is_some_and(char::is_uppercase) {
+                    return;
+                }
+                let ty = trimmed[name.len()..]
+                    .trim()
+                    .trim_end_matches(',')
+                    .trim()
+                    .to_owned();
+                item.fields.push(FieldItem {
+                    name,
+                    ty,
+                    line: lineno,
+                });
+            }
+        }
     }
 
     /// Starts a pending `fn` item from the signature line.
@@ -461,17 +697,21 @@ impl Parser<'_> {
             type_ctx: self.type_ctx(),
             module: self.module_path(),
             line: idx + 1,
+            end_line: idx + 1,
             vis,
+            ret: String::new(),
             has_panics_doc: docs_have_panics(self.lines, idx),
             has_body: true,
             calls: Vec::new(),
             panic_sources: Vec::new(),
             det_sources: Vec::new(),
             locks: Vec::new(),
+            body_idents: std::collections::BTreeSet::new(),
         };
         self.pending = Some(PendingFn {
             item,
             paren_depth: 0,
+            sig: String::new(),
         });
     }
 
@@ -482,7 +722,10 @@ impl Parser<'_> {
                 '{' => {
                     if let Some(mut ctx) = self.pending_ctx.take() {
                         match &mut ctx {
-                            Ctx::Mod(_, d) | Ctx::Type(_, d) | Ctx::Fn(_, d) => *d = self.depth,
+                            Ctx::Mod(_, d)
+                            | Ctx::Type(_, d)
+                            | Ctx::Fn(_, d)
+                            | Ctx::Struct(_, d) => *d = self.depth,
                         }
                         self.ctx.push(ctx);
                     }
@@ -503,10 +746,15 @@ impl Parser<'_> {
         let close_at = self.depth;
         let pop = matches!(
             self.ctx.last(),
-            Some(Ctx::Mod(_, d) | Ctx::Type(_, d) | Ctx::Fn(_, d)) if *d == close_at
+            Some(Ctx::Mod(_, d) | Ctx::Type(_, d) | Ctx::Fn(_, d) | Ctx::Struct(_, d))
+                if *d == close_at
         );
         if pop {
-            self.ctx.pop();
+            if let Some(Ctx::Fn(fn_idx, _)) = self.ctx.pop() {
+                if let Some(f) = self.model.fns.get_mut(fn_idx) {
+                    f.end_line = self.cur_line;
+                }
+            }
         }
         self.held.retain(|(_, d)| *d <= close_at);
     }
@@ -519,8 +767,33 @@ impl Parser<'_> {
             self.scan_calls(code, lineno);
             self.scan_panic_sources(code, lineno);
             self.scan_det_sources(code, lineno);
+            self.scan_body_idents(code);
         }
         self.scan_braces_only(code);
+    }
+
+    /// Collects every identifier token on a body line into the enclosing
+    /// function's mention set.
+    fn scan_body_idents(&mut self, code: &str) {
+        let mut idents: Vec<String> = Vec::new();
+        let mut cur = String::new();
+        for c in code.chars() {
+            if is_ident(c) {
+                cur.push(c);
+            } else if !cur.is_empty() {
+                idents.push(std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() {
+            idents.push(cur);
+        }
+        if let Some(f) = self.current_fn_mut() {
+            for ident in idents {
+                if !ident.chars().next().is_some_and(char::is_numeric) {
+                    f.body_idents.insert(ident);
+                }
+            }
+        }
     }
 
     fn current_fn_mut(&mut self) -> Option<&mut FnItem> {
@@ -852,6 +1125,64 @@ fn impl_type_name(rest: &str) -> Option<String> {
         .filter(|s| !s.is_empty() && s.chars().all(is_ident))
 }
 
+/// Finds a `struct` or `enum` keyword in item position on the line.
+fn struct_or_enum_at(code: &str) -> Option<(usize, TypeDefKind)> {
+    if let Some(at) = crate::checks::find_token(code, "struct") {
+        return Some((at, TypeDefKind::Struct));
+    }
+    if let Some(at) = crate::checks::find_token(code, "enum") {
+        return Some((at, TypeDefKind::Enum));
+    }
+    None
+}
+
+/// Collects the traits named in `#[derive(...)]` attributes in the
+/// contiguous doc/attribute block above line `idx` (0-based).
+fn derives_above(lines: &[Line], idx: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let line = &lines[i];
+        let code = line.code.trim();
+        if code.is_empty() {
+            if line.comment.trim().is_empty() {
+                break; // blank line ends the block
+            }
+            continue; // doc or plain comment
+        }
+        if !code.starts_with('#') {
+            break;
+        }
+        if let Some(open) = code.find("derive(") {
+            let inner = &code[open + "derive(".len()..];
+            let inner = inner.split(')').next().unwrap_or("");
+            for name in inner.split(',') {
+                let name = name.trim();
+                if !name.is_empty() {
+                    out.push(name.rsplit("::").next().unwrap_or(name).to_owned());
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Extracts the return type from accumulated signature text: everything
+/// after the last top-level `->`, with any `where` clause stripped.
+fn ret_from_sig(sig: &str) -> String {
+    let Some(at) = sig.rfind("->") else {
+        return String::new();
+    };
+    let mut ret = &sig[at + 2..];
+    if let Some(w) = crate::checks::find_token(ret, "where") {
+        ret = &ret[..w];
+    }
+    ret.trim().to_owned()
+}
+
 /// Whether the contiguous doc/attribute block above line `idx` (0-based)
 /// contains a `# Panics` section.
 fn docs_have_panics(lines: &[Line], idx: usize) -> bool {
@@ -924,6 +1255,23 @@ fn has_non_literal_index(code: &str) -> bool {
         let prev = chars[..i].iter().rev().find(|c| !c.is_whitespace());
         let indexing = matches!(prev, Some(p) if is_ident(*p) || *p == ')' || *p == ']');
         if !indexing {
+            continue;
+        }
+        // A keyword before `[` means an array *literal* position
+        // (`for x in [a, b]`, `return [x]`), not a place expression.
+        let before: String = chars[..i]
+            .iter()
+            .rev()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| is_ident(**c))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        if matches!(
+            before.as_str(),
+            "in" | "return" | "break" | "else" | "match" | "mut" | "ref"
+        ) {
             continue;
         }
         // Attribute `#[…]` — the `#` is never an identifier char, so the
@@ -1078,6 +1426,25 @@ mod tests {
     }
 
     #[test]
+    fn array_literals_are_not_indexing() {
+        let m = parse(
+            "fn f(a: u32, b: u32, xs: &[u32], i: usize) -> u32 {\n    \
+             for x in [a, b] {\n        let _ = x;\n    }\n    \
+             let pair = [a, b];\n    \
+             let margin = xs;\n    \
+             margin[i] + pair[0]\n}\n",
+        );
+        let indexing = m.fns[0]
+            .panic_sources
+            .iter()
+            .filter(|s| s.what == "slice indexing")
+            .count();
+        // Only `margin[i]`: the `in [a, b]` literal, the `= [a, b]`
+        // literal, and the literal-index `pair[0]` contribute nothing.
+        assert_eq!(indexing, 1);
+    }
+
+    #[test]
     fn det_sources_include_derived_imports() {
         let m = parse(
             "use std::fs::File;\nuse std::time::Duration;\nfn f() {\n    let h = File::create(p);\n    let t = Instant::now();\n    let d = Duration::from_secs(1);\n}\n",
@@ -1151,6 +1518,75 @@ mod tests {
             Some(&vec!["eaao_core".into(), "cluster".into()])
         );
         assert_eq!(m.globs, vec![vec!["super".to_owned(), "util".to_owned()]]);
+    }
+
+    #[test]
+    fn structs_fields_and_derives_are_extracted() {
+        let m = parse(
+            "/// A sampler.\n#[derive(Debug, Clone)]\npub struct Sampler {\n    /// Shared lane.\n    tree: Arc<Vec<u64>>,\n    pub total: u64,\n}\n\npub struct Unit;\npub struct Pair(u32, u32);\n",
+        );
+        assert_eq!(m.structs.len(), 3);
+        let s = &m.structs[0];
+        assert_eq!(s.name, "Sampler");
+        assert_eq!(s.kind, TypeDefKind::Struct);
+        assert_eq!(s.line, 3);
+        assert_eq!(s.derives, vec!["Clone".to_owned(), "Debug".to_owned()]);
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0].name, "tree");
+        assert_eq!(s.fields[0].ty, "Arc<Vec<u64>>");
+        assert_eq!(s.fields[0].line, 5);
+        assert_eq!(s.fields[1].name, "total");
+        assert_eq!(s.fields[1].ty, "u64");
+        assert!(m.structs[1].fields.is_empty());
+        assert!(m.structs[2].fields.is_empty());
+    }
+
+    #[test]
+    fn enum_variants_are_recorded_as_fields() {
+        let m = parse(
+            "#[derive(Debug)]\npub enum Any<E: Engine = Opt> {\n    CloudRun(CloudRunPolicy<E>),\n    Bare,\n}\n",
+        );
+        let s = &m.structs[0];
+        assert_eq!(s.kind, TypeDefKind::Enum);
+        assert_eq!(s.header, "<E: Engine = Opt>");
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0].name, "CloudRun");
+        assert_eq!(s.fields[0].ty, "(CloudRunPolicy<E>)");
+        assert_eq!(s.fields[1].name, "Bare");
+    }
+
+    #[test]
+    fn return_types_body_idents_and_end_lines() {
+        let m = parse(
+            "pub struct Clock;\nimpl Clock {\n    pub fn fork(&self) -> Clock {\n        Clock::starting_at(self.now())\n    }\n    pub fn share(&self) -> Self {\n        self.clone()\n    }\n    fn silent(&self) {}\n}\n",
+        );
+        let fork = &m.fns[0];
+        assert_eq!(fork.ret, "Clock");
+        assert_eq!(fork.line, 3);
+        assert_eq!(fork.end_line, 5);
+        assert!(fork.body_idents.contains("now"));
+        assert!(fork.body_idents.contains("starting_at"));
+        assert!(!fork.body_idents.contains("share"));
+        assert_eq!(m.fns[1].ret, "Self");
+        assert_eq!(m.fns[2].ret, "");
+    }
+
+    #[test]
+    fn multi_line_signatures_capture_the_return_type() {
+        let m = parse(
+            "pub fn branch(\n    &self,\n    key: &str,\n) -> WorldSnapshot<E, P> {\n    self.freeze()\n}\n",
+        );
+        assert_eq!(m.fns[0].ret, "WorldSnapshot<E, P>");
+        assert!(m.fns[0].body_idents.contains("freeze"));
+    }
+
+    #[test]
+    fn test_gated_structs_are_skipped() {
+        let m = parse(
+            "pub struct Real {\n    x: u32,\n}\n#[cfg(test)]\nstruct Fake {\n    y: u32,\n}\n",
+        );
+        assert_eq!(m.structs.len(), 1);
+        assert_eq!(m.structs[0].name, "Real");
     }
 
     #[test]

@@ -46,6 +46,20 @@ pub struct CratePolicy {
     /// protocol; everywhere else the `net-policy` check keeps network
     /// I/O out, so the service boundary stays in exactly one crate.
     pub net: bool,
+    /// Whether the crate's types participate in the snapshot/branch
+    /// contract, so the field-level checks (`fork-coverage`,
+    /// `cow-aliasing`) model its structs. True for the model crates plus
+    /// `campaign` (which tees worlds across trials); false for host
+    /// tools whose `Clone`s never cross a `World::branch()`.
+    pub fork_surface: bool,
+    /// Whether the `float-determinism` check scans the crate's library
+    /// sources. True exactly for the simulation-critical crates — the
+    /// ones whose arithmetic must replay byte-identically — so it tracks
+    /// the `determinism` column today but is its own axis: a future
+    /// host-side crate could be determinism-exempt (wall clocks fine)
+    /// while still barred from unordered float math it feeds back into
+    /// records.
+    pub float_det: bool,
 }
 
 /// The workspace policy table.
@@ -64,6 +78,8 @@ pub const POLICIES: &[CratePolicy] = &[
         determinism: false,
         call_graph: false,
         net: false,
+        fork_surface: false,
+        float_det: false,
     },
     CratePolicy {
         name: "eaao-simcore",
@@ -71,6 +87,8 @@ pub const POLICIES: &[CratePolicy] = &[
         determinism: true,
         call_graph: true,
         net: false,
+        fork_surface: true,
+        float_det: true,
     },
     CratePolicy {
         name: "eaao-tsc",
@@ -78,6 +96,8 @@ pub const POLICIES: &[CratePolicy] = &[
         determinism: true,
         call_graph: true,
         net: false,
+        fork_surface: true,
+        float_det: true,
     },
     CratePolicy {
         name: "eaao-cloudsim",
@@ -85,6 +105,8 @@ pub const POLICIES: &[CratePolicy] = &[
         determinism: true,
         call_graph: true,
         net: false,
+        fork_surface: true,
+        float_det: true,
     },
     CratePolicy {
         name: "eaao-orchestrator",
@@ -92,6 +114,8 @@ pub const POLICIES: &[CratePolicy] = &[
         determinism: true,
         call_graph: true,
         net: false,
+        fork_surface: true,
+        float_det: true,
     },
     CratePolicy {
         name: "eaao-core",
@@ -99,6 +123,8 @@ pub const POLICIES: &[CratePolicy] = &[
         determinism: true,
         call_graph: true,
         net: false,
+        fork_surface: true,
+        float_det: true,
     },
     CratePolicy {
         name: "eaao-oracle",
@@ -106,6 +132,8 @@ pub const POLICIES: &[CratePolicy] = &[
         determinism: true,
         call_graph: true,
         net: false,
+        fork_surface: true,
+        float_det: true,
     },
     CratePolicy {
         name: "eaao-campaign",
@@ -113,6 +141,8 @@ pub const POLICIES: &[CratePolicy] = &[
         determinism: false,
         call_graph: true,
         net: false,
+        fork_surface: true,
+        float_det: false,
     },
     CratePolicy {
         name: "eaao-obs",
@@ -120,6 +150,8 @@ pub const POLICIES: &[CratePolicy] = &[
         determinism: false,
         call_graph: true,
         net: false,
+        fork_surface: false,
+        float_det: false,
     },
     CratePolicy {
         name: "eaao-bench",
@@ -127,6 +159,8 @@ pub const POLICIES: &[CratePolicy] = &[
         determinism: false,
         call_graph: false,
         net: false,
+        fork_surface: false,
+        float_det: false,
     },
     CratePolicy {
         name: "eaao-tidy",
@@ -134,6 +168,8 @@ pub const POLICIES: &[CratePolicy] = &[
         determinism: false,
         call_graph: false,
         net: false,
+        fork_surface: false,
+        float_det: false,
     },
     CratePolicy {
         name: "eaao-serve",
@@ -141,6 +177,8 @@ pub const POLICIES: &[CratePolicy] = &[
         determinism: false,
         call_graph: false,
         net: true,
+        fork_surface: false,
+        float_det: false,
     },
 ];
 
@@ -169,6 +207,28 @@ mod tests {
         assert!(policy_for_dir("crates/simcore").is_some_and(|p| p.determinism));
         assert!(policy_for_dir("crates/campaign").is_some_and(|p| !p.determinism));
         assert!(policy_for_dir("crates/unknown").is_none());
+    }
+
+    #[test]
+    fn field_level_columns_cover_the_model_crates() {
+        // float-determinism scans exactly the simulation-critical crates.
+        for p in POLICIES {
+            assert_eq!(
+                p.float_det, p.determinism,
+                "float_det drifted from determinism for {}",
+                p.name
+            );
+            // Every float-det crate is also modelled by the field pass.
+            assert!(
+                !p.float_det || p.fork_surface,
+                "{} has float_det without fork_surface",
+                p.name
+            );
+        }
+        // campaign tees worlds across trials: fork surface, but its
+        // wall-clock timing math is not replayed.
+        assert!(policy_for_dir("crates/campaign").is_some_and(|p| p.fork_surface && !p.float_det));
+        assert!(policy_for_dir("crates/serve").is_some_and(|p| !p.fork_surface));
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::path::{Path, PathBuf};
 use crate::baseline::{self, Baseline, BASELINE_FILE};
 use crate::checks::{self, SuppressionOracle};
 use crate::diag::{CheckId, Diagnostic};
+use crate::fields::{self, FieldModel};
 use crate::graph::{GraphInput, Workspace};
 use crate::parse::FileModel;
 use crate::policy::{policy_for_dir, CratePolicy, FileKind, POLICIES};
@@ -107,12 +108,44 @@ pub fn scan_workspace(root: &Path) -> ScanOutcome {
         .collect();
     let ws = Workspace::build(&inputs);
     drop(inputs);
+
+    // Phase 2b: the field-level model and checks (fork-coverage,
+    // cow-aliasing, float-determinism) over the same parsed models. Raw
+    // pairs are collected while `files` is still borrowed immutably; the
+    // suppression oracle (which needs `&mut files`) filters them below.
+    let mut field_raw: Vec<(usize, Diagnostic)> = Vec::new();
+    {
+        let field_inputs: Vec<fields::FileInput<'_>> = models
+            .iter()
+            .map(|(idx, model)| fields::FileInput {
+                rel: &files[*idx].rel,
+                file_idx: *idx,
+                policy: files[*idx].policy,
+                src: &files[*idx].src,
+                model,
+            })
+            .collect();
+        let fm = FieldModel::build(&field_inputs);
+        checks::fork_cov::check(&fm, &mut field_raw);
+        checks::cow::check(&fm, &field_inputs, &mut field_raw);
+        for input in &field_inputs {
+            if input.policy.float_det {
+                checks::float_det::check(input, &mut field_raw);
+            }
+        }
+    }
+
     let mut semantic: Vec<Diagnostic> = Vec::new();
     {
         let mut oracle = WorkspaceSuppressions { files: &mut files };
         checks::panic_reach::check(&ws, &mut oracle, &mut semantic);
         checks::taint::check(&ws, &mut oracle, &mut semantic);
         checks::lock_order::check(&ws, &mut oracle, &mut semantic);
+        for (file_idx, diag) in field_raw {
+            if !oracle.suppressed(file_idx, diag.line, diag.check) {
+                semantic.push(diag);
+            }
+        }
     }
     sort_diags(&mut semantic);
     semantic.dedup();

@@ -1,0 +1,74 @@
+#![warn(missing_docs, missing_debug_implementations)]
+//! Fixture: copy-on-write lanes written around `Arc::make_mut`.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// A branchable sampler whose weight lanes are copy-on-write.
+#[derive(Debug)]
+pub struct Sampler {
+    tree: Arc<Vec<u64>>,
+    hits: Cell<u64>,
+}
+
+impl Clone for Sampler {
+    fn clone(&self) -> Self {
+        Sampler {
+            tree: Arc::clone(&self.tree),
+            hits: self.hits.clone(),
+        }
+    }
+}
+
+impl Sampler {
+    /// Branches the sampler for what-if exploration.
+    pub fn branch(&self) -> Sampler {
+        self.clone()
+    }
+
+    /// Rescales every weight — the bug: `get_mut` silently no-ops while
+    /// any branch is alive, so the write is lost instead of unsharing.
+    pub fn rescale(&mut self, factor: u64) {
+        if let Some(lane) = Arc::get_mut(&mut self.tree) {
+            for slot in lane.iter_mut() {
+                *slot *= factor;
+            }
+        }
+    }
+}
+
+/// The sanctioned shape: unshare first, then write.
+#[derive(Debug)]
+pub struct CowSampler {
+    tree: Arc<Vec<u64>>,
+}
+
+impl Clone for CowSampler {
+    fn clone(&self) -> Self {
+        CowSampler {
+            tree: Arc::clone(&self.tree),
+        }
+    }
+}
+
+impl CowSampler {
+    /// Branches the sampler.
+    pub fn branch(&self) -> CowSampler {
+        self.clone()
+    }
+
+    /// Rescales through `Arc::make_mut`: the first write after a branch
+    /// unshares the lane.
+    pub fn rescale(&mut self, factor: u64) {
+        let lane = Arc::make_mut(&mut self.tree);
+        for slot in lane.iter_mut() {
+            *slot *= factor;
+        }
+    }
+}
+
+/// Interior mutability on a type outside the fork surface: exempt.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    count: Cell<u64>,
+}

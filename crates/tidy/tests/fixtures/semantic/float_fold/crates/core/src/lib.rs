@@ -1,0 +1,19 @@
+#![warn(missing_docs, missing_debug_implementations)]
+//! Fixture: float reductions and comparisons the fixed-point lanes
+//! exist to replace.
+
+/// Mean of the recorded samples — the bug: an unordered float fold.
+pub fn mean(xs: &[f64]) -> f64 {
+    let total = xs.iter().fold(0.0, |a, b| a + b);
+    total / xs.len() as f64
+}
+
+/// Whether the spread collapsed — the bug: float equality.
+pub fn is_flat(spread: f64) -> bool {
+    spread == 0.0
+}
+
+/// The sanctioned shape: reduce in the fixed-point u64 tick lane.
+pub fn total_ticks(ticks: &[u64]) -> u64 {
+    ticks.iter().sum()
+}

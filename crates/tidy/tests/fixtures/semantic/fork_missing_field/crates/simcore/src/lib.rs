@@ -1,0 +1,39 @@
+#![warn(missing_docs, missing_debug_implementations)]
+//! Fixture: a fork path that silently drops one field.
+
+/// A branchable replay stream; `fork` detaches an independent stream.
+#[derive(Debug, Default)]
+pub struct Stream {
+    seed: u64,
+    label: u64,
+    epoch: u64,
+}
+
+impl Stream {
+    /// Detaches an independent stream — but forgets `epoch`, which
+    /// silently resets to zero in every branch (the SimClock bug class).
+    pub fn fork(&self) -> Stream {
+        Stream {
+            seed: self.seed.wrapping_mul(0x9E37_79B9),
+            label: self.label,
+            ..Stream::default()
+        }
+    }
+}
+
+/// The sanctioned shape: a fork path that names every field.
+#[derive(Debug)]
+pub struct Complete {
+    seed: u64,
+    epoch: u64,
+}
+
+impl Complete {
+    /// Detaches with every field's fate written down.
+    pub fn fork(&self) -> Complete {
+        Complete {
+            seed: self.seed.wrapping_add(1),
+            epoch: self.epoch,
+        }
+    }
+}

@@ -107,6 +107,92 @@ fn two_mutex_ordering_cycle_is_pinned_and_lexically_invisible() {
 }
 
 #[test]
+fn fork_path_dropping_a_field_is_pinned_and_lexically_invisible() {
+    let root = fixture_root("fork_missing_field");
+    let findings = scan_workspace(&root).findings;
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let d = &findings[0];
+    assert_eq!(d.file, "crates/simcore/src/lib.rs");
+    assert_eq!(d.line, 9, "anchored at the dropped field's declaration");
+    assert_eq!(d.check.name(), "fork-coverage");
+    assert_eq!(d.symbol, "Stream::fork.epoch");
+    assert!(
+        d.message.contains("does not mention field `epoch`"),
+        "{}",
+        d.message
+    );
+
+    // `Complete::fork` names every field and raises nothing — the
+    // negative half: sanctioned fork paths pass.
+
+    // Companion proof: dropping a field from a struct-update fork body is
+    // invisible to both the lexical pass and the call-graph pass (there
+    // is no call edge and no banned token — only a missing field name).
+    let lexical = lexical_only(&root, "crates/simcore", "crates/simcore/src/lib.rs");
+    assert!(lexical.is_empty(), "{lexical:?}");
+}
+
+#[test]
+fn arc_write_bypassing_make_mut_is_pinned_and_lexically_invisible() {
+    let root = fixture_root("cow_bypass");
+    let findings = scan_workspace(&root).findings;
+    assert_eq!(findings.len(), 2, "{findings:?}");
+
+    // Interior mutability smuggled into a Clone fork-surface type,
+    // anchored at the field.
+    let hits = &findings[0];
+    assert_eq!(hits.file, "crates/cloudsim/src/lib.rs");
+    assert_eq!(hits.line, 11, "anchored at the `Cell` field");
+    assert_eq!(hits.check.name(), "cow-aliasing");
+    assert_eq!(hits.symbol, "Sampler.hits");
+    assert!(hits.message.contains("`Cell`"), "{}", hits.message);
+
+    // The write that dodges `Arc::make_mut`, anchored at the write site.
+    let tree = &findings[1];
+    assert_eq!(tree.file, "crates/cloudsim/src/lib.rs");
+    assert_eq!(tree.line, 32, "anchored at the `Arc::get_mut` write");
+    assert_eq!(tree.check.name(), "cow-aliasing");
+    assert_eq!(tree.symbol, "Sampler.tree");
+    assert!(tree.message.contains("Arc::get_mut"), "{}", tree.message);
+
+    // Negative halves in the same file: `CowSampler::rescale` writes
+    // through `Arc::make_mut` and `Scratch` sits outside the fork
+    // surface — neither raises anything.
+
+    // Companion proof: `Arc::get_mut` is a perfectly legal call; only the
+    // field model knows `tree` is a COW lane of a branchable type.
+    let lexical = lexical_only(&root, "crates/cloudsim", "crates/cloudsim/src/lib.rs");
+    assert!(lexical.is_empty(), "{lexical:?}");
+}
+
+#[test]
+fn unordered_float_fold_and_eq_are_pinned_and_lexically_invisible() {
+    let root = fixture_root("float_fold");
+    let findings = scan_workspace(&root).findings;
+    assert_eq!(findings.len(), 2, "{findings:?}");
+
+    let fold = &findings[0];
+    assert_eq!(fold.file, "crates/core/src/lib.rs");
+    assert_eq!(fold.line, 7, "anchored at the fold");
+    assert_eq!(fold.check.name(), "float-determinism");
+    assert_eq!(fold.symbol, "mean#reduction");
+
+    let eq = &findings[1];
+    assert_eq!(eq.file, "crates/core/src/lib.rs");
+    assert_eq!(eq.line, 13, "anchored at the comparison");
+    assert_eq!(eq.check.name(), "float-determinism");
+    assert_eq!(eq.symbol, "is_flat#eq");
+
+    // Negative half: `total_ticks` reduces in the u64 tick lane and
+    // raises nothing.
+
+    // Companion proof: `fold` and `==` are ordinary tokens to the lexical
+    // pass; only the float-determinism pass reads the operand types.
+    let lexical = lexical_only(&root, "crates/core", "crates/core/src/lib.rs");
+    assert!(lexical.is_empty(), "{lexical:?}");
+}
+
+#[test]
 fn stale_baseline_entries_are_findings_at_their_json_line() {
     let root = fixture_root("stale_baseline");
     let findings = scan_workspace(&root).findings;
