@@ -101,6 +101,7 @@ fn worker_loop(me: usize, local: Worker<Job>, shared: Arc<Shared>) {
                 // pool down with it. `run_with` jobs catch their own
                 // panics and re-raise on the submitting thread; this
                 // outer catch only contains the unwind.
+                // tidy:allow(error-policy) -- run_with re-raised the payload already
                 let _ = catch_unwind(AssertUnwindSafe(job));
                 shared.finish_one();
             }
@@ -112,7 +113,6 @@ fn worker_loop(me: usize, local: Worker<Job>, shared: Arc<Shared>) {
                 if park.shutdown {
                     break; // drained: nothing queued anywhere, flag set
                 }
-                // tidy:allow(lock-order) -- Condvar::wait atomically releases `park` for the wait's duration; the name-based resolver pins `.wait` to an unrelated sampler method.
                 shared.work_ready.wait(&mut park);
             }
         }
@@ -129,6 +129,7 @@ impl Drop for PoolOwner {
     fn drop(&mut self) {
         self.shared.begin_shutdown();
         for handle in self.workers.lock().drain(..) {
+            // tidy:allow(error-policy) -- panics were reported via the channel; Drop must not re-raise
             let _ = handle.join();
         }
     }
@@ -208,7 +209,6 @@ impl Executor {
     pub fn drain(&self) {
         let mut park = self.shared.park.lock();
         while self.shared.outstanding.load(Ordering::Acquire) != 0 {
-            // tidy:allow(lock-order) -- Condvar::wait atomically releases `park` for the wait's duration; the name-based resolver pins `.wait` to an unrelated sampler method.
             self.shared.idle.wait(&mut park);
         }
     }
@@ -256,14 +256,14 @@ impl Executor {
             return Vec::new();
         }
         let work = Arc::new(work);
+        // bound: at most one message per submitted task; the loop below drains exactly `total`
         let (done_tx, done_rx) = channel::unbounded::<(usize, std::thread::Result<R>)>();
         for (index, task) in tasks.into_iter().enumerate() {
             let work = Arc::clone(&work);
             let done_tx = done_tx.clone();
             self.shared.submit(Box::new(move || {
                 let result = catch_unwind(AssertUnwindSafe(|| work(index, task)));
-                // The receiver is gone only if the submitter already
-                // re-raised a panic; later results are then discarded.
+                // tidy:allow(error-policy) -- a closed channel means the submitter re-raised a panic
                 let _ = done_tx.send((index, result));
             }));
         }

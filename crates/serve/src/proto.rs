@@ -241,8 +241,12 @@ enum Fill {
 /// mid-read". A zero-length buffer counts as `Full`.
 fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> Result<Fill, FrameError> {
     let mut filled = 0usize;
-    while filled < buf.len() {
-        match reader.read(&mut buf[filled..]) {
+    loop {
+        let tail = match buf.get_mut(filled..) {
+            Some(tail) if !tail.is_empty() => tail,
+            _ => return Ok(Fill::Full),
+        };
+        match reader.read(tail) {
             Ok(0) if filled == 0 => return Ok(Fill::Empty),
             Ok(0) => return Ok(Fill::Partial),
             Ok(n) => filled += n,
@@ -250,7 +254,6 @@ fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> Result<Fill, Fra
             Err(error) => return Err(FrameError::Io(error)),
         }
     }
-    Ok(Fill::Full)
 }
 
 #[cfg(test)]

@@ -153,6 +153,7 @@ impl OutboundQueue {
     fn new(capacity: usize, slow_consumer: Duration) -> OutboundQueue {
         OutboundQueue {
             state: Mutex::new(OutboundState {
+                // bound: push blocks, then drops the consumer, at `capacity` frames
                 frames: VecDeque::new(),
                 finished: false,
                 dropped: false,
@@ -310,15 +311,15 @@ impl Inner {
     /// Renders the scrape body: service-level series first, then each
     /// campaign's merged metrics labeled by campaign id.
     fn scrape_body(&self) -> String {
-        {
+        // Read under the dispatch lock, publish after releasing it: the
+        // gauge call takes the registry lock, and holding both would pin
+        // an acquisition order on every other metrics call site.
+        let (queued, active) = {
             let state = self.state.lock();
-            self.metrics
-                .gauge("serve.queued_campaigns")
-                .set(state.pending.len() as f64);
-            self.metrics
-                .gauge("serve.active_campaigns")
-                .set(state.active as f64);
-        }
+            (state.pending.len() as f64, state.active as f64)
+        };
+        self.metrics.gauge("serve.queued_campaigns").set(queued);
+        self.metrics.gauge("serve.active_campaigns").set(active);
         self.metrics
             .gauge("serve.active_clients")
             .set(self.active_clients.load(Ordering::Relaxed) as f64);
@@ -378,6 +379,7 @@ impl Server {
             executor: Executor::new(config.jobs),
             config,
             state: Mutex::new(DispatchState {
+                // bound: handle_submit answers Busy once len reaches config.max_pending
                 pending: VecDeque::new(),
                 active: 0,
                 shutdown: false,
@@ -436,26 +438,40 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Currently infallible; the `Result` reserves room for reporting
-    /// teardown failures.
+    /// Returns an error if any service thread (dispatcher, accept, or
+    /// scrape loop) panicked: the daemon drained, but not cleanly.
     pub fn wait(mut self) -> std::io::Result<()> {
+        let mut panicked = 0usize;
         for handle in self.dispatchers.drain(..) {
-            let _ = handle.join();
+            if handle.join().is_err() {
+                panicked += 1;
+            }
         }
         // Dispatchers only exit after the drain completes, so every
         // stream is finished; now unblock the accept loops.
         self.inner.accept_stop.store(true, Ordering::SeqCst);
+        // tidy:allow(error-policy) -- wakeup nudge; a failed connect means the listener is gone
         let _ = TcpStream::connect(self.addr);
         if let Some(addr) = self.metrics_addr {
+            // tidy:allow(error-policy) -- same wakeup nudge as above.
             let _ = TcpStream::connect(addr);
         }
         if let Some(handle) = self.accept.take() {
-            let _ = handle.join();
+            if handle.join().is_err() {
+                panicked += 1;
+            }
         }
         if let Some(handle) = self.scrape.take() {
-            let _ = handle.join();
+            if handle.join().is_err() {
+                panicked += 1;
+            }
         }
         self.inner.executor.drain();
+        if panicked > 0 {
+            return Err(std::io::Error::other(format!(
+                "{panicked} service thread(s) panicked during the drain"
+            )));
+        }
         Ok(())
     }
 }
@@ -477,7 +493,9 @@ fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
         }));
     }
     for handle in connections {
-        let _ = handle.join();
+        if handle.join().is_err() {
+            inner.metrics.counter("serve.connection_panics").add(1);
+        }
     }
 }
 
@@ -487,8 +505,22 @@ fn scrape_loop(inner: &Arc<Inner>, listener: &TcpListener) {
             break;
         }
         let Ok(mut stream) = stream else { continue };
-        let body = inner.scrape_body();
-        let _ = stream.write_all(scrape::http_response(&body).as_bytes());
+        // A panic while rendering (snapshot merging does real math) must
+        // not kill the scrape thread: the endpoint would silently serve
+        // connection resets for the rest of the daemon's life.
+        let body = match catch_unwind(AssertUnwindSafe(|| inner.scrape_body())) {
+            Ok(body) => body,
+            Err(_) => {
+                inner.metrics.counter("serve.scrape_panics").add(1);
+                continue;
+            }
+        };
+        if stream
+            .write_all(scrape::http_response(&body).as_bytes())
+            .is_err()
+        {
+            inner.metrics.counter("serve.scrape_write_errors").add(1);
+        }
     }
 }
 
@@ -578,6 +610,16 @@ fn run_submission(inner: &Arc<Inner>, submission: Submission) {
     queue.finish();
 }
 
+/// Writes a terminal frame on a connection that is about to close.
+/// The client may already be gone, so the write error does not change
+/// control flow — but its rate is operator signal, so it is counted
+/// rather than swallowed.
+fn send_final(inner: &Inner, writer: &mut BufWriter<TcpStream>, frame: &ServerFrame) {
+    if write_frame(writer, frame).is_err() {
+        inner.metrics.counter("serve.write_errors").add(1);
+    }
+}
+
 /// Decrements the active-client count however the connection ends.
 struct ClientGuard<'a>(&'a Inner);
 
@@ -591,7 +633,9 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
     inner.metrics.counter("serve.clients_total").add(1);
     inner.active_clients.fetch_add(1, Ordering::Relaxed);
     let _guard = ClientGuard(inner);
+    // tidy:allow(error-policy) -- best-effort latency hint; correct (just slower) without it
     let _ = stream.set_nodelay(true);
+    // tidy:allow(error-policy) -- best-effort tuning; a stalled handshake only pins one thread
     let _ = stream.set_read_timeout(Some(Duration::from_millis(
         inner.config.handshake_timeout_ms.max(1),
     )));
@@ -613,7 +657,8 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
             }
         }
         Ok(Some(ClientFrame::Hello { version })) => {
-            let _ = write_frame(
+            send_final(
+                inner,
                 &mut writer,
                 &ServerFrame::Rejected {
                     reason: "version".to_owned(),
@@ -625,7 +670,8 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
             return;
         }
         _ => {
-            let _ = write_frame(
+            send_final(
+                inner,
                 &mut writer,
                 &ServerFrame::Rejected {
                     reason: "protocol".to_owned(),
@@ -645,10 +691,11 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
             // ShuttingDown, any later submission is guaranteed to be
             // rejected, not racily admitted.
             inner.begin_shutdown();
-            let _ = write_frame(&mut writer, &ServerFrame::ShuttingDown);
+            send_final(inner, &mut writer, &ServerFrame::ShuttingDown);
         }
         Ok(Some(ClientFrame::Hello { .. })) => {
-            let _ = write_frame(
+            send_final(
+                inner,
                 &mut writer,
                 &ServerFrame::Rejected {
                     reason: "protocol".to_owned(),
@@ -668,7 +715,8 @@ fn handle_submit(
 ) {
     let reject = |writer: &mut BufWriter<TcpStream>, reason: &str, detail: String| {
         inner.metrics.counter("serve.submissions_rejected").add(1);
-        let _ = write_frame(
+        send_final(
+            inner,
             writer,
             &ServerFrame::Rejected {
                 reason: reason.to_owned(),
@@ -753,7 +801,8 @@ fn handle_submit(
             drop(state);
             inner.live_dirs.lock().remove(&dir);
             inner.metrics.counter("serve.submissions_busy").add(1);
-            let _ = write_frame(
+            send_final(
+                inner,
                 writer,
                 &ServerFrame::Busy {
                     queued,

@@ -16,6 +16,12 @@
 //! across calls** into lock-taking functions, which is how cross-function
 //! cycles are born and is worth a finding even before a second thread
 //! closes the loop.
+//!
+//! The held-lock model is `Condvar`-aware: the parser treats
+//! `Condvar::wait`/`wait_while`/`wait_for` as **releasing** the guard
+//! passed to them (the wait atomically unlocks for its duration), and an
+//! explicit `drop(guard)` as an early release — so the blocking-queue
+//! idiom needs no suppression.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 

@@ -3,7 +3,9 @@
 //! The lexical checks (`determinism`, `panics`, `headers`, `unsafe_code`,
 //! `hermeticity`) each scan one file; the semantic checks
 //! (`panic_reach`, `taint`, `lock_order`) run over the whole-workspace
-//! call graph. Both kinds produce *raw* findings; the driver applies
+//! call graph; the concurrency checks (`threads`, `queues`,
+//! `error_policy`, `wire`) run over the per-function lifecycle model.
+//! All kinds produce *raw* findings; the driver applies
 //! inline suppressions once, centrally, via [`filter_suppressed`] and
 //! [`account_suppressions`] — per-check suppression handling is
 //! deliberately impossible to re-implement, because a sixth copy of that
@@ -11,6 +13,7 @@
 
 pub mod cow;
 pub mod determinism;
+pub mod error_policy;
 pub mod float_det;
 pub mod fork_cov;
 pub mod headers;
@@ -19,8 +22,11 @@ pub mod lock_order;
 pub mod net;
 pub mod panic_reach;
 pub mod panics;
+pub mod queues;
 pub mod taint;
+pub mod threads;
 pub mod unsafe_code;
+pub mod wire;
 
 use crate::diag::{CheckId, Diagnostic};
 use crate::policy::{CratePolicy, FileKind};
@@ -30,7 +36,8 @@ use crate::source::{Line, SourceFile};
 /// unknown-check diagnostic.
 pub const SUPPRESSIBLE_CHECKS: &str = "determinism, unsafe-policy, crate-header, panic-policy, \
      net-policy, hermeticity, panic-reachability, determinism-taint, lock-order, \
-     fork-coverage, cow-aliasing, float-determinism";
+     fork-coverage, cow-aliasing, float-determinism, thread-lifecycle, queue-bounds, \
+     error-policy, wire-schema";
 
 /// Finds `pattern` in masked code with identifier boundaries on both ends
 /// (`HashMap` does not match `FxHashMap` or `HashMaps`; `std::fs` does

@@ -3,11 +3,15 @@
 //!
 //! ```text
 //! eaao-tidy [--root DIR] [--json PATH] [--write-baseline] [--list-checks]
+//!           [--timings]
 //! ```
 //!
 //! * `--json PATH` additionally writes the findings as a machine-readable
 //!   JSON document (`-` for stdout). The document is byte-identical
 //!   across runs on the same tree.
+//! * `--timings` prints a per-phase wall-clock breakdown after the scan,
+//!   so the analysis' own runtime stays an explicit budget (the CI smoke
+//!   step gates on the total).
 //! * `--write-baseline` rewrites `tidy-baseline.json` so the current
 //!   semantic findings are accepted as known debt, carrying over
 //!   justifications for keys that already had them. New entries get an
@@ -32,10 +36,11 @@ struct Options {
     json: Option<String>,
     write_baseline: bool,
     list_checks: bool,
+    timings: bool,
 }
 
-const USAGE: &str =
-    "usage: eaao-tidy [--root WORKSPACE_DIR] [--json PATH|-] [--write-baseline] [--list-checks]";
+const USAGE: &str = "usage: eaao-tidy [--root WORKSPACE_DIR] [--json PATH|-] [--write-baseline] \
+     [--list-checks] [--timings]";
 
 /// Runs the CLI on already-split arguments (exclusive of the program
 /// name). Returns the process exit code: 0 clean, 1 findings, 2 usage
@@ -55,6 +60,7 @@ pub fn run(args: &[String]) -> u8 {
             },
             "--write-baseline" => opts.write_baseline = true,
             "--list-checks" => opts.list_checks = true,
+            "--timings" => opts.timings = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return 0;
@@ -93,6 +99,9 @@ pub fn run(args: &[String]) -> u8 {
 
     for d in &outcome.findings {
         println!("{d}");
+    }
+    if opts.timings {
+        print!("{}", render_timings(&outcome.timings));
     }
     if let Some(path) = &opts.json {
         let doc = render_json(&outcome.findings);
@@ -136,6 +145,26 @@ pub fn render_check_list() -> String {
             info.scope,
         ));
     }
+    out
+}
+
+/// Renders the `--timings` breakdown: one line per scan phase plus the
+/// total, in milliseconds. The `total-ms` line is the machine-readable
+/// hook the CI runtime-budget gate greps for.
+pub fn render_timings(timings: &[(&'static str, f64)]) -> String {
+    let width = timings
+        .iter()
+        .map(|(label, _)| label.len())
+        .max()
+        .unwrap_or(0)
+        .max("total-ms".len());
+    let mut out = String::from("eaao-tidy timings:\n");
+    let mut total = 0.0;
+    for (label, ms) in timings {
+        total += ms;
+        out.push_str(&format!("  {label:width$}  {ms:9.2}\n"));
+    }
+    out.push_str(&format!("  {:width$}  {total:9.2}\n", "total-ms"));
     out
 }
 

@@ -46,6 +46,21 @@ pub enum CheckId {
     /// truncating `as` cast on a float in a simulation-critical crate
     /// (field-level check).
     FloatDeterminism,
+    /// A spawned thread whose `JoinHandle` is discarded or never joined,
+    /// or a dispatcher-path worker closure that can panic without a
+    /// `catch_unwind` barrier (concurrency check).
+    ThreadLifecycle,
+    /// A cross-thread queue built unbounded with no `bound:` comment
+    /// naming the enforcing mechanism (concurrency check).
+    QueueBounds,
+    /// A swallowed `Result` in service-crate library code: `let _ =`,
+    /// `.ok()`-discard, or a statement-dropped `#[must_use]` value
+    /// (concurrency check).
+    ErrorPolicy,
+    /// Drift between the `proto.rs` wire enums, the frames the peer
+    /// actually handles, and the frame tables in `docs/SERVICE.md`
+    /// (concurrency check).
+    WireSchema,
     /// A stale, duplicate, unjustified, or unparsable entry in
     /// `tidy-baseline.json`.
     Baseline,
@@ -68,6 +83,10 @@ impl CheckId {
             CheckId::ForkCoverage => "fork-coverage",
             CheckId::CowAliasing => "cow-aliasing",
             CheckId::FloatDeterminism => "float-determinism",
+            CheckId::ThreadLifecycle => "thread-lifecycle",
+            CheckId::QueueBounds => "queue-bounds",
+            CheckId::ErrorPolicy => "error-policy",
+            CheckId::WireSchema => "wire-schema",
             CheckId::Baseline => "baseline",
         }
     }
@@ -89,13 +108,17 @@ impl CheckId {
             "fork-coverage" => Some(CheckId::ForkCoverage),
             "cow-aliasing" => Some(CheckId::CowAliasing),
             "float-determinism" => Some(CheckId::FloatDeterminism),
+            "thread-lifecycle" => Some(CheckId::ThreadLifecycle),
+            "queue-bounds" => Some(CheckId::QueueBounds),
+            "error-policy" => Some(CheckId::ErrorPolicy),
+            "wire-schema" => Some(CheckId::WireSchema),
             _ => None,
         }
     }
 
     /// Whether the check is one of the workspace-model (semantic) checks
-    /// — call-graph or field-level — the only findings the baseline
-    /// ratchet may carry.
+    /// — call-graph, field-level, or concurrency — the only findings the
+    /// baseline ratchet may carry.
     pub fn is_semantic(self) -> bool {
         matches!(
             self,
@@ -105,6 +128,10 @@ impl CheckId {
                 | CheckId::ForkCoverage
                 | CheckId::CowAliasing
                 | CheckId::FloatDeterminism
+                | CheckId::ThreadLifecycle
+                | CheckId::QueueBounds
+                | CheckId::ErrorPolicy
+                | CheckId::WireSchema
         )
     }
 }
@@ -122,8 +149,9 @@ pub struct CheckInfo {
     /// The check.
     pub check: CheckId,
     /// Analysis layer: `lexical` (per-line), `call-graph` (workspace
-    /// function graph), `field-level` (struct/field model), or `meta`
-    /// (findings about the tool's own inputs).
+    /// function graph), `field-level` (struct/field model), `concurrency`
+    /// (thread/queue/wire lifecycle model), or `meta` (findings about the
+    /// tool's own inputs).
     pub layer: &'static str,
     /// One-line contract: what a finding means.
     pub contract: &'static str,
@@ -214,6 +242,30 @@ pub const CHECK_REGISTRY: &[CheckInfo] = &[
         scope: "library sources of crates with policy float_det=true",
     },
     CheckInfo {
+        check: CheckId::ThreadLifecycle,
+        layer: "concurrency",
+        contract: "every spawned thread is joined, tracked, or justified; dispatcher-path workers carry catch_unwind barriers",
+        scope: "library sources of crates with policy concurrency=true",
+    },
+    CheckInfo {
+        check: CheckId::QueueBounds,
+        layer: "concurrency",
+        contract: "every cross-thread queue is bounded or names its bound in a `bound:` comment",
+        scope: "library sources of crates with policy concurrency=true",
+    },
+    CheckInfo {
+        check: CheckId::ErrorPolicy,
+        layer: "concurrency",
+        contract: "no `let _ =`, `.ok()`-discard, or dropped #[must_use] value in library code",
+        scope: "library sources of crates with policy concurrency=true",
+    },
+    CheckInfo {
+        check: CheckId::WireSchema,
+        layer: "concurrency",
+        contract: "proto.rs wire enums, peer match arms, and docs/SERVICE.md frame tables agree",
+        scope: "the service crate's proto.rs/server.rs/client.rs plus docs/SERVICE.md",
+    },
+    CheckInfo {
         check: CheckId::Baseline,
         layer: "meta",
         contract: "every tidy-baseline.json entry is live, unique, and justified",
@@ -296,6 +348,10 @@ mod tests {
             CheckId::ForkCoverage,
             CheckId::CowAliasing,
             CheckId::FloatDeterminism,
+            CheckId::ThreadLifecycle,
+            CheckId::QueueBounds,
+            CheckId::ErrorPolicy,
+            CheckId::WireSchema,
         ] {
             assert_eq!(CheckId::from_name(check.name()), Some(check));
         }
@@ -312,6 +368,10 @@ mod tests {
         assert!(CheckId::ForkCoverage.is_semantic());
         assert!(CheckId::CowAliasing.is_semantic());
         assert!(CheckId::FloatDeterminism.is_semantic());
+        assert!(CheckId::ThreadLifecycle.is_semantic());
+        assert!(CheckId::QueueBounds.is_semantic());
+        assert!(CheckId::ErrorPolicy.is_semantic());
+        assert!(CheckId::WireSchema.is_semantic());
         assert!(!CheckId::Determinism.is_semantic());
         assert!(!CheckId::Baseline.is_semantic());
     }
@@ -324,7 +384,7 @@ mod tests {
         for pair in CHECK_REGISTRY.windows(2) {
             assert!(pair[0].check < pair[1].check, "registry out of order");
         }
-        assert_eq!(CHECK_REGISTRY.len(), 14, "new CheckId? register it here");
+        assert_eq!(CHECK_REGISTRY.len(), 18, "new CheckId? register it here");
         for info in CHECK_REGISTRY {
             assert_eq!(
                 CheckId::from_name(info.check.name()).is_some(),
@@ -335,14 +395,15 @@ mod tests {
             assert!(!info.contract.is_empty() && !info.scope.is_empty());
             assert!(matches!(
                 info.layer,
-                "lexical" | "call-graph" | "field-level" | "meta"
+                "lexical" | "call-graph" | "field-level" | "concurrency" | "meta"
             ));
         }
-        // Semantic checks are exactly the call-graph + field-level layers.
+        // Semantic checks are exactly the call-graph, field-level, and
+        // concurrency layers.
         for info in CHECK_REGISTRY {
             assert_eq!(
                 info.check.is_semantic(),
-                info.layer == "call-graph" || info.layer == "field-level",
+                matches!(info.layer, "call-graph" | "field-level" | "concurrency"),
                 "layer/semantic drift for {}",
                 info.check
             );

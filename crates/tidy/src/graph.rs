@@ -94,6 +94,8 @@ const METHOD_DENYLIST: &[&str] = &[
     "ne",
     "next",
     "next_back",
+    "notify_all",
+    "notify_one",
     "ok",
     "or_else",
     "parse",
@@ -136,6 +138,7 @@ const METHOD_DENYLIST: &[&str] = &[
     "unwrap_or_default",
     "unwrap_or_else",
     "values",
+    "wait",
     "with_capacity",
     "wrapping_add",
     "write",

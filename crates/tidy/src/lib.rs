@@ -8,7 +8,7 @@
 //! dependency-free pass built on a masking lexer, which is exactly what a
 //! hermetic, registry-free workspace can support.
 //!
-//! The pass has three layers. The **lexical** checks look at one masked
+//! The pass has four layers. The **lexical** checks look at one masked
 //! line at a time. The **semantic** checks parse every `src/` file into an
 //! item-level model ([`parse`]), assemble a workspace call graph
 //! ([`graph`]), and reason about what functions *reach*, not just what
@@ -19,7 +19,13 @@
 //! surface — which types flow through `clone`/`fork`/`branch`/`snapshot`,
 //! and what each of their fields is made of — so a fork path that forgets
 //! a field, an `Arc` lane written around `Arc::make_mut`, or a float
-//! reduction outside the fixed-point lanes is a finding.
+//! reduction outside the fixed-point lanes is a finding. The
+//! **concurrency** checks model the service runtime's thread lifecycle —
+//! spawn sites and the fate of each `JoinHandle`, queue constructions
+//! with bounded/unbounded classification, swallowed `Result`s, and the
+//! wire-protocol enums against the peers and docs that must track them —
+//! so a detached worker, an unbounded daemon queue, or a frame the
+//! server no longer handles is a finding.
 //!
 //! # Checks
 //!
@@ -38,6 +44,10 @@
 //! | `fork-coverage` | field-level | a fork-surface type whose fork path does not decide every field's share-vs-detach fate (a `derive(Clone)` sharing an `Arc` field, or a fork body that never names a field) |
 //! | `cow-aliasing` | field-level | writes to fork-surface `Arc` lanes that dodge `Arc::make_mut`; interior mutability inside a shared `Arc` or on a `Clone` fork-surface type |
 //! | `float-determinism` | field-level | unordered float reductions, float `==`/`!=`, and truncating `as`-casts from floats in `float_det` crates |
+//! | `thread-lifecycle` | concurrency | discarded or leaked `JoinHandle`s, and spawned workers that can die to an uncaught panic, in `concurrency` crates |
+//! | `queue-bounds` | concurrency | queue constructions that neither fix a capacity nor name their bound in a `// bound: …` comment |
+//! | `error-policy` | concurrency | `let _ =` / statement-`.ok()` discards and dropped `#[must_use]` results in service-crate library code |
+//! | `wire-schema` | concurrency | protocol-enum variants unhandled by the peer or out of sync with the `docs/SERVICE.md` frame tables |
 //! | `baseline` | meta | stale, duplicate, unjustified, or malformed `tidy-baseline.json` entries |
 //!
 //! The per-crate policy table lives in [`policy`]; which checks apply where

@@ -46,6 +46,11 @@ pub struct CallSite {
     pub line: usize,
     /// Lock names (see [`LockAcquire::lock`]) held when the call is made.
     pub holding: Vec<String>,
+    /// Whether the call is a whole statement whose value is dropped: the
+    /// receiver/path starts the line and the matching `)` meets a bare
+    /// `;`. `let x = …`, `?`, chained calls, and values flowing into an
+    /// enclosing expression are all `false`.
+    pub stmt: bool,
 }
 
 /// One `.lock()` acquisition inside a function body.
@@ -71,6 +76,65 @@ pub struct SourceSite {
     pub line: usize,
     /// Short description of the construct (`panic!`, `Instant`, `xs[i]`).
     pub what: String,
+}
+
+/// One OS-thread spawn site (`thread::spawn`, `std::thread::spawn`, or a
+/// `thread::Builder` chain's `.spawn(…)`) inside a function body.
+///
+/// The handle's fate is classified lexically: a `let` binding is watched
+/// for reuse on later lines of the same function, a statement-position
+/// spawn whose value meets a bare `;` is a discard, and everything else
+/// (pushed, collected, returned, wrapped) is treated as flowing into a
+/// tracked container. Nested spawns inside another spawn's argument list
+/// are not tracked separately.
+#[derive(Debug, Clone)]
+pub struct SpawnSite {
+    /// 1-based line of the spawn call.
+    pub line: usize,
+    /// 1-based line where the spawn's argument list closes — call edges
+    /// within `line..=end_line` are the thread's entry functions.
+    pub end_line: usize,
+    /// `let` binding receiving the `JoinHandle`, if any (`let _ = …`
+    /// records no binding: the handle is dropped on the spot).
+    pub binding: Option<String>,
+    /// The handle is dropped where it is made: statement position with no
+    /// binding.
+    pub discarded: bool,
+    /// The binding reappears on a later line of the same function
+    /// (joined, stored, or returned by name).
+    pub binding_used: bool,
+}
+
+/// One cross-thread-queue construction site (`VecDeque`, crossbeam
+/// `channel`, or `std::sync::mpsc`).
+#[derive(Debug, Clone)]
+pub struct QueueSite {
+    /// 1-based line.
+    pub line: usize,
+    /// The constructor as written (`VecDeque::new`, `channel::unbounded`, …).
+    pub what: String,
+    /// Whether the constructor itself fixes a capacity
+    /// (`channel::bounded`, `mpsc::sync_channel`, `VecDeque::with_capacity`).
+    pub bounded: bool,
+    /// Whether the construction line (or the line directly above) names
+    /// the enforcing mechanism in a `bound:` comment.
+    pub bound_named: bool,
+}
+
+/// One `Condvar::wait`-family call (`cv.wait(&mut guard)`,
+/// `cv.wait_while(&mut guard, pred)`, `cv.wait_for(&mut guard, dur)`).
+///
+/// A condvar wait atomically *releases* its guard for the wait's duration,
+/// so it is recorded here instead of as a [`CallSite`] — treating it as a
+/// call while the lock is held would fabricate lock-order edges.
+#[derive(Debug, Clone)]
+pub struct CondvarWait {
+    /// 1-based line.
+    pub line: usize,
+    /// The method name as written (`wait`, `wait_while`, …).
+    pub what: String,
+    /// The `&mut`-borrowed guard binding the wait releases and reacquires.
+    pub guard: String,
 }
 
 /// One parsed `fn` item.
@@ -108,6 +172,17 @@ pub struct FnItem {
     pub det_sources: Vec<SourceSite>,
     /// Lock acquisitions in the body.
     pub locks: Vec<LockAcquire>,
+    /// OS-thread spawn sites in the body.
+    pub spawns: Vec<SpawnSite>,
+    /// Cross-thread-queue construction sites in the body.
+    pub queues: Vec<QueueSite>,
+    /// Condvar wait sites in the body.
+    pub condvar_waits: Vec<CondvarWait>,
+    /// 1-based lines carrying a `catch_unwind` token — unwind barriers
+    /// for the thread-lifecycle check.
+    pub catch_unwinds: Vec<usize>,
+    /// Whether the item carries a `#[must_use]` attribute.
+    pub has_must_use: bool,
     /// Every identifier token appearing in the body — the raw material of
     /// the per-field mention tracking behind the `fork-coverage` check.
     pub body_idents: std::collections::BTreeSet<String>,
@@ -228,6 +303,31 @@ struct PendingFn {
     sig: String,
 }
 
+/// A lock guard currently held in the body being parsed.
+#[derive(Debug)]
+struct HeldGuard {
+    /// Canonical lock name (see [`LockAcquire::lock`]).
+    lock: String,
+    /// The guard's `let` binding, so an explicit `drop(binding)` releases
+    /// it before its block closes.
+    binding: Option<String>,
+    /// Brace depth the binding's block opened at.
+    depth: i64,
+}
+
+/// Paren-depth tracking for a call whose argument list spans lines:
+/// which site to finish classifying once the matching `)` (and the
+/// character after it) is seen.
+#[derive(Debug, Clone, Copy)]
+struct ParenTrack {
+    fn_idx: usize,
+    site_idx: usize,
+    depth: i64,
+    /// The argument list closed at end-of-line; the next line's first
+    /// significant character decides statement-vs-value position.
+    awaiting_tail: bool,
+}
+
 struct Parser<'a> {
     lines: &'a [Line],
     file_stem: String,
@@ -237,8 +337,13 @@ struct Parser<'a> {
     pending: Option<PendingFn>,
     /// `{` still owed to a just-seen `mod`/`impl`/`trait` header.
     pending_ctx: Option<Ctx>,
-    /// Held lock guards: (lock name, depth the binding block opened at).
-    held: Vec<(String, i64)>,
+    /// Held lock guards, released at block close or an explicit `drop`.
+    held: Vec<HeldGuard>,
+    /// Open multi-line spawn argument list, if any.
+    spawn_track: Option<ParenTrack>,
+    /// Open multi-line statement-position call, if any (for the
+    /// discarded-result classification of [`CallSite::stmt`]).
+    stmt_track: Option<ParenTrack>,
     /// Per-file derived determinism tokens (from banned imports).
     derived_tokens: Vec<String>,
     /// Lines with a justified `tidy:allow(determinism)` (sources there are
@@ -279,6 +384,8 @@ impl FileModel {
             pending: None,
             pending_ctx: None,
             held: Vec::new(),
+            spawn_track: None,
+            stmt_track: None,
             derived_tokens: Vec::new(),
             det_suppressed,
             locals: std::collections::BTreeSet::new(),
@@ -706,6 +813,11 @@ impl Parser<'_> {
             panic_sources: Vec::new(),
             det_sources: Vec::new(),
             locks: Vec::new(),
+            spawns: Vec::new(),
+            queues: Vec::new(),
+            condvar_waits: Vec::new(),
+            catch_unwinds: Vec::new(),
+            has_must_use: attrs_have_must_use(self.lines, idx),
             body_idents: std::collections::BTreeSet::new(),
         };
         self.pending = Some(PendingFn {
@@ -756,15 +868,24 @@ impl Parser<'_> {
                 }
             }
         }
-        self.held.retain(|(_, d)| *d <= close_at);
+        self.held.retain(|g| g.depth <= close_at);
     }
 
     /// Scans one line of a function body: facts first, then braces.
     fn body_line(&mut self, code: &str, lineno: usize, in_test: bool) {
         if !in_test {
+            self.advance_tracks(code, lineno);
             self.scan_locals(code);
             self.scan_locks(code, lineno);
+            self.scan_spawn_bindings(code, lineno);
+            self.scan_spawns(code, lineno);
+            self.scan_queues(code, lineno);
             self.scan_calls(code, lineno);
+            if crate::checks::find_token(code, "catch_unwind").is_some() {
+                if let Some(f) = self.current_fn_mut() {
+                    f.catch_unwinds.push(lineno);
+                }
+            }
             self.scan_panic_sources(code, lineno);
             self.scan_det_sources(code, lineno);
             self.scan_body_idents(code);
@@ -802,7 +923,7 @@ impl Parser<'_> {
     }
 
     fn held_names(&self) -> Vec<String> {
-        self.held.iter().map(|(n, _)| n.clone()).collect()
+        self.held.iter().map(|g| g.lock.clone()).collect()
     }
 
     /// Records names bound by `let` (with optional `mut`) on this line, so
@@ -870,7 +991,12 @@ impl Parser<'_> {
                 });
             }
             if bound {
-                self.held.push((lock, bind_depth));
+                let binding = let_binding(code);
+                self.held.push(HeldGuard {
+                    lock,
+                    binding,
+                    depth: bind_depth,
+                });
             }
         }
     }
@@ -933,6 +1059,22 @@ impl Parser<'_> {
                     if name == "lock" {
                         continue; // handled by scan_locks
                     }
+                    if WAIT_METHODS.contains(&name.as_str()) {
+                        let rest: String = chars[j + 1..].iter().collect();
+                        if let Some(guard) = mut_ref_arg(&rest) {
+                            // A condvar wait atomically releases its guard
+                            // for the wait's duration: record the wait, not
+                            // a call made while holding the lock.
+                            if let Some(f) = self.current_fn_mut() {
+                                f.condvar_waits.push(CondvarWait {
+                                    line: lineno,
+                                    what: name,
+                                    guard,
+                                });
+                            }
+                            continue;
+                        }
+                    }
                     CallTarget::Method(name)
                 }
                 Some(':') => {
@@ -979,15 +1121,253 @@ impl Parser<'_> {
             if matches!(&target, CallTarget::Free(n) if self.locals.contains(n)) {
                 continue;
             }
+            // An explicit `drop(guard)` releases a held lock before its
+            // block closes; `drop` itself is never a workspace callee.
+            if matches!(&target, CallTarget::Free(n) if n == "drop") {
+                let rest: String = chars[j + 1..].iter().collect();
+                if let Some(arg) = single_ident_arg(&rest) {
+                    self.held
+                        .retain(|g| g.binding.as_deref() != Some(arg.as_str()));
+                }
+                continue;
+            }
+            // Statement position: the receiver/path chain starts the line
+            // and the matching `)` meets a bare `;`, so the call's value
+            // is dropped on the spot.
+            let mut chain_start = start;
+            while chain_start > 0 {
+                let c = chars[chain_start - 1];
+                if is_ident(c) || c == '.' || c == ':' {
+                    chain_start -= 1;
+                } else {
+                    break;
+                }
+            }
+            let stmt_pos = chars[..chain_start].iter().all(|c| c.is_whitespace());
+            let mut stmt = false;
+            let mut open = None; // argument list spans lines: (depth, awaiting_tail)
+            if stmt_pos {
+                let rest: String = chars[j..].iter().collect();
+                match step_track(&rest, 0, false) {
+                    TrackOutcome::Open(depth) => open = Some((depth, false)),
+                    TrackOutcome::AwaitTail => open = Some((0, true)),
+                    TrackOutcome::Done(dropped) => stmt = dropped,
+                }
+            }
             let holding = self.held_names();
-            if let Some(f) = self.current_fn_mut() {
-                f.calls.push(CallSite {
+            if let Some(fn_idx) = self.in_fn() {
+                let site_idx = self.model.fns[fn_idx].calls.len();
+                self.model.fns[fn_idx].calls.push(CallSite {
                     target,
                     line: lineno,
                     holding,
+                    stmt,
                 });
+                if let Some((depth, awaiting_tail)) = open {
+                    if self.stmt_track.is_none() {
+                        self.stmt_track = Some(ParenTrack {
+                            fn_idx,
+                            site_idx,
+                            depth,
+                            awaiting_tail,
+                        });
+                    }
+                }
             }
         }
+    }
+
+    /// Advances the open multi-line spawn and statement-call trackers over
+    /// one more body line, finishing each classification once the matching
+    /// `)` and the character after it have been seen.
+    fn advance_tracks(&mut self, code: &str, lineno: usize) {
+        if let Some(track) = self.spawn_track {
+            self.spawn_track = match step_track(code, track.depth, track.awaiting_tail) {
+                TrackOutcome::Open(depth) => Some(ParenTrack { depth, ..track }),
+                TrackOutcome::AwaitTail => Some(ParenTrack {
+                    depth: 0,
+                    awaiting_tail: true,
+                    ..track
+                }),
+                TrackOutcome::Done(dropped) => {
+                    if let Some(site) = self
+                        .model
+                        .fns
+                        .get_mut(track.fn_idx)
+                        .and_then(|f| f.spawns.get_mut(track.site_idx))
+                    {
+                        site.end_line = lineno;
+                        site.discarded = dropped && site.binding.is_none();
+                    }
+                    None
+                }
+            };
+        }
+        if let Some(track) = self.stmt_track {
+            self.stmt_track = match step_track(code, track.depth, track.awaiting_tail) {
+                TrackOutcome::Open(depth) => Some(ParenTrack { depth, ..track }),
+                TrackOutcome::AwaitTail => Some(ParenTrack {
+                    depth: 0,
+                    awaiting_tail: true,
+                    ..track
+                }),
+                TrackOutcome::Done(dropped) => {
+                    if let Some(site) = self
+                        .model
+                        .fns
+                        .get_mut(track.fn_idx)
+                        .and_then(|f| f.calls.get_mut(track.site_idx))
+                    {
+                        site.stmt = dropped;
+                    }
+                    None
+                }
+            };
+        }
+    }
+
+    /// Marks spawn-handle bindings that reappear on a later body line of
+    /// the same function (joined, pushed, returned — any mention counts).
+    fn scan_spawn_bindings(&mut self, code: &str, lineno: usize) {
+        let Some(fn_idx) = self.in_fn() else {
+            return;
+        };
+        let open_spawn = self.spawn_track;
+        let Some(f) = self.model.fns.get_mut(fn_idx) else {
+            return;
+        };
+        for (idx, site) in f.spawns.iter_mut().enumerate() {
+            if site.binding_used || site.line >= lineno {
+                continue;
+            }
+            // Lines inside the spawn's own argument list cannot see the
+            // binding (it is not bound yet) — skip them.
+            if open_spawn.is_some_and(|t| t.fn_idx == fn_idx && t.site_idx == idx) {
+                continue;
+            }
+            if let Some(name) = &site.binding {
+                if crate::checks::find_token(code, name).is_some() {
+                    site.binding_used = true;
+                }
+            }
+        }
+    }
+
+    /// Detects OS-thread spawn sites: `thread::spawn(…)` (optionally
+    /// `std::`-qualified) and, on lines naming `thread::Builder`, the
+    /// chain's `.spawn(…)`. The handle's fate starts from the `let`
+    /// binding on the same line; the discard classification finishes when
+    /// the argument list's matching `)` is seen.
+    fn scan_spawns(&mut self, code: &str, lineno: usize) {
+        let Some(fn_idx) = self.in_fn() else {
+            return;
+        };
+        let mut parens: Vec<usize> = Vec::new();
+        let mut from = 0;
+        while let Some(rel) = code[from..].find("thread::spawn(") {
+            let at = from + rel;
+            from = at + "thread::spawn(".len();
+            if code[..at].ends_with(is_ident) {
+                continue; // not a token boundary
+            }
+            parens.push(at + "thread::spawn".len());
+        }
+        if code.contains("thread::Builder") {
+            let mut from = 0;
+            while let Some(rel) = code[from..].find(".spawn(") {
+                let at = from + rel;
+                from = at + ".spawn(".len();
+                parens.push(at + ".spawn".len());
+            }
+        }
+        parens.sort_unstable();
+        parens.dedup();
+        let binding = let_binding(code);
+        for paren in parens {
+            if self.spawn_track.is_some() {
+                break; // nested spawns are not tracked separately
+            }
+            let site_idx = self.model.fns[fn_idx].spawns.len();
+            self.model.fns[fn_idx].spawns.push(SpawnSite {
+                line: lineno,
+                end_line: lineno,
+                binding: binding.clone(),
+                discarded: false,
+                binding_used: false,
+            });
+            match step_track(&code[paren..], 0, false) {
+                TrackOutcome::Open(depth) => {
+                    self.spawn_track = Some(ParenTrack {
+                        fn_idx,
+                        site_idx,
+                        depth,
+                        awaiting_tail: false,
+                    });
+                }
+                TrackOutcome::AwaitTail => {
+                    self.spawn_track = Some(ParenTrack {
+                        fn_idx,
+                        site_idx,
+                        depth: 0,
+                        awaiting_tail: true,
+                    });
+                }
+                TrackOutcome::Done(dropped) => {
+                    let site = &mut self.model.fns[fn_idx].spawns[site_idx];
+                    site.discarded = dropped && site.binding.is_none();
+                }
+            }
+        }
+    }
+
+    /// Detects cross-thread-queue construction sites with their
+    /// bounded/unbounded classification and whether a `bound:` comment on
+    /// the line (or the line directly above) names the enforcing
+    /// mechanism.
+    fn scan_queues(&mut self, code: &str, lineno: usize) {
+        if self.in_fn().is_none() {
+            return;
+        }
+        let mut found: Vec<(usize, QueueSite)> = Vec::new();
+        for &(ctor, bounded) in QUEUE_CTORS {
+            let mut from = 0;
+            while let Some(rel) = code[from..].find(ctor) {
+                let at = from + rel;
+                from = at + ctor.len();
+                if code[..at].ends_with(is_ident) {
+                    continue; // not a token boundary
+                }
+                let next = code[at + ctor.len()..].chars().next();
+                if !matches!(next, Some('(' | '<' | ':')) {
+                    continue; // a mention, not a construction
+                }
+                found.push((
+                    at,
+                    QueueSite {
+                        line: lineno,
+                        what: ctor.to_owned(),
+                        bounded,
+                        bound_named: self.bound_comment_near(lineno),
+                    },
+                ));
+            }
+        }
+        found.sort_by_key(|&(at, _)| at);
+        if let Some(f) = self.current_fn_mut() {
+            f.queues.extend(found.into_iter().map(|(_, q)| q));
+        }
+    }
+
+    /// Whether the line (or the line directly above) carries a `bound:`
+    /// comment naming a queue's enforcing mechanism.
+    fn bound_comment_near(&self, lineno: usize) -> bool {
+        (lineno.saturating_sub(1)..=lineno).any(|l| {
+            l >= 1
+                && self
+                    .lines
+                    .get(l - 1)
+                    .is_some_and(|line| line.comment.contains("bound:"))
+        })
     }
 
     /// Detects panic sources: bare `unwrap()`, the panic macros, and
@@ -1078,6 +1458,140 @@ fn ident_after(code: &str, from: usize) -> Option<String> {
         None
     } else {
         Some(name)
+    }
+}
+
+/// Condvar wait-family method names. Each takes the guard as a `&mut`
+/// first argument and atomically releases it for the wait's duration.
+const WAIT_METHODS: &[&str] = &[
+    "wait",
+    "wait_for",
+    "wait_timeout",
+    "wait_timeout_while",
+    "wait_until",
+    "wait_while",
+];
+
+/// Cross-thread-queue constructors and whether each fixes a capacity at
+/// the construction site.
+const QUEUE_CTORS: &[(&str, bool)] = &[
+    ("VecDeque::new", false),
+    ("VecDeque::default", false),
+    ("VecDeque::with_capacity", true),
+    ("channel::bounded", true),
+    ("channel::unbounded", false),
+    ("mpsc::channel", false),
+    ("mpsc::sync_channel", true),
+];
+
+/// What advancing a [`ParenTrack`] over one line concluded.
+enum TrackOutcome {
+    /// Still open at this paren depth.
+    Open(i64),
+    /// Closed at end-of-line; the next line's first significant character
+    /// decides the classification.
+    AwaitTail,
+    /// Finished: `true` when the matching `)` met a bare `;` (the value
+    /// was dropped in statement position).
+    Done(bool),
+}
+
+/// Advances a paren tracker over `code`, starting at `depth` (or, when
+/// `awaiting_tail`, inspecting only the first significant character).
+fn step_track(code: &str, depth: i64, awaiting_tail: bool) -> TrackOutcome {
+    if awaiting_tail {
+        return match code.chars().find(|c| !c.is_whitespace()) {
+            None => TrackOutcome::AwaitTail,
+            Some(';') => TrackOutcome::Done(true),
+            Some(_) => TrackOutcome::Done(false),
+        };
+    }
+    let mut depth = depth;
+    for (pos, c) in code.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return match code[pos + 1..].chars().find(|c| !c.is_whitespace()) {
+                        None => TrackOutcome::AwaitTail,
+                        Some(';') => TrackOutcome::Done(true),
+                        Some(_) => TrackOutcome::Done(false),
+                    };
+                }
+            }
+            _ => {}
+        }
+    }
+    TrackOutcome::Open(depth)
+}
+
+/// The first `let [mut] name` binding on the line, if any (`_`, tuple and
+/// struct patterns, and digit starts all yield `None`).
+fn let_binding(code: &str) -> Option<String> {
+    let at = crate::checks::find_token(code, "let")?;
+    let mut rest = code[at + 3..].trim_start();
+    if let Some(stripped) = rest.strip_prefix("mut ") {
+        rest = stripped.trim_start();
+    }
+    let name: String = rest.chars().take_while(|&c| is_ident(c)).collect();
+    if name.is_empty() || name == "_" || name.chars().next().is_some_and(char::is_numeric) {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Whether the attribute block directly above line `idx` carries
+/// `#[must_use]`. Doc comments interleave freely; a blank line or any
+/// other code ends the block (same walk as [`derives_above`]).
+fn attrs_have_must_use(lines: &[Line], idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let line = &lines[i];
+        let code = line.code.trim();
+        if code.is_empty() {
+            if line.comment.trim().is_empty() {
+                break; // blank line ends the block
+            }
+            continue; // doc or plain comment
+        }
+        if !code.starts_with('#') {
+            break;
+        }
+        if code.contains("must_use") {
+            return true;
+        }
+    }
+    false
+}
+
+/// The `&mut ident` first argument of an argument list (text after the
+/// opening `(`), if the list starts exactly that way.
+fn mut_ref_arg(rest: &str) -> Option<String> {
+    let rest = rest.trim_start().strip_prefix("&mut")?.trim_start();
+    let name: String = rest.chars().take_while(|&c| is_ident(c)).collect();
+    if name.is_empty() || name.chars().next().is_some_and(char::is_numeric) {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// The single-identifier argument of a call like `drop(guard)` (text
+/// after the opening `(`), if the list is exactly one identifier closed
+/// on the same line.
+fn single_ident_arg(rest: &str) -> Option<String> {
+    let close = rest.find(')')?;
+    let arg = rest[..close].trim();
+    if !arg.is_empty()
+        && arg.chars().all(is_ident)
+        && !arg.chars().next().is_some_and(char::is_numeric)
+    {
+        Some(arg.to_owned())
+    } else {
+        None
     }
 }
 
@@ -1258,7 +1772,8 @@ fn has_non_literal_index(code: &str) -> bool {
             continue;
         }
         // A keyword before `[` means an array *literal* position
-        // (`for x in [a, b]`, `return [x]`), not a place expression.
+        // (`for x in [a, b]`, `return [x]`, `if [a, b].iter()…`), not a
+        // place expression.
         let before: String = chars[..i]
             .iter()
             .rev()
@@ -1270,7 +1785,7 @@ fn has_non_literal_index(code: &str) -> bool {
             .collect();
         if matches!(
             before.as_str(),
-            "in" | "return" | "break" | "else" | "match" | "mut" | "ref"
+            "in" | "return" | "break" | "else" | "match" | "mut" | "ref" | "if" | "while"
         ) {
             continue;
         }
@@ -1596,5 +2111,163 @@ mod tests {
         );
         assert_eq!(m.fns.len(), 1);
         assert_eq!(m.fns[0].name, "real");
+    }
+
+    #[test]
+    fn condvar_waits_are_recorded_instead_of_calls() {
+        let m = parse(
+            "impl P {\n    fn park(&self) {\n        let mut park = self.park.lock();\n        self.ready.wait(&mut park);\n        self.space.wait_while(&mut park, |s| s.full);\n        child.wait();\n    }\n}\n",
+        );
+        let f = &m.fns[0];
+        let waits: Vec<(&str, &str)> = f
+            .condvar_waits
+            .iter()
+            .map(|w| (w.what.as_str(), w.guard.as_str()))
+            .collect();
+        assert_eq!(waits, vec![("wait", "park"), ("wait_while", "park")]);
+        // A `.wait()` without a `&mut guard` argument stays a plain call.
+        assert!(f
+            .calls
+            .iter()
+            .any(|c| c.target == CallTarget::Method("wait".into())));
+        // The waits themselves produced no call sites.
+        assert_eq!(
+            f.calls
+                .iter()
+                .filter(|c| c.target == CallTarget::Method("wait".into()))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn explicit_drop_releases_a_held_guard() {
+        let m = parse(
+            "impl P {\n    fn go(&self) {\n        let a = self.alpha.lock();\n        drop(a);\n        helper();\n        let b = self.beta.lock();\n        other();\n    }\n}\n",
+        );
+        let f = &m.fns[0];
+        let helper = f
+            .calls
+            .iter()
+            .find(|c| c.target == CallTarget::Free("helper".into()))
+            .expect("helper call recorded");
+        assert!(helper.holding.is_empty(), "drop(a) released the guard");
+        let other = f
+            .calls
+            .iter()
+            .find(|c| c.target == CallTarget::Free("other".into()))
+            .expect("other call recorded");
+        assert_eq!(other.holding, vec!["P.beta".to_owned()]);
+    }
+
+    #[test]
+    fn spawn_sites_classify_the_handle_fate() {
+        let m = parse(
+            "fn f() {\n    std::thread::spawn(run);\n    let h = std::thread::spawn(run);\n    h.join().unwrap();\n    let leak = std::thread::spawn(run);\n    let v: Vec<_> = (0..2).map(|_| std::thread::spawn(run)).collect();\n}\n",
+        );
+        let s = &m.fns[0].spawns;
+        assert_eq!(s.len(), 4);
+        assert!(s[0].discarded && s[0].binding.is_none());
+        assert_eq!(s[1].binding.as_deref(), Some("h"));
+        assert!(s[1].binding_used, "h reappears on the join line");
+        assert_eq!(s[2].binding.as_deref(), Some("leak"));
+        assert!(!s[2].binding_used);
+        assert!(
+            !s[3].discarded && s[3].binding.as_deref() == Some("v"),
+            "a collected spawn flows into the binding"
+        );
+    }
+
+    #[test]
+    fn multi_line_spawns_finish_at_the_closing_paren() {
+        let m = parse(
+            "fn f() {\n    std::thread::spawn(move || {\n        work();\n    });\n    let keep = std::thread::spawn(move || {\n        work();\n    });\n    keep.join().ok();\n}\n",
+        );
+        let s = &m.fns[0].spawns;
+        assert_eq!(s.len(), 2);
+        assert!(s[0].discarded);
+        assert_eq!((s[0].line, s[0].end_line), (2, 4));
+        assert!(!s[1].discarded && s[1].binding_used);
+        assert_eq!((s[1].line, s[1].end_line), (5, 7));
+    }
+
+    #[test]
+    fn builder_spawns_are_spawn_sites() {
+        let m = parse(
+            "fn f() {\n    let h = std::thread::Builder::new().name(n).spawn(run);\n    h.unwrap().join().unwrap();\n}\n",
+        );
+        let s = &m.fns[0].spawns;
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].binding.as_deref(), Some("h"));
+        assert!(s[0].binding_used);
+    }
+
+    #[test]
+    fn queue_sites_classify_bounds_and_annotations() {
+        let m = parse(
+            "fn f() {\n    let a: VecDeque<u32> = VecDeque::new();\n    let b = VecDeque::with_capacity(8);\n    let (tx, rx) = channel::bounded(4);\n    let (utx, urx) = channel::unbounded();\n    // bound: drained by callers\n    let c: VecDeque<u32> = VecDeque::new();\n    let d = VecDeque::default(); // bound: capped by push\n}\n",
+        );
+        let q = &m.fns[0].queues;
+        let view: Vec<(&str, bool, bool)> = q
+            .iter()
+            .map(|s| (s.what.as_str(), s.bounded, s.bound_named))
+            .collect();
+        assert_eq!(
+            view,
+            vec![
+                ("VecDeque::new", false, false),
+                ("VecDeque::with_capacity", true, false),
+                ("channel::bounded", true, false),
+                ("channel::unbounded", false, false),
+                ("VecDeque::new", false, true),
+                ("VecDeque::default", false, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn must_use_attributes_are_captured() {
+        let m = parse(
+            "#[must_use]\npub fn a() -> bool {\n    true\n}\n\npub fn b() -> bool {\n    a()\n}\n",
+        );
+        assert!(m.fns[0].has_must_use);
+        assert!(!m.fns[1].has_must_use);
+    }
+
+    #[test]
+    fn statement_position_calls_are_marked() {
+        let m = parse(
+            "fn f() {\n    q.push(x);\n    let ok = q.push(x);\n    if q.push(x) {\n        helper();\n    }\n    q.push(make(\n        x,\n    ));\n    q.len().min(3);\n}\n",
+        );
+        let f = &m.fns[0];
+        let stmts: Vec<(String, bool)> = f
+            .calls
+            .iter()
+            .map(|c| {
+                let name = match &c.target {
+                    CallTarget::Free(n) | CallTarget::Method(n) => n.clone(),
+                    CallTarget::Path(p) => p.join("::"),
+                };
+                (name, c.stmt)
+            })
+            .collect();
+        // First push: whole statement, value dropped.
+        assert_eq!(stmts[0], ("push".into(), true));
+        // Bound and condition-position pushes are not discards.
+        assert_eq!(stmts[1], ("push".into(), false));
+        assert_eq!(stmts[2], ("push".into(), false));
+        assert_eq!(stmts[3], ("helper".into(), true));
+        // Multi-line argument list: the `;` after the matching `)` counts.
+        assert_eq!(stmts[4], ("push".into(), true));
+        assert!(!stmts[5].1, "inner make(...) flows into push");
+        // `q.len().min(3);` — len is chained into min, not a statement.
+        assert_eq!(stmts[6], ("len".into(), false));
+    }
+
+    #[test]
+    fn catch_unwind_lines_are_recorded() {
+        let m =
+            parse("fn f() {\n    let r = std::panic::catch_unwind(|| work());\n    r.ok();\n}\n");
+        assert_eq!(m.fns[0].catch_unwinds, vec![2]);
     }
 }

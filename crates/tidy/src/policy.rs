@@ -37,9 +37,10 @@ pub struct CratePolicy {
     /// Whether the crate's library sources feed the workspace call graph
     /// that the semantic checks (panic-reachability, determinism-taint,
     /// lock-order) run over. True for the model and host crates whose
-    /// APIs call each other; false for the root facade binary, `bench`,
-    /// and this crate — self-analysis of the analyzer would dominate the
-    /// findings with its own parser internals.
+    /// APIs call each other (including `serve`, whose dispatcher path the
+    /// concurrency checks walk); false for the root facade binary,
+    /// `bench`, and this crate — self-analysis of the analyzer would
+    /// dominate the findings with its own parser internals.
     pub call_graph: bool,
     /// Whether the crate is sanctioned to open sockets (`std::net`).
     /// True only for `eaao-serve`, whose entire purpose is the wire
@@ -60,6 +61,15 @@ pub struct CratePolicy {
     /// while still barred from unordered float math it feeds back into
     /// records.
     pub float_det: bool,
+    /// Whether the concurrency-lifecycle checks (`thread-lifecycle`,
+    /// `queue-bounds`, `error-policy`) scan the crate's library sources.
+    /// True for the long-running service runtime — `eaao-serve` and the
+    /// shared `eaao-campaign` executor — whose threads, queues, and
+    /// swallowed errors are exactly the PR 6 bug classes (dead
+    /// dispatcher, leaked per-connection handles, unbounded snapshots).
+    /// Implies `call_graph`: the panic-barrier half of thread-lifecycle
+    /// walks callees.
+    pub concurrency: bool,
 }
 
 /// The workspace policy table.
@@ -80,6 +90,7 @@ pub const POLICIES: &[CratePolicy] = &[
         net: false,
         fork_surface: false,
         float_det: false,
+        concurrency: false,
     },
     CratePolicy {
         name: "eaao-simcore",
@@ -89,6 +100,7 @@ pub const POLICIES: &[CratePolicy] = &[
         net: false,
         fork_surface: true,
         float_det: true,
+        concurrency: false,
     },
     CratePolicy {
         name: "eaao-tsc",
@@ -98,6 +110,7 @@ pub const POLICIES: &[CratePolicy] = &[
         net: false,
         fork_surface: true,
         float_det: true,
+        concurrency: false,
     },
     CratePolicy {
         name: "eaao-cloudsim",
@@ -107,6 +120,7 @@ pub const POLICIES: &[CratePolicy] = &[
         net: false,
         fork_surface: true,
         float_det: true,
+        concurrency: false,
     },
     CratePolicy {
         name: "eaao-orchestrator",
@@ -116,6 +130,7 @@ pub const POLICIES: &[CratePolicy] = &[
         net: false,
         fork_surface: true,
         float_det: true,
+        concurrency: false,
     },
     CratePolicy {
         name: "eaao-core",
@@ -125,6 +140,7 @@ pub const POLICIES: &[CratePolicy] = &[
         net: false,
         fork_surface: true,
         float_det: true,
+        concurrency: false,
     },
     CratePolicy {
         name: "eaao-oracle",
@@ -134,6 +150,7 @@ pub const POLICIES: &[CratePolicy] = &[
         net: false,
         fork_surface: true,
         float_det: true,
+        concurrency: false,
     },
     CratePolicy {
         name: "eaao-campaign",
@@ -143,6 +160,7 @@ pub const POLICIES: &[CratePolicy] = &[
         net: false,
         fork_surface: true,
         float_det: false,
+        concurrency: true,
     },
     CratePolicy {
         name: "eaao-obs",
@@ -152,6 +170,7 @@ pub const POLICIES: &[CratePolicy] = &[
         net: false,
         fork_surface: false,
         float_det: false,
+        concurrency: false,
     },
     CratePolicy {
         name: "eaao-bench",
@@ -161,6 +180,7 @@ pub const POLICIES: &[CratePolicy] = &[
         net: false,
         fork_surface: false,
         float_det: false,
+        concurrency: false,
     },
     CratePolicy {
         name: "eaao-tidy",
@@ -170,15 +190,17 @@ pub const POLICIES: &[CratePolicy] = &[
         net: false,
         fork_surface: false,
         float_det: false,
+        concurrency: false,
     },
     CratePolicy {
         name: "eaao-serve",
         dir: "crates/serve",
         determinism: false,
-        call_graph: false,
+        call_graph: true,
         net: true,
         fork_surface: false,
         float_det: false,
+        concurrency: true,
     },
 ];
 
@@ -229,6 +251,25 @@ mod tests {
         // wall-clock timing math is not replayed.
         assert!(policy_for_dir("crates/campaign").is_some_and(|p| p.fork_surface && !p.float_det));
         assert!(policy_for_dir("crates/serve").is_some_and(|p| !p.fork_surface));
+    }
+
+    #[test]
+    fn concurrency_covers_exactly_the_service_runtime() {
+        for p in POLICIES {
+            assert_eq!(
+                p.concurrency,
+                matches!(p.name, "eaao-serve" | "eaao-campaign"),
+                "concurrency scope drifted for {}",
+                p.name
+            );
+            // The panic-barrier half of thread-lifecycle needs call
+            // edges, so every concurrency crate must feed the graph.
+            assert!(
+                !p.concurrency || p.call_graph,
+                "{} has concurrency without call_graph",
+                p.name
+            );
+        }
     }
 
     #[test]

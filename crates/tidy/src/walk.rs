@@ -15,10 +15,15 @@
 //! 2. the item models of all `src/` files feed the workspace call graph,
 //!    over which the semantic checks (panic-reachability,
 //!    determinism-taint, lock-order) run — consulting and consuming
-//!    inline suppressions through a [`SuppressionOracle`],
+//!    inline suppressions through a [`SuppressionOracle`] — alongside
+//!    the field-level checks and the concurrency-lifecycle checks
+//!    (thread-lifecycle, queue-bounds, error-policy, wire-schema),
 //! 3. suppressions are applied and accounted centrally, and
 //! 4. surviving *semantic* findings pass through the baseline ratchet
 //!    (`tidy-baseline.json`).
+//!
+//! Each phase is timed; `--timings` renders the breakdown so the
+//! analysis' own runtime stays an explicit budget.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -43,6 +48,9 @@ pub struct ScanOutcome {
     /// in the same sorted order — the input `--write-baseline` ratchets
     /// from.
     pub semantic: Vec<Diagnostic>,
+    /// Wall-clock milliseconds per scan phase, in execution order — what
+    /// `--timings` renders, and what the CI runtime-budget gate reads.
+    pub timings: Vec<(&'static str, f64)>,
 }
 
 /// One scanned Rust file, read and lexed once for all phases.
@@ -77,16 +85,25 @@ pub fn run_workspace(root: &Path) -> Vec<Diagnostic> {
 pub fn scan_workspace(root: &Path) -> ScanOutcome {
     let mut findings: Vec<Diagnostic> = Vec::new();
     let mut files: Vec<FileCtx> = Vec::new();
+    let mut timings: Vec<(&'static str, f64)> = Vec::new();
+    let mut mark = std::time::Instant::now();
+    let mut lap = |label: &'static str, timings: &mut Vec<(&'static str, f64)>| {
+        let now = std::time::Instant::now();
+        timings.push((label, (now - mark).as_secs_f64() * 1e3));
+        mark = now;
+    };
 
     // Read + lex every file once.
     for policy in POLICIES {
         collect_crate(root, policy, &mut files, &mut findings);
     }
+    lap("read+lex", &mut timings);
 
     // Phase 1: lexical checks, raw findings per file.
     for ctx in &mut files {
         checks::lexical_checks(ctx.policy, ctx.kind, &ctx.rel, &ctx.src, &mut ctx.raw);
     }
+    lap("lexical", &mut timings);
 
     // Phase 2: the call graph and the semantic checks. Only `src/` files
     // of graph-participating crates contribute (tests/examples/benches
@@ -108,11 +125,14 @@ pub fn scan_workspace(root: &Path) -> ScanOutcome {
         .collect();
     let ws = Workspace::build(&inputs);
     drop(inputs);
+    lap("model+graph", &mut timings);
 
     // Phase 2b: the field-level model and checks (fork-coverage,
-    // cow-aliasing, float-determinism) over the same parsed models. Raw
-    // pairs are collected while `files` is still borrowed immutably; the
-    // suppression oracle (which needs `&mut files`) filters them below.
+    // cow-aliasing, float-determinism) plus the concurrency-lifecycle
+    // checks (thread-lifecycle, queue-bounds, error-policy, wire-schema)
+    // over the same parsed models. Raw pairs are collected while `files`
+    // is still borrowed immutably; the suppression oracle (which needs
+    // `&mut files`) filters them below.
     let mut field_raw: Vec<(usize, Diagnostic)> = Vec::new();
     {
         let field_inputs: Vec<fields::FileInput<'_>> = models
@@ -133,7 +153,13 @@ pub fn scan_workspace(root: &Path) -> ScanOutcome {
                 checks::float_det::check(input, &mut field_raw);
             }
         }
+        checks::threads::check(&ws, &mut field_raw);
+        checks::queues::check(&ws, &mut field_raw);
+        checks::error_policy::check(&ws, &field_inputs, &mut field_raw);
+        let service_doc = fs::read_to_string(root.join("docs/SERVICE.md")).ok();
+        checks::wire::check(&field_inputs, service_doc.as_deref(), &mut field_raw);
     }
+    lap("field+concurrency", &mut timings);
 
     let mut semantic: Vec<Diagnostic> = Vec::new();
     {
@@ -149,6 +175,7 @@ pub fn scan_workspace(root: &Path) -> ScanOutcome {
     }
     sort_diags(&mut semantic);
     semantic.dedup();
+    lap("semantic", &mut timings);
 
     // Phase 3: apply + account suppressions for the lexical findings.
     // (Semantic findings consulted the oracle when they were emitted.)
@@ -170,7 +197,12 @@ pub fn scan_workspace(root: &Path) -> ScanOutcome {
     check_registration(root, &mut findings);
     sort_diags(&mut findings);
     findings.dedup();
-    ScanOutcome { findings, semantic }
+    lap("suppress+baseline", &mut timings);
+    ScanOutcome {
+        findings,
+        semantic,
+        timings,
+    }
 }
 
 /// Loads and parses `tidy-baseline.json`; a missing file is an empty

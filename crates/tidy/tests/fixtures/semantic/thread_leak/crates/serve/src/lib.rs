@@ -1,0 +1,34 @@
+#![warn(missing_docs, missing_debug_implementations)]
+//! Fixture: one discarded spawn, one leaked handle, and one
+//! panic-unsafe worker, beside joined and barriered negatives.
+
+fn risky(xs: &[u64], i: usize) -> u64 {
+    xs[i]
+}
+
+fn detached() {
+    std::thread::spawn(|| 1 + 1);
+}
+
+fn leaky() {
+    let watcher = std::thread::spawn(|| 42);
+}
+
+fn unsafe_worker() {
+    let data = vec![1u64, 2, 3];
+    let h = std::thread::spawn(move || risky(&data, 9));
+    h.join().expect("worker finishes");
+}
+
+fn joined() {
+    let h = std::thread::spawn(|| 7);
+    h.join().expect("worker finishes");
+}
+
+fn barriered() {
+    let data = vec![1u64, 2, 3];
+    let h = std::thread::spawn(move || {
+        std::panic::catch_unwind(move || risky(&data, 9)).unwrap_or(0)
+    });
+    h.join().expect("worker finishes");
+}

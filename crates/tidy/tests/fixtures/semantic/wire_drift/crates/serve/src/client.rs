@@ -1,0 +1,12 @@
+//! Fixture client: handles every server frame.
+
+use crate::proto::ServerFrame;
+
+/// Names the frames this client understands.
+pub fn handle(frame: &ServerFrame) -> &'static str {
+    match frame {
+        ServerFrame::Welcome => "welcome",
+        ServerFrame::Done => "done",
+        ServerFrame::Progress => "progress",
+    }
+}

@@ -1,0 +1,6 @@
+#![warn(missing_docs, missing_debug_implementations)]
+//! Fixture service crate whose wire schema has drifted three ways.
+
+pub mod client;
+pub mod proto;
+pub mod server;

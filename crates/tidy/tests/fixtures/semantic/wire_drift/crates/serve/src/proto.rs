@@ -1,0 +1,21 @@
+//! Fixture wire schema carrying three drift shapes at once.
+
+/// Frames sent by a client.
+pub enum ClientFrame {
+    /// Opens the connection.
+    Hello,
+    /// Submits one campaign.
+    Submit,
+    /// Cancels a campaign — the server never learned this frame.
+    Cancel,
+}
+
+/// Frames sent by the server.
+pub enum ServerFrame {
+    /// Handshake reply.
+    Welcome,
+    /// The stream finished.
+    Done,
+    /// Mid-stream progress — the docs never learned this frame.
+    Progress,
+}

@@ -1,0 +1,12 @@
+//! Fixture server: handles `Hello` and `Submit`, missed `Cancel`.
+
+use crate::proto::ClientFrame;
+
+/// Names the frames this server understands.
+pub fn handle(frame: &ClientFrame) -> &'static str {
+    match frame {
+        ClientFrame::Hello => "hello",
+        ClientFrame::Submit => "submit",
+        _ => "unknown",
+    }
+}
